@@ -1,0 +1,53 @@
+// Command experiments regenerates the tables of the paper's evaluation
+// section (Tables 1–7) from the re-authored benchmark suite.
+//
+// Usage:
+//
+//	experiments [-table N] [-failruns N] [-succruns N] [-cbiruns N] [-overhead N] [-seed N]
+//
+// Without -table it regenerates every table. The defaults follow the
+// paper's experiment configuration (10 failure + 10 success runs for
+// LBRA/LCRA, 1000+1000 runs for CBI at 1/100 sampling); lower -cbiruns for
+// a faster, noisier pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stmdiag"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number 1-7; 0 regenerates all")
+	failRuns := flag.Int("failruns", 10, "failure runs per LBRA/LCRA diagnosis")
+	succRuns := flag.Int("succruns", 10, "success runs per LBRA/LCRA diagnosis")
+	cbiRuns := flag.Int("cbiruns", 1000, "CBI runs per class (paper default 1000)")
+	overhead := flag.Int("overhead", 10, "runs averaged per overhead figure")
+	seed := flag.Int64("seed", 0, "base seed")
+	flag.Parse()
+
+	cfg := stmdiag.ExperimentConfig{
+		FailRuns:     *failRuns,
+		SuccRuns:     *succRuns,
+		CBIRuns:      *cbiRuns,
+		OverheadRuns: *overhead,
+		Seed:         *seed,
+	}
+	tables := []int{1, 2, 3, 4, 5, 6, 7}
+	if *table != 0 {
+		tables = []int{*table}
+	}
+	for _, n := range tables {
+		start := time.Now()
+		out, err := stmdiag.RenderTable(n, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "table %d: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("(table %d regenerated in %v)\n\n", n, time.Since(start).Round(time.Millisecond))
+	}
+}

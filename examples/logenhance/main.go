@@ -1,0 +1,140 @@
+// Logenhance shows what the LBRLOG source-to-source transformation (paper
+// §5.1, Figures 7 and 8) actually does to a program, and what toggling
+// costs and buys.
+//
+// It instruments a small program two ways, diffs the instruction counts,
+// shows the ioctl sequence around a library call and a failure-logging
+// site, and then measures the toggling trade-off the paper's §7.1.3
+// evaluates: without toggling the run is cheaper, but a chatty library
+// call right before the failure floods the 16-entry LBR and evicts the
+// root cause.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"stmdiag"
+)
+
+const src = `
+.file app.c
+.str  msg "app: write failed"
+.global mode
+.func main
+main:
+    lea  r1, mode
+    ld   r2, [r1+0]
+.line 6
+    call format           ; both paths format their output
+.line 8
+.branch root
+    cmpi r2, 1
+    jne  fine             ; sane configuration
+.line 10
+    call format           ; chatty library call on the failure path
+.line 12
+.branch guard
+    cmpi r2, 0
+    je   fine
+    call error
+fine:
+    exit
+.func format lib
+format:
+    jmp f1
+f1: jmp f2
+f2: jmp f3
+f3: jmp f4
+f4: jmp f5
+f5: jmp f6
+f6: jmp f7
+f7: jmp f8
+f8: jmp f9
+f9: jmp f10
+f10: jmp f11
+f11: jmp f12
+f12: jmp f13
+f13: jmp f14
+f14: jmp f15
+f15: jmp f16
+f16: ret
+.func error log
+error:
+    print msg
+    fail 1
+    ret
+`
+
+func main() {
+	prog, err := stmdiag.Assemble("app", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain := prog.Instructions()
+
+	with, err := prog.Instrument(stmdiag.InstrumentOptions{LBR: true, Toggling: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	without, err := prog.Instrument(stmdiag.InstrumentOptions{LBR: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("original program: %d instructions\n", plain)
+	fmt.Printf("with toggling:    %d instructions (+%d inserted)\n", with.Instructions(), with.Instructions()-plain)
+	fmt.Printf("without toggling: %d instructions (+%d inserted)\n", without.Instructions(), without.Instructions()-plain)
+	fmt.Println("\nThe transformation (paper §5.1):")
+	fmt.Println("  1. wrap library calls with DISABLE/ENABLE toggling;")
+	fmt.Println("  2. CLEAN + CONFIG + ENABLE at the entry of main (Figure 7);")
+	fmt.Println("  3. DISABLE + PROFILE + ENABLE before each failure-logging call;")
+	fmt.Println("  4. a segfault handler that profiles.")
+
+	run := func(b *stmdiag.Build, mode int64) *stmdiag.RunResult {
+		r, err := b.Run(stmdiag.RunConfig{Globals: map[string]int64{"mode": mode}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+
+	// Failure runs: where does the root-cause branch sit in the LBR?
+	show := func(name string, r *stmdiag.RunResult) {
+		prof := r.Profiles[len(r.Profiles)-1]
+		pos := 0
+		for i, b := range prof.Branches {
+			if b.Branch == "root" {
+				pos = i + 1
+				break
+			}
+		}
+		where := "EVICTED from the 16-entry LBR"
+		if pos > 0 {
+			where = fmt.Sprintf("LBR entry %d", pos)
+		}
+		fmt.Printf("  %-16s root-cause branch: %s (%d records captured)\n",
+			name, where, len(prof.Branches))
+	}
+	fmt.Println("\nFailure run (mode=1), root-cause visibility:")
+	show("with toggling:", run(with, 1))
+	show("no toggling:", run(without, 1))
+
+	// Success runs: what does toggling cost?
+	cw := run(with, 0).Cycles
+	cn := run(without, 0).Cycles
+	fmt.Println("\nSuccess run (mode=0), cost:")
+	fmt.Printf("  with toggling:    %d cycles\n", cw)
+	fmt.Printf("  without toggling: %d cycles (%.1f%% cheaper)\n",
+		cn, 100*float64(cw-cn)/float64(cw))
+
+	fmt.Println("\nInstrumented entry of main (disassembly excerpt):")
+	lines := strings.Split(with.Disassemble(), "\n")
+	for i, l := range lines {
+		if i > 12 {
+			break
+		}
+		fmt.Println("  " + l)
+	}
+}

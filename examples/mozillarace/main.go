@@ -1,0 +1,153 @@
+// Mozillarace walks through the paper's motivating concurrency failure
+// (paper §3.2, Figure 4): the Mozilla JavaScript engine's WWR atomicity
+// violation on st->table.
+//
+// InitState stores the table (a1) and checks it (a2); FreeState's
+// st->table = NULL occasionally lands in between, so the check reads an
+// invalid cache line and the engine reports "out of memory" — a message 55
+// call sites could have produced, with nothing in the logged variables
+// hinting at the interleaving. The proposed Last Cache-coherence Record
+// captures exactly that: the invalid load at a2, a few entries deep.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stmdiag"
+)
+
+func main() {
+	row, err := stmdiag.ConcurrentRow("Mozilla-JS3", stmdiag.ExperimentConfig{
+		FailRuns: 10, SuccRuns: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Mozilla-JS3 (Figure 4) — WWR atomicity violation on st->table")
+	fmt.Printf("\nobserved failure rate across seeds: %.0f%% — the schedule decides\n\n", 100*row.FailRate)
+
+	// Show one failing run's LCR the way LCRLOG hands it to the developer.
+	info := benchmark("Mozilla-JS3")
+	fmt.Printf("bug class %s, symptom %q\n\n", info.RootCause, info.Symptom)
+
+	fmt.Println("LCRLOG at the failure site, one failing run (Conf2; newest first):")
+	if err := showProfile(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("Table 7 row (measured vs paper):")
+	fmt.Printf("  Conf1 (invalid loads/stores + shared loads):    entry %d (paper 3)\n", row.RankConf1)
+	fmt.Printf("  Conf2 (invalid loads/stores + exclusive loads): entry %d (paper 11)\n", row.RankConf2)
+	fmt.Printf("  LCRA best failure predictor:                    rank %d (paper 1)\n", row.LCRARank)
+}
+
+// showProfile reruns the instrumented benchmark until it fails and prints
+// the coherence record the driver profiled at the ReportOutOfMemory site.
+func showProfile() error {
+	// The benchmark's assembly ships with the library; rebuild it through
+	// the public pipeline so the example stays self-contained.
+	prog, err := stmdiag.Assemble("Mozilla-JS3-demo", mozillaSrc)
+	if err != nil {
+		return err
+	}
+	b, err := prog.Instrument(stmdiag.InstrumentOptions{LCR: true, Toggling: true})
+	if err != nil {
+		return err
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		res, err := b.Run(stmdiag.RunConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		if !res.Failed || len(res.Profiles) == 0 {
+			continue
+		}
+		prof := res.Profiles[len(res.Profiles)-1]
+		for i, e := range prof.Coherence {
+			where := fmt.Sprintf("%s:%d", e.File, e.Line)
+			if e.Pollution {
+				where = "(driver pollution)"
+			}
+			fmt.Printf("  %2d. %-5s observed %s  %s\n", i+1, e.Access, e.State, where)
+		}
+		return nil
+	}
+	return fmt.Errorf("no failing run in 100 seeds")
+}
+
+func benchmark(name string) stmdiag.BenchmarkInfo {
+	for _, b := range stmdiag.Benchmarks() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return stmdiag.BenchmarkInfo{}
+}
+
+// mozillaSrc is the Figure 4 pattern: a1/a2 in InitState, a3 in FreeState.
+const mozillaSrc = `
+.file jsapi.c
+.global st_table 8
+.global shared_cfg 8
+.global priv 8
+.str msg "out of memory"
+
+.func main
+main:
+    lea  r10, priv
+    ld   r11, [r10+0]
+    lea  r12, shared_cfg
+    ld   r13, [r12+0]
+    movi r1, 0
+    spawn FreeState, r1
+    call InitState
+    join
+    exit
+
+.func InitState
+InitState:
+.line 10
+    lea  r1, st_table
+    movi r2, 1
+    st   [r1+0], r2        ; a1: st->table = New(st)
+    delay 60
+.line 14
+    ld   r3, [r1+0]        ; a2: if (!st->table)
+    lea  r12, shared_cfg
+    ld   r13, [r12+0]
+    lea  r10, priv
+    ld   r11, [r10+0]
+    ld   r11, [r10+1]
+    ld   r11, [r10+2]
+    ld   r11, [r10+3]
+    ld   r11, [r10+4]
+    ld   r11, [r10+5]
+    ld   r11, [r10+6]
+    ld   r11, [r10+7]
+.line 20
+.branch check
+    cmpi r3, 0
+    jne  ok
+    call ReportOutOfMemory
+ok:
+    ret
+
+.func FreeState
+FreeState:
+    lea  r4, shared_cfg
+    ld   r5, [r4+0]
+    delay 40
+.line 30
+    lea  r6, st_table
+    movi r7, 0
+    st   [r6+0], r7        ; a3: st->table = NULL
+    halt
+
+.func ReportOutOfMemory log
+ReportOutOfMemory:
+    print msg
+    fail 1
+    ret
+`

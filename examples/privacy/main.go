@@ -1,0 +1,104 @@
+// Privacy shows the failure-report story of paper §5.3: what an end user's
+// machine actually sends back to developers.
+//
+// The program handles a secret user value on the very path that crashes.
+// A coredump would contain it. The LBR/LCR bundle — two code addresses per
+// branch record, a code address and a MESI state per coherence record, no
+// memory addresses, no values — cannot. The example crashes the program,
+// encodes the report bundle, proves the secret is absent, audits the
+// bundle, and contrasts it with the whole-execution BTS trace (which is
+// equally value-free but costs an order of magnitude more to record).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"stmdiag"
+)
+
+const src = `
+.file wallet.c
+.global balance
+.global ledger 8
+.func main
+main:
+    lea  r1, balance
+    ld   r2, [r1+0]        ; the user's account balance (sensitive!)
+    lea  r3, ledger
+    st   [r3+0], r2        ; written into the ledger buffer
+.line 5
+    movi r5, 0             ; reconcile earlier transactions first
+txn:
+.branch reconcile
+    cmpi r5, 60
+    jge  posted
+    ld   r6, [r3+0]
+    add  r6, r5
+    addi r5, 1
+    jmp  txn
+posted:
+.line 8
+.branch overdraft
+    cmpi r2, 0
+    jge  ok
+    movi r3, 0             ; buggy edge: ledger pointer dropped
+ok:
+.line 12
+    ld   r4, [r3+0]        ; post the transaction — crashes when overdrawn
+    exit
+`
+
+const secretBalance = -77345991
+
+func main() {
+	prog, err := stmdiag.Assemble("wallet", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	build, err := prog.Instrument(stmdiag.InstrumentOptions{LBR: true, LCR: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := build.Run(stmdiag.RunConfig{
+		Globals: map[string]int64{"balance": secretBalance},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run failed: %s\n", res.FailureMsg)
+	fmt.Printf("the secret balance (%d) flowed through registers and memory on that path\n\n", secretBalance)
+
+	bundle, err := stmdiag.EncodeReport(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("failure-report bundle (%d bytes):\n", len(bundle))
+	for i, line := range strings.Split(string(bundle), "\n") {
+		if i >= 18 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Println("  " + line)
+	}
+
+	leak := strings.Contains(string(bundle), fmt.Sprintf("%d", -secretBalance)) ||
+		strings.Contains(string(bundle), fmt.Sprintf("%d", secretBalance))
+	fmt.Printf("\nbundle contains the secret value: %v\n", leak)
+	violations := build.AuditReport(bundle)
+	fmt.Printf("privacy audit violations: %d\n", len(violations))
+
+	// The whole-execution contrast (paper §2.1): the BTS trace is larger
+	// but still value-free; its cost is what rules it out.
+	traced, err := build.Run(stmdiag.RunConfig{
+		Globals: map[string]int64{"balance": secretBalance},
+		BTS:     true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nBTS whole-execution trace: %d records (LBR keeps 16); run cost %d vs %d cycles (+%.0f%%)\n",
+		len(traced.BranchTrace), traced.Cycles, res.Cycles,
+		100*float64(traced.Cycles-res.Cycles)/float64(res.Cycles))
+}

@@ -1,0 +1,125 @@
+// Quickstart: diagnose a crashing program with the hardware's short-term
+// memory, end to end.
+//
+// The program below has a sort-style bug: when the input exceeds a
+// threshold, branch ROOT takes its buggy edge and nulls a pointer that is
+// dereferenced a few branches later. We instrument it the LBRLOG way
+// (paper §5.1), crash it, read the Last Branch Record captured by the
+// segfault handler, and then let LBRA (paper §5.2) name the root cause
+// automatically from ten failing and ten successful runs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stmdiag"
+)
+
+const buggy = `
+.file demo.c
+.str  msg "demo: inconsistent state"
+.global n
+.func main
+main:
+    lea  r1, n
+    ld   r2, [r1+0]
+.line 5
+.branch ROOT
+    cmpi r2, 10
+    jle  ok            ; sane input
+    movi r3, 0         ; buggy edge: pointer lost
+    jmp  cont
+ok:
+    lea  r3, n
+cont:
+.line 9
+.branch USE
+    cmpi r2, 0
+    jge  use
+use:
+.line 11
+    ld   r4, [r3+0]    ; crashes when ROOT went the buggy way
+.line 12
+.branch CHK
+    cmpi r4, 1000
+    jle  fine
+    call error
+fine:
+    exit
+.func error log
+error:
+    print msg
+    fail 1
+    ret
+`
+
+func main() {
+	prog, err := stmdiag.Assemble("demo", buggy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploy with log enhancement: arm the LBR at startup, profile at
+	// failure-logging sites and in the segfault handler, toggle recording
+	// around library calls.
+	deployed, err := prog.Instrument(stmdiag.InstrumentOptions{LBR: true, Toggling: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A production failure: input 20 crashes.
+	crash, err := deployed.Run(stmdiag.RunConfig{Globals: map[string]int64{"n": 20}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("production run failed: %s\n\n", crash.FailureMsg)
+	fmt.Println("LBR at the failure site (newest first):")
+	prof := crash.Profiles[len(crash.Profiles)-1]
+	for i, b := range prof.Branches {
+		name := "(unconditional jump)"
+		if b.Branch != "" {
+			name = fmt.Sprintf("branch %s = %s", b.Branch, b.Outcome)
+		}
+		fmt.Printf("  %2d. %-28s %s:%d\n", i+1, name, b.File, b.Line)
+	}
+
+	// The reactive scheme: redeploy with a success logging site paired
+	// with the observed failure location, collect both run classes, and
+	// compare (paper Figure 8, §5.2).
+	reactive, err := prog.Instrument(stmdiag.InstrumentOptions{
+		LBR: true, Toggling: true,
+		ReactiveFailureLines: []stmdiag.SourceLine{{File: "demo.c", Line: 11}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var failing, succeeding []*stmdiag.RunResult
+	for seed := int64(0); seed < 10; seed++ {
+		f, err := deployed.Run(stmdiag.RunConfig{Seed: seed, Globals: map[string]int64{"n": 20}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		failing = append(failing, f)
+		s, err := reactive.Run(stmdiag.RunConfig{Seed: seed, Globals: map[string]int64{"n": 5}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		succeeding = append(succeeding, s)
+	}
+	report, err := stmdiag.DiagnoseRuns(failing, succeeding, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nLBRA ranking (best failure predictor first):")
+	for i, p := range report.Ranking {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %d. %-24s score=%.2f (precision %.2f, recall %.2f)\n",
+			i+1, p.Event, p.Score, p.Precision, p.Recall)
+	}
+	if top, ok := report.Top(); ok {
+		fmt.Printf("\nroot cause: %s\n", top.Event)
+	}
+}

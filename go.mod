@@ -1,0 +1,3 @@
+module stmdiag
+
+go 1.22

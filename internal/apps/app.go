@@ -1,0 +1,427 @@
+// Package apps re-authors the 31 real-world failures of paper Table 4 as VM
+// programs: 20 sequential-bug failures (8 semantic, 6 memory, 2
+// configuration bugs across coreutils, Apache, Squid, Lighttpd, Cppcheck,
+// PBZIP and tar) and 11 concurrency-bug failures (atomicity violations and
+// order violations across Apache, Cherokee, SPLASH-2 FFT/LU, Mozilla's
+// JavaScript engine, MySQL and PBZIP2).
+//
+// Each app preserves what the diagnosis pipeline actually consumes from the
+// original bug:
+//
+//   - the bug class and failure symptom (Table 4's columns);
+//   - the control-flow structure between root cause and failure — how many
+//     LBR-recorded branches separate them (Table 6's "n-th latest entry"),
+//     whether library calls pollute the window when toggling is off, and
+//     the patch's line distance from the failure site and from captured
+//     branches;
+//   - for concurrency bugs, the interleaving pattern (RWR/RWW/WWR/WRW
+//     atomicity violation or order violation) and hence the failure
+//     predicting coherence event of Table 3, plus the cache traffic that
+//     determines how deep in the LCR the event sits under the two
+//     configurations of Table 7.
+//
+// The programs are small (the originals range from 0.5 to 658 KLOC), so
+// paper-scale metadata is retained in App.Paper for reporting.
+package apps
+
+import (
+	"fmt"
+
+	"stmdiag/internal/cache"
+	"stmdiag/internal/isa"
+	"stmdiag/internal/source"
+	"stmdiag/internal/vm"
+)
+
+// BugClass is the root-cause category of a benchmark (paper Tables 4/3).
+type BugClass uint8
+
+// Bug classes.
+const (
+	// BugSemantic is a sequential semantic bug.
+	BugSemantic BugClass = iota
+	// BugMemory is a sequential memory bug (overflow, dangling pointer).
+	BugMemory
+	// BugConfig is a configuration-handling bug.
+	BugConfig
+	// BugAtomicityRWR .. BugAtomicityWRW are single-variable atomicity
+	// violations, named by the interleaved access pattern (Table 3).
+	BugAtomicityRWR
+	BugAtomicityRWW
+	BugAtomicityWWR
+	BugAtomicityWRW
+	// BugOrderEarly is a read-too-early order violation (Figure 5).
+	BugOrderEarly
+	// BugOrderLate is a read-too-late order violation (Figure 6).
+	BugOrderLate
+)
+
+// String names the class the way the tables do.
+func (c BugClass) String() string {
+	switch c {
+	case BugSemantic:
+		return "semantic"
+	case BugMemory:
+		return "memory"
+	case BugConfig:
+		return "config."
+	case BugAtomicityRWR:
+		return "A.V. (RWR)"
+	case BugAtomicityRWW:
+		return "A.V. (RWW)"
+	case BugAtomicityWWR:
+		return "A.V. (WWR)"
+	case BugAtomicityWRW:
+		return "A.V. (WRW)"
+	case BugOrderEarly:
+		return "O.V. (read-too-early)"
+	case BugOrderLate:
+		return "O.V. (read-too-late)"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Concurrent reports whether the class is a concurrency bug.
+func (c BugClass) Concurrent() bool { return c >= BugAtomicityRWR }
+
+// Symptom is the visible failure mode (Table 4's "Failure Symptom").
+type Symptom uint8
+
+// Symptoms.
+const (
+	// SymptomErrorMessage is an error emitted by a failure-logging call.
+	SymptomErrorMessage Symptom = iota
+	// SymptomCrash is a segmentation fault or equivalent trap.
+	SymptomCrash
+	// SymptomHang is non-termination.
+	SymptomHang
+	// SymptomWrongOutput is silently incorrect output.
+	SymptomWrongOutput
+	// SymptomCorruptedLog is silently corrupted log output.
+	SymptomCorruptedLog
+)
+
+// String names the symptom.
+func (s Symptom) String() string {
+	switch s {
+	case SymptomErrorMessage:
+		return "error message"
+	case SymptomCrash:
+		return "crash"
+	case SymptomHang:
+		return "hang"
+	case SymptomWrongOutput:
+		return "wrong output"
+	case SymptomCorruptedLog:
+		return "corrupted log"
+	}
+	return fmt.Sprintf("symptom(%d)", uint8(s))
+}
+
+// PaperInfo is the original benchmark's Table 4 metadata, kept for reports.
+type PaperInfo struct {
+	// Version is the buggy release.
+	Version string
+	// KLOC is the original code size in thousands of lines.
+	KLOC float64
+	// LogPoints is the original number of failure-logging sites.
+	LogPoints int
+	// LBRRankTog / LBRRankNoTog are Table 6's LBRLOG entry ranks with and
+	// without toggling (0 = root cause missed).
+	LBRRankTog, LBRRankNoTog int
+	// Related marks the *-cases where a related branch, not the root-cause
+	// branch itself, is captured.
+	Related bool
+	// LCRConf1 / LCRConf2 are Table 7's LCRLOG entry ranks (0 = missed).
+	LCRConf1, LCRConf2 int
+	// CBIRank is Table 6's CBI predictor rank (0 = missed, -1 = N/A for
+	// C++ programs CBI does not support).
+	CBIRank int
+	// PatchDistFailure / PatchDistLBR are Table 6's patch distances
+	// (source.Infinite for "different file").
+	PatchDistFailure, PatchDistLBR int
+}
+
+// FPEWant describes a concurrency benchmark's failure-predicting event
+// (Table 3): the access kind and observed state at a specific source line
+// in the failure thread.
+type FPEWant struct {
+	// Kind is load or store.
+	Kind cache.AccessKind
+	// State is the observed MESI state that predicts failure.
+	State cache.State
+	// File and Line locate the access.
+	File string
+	Line int
+}
+
+// Workload is one input configuration for a benchmark run.
+type Workload struct {
+	// Globals and Arrays seed program globals (vm.Options).
+	Globals map[string]int64
+	// Arrays seeds array globals.
+	Arrays map[string][]int64
+	// WantOutput, when non-nil, defines the correct output; a terminated
+	// run whose output differs is a wrong-output/corrupted-log failure.
+	WantOutput []string
+	// StepLimit overrides the VM's step limit; hang benchmarks use it so
+	// the stuck run is interrupted (and profiled) promptly.
+	StepLimit uint64
+}
+
+// App is one benchmark.
+type App struct {
+	// Name is the benchmark name as the tables print it (e.g. "sort",
+	// "Apache4").
+	Name string
+	// Paper is the original benchmark's metadata.
+	Paper PaperInfo
+	// Class is the bug class; Symptom the failure mode.
+	Class   BugClass
+	Symptom Symptom
+	// Source is the program in VM assembly.
+	Source string
+	// Patch models the real fix for patch-distance measurement.
+	Patch source.Patch
+	// RootBranch is the root-cause source branch (sequential bugs) with
+	// BuggyEdge its failing outcome.
+	RootBranch string
+	BuggyEdge  isa.BranchEdge
+	// RelatedBranch is the root-cause-related branch captured in the
+	// *-cases; empty otherwise.
+	RelatedBranch string
+	// FPE is the failure-predicting coherence event (concurrency bugs),
+	// as recorded under the space-consuming configuration (Conf2) that
+	// LCRA uses. Nil when no FPE exists in the failure thread (MySQL1) or
+	// the bug is a silent corruption (Apache5, Cherokee, Mozilla-JS2).
+	FPE *FPEWant
+	// FPEConf1 overrides the event looked for under the space-saving
+	// configuration when it differs (the order violations, whose Conf2
+	// event is an exclusive load that Conf1 does not record). Nil means
+	// FPE applies to both configurations.
+	FPEConf1 *FPEWant
+	// Conf1InSuccess marks benchmarks whose Conf1 signal is the expected
+	// shared load being ABSENT from failure runs (paper §4.2.2 on
+	// read-too-early order violations): the entry rank is then measured
+	// where the event sits in success-run profiles.
+	Conf1InSuccess bool
+	// Diagnosable mirrors the paper's ✓/- verdict for the app's own tool
+	// (LBRLOG for sequential, LCRLOG/LCRA for concurrency).
+	Diagnosable bool
+	// FaultLoc is the source location of the crashing instruction for
+	// crash benchmarks (used to pair the reactive success site); zero for
+	// benchmarks failing at logging sites.
+	FaultLoc isa.SourceLoc
+	// Fail and Succeed are the failure-triggering and success workloads.
+	// Concurrency benchmarks may use the same input for both: the
+	// interleaving decides the outcome.
+	Fail, Succeed Workload
+}
+
+// prog caches assembly.
+var progCache = map[string]*isa.Program{}
+
+// Program assembles (and caches) the app's program.
+func (a *App) Program() *isa.Program {
+	if p, ok := progCache[a.Name]; ok {
+		return p
+	}
+	p := isa.MustAssemble(a.Name, a.Source)
+	progCache[a.Name] = p
+	return p
+}
+
+// VMOptions builds the workload portion of run options.
+func (w Workload) VMOptions(seed int64) vm.Options {
+	return vm.Options{Seed: seed, Globals: w.Globals, GlobalArrays: w.Arrays, StepLimit: w.StepLimit}
+}
+
+// FailedRun classifies a run result against the workload: any recorded
+// failure event, or (when the workload defines expected output) an output
+// mismatch — the paper's wrong-output and corrupted-log symptoms.
+func (w Workload) FailedRun(res *vm.Result) bool {
+	if res.Failed() {
+		return true
+	}
+	if w.WantOutput == nil {
+		return false
+	}
+	if len(res.Output) != len(w.WantOutput) {
+		return true
+	}
+	for i := range w.WantOutput {
+		if res.Output[i] != w.WantOutput[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultPC locates the instruction matching the app's FaultLoc, or -1.
+func (a *App) FaultPC() int {
+	if a.FaultLoc.IsZero() {
+		return -1
+	}
+	p := a.Program()
+	for pc := range p.Instrs {
+		loc := p.Instrs[pc].Loc
+		if loc.File == a.FaultLoc.File && loc.Line == a.FaultLoc.Line {
+			op := p.Instrs[pc].Op
+			if op == isa.OpLd || op == isa.OpSt || op == isa.OpLock || op == isa.OpJmpr || op == isa.OpDiv {
+				return pc
+			}
+		}
+	}
+	return -1
+}
+
+// registry accumulates the benchmark suite; each app file registers its
+// apps in an init function.
+var registry []*App
+
+func register(a *App) *App {
+	registry = append(registry, a)
+	return a
+}
+
+// All returns every benchmark, sequential first, in table order.
+func All() []*App { return registry }
+
+// Sequential returns the 20 sequential-bug benchmarks.
+func Sequential() []*App {
+	var out []*App
+	for _, a := range registry {
+		if !a.Class.Concurrent() {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Concurrent returns the 11 concurrency-bug benchmarks.
+func Concurrent() []*App {
+	var out []*App
+	for _, a := range registry {
+		if a.Class.Concurrent() {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ByName returns the named benchmark, or nil.
+func ByName(name string) *App {
+	for _, a := range registry {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// WorkCfg shapes an app's background work kernel. Real deployments spend
+// almost all cycles in regular processing, not in the buggy corner; the
+// kernel models that so instrumentation overheads are measured against a
+// production-scale baseline. Branch density drives the CBI sampling cost,
+// library-call frequency drives the toggling cost — the two knobs behind
+// the per-app overhead spread of paper Table 6.
+type WorkCfg struct {
+	// Branches is the number of annotated conditional branches per
+	// iteration (1..3).
+	Branches int
+	// Pad is extra straight-line arithmetic per iteration, diluting the
+	// branch density.
+	Pad int
+	// LibEvery calls a library function every 2^k-th iteration where
+	// LibEvery==1<<k; 0 disables library calls in the loop.
+	LibEvery int
+}
+
+// workKernel emits a `work` function driven by the `worksize` global, plus
+// the globals and library helper it needs. Apps call it at the top of main;
+// both workloads set worksize so baseline and instrumented runs do the same
+// work.
+func workKernel(c WorkCfg) string {
+	if c.Branches < 1 {
+		c.Branches = 1
+	}
+	s := `
+.global worksize
+.global wbuf 8
+.func work
+work:
+    lea  r10, worksize
+    ld   r11, [r10+0]
+    movi r12, 0
+    lea  r13, wbuf
+.branch wk_enter
+    cmp  r12, r11
+    jge  wk_done
+wk_loop:
+    st   [r13+0], r12
+    ld   r14, [r13+0]
+`
+	for b := 1; b < c.Branches; b++ {
+		s += fmt.Sprintf(`.branch wk_b%d
+    cmpi r14, %d
+    jge  wk_s%d
+wk_s%d:
+`, b, b*3, b, b)
+	}
+	for i := 0; i < c.Pad; i++ {
+		s += "    addi r14, 3\n"
+	}
+	if c.LibEvery > 0 {
+		s += fmt.Sprintf(`    mov  r15, r12
+    andi r15, %d
+.branch wk_lib
+    cmpi r15, 0
+    jne  wk_nolib
+    call wlib
+wk_nolib:
+`, c.LibEvery-1)
+	}
+	// Bottom-test backedge, the loop shape compilers emit: the continue
+	// edge is a taken conditional branch, one LBR record per iteration.
+	s += `    addi r12, 1
+.branch wk_cond true
+    cmp  r12, r11
+    jl   wk_loop
+wk_done:
+    ret
+.func wlib lib
+wlib:
+    addi r14, 1
+    ret
+`
+	return s
+}
+
+// padJumps emits a chain of n source-level branches whose conditions hold
+// on the modeled input (r0, the thread argument, is 0 in main), so each
+// occupies exactly one LBR entry — the knob that positions a root-cause
+// branch at the depth the original bug exhibits. They stand in for the
+// data-dependent control flow real programs execute between root cause and
+// failure.
+func padJumps(prefix string, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		out += fmt.Sprintf(".branch %s_%d\n    cmpi r0, 0\n    je %s_%dl\n%s_%dl:\n",
+			prefix, i, prefix, i, prefix, i)
+	}
+	return out
+}
+
+// padELoads emits code that performs n exclusive-state loads (warm,
+// core-private data): one priming load of each word then a re-read. The
+// caller must have the address of a scratch global in the given register.
+// Each re-read observes E and is recorded only under the space-consuming
+// LCR configuration, reproducing the paper's observation that such loads
+// push the failure-predicting event deeper under Conf2.
+func padELoads(reg string, off, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		out += fmt.Sprintf("    ld r15, [%s+%d]\n    ld r15, [%s+%d]\n", reg, off+i, reg, off+i)
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package apps
+
+import (
+	"testing"
+
+	"stmdiag/internal/cfg"
+	"stmdiag/internal/isa"
+	"stmdiag/internal/vm"
+)
+
+func TestRegistryShape(t *testing.T) {
+	if got := len(All()); got != 31 {
+		t.Fatalf("registry has %d apps, want 31 (paper Table 4)", got)
+	}
+	if got := len(Sequential()); got != 20 {
+		t.Errorf("%d sequential apps, want 20", got)
+	}
+	if got := len(Concurrent()); got != 11 {
+		t.Errorf("%d concurrency apps, want 11", got)
+	}
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if seen[a.Name] {
+			t.Errorf("duplicate app %q", a.Name)
+		}
+		seen[a.Name] = true
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) broken", a.Name)
+		}
+	}
+	if ByName("nonesuch") != nil {
+		t.Error("ByName of unknown app should be nil")
+	}
+}
+
+func TestAllProgramsAssembleAndValidate(t *testing.T) {
+	for _, a := range All() {
+		p := a.Program()
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+		if p != a.Program() {
+			t.Errorf("%s: Program() not cached", a.Name)
+		}
+	}
+}
+
+func TestSequentialMetadataConsistency(t *testing.T) {
+	for _, a := range Sequential() {
+		if a.Class.Concurrent() {
+			t.Errorf("%s: class %v in sequential set", a.Name, a.Class)
+		}
+		if a.RootBranch == "" {
+			t.Errorf("%s: sequential app without root branch", a.Name)
+		}
+		p := a.Program()
+		found := false
+		for _, b := range p.Branches {
+			if b.Name == a.RootBranch {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: root branch %q not in program", a.Name, a.RootBranch)
+		}
+		if a.Paper.Related && a.RelatedBranch == "" {
+			t.Errorf("%s: * case without related branch", a.Name)
+		}
+		if a.Symptom == SymptomCrash || a.Symptom == SymptomHang {
+			if a.FaultPC() < 0 {
+				t.Errorf("%s: crash/hang app without locatable fault instruction", a.Name)
+			}
+		} else if len(cfg.LogSites(p)) == 0 {
+			t.Errorf("%s: non-crash app without failure-logging sites", a.Name)
+		}
+		if len(a.Patch.Lines) == 0 {
+			t.Errorf("%s: no patch modeled", a.Name)
+		}
+	}
+}
+
+func TestConcurrentMetadataConsistency(t *testing.T) {
+	for _, a := range Concurrent() {
+		if !a.Class.Concurrent() {
+			t.Errorf("%s: class %v in concurrency set", a.Name, a.Class)
+		}
+		if a.Diagnosable && a.FPE == nil {
+			t.Errorf("%s: diagnosable concurrency app without FPE", a.Name)
+		}
+		spawns := a.Program().CountOp(isa.OpSpawn)
+		if spawns == 0 {
+			t.Errorf("%s: concurrency app spawns no threads", a.Name)
+		}
+	}
+}
+
+// TestSequentialWorkloadsAreDeterministic: a sequential benchmark's failure
+// input must always fail and its success input always succeed, independent
+// of scheduling seed.
+func TestSequentialWorkloadsAreDeterministic(t *testing.T) {
+	for _, a := range Sequential() {
+		for seed := int64(0); seed < 3; seed++ {
+			res, err := vm.Run(a.Program(), a.Fail.VMOptions(seed))
+			if err != nil {
+				t.Fatalf("%s fail-run: %v", a.Name, err)
+			}
+			if !a.Fail.FailedRun(res) {
+				t.Errorf("%s: failure workload succeeded (seed %d)", a.Name, seed)
+			}
+			res, err = vm.Run(a.Program(), a.Succeed.VMOptions(seed))
+			if err != nil {
+				t.Fatalf("%s succeed-run: %v", a.Name, err)
+			}
+			if a.Succeed.FailedRun(res) {
+				t.Errorf("%s: success workload failed (seed %d): %v", a.Name, seed, res.Failures)
+			}
+		}
+	}
+}
+
+// TestConcurrentWorkloadsRaceBothWays: every concurrency benchmark must
+// exhibit both outcomes across seeds — that nondeterminism is the paper's
+// whole subject.
+func TestConcurrentWorkloadsRaceBothWays(t *testing.T) {
+	for _, a := range Concurrent() {
+		fails, succs := 0, 0
+		for seed := int64(0); seed < 60 && (fails == 0 || succs == 0); seed++ {
+			res, err := vm.Run(a.Program(), a.Fail.VMOptions(seed))
+			if err != nil {
+				t.Fatalf("%s: %v", a.Name, err)
+			}
+			if a.Fail.FailedRun(res) {
+				fails++
+			} else {
+				succs++
+			}
+		}
+		if fails == 0 || succs == 0 {
+			t.Errorf("%s: outcomes not schedule-dependent (fails=%d succs=%d)", a.Name, fails, succs)
+		}
+	}
+}
+
+// TestSymptomsMatchTable4 verifies each benchmark fails the way Table 4
+// says it does.
+func TestSymptomsMatchTable4(t *testing.T) {
+	for _, a := range All() {
+		var res *vm.Result
+		var err error
+		for seed := int64(0); seed < 60; seed++ {
+			res, err = vm.Run(a.Program(), a.Fail.VMOptions(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Fail.FailedRun(res) {
+				break
+			}
+			res = nil
+		}
+		if res == nil {
+			t.Fatalf("%s: no failing run in 60 seeds", a.Name)
+		}
+		f := res.FirstFailure()
+		switch a.Symptom {
+		case SymptomCrash:
+			if f == nil || f.Kind != vm.FailCrash {
+				t.Errorf("%s: want crash, got %+v", a.Name, f)
+			}
+		case SymptomHang:
+			if f == nil || f.Kind != vm.FailHang {
+				t.Errorf("%s: want hang, got %+v", a.Name, f)
+			}
+		case SymptomErrorMessage:
+			if f == nil || f.Kind != vm.FailLogged {
+				t.Errorf("%s: want logged error, got %+v", a.Name, f)
+			}
+		case SymptomWrongOutput, SymptomCorruptedLog:
+			if f != nil {
+				t.Errorf("%s: silent symptom but hard failure %+v", a.Name, f)
+			}
+			if len(a.Fail.WantOutput) == 0 {
+				t.Errorf("%s: silent symptom without expected output", a.Name)
+			}
+		}
+	}
+}
+
+func TestWorkloadFailedRunOutputComparison(t *testing.T) {
+	w := Workload{WantOutput: []string{"a", "b"}}
+	ok := &vm.Result{Output: []string{"a", "b"}}
+	if w.FailedRun(ok) {
+		t.Error("matching output flagged as failure")
+	}
+	for _, bad := range []*vm.Result{
+		{Output: []string{"a"}},
+		{Output: []string{"a", "c"}},
+		{Output: []string{"a", "b", "c"}},
+	} {
+		if !w.FailedRun(bad) {
+			t.Errorf("mismatched output %v not flagged", bad.Output)
+		}
+	}
+}
+
+func TestBugClassStrings(t *testing.T) {
+	for c := BugSemantic; c <= BugOrderLate; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has empty string", c)
+		}
+	}
+	for s := SymptomErrorMessage; s <= SymptomCorruptedLog; s++ {
+		if s.String() == "" {
+			t.Errorf("symptom %d has empty string", s)
+		}
+	}
+}
+
+func TestPadHelpers(t *testing.T) {
+	src := ".func main\nmain:\n" + padJumps("p", 3) + "    exit\n"
+	p, err := isa.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CountOp(isa.OpJmp); got != 3 {
+		t.Errorf("padJumps(3) emitted %d jumps", got)
+	}
+}

@@ -1,0 +1,658 @@
+package apps
+
+import (
+	"stmdiag/internal/cache"
+	"stmdiag/internal/isa"
+	"stmdiag/internal/source"
+)
+
+// mozjs3App is the paper's running concurrency example (Figure 4, Table 7's
+// Mozilla-JS3): a WWR atomicity violation on st->table in the Mozilla
+// JavaScript engine. InitState stores the table (a1) and checks it (a2);
+// FreeState's st->table=NULL (a3) occasionally lands between them, so the
+// check reads an invalid (remotely-written) line and the engine reports
+// "out of memory" from one of ReportOutOfMemory's many call sites.
+//
+// The failure-predicting event is a2's invalid load. Under Conf1 only the
+// driver's one shared-read pollution entry and one app shared load sit
+// above it (entry 3); under Conf2 the eight exclusive re-reads of
+// thread-warm state push it to entry 11.
+var mozjs3App = register(&App{
+	Name: "Mozilla-JS3",
+	Paper: PaperInfo{
+		Version: "1.5", KLOC: 107, LogPoints: 343,
+		LCRConf1: 3, LCRConf2: 11,
+	},
+	Class:       BugAtomicityWWR,
+	Symptom:     SymptomErrorMessage,
+	Diagnosable: true,
+	FPE:         &FPEWant{Kind: cache.Load, State: cache.Invalid, File: "jsapi.c", Line: 14},
+	Patch:       source.Patch{App: "Mozilla-JS3", Lines: []isa.SourceLoc{{File: "jsapi.c", Line: 12}}},
+	Fail:        Workload{},
+	Succeed:     Workload{},
+	Source: `
+.file jsapi.c
+.global st_table 8
+.global shared_cfg 8
+.global priv 8
+.str js3msg "out of memory"
+
+.func main
+main:
+    lea  r10, priv
+    ld   r11, [r10+0]      ; warm the private line (later loads observe E)
+    lea  r12, shared_cfg
+    ld   r13, [r12+0]      ; warm the config line (shared with FreeState)
+    movi r1, 0
+    spawn FreeState, r1
+    call InitState
+    join
+    exit
+
+.func InitState
+InitState:
+.line 10
+    lea  r1, st_table
+    movi r2, 1
+    st   [r1+0], r2        ; a1: st->table = New(st)
+    delay 60               ; hash-table fill; FreeState races into it
+.line 14
+    ld   r3, [r1+0]        ; a2: if (!st->table) — invalid load when raced
+    lea  r12, shared_cfg
+    ld   r13, [r12+0]      ; runtime config consult (shared line)
+    lea  r10, priv
+    ld   r11, [r10+0]      ; eight consults of thread-warm engine state
+    ld   r11, [r10+1]
+    ld   r11, [r10+2]
+    ld   r11, [r10+3]
+    ld   r11, [r10+4]
+    ld   r11, [r10+5]
+    ld   r11, [r10+6]
+    ld   r11, [r10+7]
+.line 20
+.branch js3_zoom
+    cmpi r3, 0
+    jne  js3_ok
+    call ReportOutOfMemory
+js3_ok:
+    ret
+
+.func FreeState
+FreeState:
+    lea  r4, shared_cfg
+    ld   r5, [r4+0]        ; shares the config line
+    delay 40
+.line 30
+    lea  r6, st_table
+    movi r7, 0
+    st   [r6+0], r7        ; a3: Destroy(st->table); st->table = NULL
+    halt
+
+.func ReportOutOfMemory log
+ReportOutOfMemory:
+.line 55
+    print js3msg
+    fail 1
+    ret
+`,
+})
+
+// mozjs1App models Mozilla-JS1: an RWR atomicity violation on a script
+// object pointer; the checked pointer is nulled by another thread between
+// check (a1) and use (a2), and the use crashes. Same FPE as Figure 4's bug
+// (a2's invalid read) but with five exclusive consults before the deref,
+// putting it at Conf2 entry 8.
+var mozjs1App = register(&App{
+	Name: "Mozilla-JS1",
+	Paper: PaperInfo{
+		Version: "1.5", KLOC: 107, LogPoints: 343,
+		LCRConf1: 3, LCRConf2: 8,
+	},
+	Class:       BugAtomicityRWR,
+	Symptom:     SymptomCrash,
+	Diagnosable: true,
+	FPE:         &FPEWant{Kind: cache.Load, State: cache.Invalid, File: "jsinterp.c", Line: 22},
+	FaultLoc:    isa.SourceLoc{File: "jsinterp.c", Line: 31},
+	Patch:       source.Patch{App: "Mozilla-JS1", Lines: []isa.SourceLoc{{File: "jsinterp.c", Line: 20}}},
+	Fail:        Workload{},
+	Succeed:     Workload{},
+	Source: `
+.file jsinterp.c
+.global scriptptr 8
+.global script 8
+.global atomstate 8
+.global jpriv 8
+
+.func main
+main:
+    lea  r1, script
+    lea  r2, scriptptr
+    st   [r2+0], r1        ; ptr = script (valid)
+    lea  r10, jpriv
+    ld   r11, [r10+0]      ; warm private interpreter state
+    lea  r12, atomstate
+    ld   r13, [r12+0]      ; warm the atom table line (shared)
+    movi r3, 0
+    spawn GCThread, r3
+.line 18
+    ld   r4, [r2+0]        ; a1: if (ptr)
+    delay 60               ; interpreter dispatch; GC races in
+.line 22
+    ld   r5, [r2+0]        ; a2: reload for the call — invalid when raced
+    lea  r12, atomstate
+    ld   r13, [r12+0]      ; atom table consult (shared line)
+    lea  r10, jpriv
+    ld   r11, [r10+0]      ; five consults of thread-warm state
+    ld   r11, [r10+1]
+    ld   r11, [r10+2]
+    ld   r11, [r10+3]
+    ld   r11, [r10+4]
+.line 31
+    ld   r6, [r5+0]        ; puts(ptr) — crashes on the nulled pointer
+    join
+    exit
+
+.func GCThread
+GCThread:
+    lea  r7, atomstate
+    ld   r8, [r7+0]        ; shares the atom table line
+    delay 40
+.line 45
+    lea  r9, scriptptr
+    movi r14, 0
+    st   [r9+0], r14       ; ptr = NULL (the racing free)
+    halt
+`,
+})
+
+// mozjs2App models Mozilla-JS2: an atomicity violation that corrupts a
+// property-cache value silently. The worker only emits the value after a
+// long stretch of cold cache fills, so the invalid-write event is long
+// evicted from the 16-entry LCR when the wrong output surfaces — one of
+// the paper's four undiagnosed concurrency failures.
+var mozjs2App = register(&App{
+	Name: "Mozilla-JS2",
+	Paper: PaperInfo{
+		Version: "1.5", KLOC: 107, LogPoints: 343,
+	},
+	Class:       BugAtomicityRWW,
+	Symptom:     SymptomWrongOutput,
+	Diagnosable: false,
+	FPE:         &FPEWant{Kind: cache.Store, State: cache.Invalid, File: "jsobj.c", Line: 14},
+	Patch:       source.Patch{App: "Mozilla-JS2", Lines: []isa.SourceLoc{{File: "jsobj.c", Line: 14}}},
+	Fail:        Workload{WantOutput: []string{"42"}},
+	Succeed:     Workload{WantOutput: []string{"42"}},
+	Source: `
+.file jsobj.c
+.global propcache 8
+.global heap 160
+
+.func main
+main:
+    movi r1, 0
+    spawn Setter, r1
+    call Getter
+    join
+    lea  r2, propcache
+    ld   r3, [r2+0]
+    out  r3                ; the observable (possibly corrupted) value
+    exit
+
+.func Getter
+Getter:
+.line 10
+    lea  r1, propcache
+    ld   r2, [r1+0]        ; read the cached property
+    delay 50               ; the setter races in here
+    addi r2, 42
+.line 14
+    st   [r1+0], r2        ; write back — invalid store when raced
+.line 20
+    lea  r3, heap
+    ld   r4, [r3+0]        ; a long stretch of cold property fills:
+    ld   r4, [r3+8]        ; each first-touch is an invalid load that
+    ld   r4, [r3+16]       ; pushes the racy store out of the record
+    ld   r4, [r3+24]
+    ld   r4, [r3+32]
+    ld   r4, [r3+40]
+    ld   r4, [r3+48]
+    ld   r4, [r3+56]
+    ld   r4, [r3+64]
+    ld   r4, [r3+72]
+    ld   r4, [r3+80]
+    ld   r4, [r3+88]
+    ld   r4, [r3+96]
+    ld   r4, [r3+104]
+    ld   r4, [r3+112]
+    ld   r4, [r3+120]
+    ld   r4, [r3+128]
+.line 40
+    call js_emit
+    ret
+
+.func Setter
+Setter:
+    delay 30
+.line 50
+    lea  r5, propcache
+    movi r6, 0
+    st   [r5+0], r6        ; reset the cache (the racing write)
+    halt
+
+.func js_emit log
+js_emit:
+    ret
+`,
+})
+
+// apache4App models Apache-2.0.50 (Table 7's Apache4): an RWR atomicity
+// violation on a connection pointer; the worker re-reads it after a check
+// and crashes when the closer nulls it in between. FPE: the re-read's
+// invalid load, at Conf1 entry 3 / Conf2 entry 5.
+var apache4App = register(&App{
+	Name: "Apache4",
+	Paper: PaperInfo{
+		Version: "2.0.50", KLOC: 263, LogPoints: 2412,
+		LCRConf1: 3, LCRConf2: 5,
+	},
+	Class:       BugAtomicityRWR,
+	Symptom:     SymptomCrash,
+	Diagnosable: true,
+	FPE:         &FPEWant{Kind: cache.Load, State: cache.Invalid, File: "server/connection.c", Line: 24},
+	FaultLoc:    isa.SourceLoc{File: "server/connection.c", Line: 30},
+	Patch:       source.Patch{App: "Apache4", Lines: []isa.SourceLoc{{File: "server/connection.c", Line: 22}}},
+	Fail:        Workload{},
+	Succeed:     Workload{},
+	Source: `
+.file server/connection.c
+.global connptr 8
+.global conn 8
+.global sbshared 8
+.global wpriv 8
+
+.func main
+main:
+    lea  r1, conn
+    lea  r2, connptr
+    st   [r2+0], r1        ; c = conn (valid)
+    lea  r10, wpriv
+    ld   r11, [r10+0]      ; warm worker-private state
+    lea  r12, sbshared
+    ld   r13, [r12+0]      ; warm the scoreboard line (shared)
+    movi r3, 0
+    spawn Closer, r3
+.line 20
+    ld   r4, [r2+0]        ; a1: if (c->aborted) check
+    delay 60
+.line 24
+    ld   r5, [r2+0]        ; a2: reload for the write — invalid when raced
+    lea  r12, sbshared
+    ld   r13, [r12+0]      ; scoreboard consult (shared line)
+    lea  r10, wpriv
+    ld   r11, [r10+0]      ; two consults of worker-warm state
+    ld   r11, [r10+1]
+.line 30
+    ld   r6, [r5+0]        ; write through the connection — crash on NULL
+    join
+    exit
+
+.func Closer
+Closer:
+    lea  r7, sbshared
+    ld   r8, [r7+0]        ; shares the scoreboard line
+    delay 40
+.line 45
+    lea  r9, connptr
+    movi r14, 0
+    st   [r9+0], r14       ; lingering close nulls the connection
+    halt
+`,
+})
+
+// apache5App models Apache-2.2.9's silent scoreboard corruption (Table 7's
+// Apache5): a racy read-modify-write loses a slot update; the worker then
+// serves a long request (cold fills) before its routine log write, so the
+// invalid-store event has left the LCR — undiagnosed, like the paper.
+var apache5App = register(&App{
+	Name: "Apache5",
+	Paper: PaperInfo{
+		Version: "2.2.9", KLOC: 333, LogPoints: 2515,
+	},
+	Class:       BugAtomicityRWW,
+	Symptom:     SymptomCorruptedLog,
+	Diagnosable: false,
+	FPE:         &FPEWant{Kind: cache.Store, State: cache.Invalid, File: "server/scoreboard.c", Line: 14},
+	Patch:       source.Patch{App: "Apache5", Lines: []isa.SourceLoc{{File: "server/scoreboard.c", Line: 14}}},
+	Fail:        Workload{WantOutput: []string{"2"}},
+	Succeed:     Workload{WantOutput: []string{"2"}},
+	Source: `
+.file server/scoreboard.c
+.global slots 8
+.global reqheap 160
+
+.func main
+main:
+    movi r1, 0
+    spawn Worker, r1
+    call WorkerBody        ; main is the other worker
+    join
+    lea  r2, slots
+    ld   r3, [r2+0]
+    out  r3                ; the access log's slot count
+    exit
+
+.func WorkerBody
+WorkerBody:
+.line 10
+    lea  r1, slots
+    ld   r2, [r1+0]        ; read the slot count
+    delay 50               ; request setup; the other worker races in
+    addi r2, 1
+.line 14
+    st   [r1+0], r2        ; racy increment — invalid store when raced
+.line 20
+    lea  r3, reqheap
+    ld   r4, [r3+0]        ; serving the request: cold buffer fills
+    ld   r4, [r3+8]
+    ld   r4, [r3+16]
+    ld   r4, [r3+24]
+    ld   r4, [r3+32]
+    ld   r4, [r3+40]
+    ld   r4, [r3+48]
+    ld   r4, [r3+56]
+    ld   r4, [r3+64]
+    ld   r4, [r3+72]
+    ld   r4, [r3+80]
+    ld   r4, [r3+88]
+    ld   r4, [r3+96]
+    ld   r4, [r3+104]
+    ld   r4, [r3+112]
+    ld   r4, [r3+120]
+    ld   r4, [r3+128]
+.line 40
+    call ap_log_transaction
+    ret
+
+.func Worker
+Worker:
+.line 10
+    lea  r5, slots
+    ld   r6, [r5+0]
+    delay 20
+    addi r6, 1
+.line 14
+    st   [r5+0], r6
+    halt
+
+.func ap_log_transaction log
+ap_log_transaction:
+    ret
+`,
+})
+
+// cherokeeApp models Cherokee-0.98's corrupted-log bug: two connection
+// handlers race on the shared log-buffer cursor; the lost update truncates
+// a log entry. Detection only happens when the buffer is flushed, far past
+// the 16-entry horizon — undiagnosed, like the paper.
+var cherokeeApp = register(&App{
+	Name: "Cherokee",
+	Paper: PaperInfo{
+		Version: "0.98.0", KLOC: 85, LogPoints: 184,
+	},
+	Class:       BugAtomicityRWW,
+	Symptom:     SymptomCorruptedLog,
+	Diagnosable: false,
+	FPE:         &FPEWant{Kind: cache.Store, State: cache.Invalid, File: "cherokee/logger.c", Line: 14},
+	Patch:       source.Patch{App: "Cherokee", Lines: []isa.SourceLoc{{File: "cherokee/logger.c", Line: 14}}},
+	Fail:        Workload{WantOutput: []string{"2"}},
+	Succeed:     Workload{WantOutput: []string{"2"}},
+	Source: `
+.file cherokee/logger.c
+.global logcursor 8
+.global connbuf 160
+
+.func main
+main:
+    movi r1, 0
+    spawn Handler, r1
+    call HandlerBody
+    join
+    lea  r2, logcursor
+    ld   r3, [r2+0]
+    out  r3                ; flushed cursor position
+    exit
+
+.func HandlerBody
+HandlerBody:
+.line 10
+    lea  r1, logcursor
+    ld   r2, [r1+0]        ; reserve log space: read cursor
+    delay 50
+    addi r2, 1
+.line 14
+    st   [r1+0], r2        ; racy cursor bump — invalid store when raced
+.line 20
+    lea  r3, connbuf
+    ld   r4, [r3+0]        ; render the log entry into the buffer
+    ld   r4, [r3+8]
+    ld   r4, [r3+16]
+    ld   r4, [r3+24]
+    ld   r4, [r3+32]
+    ld   r4, [r3+40]
+    ld   r4, [r3+48]
+    ld   r4, [r3+56]
+    ld   r4, [r3+64]
+    ld   r4, [r3+72]
+    ld   r4, [r3+80]
+    ld   r4, [r3+88]
+    ld   r4, [r3+96]
+    ld   r4, [r3+104]
+    ld   r4, [r3+112]
+    ld   r4, [r3+120]
+    ld   r4, [r3+128]
+.line 40
+    call cherokee_logger_write
+    ret
+
+.func Handler
+Handler:
+.line 10
+    lea  r5, logcursor
+    ld   r6, [r5+0]
+    delay 20
+    addi r6, 1
+.line 14
+    st   [r5+0], r6
+    halt
+
+.func cherokee_logger_write log
+cherokee_logger_write:
+    ret
+`,
+})
+
+// mysql1App models MySQL-4.0.18 (Table 7's MySQL1): a WRW atomicity
+// violation on the binlog handle. The rotator closes and reopens the log
+// (a1, a2); a reader thread crashes if it loads the handle in the closed
+// window (a3). The reader's load observes an invalid state in failure AND
+// success runs (the rotator has always just written the line), so no
+// failure-predicting event exists in the failure thread — undiagnosed,
+// like the paper.
+var mysql1App = register(&App{
+	Name: "MySQL1",
+	Paper: PaperInfo{
+		Version: "4.0.18", KLOC: 658, LogPoints: 1585,
+	},
+	Class:       BugAtomicityWRW,
+	Symptom:     SymptomCrash,
+	Diagnosable: false,
+	FaultLoc:    isa.SourceLoc{File: "sql/log.cc", Line: 32},
+	Patch:       source.Patch{App: "MySQL1", Lines: []isa.SourceLoc{{File: "sql/log.cc", Line: 12}}},
+	Fail:        Workload{},
+	Succeed:     Workload{},
+	Source: `
+.file sql/log.cc
+.global logptr 8
+.global logfile 8
+
+.func main
+main:
+    lea  r1, logfile
+    lea  r2, logptr
+    st   [r2+0], r1        ; binlog handle starts valid
+    movi r3, 0
+    spawn Reader, r3
+.line 10
+    movi r4, 0
+    st   [r2+0], r4        ; a1: log = CLOSED
+    delay 40               ; rotation work
+.line 12
+    lea  r5, logfile
+    st   [r2+0], r5        ; a2: log = OPEN (new file)
+    join
+    exit
+
+.func Reader
+Reader:
+    delay 30
+.line 30
+    lea  r6, logptr
+    ld   r7, [r6+0]        ; a3: read the handle — invalid in every run
+.line 32
+    ld   r8, [r7+0]        ; crash when the closed window was hit
+    halt
+`,
+})
+
+// mysql2App models MySQL-4.0.12 (Table 7's MySQL2): an atomicity violation
+// on a cached query result; the reader re-reads the cache after another
+// thread invalidates it and emits a stale answer. FPE: the re-read's
+// invalid load, Conf1 entry 3 / Conf2 entry 9.
+var mysql2App = register(&App{
+	Name: "MySQL2",
+	Paper: PaperInfo{
+		Version: "4.0.12", KLOC: 639, LogPoints: 1523,
+		LCRConf1: 3, LCRConf2: 9,
+	},
+	Class:       BugAtomicityRWR,
+	Symptom:     SymptomWrongOutput,
+	Diagnosable: true,
+	FPE:         &FPEWant{Kind: cache.Load, State: cache.Invalid, File: "sql/sql_cache.cc", Line: 24},
+	Patch:       source.Patch{App: "MySQL2", Lines: []isa.SourceLoc{{File: "sql/sql_cache.cc", Line: 22}}},
+	Fail:        Workload{WantOutput: []string{"42"}},
+	Succeed:     Workload{WantOutput: []string{"42"}},
+	Source: `
+.file sql/sql_cache.cc
+.global qcache 8
+.global tabdef 8
+.global thdpriv 8
+
+.func main
+main:
+    lea  r10, thdpriv
+    ld   r11, [r10+0]      ; warm the THD (thread-private) line
+    lea  r12, tabdef
+    ld   r13, [r12+0]      ; warm the table-definition line (shared)
+    movi r1, 0
+    spawn Invalidator, r1
+.line 18
+    lea  r2, qcache
+    movi r3, 42
+    st   [r2+0], r3        ; a1: cache the query result
+    delay 60               ; row scan; the invalidator races in
+.line 24
+    ld   r4, [r2+0]        ; a2: reuse the cached result — invalid when raced
+    lea  r12, tabdef
+    ld   r13, [r12+0]      ; table definition consult (shared line)
+    lea  r10, thdpriv
+    ld   r11, [r10+0]      ; six consults of THD-warm state
+    ld   r11, [r10+1]
+    ld   r11, [r10+2]
+    ld   r11, [r10+3]
+    ld   r11, [r10+4]
+    ld   r11, [r10+5]
+.line 40
+    call net_send_result
+    join
+    exit
+
+.func Invalidator
+Invalidator:
+    lea  r5, tabdef
+    ld   r6, [r5+0]        ; shares the table-definition line
+    delay 40
+.line 55
+    lea  r7, qcache
+    movi r8, 0
+    st   [r7+0], r8        ; TRUNCATE invalidates the cached result
+    halt
+
+.func net_send_result log
+net_send_result:
+.line 70
+    out  r4                ; the client-visible answer
+    ret
+`,
+})
+
+// RWWMicro is the paper's Table 3 RWW example (the bank-balance race): two
+// threads each do tmp=cnt+deposit; cnt=tmp, and the failure thread prints
+// the balance right after its write. When the other thread's write lands
+// between the read and the write, the write observes an invalid line — and
+// because the balance is reported immediately, the event is still in the
+// LCR, unlike the long-propagation RWW bugs of Table 7 (Apache5,
+// Cherokee). It is not one of the 31 Table 4 benchmarks; Table 3 uses it
+// to demonstrate the class.
+var RWWMicro = &App{
+	Name:        "micro-RWW",
+	Class:       BugAtomicityRWW,
+	Symptom:     SymptomWrongOutput,
+	Diagnosable: true,
+	FPE:         &FPEWant{Kind: cache.Store, State: cache.Invalid, File: "bank.c", Line: 14},
+	Patch:       source.Patch{App: "micro-RWW", Lines: []isa.SourceLoc{{File: "bank.c", Line: 14}}},
+	Fail:        Workload{WantOutput: []string{"12"}},
+	Succeed:     Workload{WantOutput: []string{"12"}},
+	Source: `
+.file bank.c
+.global cnt 8
+
+.func main
+main:
+    movi r1, 0
+    spawn Deposit2, r1
+    call Deposit1
+    join
+    exit
+
+.func Deposit1
+Deposit1:
+.line 10
+    lea  r1, cnt
+    ld   r2, [r1+0]        ; tmp = cnt + deposit1
+    delay 50
+    addi r2, 5
+.line 14
+    st   [r1+0], r2        ; cnt = tmp — invalid store when raced
+.line 16
+    call printBalance      ; printf("Balance=%d", cnt)
+    ret
+
+.func Deposit2
+Deposit2:
+    delay 20
+.line 30
+    lea  r3, cnt
+    ld   r4, [r3+0]
+    addi r4, 7
+    st   [r3+0], r4        ; the interleaving write
+    halt
+
+.func printBalance log
+printBalance:
+.line 40
+    lea  r1, cnt
+    ld   r5, [r1+0]
+    out  r5
+    ret
+`,
+}

@@ -1,0 +1,220 @@
+package apps
+
+import (
+	"stmdiag/internal/cache"
+	"stmdiag/internal/isa"
+	"stmdiag/internal/source"
+)
+
+// fftApp models the SPLASH-2 FFT read-too-early order violation of paper
+// Figure 5: thread 1 prints timing statistics that read Gend before thread
+// 2 initializes it. In failure runs the second read (B2) observes the
+// Exclusive state of the thread's own uninitialized fill — the Table 3 FPE
+// for read-too-early — while in success runs it observes Shared; under
+// Conf1 the diagnostic signal is that shared load missing from failure
+// profiles (paper §4.2.2).
+var fftApp = register(&App{
+	Name: "FFT",
+	Paper: PaperInfo{
+		Version: "2.0", KLOC: 1.3, LogPoints: 59,
+		LCRConf1: 4, LCRConf2: 6,
+	},
+	Class:          BugOrderEarly,
+	Symptom:        SymptomWrongOutput,
+	Diagnosable:    true,
+	FPE:            &FPEWant{Kind: cache.Load, State: cache.Exclusive, File: "fft.c", Line: 20},
+	FPEConf1:       &FPEWant{Kind: cache.Load, State: cache.Shared, File: "fft.c", Line: 20},
+	Conf1InSuccess: true,
+	Patch:          source.Patch{App: "FFT", Lines: []isa.SourceLoc{{File: "fft.c", Line: 45}}},
+	Fail:           Workload{WantOutput: []string{"5", "5"}},
+	Succeed:        Workload{WantOutput: []string{"5", "5"}},
+	Source: `
+.file fft.c
+.global gend 8
+.global fpriv 8
+.global colda 8
+.global coldb 8
+
+.func main
+main:
+    lea  r10, fpriv
+    ld   r11, [r10+0]      ; warm thread-1 timing state
+    movi r1, 0
+    spawn Initializer, r1
+    delay 30               ; transform work; sometimes enough for thread 2
+.line 18
+    lea  r2, gend
+    ld   r3, [r2+0]        ; B1: printf("End at %f", Gend)
+.line 20
+    ld   r4, [r2+0]        ; B2: Gend - Init — exclusive read when too early
+.line 24
+    lea  r5, colda
+    ld   r6, [r5+0]        ; first touch of the stats buffer (invalid)
+    lea  r7, coldb
+    ld   r8, [r7+0]        ; first touch of the output row (invalid)
+    ld   r11, [r10+0]      ; timing-state consult (exclusive)
+.line 30
+    call printResults
+    join
+    exit
+
+.func Initializer
+Initializer:
+    delay 40
+.line 45
+    lea  r9, gend
+    movi r14, 5
+    st   [r9+0], r14       ; A: Gend = time()
+    halt
+
+.func printResults log
+printResults:
+.line 60
+    out  r3
+    out  r4
+    ret
+`,
+})
+
+// luApp models the SPLASH-2 LU read-too-early order violation: the
+// reduction thread consumes the pivot row before the factorization thread
+// publishes it. Identical event structure to FFT (Table 7 reports the same
+// entry ranks) over a different computation.
+var luApp = register(&App{
+	Name: "LU",
+	Paper: PaperInfo{
+		Version: "2.0", KLOC: 1.2, LogPoints: 45,
+		LCRConf1: 4, LCRConf2: 6,
+	},
+	Class:          BugOrderEarly,
+	Symptom:        SymptomWrongOutput,
+	Diagnosable:    true,
+	FPE:            &FPEWant{Kind: cache.Load, State: cache.Exclusive, File: "lu.c", Line: 22},
+	FPEConf1:       &FPEWant{Kind: cache.Load, State: cache.Shared, File: "lu.c", Line: 22},
+	Conf1InSuccess: true,
+	Patch:          source.Patch{App: "LU", Lines: []isa.SourceLoc{{File: "lu.c", Line: 50}}},
+	Fail:           Workload{WantOutput: []string{"9", "9"}},
+	Succeed:        Workload{WantOutput: []string{"9", "9"}},
+	Source: `
+.file lu.c
+.global pivot 8
+.global lpriv 8
+.global coldrow 8
+.global coldcol 8
+
+.func main
+main:
+    lea  r10, lpriv
+    ld   r11, [r10+0]      ; warm the reduction thread's block state
+    movi r1, 0
+    spawn Factorizer, r1
+    delay 30
+.line 19
+    lea  r2, pivot
+    ld   r3, [r2+0]        ; first consume of the pivot element
+.line 22
+    ld   r4, [r2+0]        ; reduction re-read — exclusive when too early
+.line 26
+    lea  r5, coldrow
+    ld   r6, [r5+0]        ; first touch of the result row (invalid)
+    lea  r7, coldcol
+    ld   r8, [r7+0]        ; first touch of the column map (invalid)
+    ld   r11, [r10+0]      ; block-state consult (exclusive)
+.line 32
+    call printMatrix
+    join
+    exit
+
+.func Factorizer
+Factorizer:
+    delay 40
+.line 50
+    lea  r9, pivot
+    movi r14, 9
+    st   [r9+0], r14       ; publish the pivot row
+    halt
+
+.func printMatrix log
+printMatrix:
+.line 64
+    out  r3
+    out  r4
+    ret
+`,
+})
+
+// pbzip3App models the PBZIP2-0.9.4 read-too-late order violation of paper
+// Figure 6: the main thread destroys the queue mutex while a consumer still
+// needs it; the consumer's re-read of the handle observes an invalid state
+// (the destroy's remote write) and the following lock crashes.
+var pbzip3App = register(&App{
+	Name: "PBZIP3",
+	Paper: PaperInfo{
+		Version: "0.9.4", KLOC: 2.1, LogPoints: 163,
+		LCRConf1: 3, LCRConf2: 7,
+	},
+	Class:       BugOrderLate,
+	Symptom:     SymptomCrash,
+	Diagnosable: true,
+	FPE:         &FPEWant{Kind: cache.Load, State: cache.Invalid, File: "pbzip2-094.cpp", Line: 52},
+	FaultLoc:    isa.SourceLoc{File: "pbzip2-094.cpp", Line: 60},
+	Patch:       source.Patch{App: "PBZIP3", Lines: []isa.SourceLoc{{File: "pbzip2-094.cpp", Line: 12}}},
+	Fail:        Workload{},
+	Succeed:     Workload{},
+	Source: `
+.file pbzip2-094.cpp
+.global mutexh 8
+.global qcfg 8
+.global cpriv 8
+.global firstdone 8
+
+.func main
+main:
+    lea  r1, mutexh
+    movi r2, 77
+    st   [r1+0], r2        ; pthread_mutex_init
+    lea  r12, qcfg
+    ld   r13, [r12+0]      ; warm the queue configuration
+    movi r3, 0
+    spawn Consumer, r3
+    lea  r8, firstdone
+pbz_wait:
+    ld   r9, [r8+0]        ; wait for the first block to be consumed
+    cmpi r9, 1
+    jne  pbz_wait
+    delay 45               ; a little teardown bookkeeping...
+.line 12
+    movi r4, 0
+    st   [r1+0], r4        ; A: ...then free the mutex — sometimes too soon
+    join
+    exit
+
+.func Consumer
+Consumer:
+.line 36
+    lea  r5, mutexh
+    lea  r12, qcfg
+    ld   r13, [r12+0]      ; shares the queue-config line
+    lea  r10, cpriv
+    ld   r11, [r10+0]      ; warm consumer-private block state
+.line 40
+    ld   r6, [r5+0]        ; B1: read the mutex handle
+    lock r6
+    unlock r6              ; B2: done with the first block
+    lea  r14, firstdone
+    movi r15, 1
+    st   [r14+0], r15      ; publish the first block
+    delay 60               ; decompress; the teardown races in
+.line 52
+    ld   r6, [r5+0]        ; B3: re-read the handle — invalid when raced
+    ld   r13, [r12+0]      ; queue-config consult (shared)
+    ld   r11, [r10+0]      ; four consults of consumer-warm state (exclusive)
+    ld   r11, [r10+1]
+    ld   r11, [r10+2]
+    ld   r11, [r10+3]
+.line 60
+    lock r6                ; B3's lock — crashes on the destroyed mutex
+    unlock r6
+    halt
+`,
+})

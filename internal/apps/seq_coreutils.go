@@ -1,0 +1,655 @@
+package apps
+
+import (
+	"stmdiag/internal/isa"
+	"stmdiag/internal/source"
+)
+
+// sortApp models the Coreutils-7.2 sort bug of paper Figure 3: the wrong
+// while-loop condition in avoid_trashing_input (branch sort_A) lets
+// memmove overflow the files[] array, silently corrupting the adjacent
+// hash-table pointer; the crash surfaces later inside hash_lookup, a
+// sibling function far from the root cause. Paper Table 6: root cause at
+// LBR entry 3 with toggling, 5 without (fmtname's branches pollute), CBI
+// rank 1, patch in a different file than the failure site, 4 lines from a
+// captured branch.
+var sortApp = register(&App{
+	Name: "sort",
+	Paper: PaperInfo{
+		Version: "7.2", KLOC: 3.6, LogPoints: 36,
+		LBRRankTog: 3, LBRRankNoTog: 5, CBIRank: 1,
+		PatchDistFailure: source.Infinite, PatchDistLBR: 4,
+	},
+	Class:       BugMemory,
+	Symptom:     SymptomCrash,
+	RootBranch:  "sort_A",
+	BuggyEdge:   isa.EdgeTrue,
+	Diagnosable: true,
+	FaultLoc:    isa.SourceLoc{File: "lib/hash.c", Line: 60},
+	Patch: source.Patch{App: "sort", Lines: []isa.SourceLoc{
+		{File: "sort.c", Line: 30}, // the do/while rewrite of Figure 9a
+	}},
+	// nfiles=18 drives the overflow loop past the end of files[16],
+	// nulling the table pointer; nfiles=0 skips the loop.
+	Fail:    Workload{Globals: map[string]int64{"nfiles": 18, "same": 1, "files0": 5, "worksize": 3000}},
+	Succeed: Workload{Globals: map[string]int64{"nfiles": 0, "same": 1, "files0": 5, "worksize": 3000}},
+	Source: `
+.file sort.c
+.global nfiles
+.global same
+.global files0      ; files[0].pid, seeded by the workload
+.global files 16    ; the files[] array the loop overflows
+.global table       ; hash-table pointer; adjacent victim of the overflow
+.global scratch 8
+.str sortwarn "sort: write failed"
+
+.func main
+main:
+.line 3
+    lea  r1, scratch
+    lea  r2, table
+    st   [r2+0], r1        ; table = valid hash table
+    lea  r3, files0
+    ld   r4, [r3+0]
+    lea  r5, files
+    st   [r5+0], r4        ; files[0].pid from the workload
+    call work              ; the actual sorting workload
+.line 4
+.branch sort_wchk
+    cmpi r4, -1
+    jne  sort_w1           ; routine write check
+    call error
+sort_w1:
+.branch sort_ochk
+    cmpi r4, -2
+    jne  sort_w2
+    call error
+sort_w2:
+.line 5
+    call merge
+    exit
+
+.func error log
+error:
+    print sortwarn
+    fail 1
+    ret
+
+.func merge
+merge:
+.line 10
+    call avoid_trashing_input
+.line 12
+    call open_input_files
+    ret
+
+.func avoid_trashing_input
+avoid_trashing_input:
+.line 20
+    lea  r1, same
+    ld   r2, [r1+0]
+.line 21
+.branch sort_same
+    cmpi r2, 1
+    jne  ati_done
+    movi r3, 0             ; num_merged (i == 0)
+    lea  r4, nfiles
+    ld   r5, [r4+0]
+ati_loop:
+.line 24
+.branch sort_A
+    cmp  r3, r5
+    jge  ati_done          ; while (i + num_merged < nfiles) — the bug
+.line 25
+    addi r3, 2             ; num_merged += mergefiles(...)
+.line 26
+    call memmove           ; memmove(&files[i], &files[i+num_merged], ...)
+    jmp  ati_loop
+ati_done:
+    ret
+
+; memmove models the overflowing copy: each call shifts the write cursor
+; two slots; once the cursor passes files[16] it lands on the adjacent
+; table pointer and nulls it — the silent corruption of Figure 3's B.
+.func memmove lib
+memmove:
+    lea  r8, files
+    add  r8, r3            ; &files[num_merged]
+    movi r9, 7             ; garbage from past the array
+    st   [r8+0], r9
+    ret
+
+.func open_input_files
+open_input_files:
+.line 40
+    lea  r1, files
+    ld   r2, [r1+0]        ; files[i].pid
+.line 41
+.branch sort_C
+    cmpi r2, 0
+    je   oif_done          ; pid == 0: nothing to reap
+.line 43
+    call fmtname           ; library formatting (pollutes LBR w/o toggling)
+    call open_temp
+oif_done:
+    ret
+
+.func fmtname lib
+fmtname:
+    jmp fmt_1
+fmt_1:
+    jmp fmt_2
+fmt_2:
+    ret
+
+.func open_temp
+open_temp:
+.line 50
+    lea  r1, table
+    ld   r2, [r1+0]
+.line 52
+.branch sort_D
+    cmpi r2, -1
+    je   ot_done
+    call hash_lookup       ; via wait_proc in the original
+ot_done:
+    ret
+
+.file lib/hash.c
+.func hash_lookup
+hash_lookup:
+.line 60
+    ld   r3, [r2+0]        ; bucket = table->bucket — segfault when table==0
+    ret
+` + workKernel(WorkCfg{Branches: 2, Pad: 6}),
+})
+
+// cpApp models the Coreutils-4.5.8 cp backup bug: when backups are
+// requested, the suffix handling clobbers the destination bookkeeping
+// (through a quoting library call that hides the damage), and the copy
+// later reports "cannot create regular file". Table 6: root cause at LBR
+// entry 2 with toggling; without toggling quotearg's internal branches
+// flush it out of the 16-entry window entirely.
+var cpApp = register(&App{
+	Name: "cp",
+	Paper: PaperInfo{
+		Version: "4.5.8", KLOC: 1.2, LogPoints: 108,
+		LBRRankTog: 2, LBRRankNoTog: 0, CBIRank: 1,
+		PatchDistFailure: 17, PatchDistLBR: 15,
+	},
+	Class:       BugSemantic,
+	Symptom:     SymptomErrorMessage,
+	RootBranch:  "cp_suffix",
+	BuggyEdge:   isa.EdgeTrue,
+	Diagnosable: true,
+	Patch:       source.Patch{App: "cp", Lines: []isa.SourceLoc{{File: "cp.c", Line: 40}}},
+	Fail:        Workload{Globals: map[string]int64{"backup": 1, "worksize": 3000}},
+	Succeed:     Workload{Globals: map[string]int64{"backup": 0, "worksize": 3000}},
+	Source: `
+.file cp.c
+.global backup
+.global clobber
+.str cpmsg "cp: cannot create regular file"
+
+.func main
+main:
+    call work              ; the copy workload itself
+.line 6
+    movi r9, 0
+.branch cp_zg1
+    cmpi r9, -9
+    jne  cp_g1            ; routine startup check
+    call error
+cp_g1:
+.branch cp_zg2
+    cmpi r9, -8
+    jne  cp_g2
+    call error
+cp_g2:
+.line 20
+    lea  r1, backup
+    ld   r2, [r1+0]
+.line 25
+.branch cp_suffix
+    cmpi r2, 1
+    jne  cp_nosuffix       ; no backup requested: sane path
+.line 27
+    call quotearg          ; quoting the backup suffix...
+    lea  r3, clobber
+    movi r4, 1
+    st   [r3+0], r4        ; ...clobbers the dest bookkeeping (the bug)
+cp_nosuffix:
+.line 55
+    lea  r5, clobber
+    ld   r6, [r5+0]
+.line 57
+.branch cp_zwrite
+    cmpi r6, 0
+    je   cp_ok
+    call error
+cp_ok:
+    exit
+
+.func quotearg lib
+quotearg:
+` + padJumps("cpq", 16) + `
+    ret
+
+.func error log
+error:
+.line 90
+    print cpmsg
+    fail 1
+    ret
+` + workKernel(WorkCfg{Branches: 2, Pad: 14, LibEvery: 256}),
+})
+
+// lnApp models the Coreutils-4.5.1 ln bug of paper Figure 9b: main's
+// n_files check ignores whether a target directory was specified; the
+// failure propagates a long way (the root-cause branch needs 4 more LBR
+// entries than the hardware has), but the related target_directory branch
+// B is captured at entry 13, 33 lines from the patch.
+var lnApp = register(&App{
+	Name: "ln",
+	Paper: PaperInfo{
+		Version: "4.5.1", KLOC: 0.7, LogPoints: 29,
+		LBRRankTog: 13, LBRRankNoTog: 0, Related: true, CBIRank: 1,
+		PatchDistFailure: 254, PatchDistLBR: 33,
+	},
+	Class:         BugSemantic,
+	Symptom:       SymptomErrorMessage,
+	RootBranch:    "ln_nfiles",
+	BuggyEdge:     isa.EdgeTrue,
+	RelatedBranch: "ln_target",
+	Diagnosable:   true,
+	Patch:         source.Patch{App: "ln", Lines: []isa.SourceLoc{{File: "ln.c", Line: 10}}},
+	Fail:          Workload{Globals: map[string]int64{"n_files": 1, "target_dir": 1, "worksize": 3000}},
+	Succeed:       Workload{Globals: map[string]int64{"n_files": 2, "target_dir": 1, "worksize": 3000}},
+	Source: `
+.file ln.c
+.global n_files
+.global target_dir
+.global badmode
+.str lnmsg "ln: target is not a directory"
+
+.func main
+main:
+    call work
+.line 320
+    movi r9, 0
+.branch ln_zg1
+    cmpi r9, -9
+    jne  ln_g1            ; routine startup check
+    call error
+ln_g1:
+.branch ln_zg2
+    cmpi r9, -8
+    jne  ln_g2
+    call error
+ln_g2:
+.line 12
+    lea  r1, n_files
+    ld   r2, [r1+0]
+.branch ln_nfiles
+    cmpi r2, 1
+    jne  ln_many           ; the patch adds !target_directory_specified here
+    lea  r3, badmode
+    movi r4, 1
+    st   [r3+0], r4        ; single-file mode chosen despite -t (the bug)
+ln_many:
+.line 44
+` + padJumps("lnp1", 6) + `
+.line 43
+    lea  r5, target_dir
+    ld   r6, [r5+0]
+    lea  r7, badmode
+    ld   r8, [r7+0]
+    add  r6, r8            ; mode conflict indicator
+.branch ln_target
+    cmpi r6, 2
+    jne  ln_go             ; consistent mode
+ln_go:
+.line 50
+` + padJumps("lnp2", 11) + `
+.line 260
+    call canonname         ; path canonicalization (library)
+.line 264
+.branch ln_zcheck
+    cmpi r6, 2
+    jne  ln_ok
+    call error
+ln_ok:
+    exit
+
+.func canonname lib
+canonname:
+` + padJumps("lnc", 16) + `
+    ret
+
+.func error log
+error:
+.line 280
+    print lnmsg
+    fail 1
+    ret
+` + workKernel(WorkCfg{Branches: 2, Pad: 16, LibEvery: 256}),
+})
+
+// mvApp models the Coreutils-6.8 mv bug: the overwrite-prompt decision
+// takes the wrong edge for existing destinations, and the failure is
+// reported 309 lines away. The patch rewrites the root-cause branch itself
+// (LBR patch distance 0). A short formatting library call shifts the root
+// cause from entry 12 to 14 when toggling is off.
+var mvApp = register(&App{
+	Name: "mv",
+	Paper: PaperInfo{
+		Version: "6.8", KLOC: 4.1, LogPoints: 46,
+		LBRRankTog: 12, LBRRankNoTog: 14, CBIRank: 2,
+		PatchDistFailure: 309, PatchDistLBR: 0,
+	},
+	Class:       BugSemantic,
+	Symptom:     SymptomErrorMessage,
+	RootBranch:  "mv_prompt",
+	BuggyEdge:   isa.EdgeTrue,
+	Diagnosable: true,
+	Patch:       source.Patch{App: "mv", Lines: []isa.SourceLoc{{File: "mv.c", Line: 20}}},
+	Fail:        Workload{Globals: map[string]int64{"dest_exists": 1, "worksize": 3000}},
+	Succeed:     Workload{Globals: map[string]int64{"dest_exists": 0, "worksize": 3000}},
+	Source: `
+.file mv.c
+.global dest_exists
+.global movefail
+.str mvmsg "mv: cannot move"
+
+.func main
+main:
+    call work
+.line 6
+    movi r9, 0
+.branch mv_zg1
+    cmpi r9, -9
+    jne  mv_g1            ; routine startup check
+    call error
+mv_g1:
+.branch mv_zg2
+    cmpi r9, -8
+    jne  mv_g2
+    call error
+mv_g2:
+.line 18
+    lea  r1, dest_exists
+    ld   r2, [r1+0]
+.line 20
+.branch mv_prompt
+    cmpi r2, 1
+    jne  mv_fresh          ; destination absent: plain rename
+    lea  r3, movefail
+    movi r4, 1
+    st   [r3+0], r4        ; skips the unlink the overwrite needs (the bug)
+mv_fresh:
+` + padJumps("mvp", 10) + `
+.line 327
+    call mvfmt             ; format the diagnostic prefix (library)
+.line 329
+    lea  r5, movefail
+    ld   r6, [r5+0]
+.branch mv_zerr
+    cmpi r6, 0
+    je   mv_ok
+    call error
+mv_ok:
+    exit
+
+.func mvfmt lib
+mvfmt:
+` + padJumps("mvf", 2) + `
+    ret
+
+.func error log
+error:
+.line 340
+    print mvmsg
+    fail 1
+    ret
+` + workKernel(WorkCfg{Branches: 2, Pad: 24, LibEvery: 512}),
+})
+
+// pasteApp models the Coreutils-6.10 paste hang: with an empty delimiter
+// list the collate loop's cursor strides past its sentinel and never
+// terminates. The interrupted spin loop leaves the root-cause loop
+// condition inside the LBR; without toggling, the in-loop formatting
+// library floods the window.
+var pasteApp = register(&App{
+	Name: "paste",
+	Paper: PaperInfo{
+		Version: "6.10", KLOC: 0.5, LogPoints: 23,
+		LBRRankTog: 6, LBRRankNoTog: 0, CBIRank: 1,
+		PatchDistFailure: 35, PatchDistLBR: 3,
+	},
+	Class:       BugMemory,
+	Symptom:     SymptomHang,
+	RootBranch:  "paste_loop",
+	BuggyEdge:   isa.EdgeTrue,
+	Diagnosable: true,
+	FaultLoc:    isa.SourceLoc{File: "paste.c", Line: 52},
+	Patch:       source.Patch{App: "paste", Lines: []isa.SourceLoc{{File: "paste.c", Line: 85}}},
+	Fail:        Workload{Globals: map[string]int64{"ndelim": 5, "worksize": 600}, StepLimit: 60118},
+	Succeed:     Workload{Globals: map[string]int64{"ndelim": 6, "worksize": 600}},
+	Source: `
+.file paste.c
+.global ndelim
+.global dbuf 8
+.str pastemsg "paste: delimiter list"
+
+.func main
+main:
+    call work
+.line 44
+    lea  r1, ndelim
+    ld   r4, [r1+0]        ; sentinel index (odd = the buggy input)
+    movi r3, 0
+    lea  r5, dbuf
+paste_scan:
+.line 50
+.branch paste_loop
+    cmp  r3, r4
+    je   paste_done        ; cursor == sentinel: done (never, when odd)
+    addi r3, 2             ; stride-2 cursor (the bug: skips the sentinel)
+.line 52
+    ld   r6, [r5+0]        ; scan the delimiter buffer
+    call pastefmt
+.line 82
+    jmp  paste_b1
+paste_b1:
+    jmp  paste_b2
+paste_b2:
+    jmp  paste_b3
+paste_b3:
+    jmp  paste_b4
+paste_b4:
+    jmp  paste_scan
+paste_done:
+.line 85
+.branch paste_zchk
+    cmpi r3, 0
+    jl   paste_warn
+    exit
+paste_warn:
+    call error
+    exit
+
+.func pastefmt lib
+pastefmt:
+` + padJumps("pf", 16) + `
+    ret
+
+.func error log
+error:
+.line 120
+    print pastemsg
+    fail 1
+    ret
+` + workKernel(WorkCfg{Branches: 2, Pad: 26, LibEvery: 0}),
+})
+
+// rmApp models the Coreutils-4.5.4 rm bug: the fts-style traversal takes
+// the wrong edge for trailing-slash operands and the failure is logged 31
+// lines later. The root cause stays at entry 5 with or without toggling —
+// no library call sits on the failure path.
+var rmApp = register(&App{
+	Name: "rm",
+	Paper: PaperInfo{
+		Version: "4.5.4", KLOC: 1.3, LogPoints: 31,
+		LBRRankTog: 5, LBRRankNoTog: 5, CBIRank: 2,
+		PatchDistFailure: 31, PatchDistLBR: 0,
+	},
+	Class:       BugSemantic,
+	Symptom:     SymptomErrorMessage,
+	RootBranch:  "rm_slash",
+	BuggyEdge:   isa.EdgeTrue,
+	Diagnosable: true,
+	Patch:       source.Patch{App: "rm", Lines: []isa.SourceLoc{{File: "rm.c", Line: 60}}},
+	Fail:        Workload{Globals: map[string]int64{"trailing": 1, "worksize": 3000}},
+	Succeed:     Workload{Globals: map[string]int64{"trailing": 0, "worksize": 3000}},
+	Source: `
+.file rm.c
+.global trailing
+.global rmstate
+.str rmmsg "rm: cannot remove directory"
+
+.func main
+main:
+    call work
+.line 6
+    movi r9, 0
+.branch rm_zg1
+    cmpi r9, -9
+    jne  rm_g1            ; routine startup check
+    call error
+rm_g1:
+.branch rm_zg2
+    cmpi r9, -8
+    jne  rm_g2
+    call error
+rm_g2:
+.line 58
+    lea  r1, trailing
+    ld   r2, [r1+0]
+.line 60
+.branch rm_slash
+    cmpi r2, 1
+    jne  rm_clean          ; no trailing slash: normal unlink
+    lea  r3, rmstate
+    movi r4, 1
+    st   [r3+0], r4        ; treats the operand as a directory (the bug)
+rm_clean:
+` + padJumps("rmp", 3) + `
+.line 91
+    lea  r5, rmstate
+    ld   r6, [r5+0]
+.branch rm_zerr
+    cmpi r6, 0
+    je   rm_ok
+    call error
+rm_ok:
+    exit
+
+.func error log
+error:
+.line 110
+    print rmmsg
+    fail 1
+    ret
+` + workKernel(WorkCfg{Branches: 2, Pad: 12, LibEvery: 128}),
+})
+
+// tacApp models the Coreutils-6.11 tac crash: the buffer-reversal arithmetic
+// goes latent long before the crash (the root-cause branch needs more LBR
+// entries than exist, in every configuration), but a related bounds branch
+// two records before the fault is captured at entry 3. The patch lives in
+// tac-pipe.c while every captured branch is in tac.c — both Table 6
+// distances are infinite.
+var tacApp = register(&App{
+	Name: "tac",
+	Paper: PaperInfo{
+		Version: "6.11", KLOC: 0.7, LogPoints: 21,
+		LBRRankTog: 3, LBRRankNoTog: 3, Related: true, CBIRank: 3,
+		PatchDistFailure: source.Infinite, PatchDistLBR: source.Infinite,
+	},
+	Class:         BugMemory,
+	Symptom:       SymptomCrash,
+	RootBranch:    "tac_rev",
+	BuggyEdge:     isa.EdgeTrue,
+	RelatedBranch: "tac_bound",
+	Diagnosable:   true,
+	FaultLoc:      isa.SourceLoc{File: "tac.c", Line: 70},
+	Patch:         source.Patch{App: "tac", Lines: []isa.SourceLoc{{File: "tac-pipe.c", Line: 30}}},
+	Fail:          Workload{Globals: map[string]int64{"bufsz": 9, "worksize": 3000}},
+	Succeed:       Workload{Globals: map[string]int64{"bufsz": 4, "worksize": 3000}},
+	Source: `
+.file tac.c
+.global bufsz
+.global lineptr
+.global lines 8
+.str tacmsg "tac: read error"
+
+.func main
+main:
+    lea  r1, lines
+    lea  r2, lineptr
+    st   [r2+0], r1        ; lineptr = &lines (valid)
+    call work
+.line 6
+    movi r9, 0
+.branch tac_zg1
+    cmpi r9, -9
+    jne  tac_g1            ; routine startup check
+    call error
+tac_g1:
+.branch tac_zg2
+    cmpi r9, -8
+    jne  tac_g2
+    call error
+tac_g2:
+.line 30
+    lea  r3, bufsz
+    ld   r4, [r3+0]
+.line 32
+.branch tac_rev
+    cmpi r4, 8
+    jle  tac_fits          ; buffer fits: no resize needed
+    movi r5, 0
+    lea  r2, lineptr
+    st   [r2+0], r5        ; resize loses the line pointer (the bug, latent)
+tac_fits:
+` + padJumps("tacp", 16) + `
+.line 66
+.branch tac_bound
+    cmpi r4, 8
+    jle  tac_inb
+tac_inb:
+.line 68
+    jmp  tac_emit
+tac_emit:
+    jmp  tac_emit2
+tac_emit2:
+    lea  r6, lineptr
+    ld   r7, [r6+0]
+.line 70
+    ld   r8, [r7+0]        ; deref the (possibly nulled) line pointer
+.branch tac_zout
+    cmpi r8, -1
+    je   tac_warn
+    exit
+tac_warn:
+    call error
+    exit
+
+.func error log
+error:
+.line 95
+    print tacmsg
+    fail 1
+    ret
+` + workKernel(WorkCfg{Branches: 2, Pad: 14, LibEvery: 256}),
+})

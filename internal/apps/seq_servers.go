@@ -1,0 +1,391 @@
+package apps
+
+import (
+	"stmdiag/internal/isa"
+	"stmdiag/internal/source"
+)
+
+// apache1App models the Apache-2.0.43 configuration bug: a directive value
+// is mis-normalized during config parsing and ap_log_error reports it from
+// server/log.c, a different file than the patch touches. Root cause two
+// recorded branches before the failure site (LBR entry 3, toggling or not).
+var apache1App = register(&App{
+	Name: "Apache1",
+	Paper: PaperInfo{
+		Version: "2.0.43", KLOC: 273, LogPoints: 2534,
+		LBRRankTog: 3, LBRRankNoTog: 3, CBIRank: 2,
+		PatchDistFailure: source.Infinite, PatchDistLBR: 3,
+	},
+	Class:       BugConfig,
+	Symptom:     SymptomErrorMessage,
+	RootBranch:  "ap1_directive",
+	BuggyEdge:   isa.EdgeTrue,
+	Diagnosable: true,
+	Patch:       source.Patch{App: "Apache1", Lines: []isa.SourceLoc{{File: "server/core.c", Line: 100}}},
+	Fail:        Workload{Globals: map[string]int64{"conf_override": 1, "worksize": 1500}},
+	Succeed:     Workload{Globals: map[string]int64{"conf_override": 0, "worksize": 1500}},
+	Source: `
+.file server/core.c
+.global conf_override
+.global conf_state
+.str ap1msg "AllowOverride not allowed here"
+
+.func main
+main:
+    call work              ; request-serving workload
+.line 98
+    lea  r1, conf_override
+    ld   r2, [r1+0]
+.line 103
+.branch ap1_directive
+    cmpi r2, 1
+    jne  ap1_merge         ; directive absent: defaults apply
+    lea  r3, conf_state
+    movi r4, 1
+    st   [r3+0], r4        ; normalizes the override mask wrongly (the bug)
+ap1_merge:
+.line 140
+` + padJumps("ap1p", 1) + `
+    lea  r5, conf_state
+    ld   r6, [r5+0]
+.file server/log.c
+.line 310
+.branch ap1_zlog
+    cmpi r6, 0
+    je   ap1_ok
+    call ap_log_error
+ap1_ok:
+    exit
+
+.func ap_log_error log
+ap_log_error:
+.line 330
+    print ap1msg
+    fail 1
+    ret
+` + workKernel(WorkCfg{Branches: 1, Pad: 40, LibEvery: 512}),
+})
+
+// apache2App models the Apache-2.2.3 semantic bug (a *-case of Table 6):
+// the root-cause branch retires 19 records before the failure and falls
+// out of the LBR, but a related state check survives at entry 2, 475 lines
+// from the patch in the same file. CBI reports nothing: the failing region
+// only executes in failing runs, so every predicate there has Context 1
+// and zero Increase.
+var apache2App = register(&App{
+	Name: "Apache2",
+	Paper: PaperInfo{
+		Version: "2.2.3", KLOC: 311, LogPoints: 2511,
+		LBRRankTog: 2, LBRRankNoTog: 2, Related: true, CBIRank: 0,
+		PatchDistFailure: source.Infinite, PatchDistLBR: 475,
+	},
+	Class:         BugSemantic,
+	Symptom:       SymptomErrorMessage,
+	RootBranch:    "ap2_worker",
+	BuggyEdge:     isa.EdgeTrue,
+	RelatedBranch: "ap2_state",
+	Diagnosable:   true,
+	Patch:         source.Patch{App: "Apache2", Lines: []isa.SourceLoc{{File: "server/mpm/worker.c", Line: 500}}},
+	Fail:          Workload{Globals: map[string]int64{"graceful": 1, "worksize": 1500}},
+	Succeed:       Workload{Globals: map[string]int64{"graceful": 0, "worksize": 1500}},
+	Source: `
+.file server/mpm/worker.c
+.global graceful
+.global pod_state
+.str ap2msg "could not make child process exit"
+
+.func main
+main:
+    call work
+.line 20
+    lea  r1, graceful
+    ld   r2, [r1+0]
+    cmpi r2, 1
+    jne  ap2_join          ; plain restart: the buggy region never runs
+.line 22
+.branch ap2_worker true
+    cmpi r2, 1
+    je   ap2_pod
+ap2_pod:
+    lea  r3, pod_state
+    movi r4, 1
+    st   [r3+0], r4        ; signals the pipe-of-death twice (the bug)
+.file server/mpm/pod.c
+.line 30
+` + padJumps("ap2p", 16) + `
+.file server/mpm/worker.c
+.line 25
+    lea  r5, pod_state
+    ld   r6, [r5+0]
+.branch ap2_state
+    cmpi r6, 1
+    jne  ap2_join
+ap2_join:
+.file server/mpm_common.c
+.line 410
+    lea  r5, pod_state
+    ld   r6, [r5+0]
+.branch ap2_check
+    cmpi r6, 0
+    je   ap2_done
+    call ap_log_error
+ap2_done:
+    exit
+
+.func ap_log_error log
+ap_log_error:
+.line 430
+    print ap2msg
+    fail 1
+    ret
+` + workKernel(WorkCfg{Branches: 1, Pad: 40, LibEvery: 512}),
+})
+
+// apache3App models the Apache-2.2.9 semantic bug: the proxy backend check
+// takes the wrong edge and the error is logged one line from the patch,
+// with the root-cause branch the 2nd latest LBR entry.
+var apache3App = register(&App{
+	Name: "Apache3",
+	Paper: PaperInfo{
+		Version: "2.2.9", KLOC: 333, LogPoints: 2515,
+		LBRRankTog: 2, LBRRankNoTog: 2, CBIRank: 1,
+		PatchDistFailure: 1, PatchDistLBR: 1,
+	},
+	Class:       BugSemantic,
+	Symptom:     SymptomErrorMessage,
+	RootBranch:  "ap3_backend",
+	BuggyEdge:   isa.EdgeTrue,
+	Diagnosable: true,
+	Patch:       source.Patch{App: "Apache3", Lines: []isa.SourceLoc{{File: "modules/proxy/proxy_util.c", Line: 101}}},
+	Fail:        Workload{Globals: map[string]int64{"backend_busy": 1, "worksize": 1500}},
+	Succeed:     Workload{Globals: map[string]int64{"backend_busy": 0, "worksize": 1500}},
+	Source: `
+.file modules/proxy/proxy_util.c
+.global backend_busy
+.global proxy_err
+.str ap3msg "proxy: error reading status line from remote server"
+
+.func main
+main:
+    call work
+.line 99
+    lea  r1, backend_busy
+    ld   r2, [r1+0]
+.line 102
+.branch ap3_backend
+    cmpi r2, 1
+    jne  ap3_reuse         ; backend idle: connection reused correctly
+    lea  r3, proxy_err
+    movi r4, 1
+    st   [r3+0], r4        ; marks the worker reusable too early (the bug)
+ap3_reuse:
+    lea  r5, proxy_err
+    ld   r6, [r5+0]
+.line 100
+.branch ap3_zstatus
+    cmpi r6, 0
+    je   ap3_ok
+    call ap_log_error
+ap3_ok:
+    exit
+
+.func ap_log_error log
+ap_log_error:
+.line 130
+    print ap3msg
+    fail 1
+    ret
+` + workKernel(WorkCfg{Branches: 1, Pad: 40, LibEvery: 512}),
+})
+
+// lighttpdApp models the Lighttpd-1.4.16 configuration bug: the fastcgi
+// config check misreads the spawn mode; the patch rewrites the logging
+// check itself (distance 0 from the failure site). The failing region runs
+// only on failing inputs, so CBI's predicates there carry no Increase.
+var lighttpdApp = register(&App{
+	Name: "Lighttpd",
+	Paper: PaperInfo{
+		Version: "1.4.16", KLOC: 55, LogPoints: 857,
+		LBRRankTog: 4, LBRRankNoTog: 4, CBIRank: 0,
+		PatchDistFailure: 0, PatchDistLBR: 1,
+	},
+	Class:       BugConfig,
+	Symptom:     SymptomErrorMessage,
+	RootBranch:  "lt_spawn",
+	BuggyEdge:   isa.EdgeTrue,
+	Diagnosable: true,
+	Patch:       source.Patch{App: "Lighttpd", Lines: []isa.SourceLoc{{File: "src/mod_fastcgi.c", Line: 45}}},
+	Fail:        Workload{Globals: map[string]int64{"fcgi_mode": 2, "worksize": 1500}},
+	Succeed:     Workload{Globals: map[string]int64{"fcgi_mode": 1, "worksize": 1500}},
+	Source: `
+.file src/mod_fastcgi.c
+.global fcgi_mode
+.global spawn_state
+.str ltmsg "fastcgi: the fastcgi-backend is overloaded"
+
+.func main
+main:
+    call work
+.line 40
+    lea  r1, fcgi_mode
+    ld   r2, [r1+0]
+    cmpi r2, 2
+    jne  lt_join           ; local spawn: the buggy region never runs
+.line 44
+.branch lt_spawn true
+    cmpi r2, 2
+    je   lt_remote
+lt_remote:
+    lea  r3, spawn_state
+    movi r4, 1
+    st   [r3+0], r4        ; treats the remote backend as spawned (the bug)
+.line 60
+` + padJumps("ltp", 2) + `
+lt_join:
+    lea  r5, spawn_state
+    ld   r6, [r5+0]
+.line 46
+.branch lt_zload
+    cmpi r6, 0
+    je   lt_ok
+.line 45
+    call log_error_write
+lt_ok:
+    exit
+
+.func log_error_write log
+log_error_write:
+.line 70
+    print ltmsg
+    fail 1
+    ret
+` + workKernel(WorkCfg{Branches: 1, Pad: 40, LibEvery: 256}),
+})
+
+// squid1App models the Squid-2.5.STABLE5 semantic bug: the reply-size
+// accounting takes the wrong edge for chunked replies and debug() reports
+// it 123 lines below the patch. Like Apache2/Lighttpd, the buggy region is
+// failure-only, starving CBI of contrast.
+var squid1App = register(&App{
+	Name: "Squid1",
+	Paper: PaperInfo{
+		Version: "2.5.S5", KLOC: 120, LogPoints: 2427,
+		LBRRankTog: 2, LBRRankNoTog: 2, CBIRank: 0,
+		PatchDistFailure: 123, PatchDistLBR: 2,
+	},
+	Class:       BugSemantic,
+	Symptom:     SymptomErrorMessage,
+	RootBranch:  "sq1_chunked",
+	BuggyEdge:   isa.EdgeTrue,
+	Diagnosable: true,
+	Patch:       source.Patch{App: "Squid1", Lines: []isa.SourceLoc{{File: "src/client_side.c", Line: 200}}},
+	Fail:        Workload{Globals: map[string]int64{"chunked": 1, "worksize": 1500}},
+	Succeed:     Workload{Globals: map[string]int64{"chunked": 0, "worksize": 1500}},
+	Source: `
+.file src/client_side.c
+.global chunked
+.global reply_size
+.str sq1msg "clientProcessMiss: unexpected reply size"
+
+.func main
+main:
+    call work
+.line 190
+    lea  r1, chunked
+    ld   r2, [r1+0]
+    cmpi r2, 1
+    jne  sq1_join          ; unchunked replies account correctly
+.line 202
+.branch sq1_chunked true
+    cmpi r2, 1
+    je   sq1_acct
+sq1_acct:
+    lea  r3, reply_size
+    movi r4, -1
+    st   [r3+0], r4        ; double-counts the terminating chunk (the bug)
+sq1_join:
+    lea  r5, reply_size
+    ld   r6, [r5+0]
+.line 323
+.branch sq1_zreply
+    cmpi r6, 0
+    jge  sq1_ok
+    call debug
+sq1_ok:
+    exit
+
+.func debug log
+debug:
+.line 340
+    print sq1msg
+    fail 1
+    ret
+` + workKernel(WorkCfg{Branches: 1, Pad: 40, LibEvery: 128}),
+})
+
+// squid2App models the Squid-2.3.STABLE4 memory bug: an aborted store entry
+// leaves a dangling pointer that storeClientCopy dereferences 59 lines
+// below the patch; the root cause sits at LBR entry 10 behind the unwind
+// bookkeeping.
+var squid2App = register(&App{
+	Name: "Squid2",
+	Paper: PaperInfo{
+		Version: "2.3.S4", KLOC: 102, LogPoints: 2096,
+		LBRRankTog: 10, LBRRankNoTog: 10, CBIRank: 1,
+		PatchDistFailure: 59, PatchDistLBR: 1,
+	},
+	Class:       BugMemory,
+	Symptom:     SymptomCrash,
+	RootBranch:  "sq2_abort",
+	BuggyEdge:   isa.EdgeTrue,
+	Diagnosable: true,
+	FaultLoc:    isa.SourceLoc{File: "src/store.c", Line: 159},
+	Patch:       source.Patch{App: "Squid2", Lines: []isa.SourceLoc{{File: "src/store.c", Line: 100}}},
+	Fail:        Workload{Globals: map[string]int64{"aborted": 1, "worksize": 1500}},
+	Succeed:     Workload{Globals: map[string]int64{"aborted": 0, "worksize": 1500}},
+	Source: `
+.file src/store.c
+.global aborted
+.global entryptr
+.global entry 8
+.str sq2msg "storeClientCopy: failed"
+
+.func main
+main:
+    lea  r1, entry
+    lea  r2, entryptr
+    st   [r2+0], r1        ; mem_obj pointer starts valid
+    call work
+.line 98
+    lea  r3, aborted
+    ld   r4, [r3+0]
+.line 101
+.branch sq2_abort
+    cmpi r4, 1
+    jne  sq2_alive         ; entry not aborted: pointer stays valid
+    movi r5, 0
+    lea  r2, entryptr
+    st   [r2+0], r5        ; releases the entry but keeps the client (bug)
+sq2_alive:
+.line 130
+` + padJumps("sq2p", 9) + `
+    lea  r6, entryptr
+    ld   r7, [r6+0]
+.line 159
+    ld   r8, [r7+0]        ; storeClientCopy dereferences mem_obj
+.branch sq2_zcopy
+    cmpi r8, -1
+    je   sq2_warn
+    exit
+sq2_warn:
+    call debug
+    exit
+
+.func debug log
+debug:
+.line 180
+    print sq2msg
+    fail 1
+    ret
+` + workKernel(WorkCfg{Branches: 1, Pad: 40, LibEvery: 64}),
+})

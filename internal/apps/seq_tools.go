@@ -1,0 +1,421 @@
+package apps
+
+import (
+	"stmdiag/internal/isa"
+	"stmdiag/internal/source"
+)
+
+// cppcheck1App models the Cppcheck-1.58 crash (a *-case): the template
+// tokenizer's simplification loop corrupts the token list long before the
+// crash; the root-cause branch is far outside the LBR window in every
+// configuration, but a related token-kind check is captured at entry 5.
+// The patch touches templatesimplifier.cpp while every captured branch
+// lives in tokenize.cpp — both distances infinite. CBI does not support
+// C++ programs (N/A).
+var cppcheck1App = register(&App{
+	Name: "Cppcheck1",
+	Paper: PaperInfo{
+		Version: "1.58", KLOC: 138, LogPoints: 304,
+		LBRRankTog: 5, LBRRankNoTog: 5, Related: true, CBIRank: -1,
+		PatchDistFailure: source.Infinite, PatchDistLBR: source.Infinite,
+	},
+	Class:         BugMemory,
+	Symptom:       SymptomCrash,
+	RootBranch:    "cc1_tmpl",
+	BuggyEdge:     isa.EdgeTrue,
+	RelatedBranch: "cc1_tokkind",
+	Diagnosable:   true,
+	FaultLoc:      isa.SourceLoc{File: "lib/tokenize.cpp", Line: 220},
+	Patch:         source.Patch{App: "Cppcheck1", Lines: []isa.SourceLoc{{File: "lib/templatesimplifier.cpp", Line: 88}}},
+	Fail:          Workload{Globals: map[string]int64{"tmpl_depth": 3, "worksize": 2500}},
+	Succeed:       Workload{Globals: map[string]int64{"tmpl_depth": 1, "worksize": 2500}},
+	Source: `
+.file lib/tokenize.cpp
+.global tmpl_depth
+.global tokptr
+.global tokens 8
+
+.func main
+main:
+    lea  r1, tokens
+    lea  r2, tokptr
+    st   [r2+0], r1        ; token cursor starts valid
+    call work
+.line 120
+    lea  r3, tmpl_depth
+    ld   r4, [r3+0]
+.line 124
+.branch cc1_tmpl
+    cmpi r4, 2
+    jle  cc1_flat          ; shallow templates simplify fine
+    movi r5, 0
+    lea  r2, tokptr
+    st   [r2+0], r5        ; instantiation drops the cursor (the bug, latent)
+cc1_flat:
+.line 150
+` + padJumps("cc1p", 16) + `
+.line 200
+    lea  r6, tokptr
+    ld   r7, [r6+0]
+.line 205
+.branch cc1_tokkind
+    cmpi r4, 2
+    jle  cc1_plain
+cc1_plain:
+.line 210
+` + padJumps("cc1q", 4) + `
+.line 220
+    ld   r8, [r7+0]        ; Token::next() on the dropped cursor
+    exit
+` + workKernel(WorkCfg{Branches: 2, Pad: 20, LibEvery: 128}),
+})
+
+// cppcheck2App models the Cppcheck-1.56 crash: a preprocessor guard takes
+// the wrong edge for an unmatched #if and the null define list is
+// dereferenced two recorded branches later (entry 3). The patch fixes the
+// guard's file 2 lines from the root branch; the crash is in another file.
+var cppcheck2App = register(&App{
+	Name: "Cppcheck2",
+	Paper: PaperInfo{
+		Version: "1.56", KLOC: 131, LogPoints: 284,
+		LBRRankTog: 3, LBRRankNoTog: 3, CBIRank: -1,
+		PatchDistFailure: source.Infinite, PatchDistLBR: 2,
+	},
+	Class:       BugMemory,
+	Symptom:     SymptomCrash,
+	RootBranch:  "cc2_ifdef",
+	BuggyEdge:   isa.EdgeTrue,
+	Diagnosable: true,
+	FaultLoc:    isa.SourceLoc{File: "lib/tokenize.cpp", Line: 90},
+	Patch:       source.Patch{App: "Cppcheck2", Lines: []isa.SourceLoc{{File: "lib/preprocessor.cpp", Line: 62}}},
+	Fail:        Workload{Globals: map[string]int64{"unmatched_if": 1, "worksize": 2500}},
+	Succeed:     Workload{Globals: map[string]int64{"unmatched_if": 0, "worksize": 2500}},
+	Source: `
+.file lib/preprocessor.cpp
+.global unmatched_if
+.global defptr
+.global defs 8
+
+.func main
+main:
+    lea  r1, defs
+    lea  r2, defptr
+    st   [r2+0], r1
+    call work
+.line 58
+    lea  r3, unmatched_if
+    ld   r4, [r3+0]
+.line 60
+.branch cc2_ifdef
+    cmpi r4, 1
+    jne  cc2_matched       ; balanced #if/#endif
+    movi r5, 0
+    lea  r2, defptr
+    st   [r2+0], r5        ; forgets the active define list (the bug)
+cc2_matched:
+.line 75
+` + padJumps("cc2p", 2) + `
+.file lib/tokenize.cpp
+.line 88
+    lea  r6, defptr
+    ld   r7, [r6+0]
+.line 90
+    ld   r8, [r7+0]        ; dereference the define list
+    exit
+` + workKernel(WorkCfg{Branches: 2, Pad: 20, LibEvery: 1024}),
+})
+
+// cppcheck3App models the Cppcheck-1.52 crash: the scope analysis pops one
+// scope too many for an anonymous namespace; the crash comes five recorded
+// branches later (entry 6), ten lines from the patch.
+var cppcheck3App = register(&App{
+	Name: "Cppcheck3",
+	Paper: PaperInfo{
+		Version: "1.52", KLOC: 118, LogPoints: 225,
+		LBRRankTog: 6, LBRRankNoTog: 6, CBIRank: -1,
+		PatchDistFailure: source.Infinite, PatchDistLBR: 10,
+	},
+	Class:       BugMemory,
+	Symptom:     SymptomCrash,
+	RootBranch:  "cc3_scope",
+	BuggyEdge:   isa.EdgeTrue,
+	Diagnosable: true,
+	FaultLoc:    isa.SourceLoc{File: "lib/checkclass.cpp", Line: 140},
+	Patch:       source.Patch{App: "Cppcheck3", Lines: []isa.SourceLoc{{File: "lib/symboldatabase.cpp", Line: 40}}},
+	Fail:        Workload{Globals: map[string]int64{"anon_ns": 1, "worksize": 2500}},
+	Succeed:     Workload{Globals: map[string]int64{"anon_ns": 0, "worksize": 2500}},
+	Source: `
+.file lib/symboldatabase.cpp
+.global anon_ns
+.global scopeptr
+.global scopes 8
+
+.func main
+main:
+    lea  r1, scopes
+    lea  r2, scopeptr
+    st   [r2+0], r1
+    call work
+.line 28
+    lea  r3, anon_ns
+    ld   r4, [r3+0]
+.line 30
+.branch cc3_scope
+    cmpi r4, 1
+    jne  cc3_named         ; named scopes pop correctly
+    movi r5, 0
+    lea  r2, scopeptr
+    st   [r2+0], r5        ; pops past the global scope (the bug)
+cc3_named:
+.line 50
+` + padJumps("cc3p", 5) + `
+.file lib/checkclass.cpp
+.line 138
+    lea  r6, scopeptr
+    ld   r7, [r6+0]
+.line 140
+    ld   r8, [r7+0]        ; scope->className on the popped scope
+    exit
+` + workKernel(WorkCfg{Branches: 2, Pad: 20, LibEvery: 256}),
+})
+
+// pbzip1App models the PBZIP2-1.1.5 semantic bug: the queue sizing logic
+// takes the wrong edge for single-block archives and fprintf reports it;
+// without toggling, the formatting library between root cause and failure
+// site floods the LBR.
+var pbzip1App = register(&App{
+	Name: "PBZIP1",
+	Paper: PaperInfo{
+		Version: "1.1.5", KLOC: 5.7, LogPoints: 305,
+		LBRRankTog: 4, LBRRankNoTog: 0, CBIRank: -1,
+		PatchDistFailure: 41, PatchDistLBR: 1,
+	},
+	Class:       BugSemantic,
+	Symptom:     SymptomErrorMessage,
+	RootBranch:  "pb1_queue",
+	BuggyEdge:   isa.EdgeTrue,
+	Diagnosable: true,
+	Patch:       source.Patch{App: "PBZIP1", Lines: []isa.SourceLoc{{File: "pbzip2.cpp", Line: 800}}},
+	Fail:        Workload{Globals: map[string]int64{"nblocks": 1, "worksize": 2500}},
+	Succeed:     Workload{Globals: map[string]int64{"nblocks": 4, "worksize": 2500}},
+	Source: `
+.file pbzip2.cpp
+.global nblocks
+.global qstate
+.str pb1msg "pbzip2: *ERROR: when writing file"
+
+.func main
+main:
+    call work
+.line 798
+    lea  r1, nblocks
+    ld   r2, [r1+0]
+.line 801
+.branch pb1_queue
+    cmpi r2, 1
+    jne  pb1_multi         ; multi-block archives size the queue right
+    lea  r3, qstate
+    movi r4, 1
+    st   [r3+0], r4        ; queue sized zero for one block (the bug)
+pb1_multi:
+.line 820
+    call fmtsize           ; human-readable size formatting (library)
+` + padJumps("pb1p", 2) + `
+    lea  r5, qstate
+    ld   r6, [r5+0]
+.line 841
+.branch pb1_zwrite
+    cmpi r6, 0
+    je   pb1_ok
+    call fprintf
+pb1_ok:
+    exit
+
+.func fmtsize lib
+fmtsize:
+` + padJumps("pb1f", 16) + `
+    ret
+
+.func fprintf log
+fprintf:
+.line 860
+    print pb1msg
+    fail 1
+    ret
+` + workKernel(WorkCfg{Branches: 2, Pad: 24}),
+})
+
+// pbzip2App models the PBZIP2-1.1.0 crash: the decompress path frees the
+// output buffer on the truncated-archive edge and faults immediately — the
+// root-cause branch is the very latest LBR entry.
+var pbzip2App = register(&App{
+	Name: "PBZIP2",
+	Paper: PaperInfo{
+		Version: "1.1.0", KLOC: 4.6, LogPoints: 269,
+		LBRRankTog: 1, LBRRankNoTog: 1, CBIRank: -1,
+		PatchDistFailure: 12, PatchDistLBR: 1,
+	},
+	Class:       BugMemory,
+	Symptom:     SymptomCrash,
+	RootBranch:  "pb2_trunc",
+	BuggyEdge:   isa.EdgeTrue,
+	Diagnosable: true,
+	FaultLoc:    isa.SourceLoc{File: "pbzip2.cpp", Line: 412},
+	Patch:       source.Patch{App: "PBZIP2", Lines: []isa.SourceLoc{{File: "pbzip2.cpp", Line: 400}}},
+	Fail:        Workload{Globals: map[string]int64{"truncated": 1, "worksize": 2500}},
+	Succeed:     Workload{Globals: map[string]int64{"truncated": 0, "worksize": 2500}},
+	Source: `
+.file pbzip2.cpp
+.global truncated
+.global outbuf_ptr
+.global outbuf 8
+
+.func main
+main:
+    lea  r1, outbuf
+    lea  r2, outbuf_ptr
+    st   [r2+0], r1
+    call work
+.line 398
+    lea  r3, truncated
+    ld   r4, [r3+0]
+.line 401
+.branch pb2_trunc
+    cmpi r4, 1
+    jne  pb2_whole         ; complete archive: buffer stays live
+    movi r5, 0
+    lea  r2, outbuf_ptr
+    st   [r2+0], r5        ; frees the buffer on the error edge (the bug)
+pb2_whole:
+    lea  r6, outbuf_ptr
+    ld   r7, [r6+0]
+.line 412
+    ld   r8, [r7+0]        ; flush the output buffer
+    exit
+` + workKernel(WorkCfg{Branches: 2, Pad: 24, LibEvery: 512}),
+})
+
+// tar1App models the tar-1.22 semantic bug: the sparse-file heuristic takes
+// the wrong edge and open_fatal reports from a different file than the
+// patch; the root cause is the 4th latest entry.
+var tar1App = register(&App{
+	Name: "tar1",
+	Paper: PaperInfo{
+		Version: "1.22", KLOC: 82, LogPoints: 243,
+		LBRRankTog: 4, LBRRankNoTog: 4, CBIRank: 1,
+		PatchDistFailure: source.Infinite, PatchDistLBR: 2,
+	},
+	Class:       BugSemantic,
+	Symptom:     SymptomErrorMessage,
+	RootBranch:  "tar1_sparse",
+	BuggyEdge:   isa.EdgeTrue,
+	Diagnosable: true,
+	Patch:       source.Patch{App: "tar1", Lines: []isa.SourceLoc{{File: "src/sparse.c", Line: 150}}},
+	Fail:        Workload{Globals: map[string]int64{"sparse_hint": 1, "worksize": 2500}},
+	Succeed:     Workload{Globals: map[string]int64{"sparse_hint": 0, "worksize": 2500}},
+	Source: `
+.file src/sparse.c
+.global sparse_hint
+.global hole_state
+.str tar1msg "tar: Cannot open: No such file or directory"
+
+.func main
+main:
+    call work
+.line 148
+    lea  r1, sparse_hint
+    ld   r2, [r1+0]
+.line 152
+.branch tar1_sparse
+    cmpi r2, 1
+    jne  tar1_dense        ; dense files skip the hole scanner
+    lea  r3, hole_state
+    movi r4, 1
+    st   [r3+0], r4        ; trusts st_blocks for the hole map (the bug)
+tar1_dense:
+.line 170
+` + padJumps("tar1p", 2) + `
+    lea  r5, hole_state
+    ld   r6, [r5+0]
+.file src/extract.c
+.line 94
+.branch tar1_zopen
+    cmpi r6, 0
+    je   tar1_ok
+    call open_fatal
+tar1_ok:
+    exit
+
+.func open_fatal log
+open_fatal:
+.line 110
+    print tar1msg
+    fail 1
+    ret
+` + workKernel(WorkCfg{Branches: 2, Pad: 24, LibEvery: 512}),
+})
+
+// tar2App models the tar-1.19 semantic bug: the incremental-listing check
+// is itself the patched line (LBR distance 0) and the failure is logged 24
+// lines away; the quoting library between them floods the LBR when
+// toggling is off.
+var tar2App = register(&App{
+	Name: "tar2",
+	Paper: PaperInfo{
+		Version: "1.19", KLOC: 76, LogPoints: 188,
+		LBRRankTog: 2, LBRRankNoTog: 0, CBIRank: 2,
+		PatchDistFailure: 24, PatchDistLBR: 0,
+	},
+	Class:       BugSemantic,
+	Symptom:     SymptomErrorMessage,
+	RootBranch:  "tar2_incr",
+	BuggyEdge:   isa.EdgeTrue,
+	Diagnosable: true,
+	Patch:       source.Patch{App: "tar2", Lines: []isa.SourceLoc{{File: "src/incremen.c", Line: 300}}},
+	Fail:        Workload{Globals: map[string]int64{"listed_incr": 1, "worksize": 2500}},
+	Succeed:     Workload{Globals: map[string]int64{"listed_incr": 0, "worksize": 2500}},
+	Source: `
+.file src/incremen.c
+.global listed_incr
+.global dir_state
+.str tar2msg "tar: Unexpected EOF in archive"
+
+.func main
+main:
+    call work
+.line 298
+    lea  r1, listed_incr
+    ld   r2, [r1+0]
+.line 300
+.branch tar2_incr
+    cmpi r2, 1
+    jne  tar2_full         ; full dumps list directories correctly
+    lea  r3, dir_state
+    movi r4, 1
+    st   [r3+0], r4        ; drops the directory from the snapshot (the bug)
+tar2_full:
+.line 320
+    call quotename         ; name quoting (library)
+    lea  r5, dir_state
+    ld   r6, [r5+0]
+.line 324
+.branch tar2_zeof
+    cmpi r6, 0
+    je   tar2_ok
+    call error
+tar2_ok:
+    exit
+
+.func quotename lib
+quotename:
+` + padJumps("tar2q", 16) + `
+    ret
+
+.func error log
+error:
+.line 340
+    print tar2msg
+    fail 1
+    ret
+` + workKernel(WorkCfg{Branches: 2, Pad: 30, LibEvery: 512}),
+})

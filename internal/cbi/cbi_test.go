@@ -1,0 +1,155 @@
+package cbi
+
+import (
+	"testing"
+
+	"stmdiag/internal/isa"
+	"stmdiag/internal/vm"
+)
+
+// cbiDemo fails (logged) exactly when branch ROOT takes its true edge.
+const cbiDemo = `
+.global n
+.str msg "boom"
+.func main
+main:
+    lea  r1, n
+    ld   r2, [r1+0]
+    movi r5, 0
+loop:
+.branch ITER
+    cmpi r5, 20
+    jge  after
+    addi r5, 1
+    jmp  loop
+after:
+.branch ROOT
+    cmpi r2, 10
+    jle  fine
+    call error
+fine:
+    exit
+.func error log
+error:
+    print msg
+    fail 1
+    ret
+`
+
+func collect(t *testing.T, prog *isa.Program, n int64, runs int, rate float64, seedBase int64) []RunObs {
+	t.Helper()
+	var out []RunObs
+	for i := 0; i < runs; i++ {
+		m, err := vm.New(prog, vm.Options{Seed: seedBase + int64(i), Globals: map[string]int64{"n": n}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := NewObserver(rate, seedBase+int64(i)+9999)
+		o.Attach(m)
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, o.Finish(res.Failed()))
+	}
+	return out
+}
+
+func prog(t *testing.T) *isa.Program {
+	t.Helper()
+	p, err := isa.Assemble("cbidemo", cbiDemo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCBIFindsPredictorWithManyRuns(t *testing.T) {
+	p := prog(t)
+	runs := collect(t, p, 20, 400, DefaultRate, 1) // failing input
+	runs = append(runs, collect(t, p, 5, 400, DefaultRate, 50_000)...)
+	scores := Rank(runs)
+	pos := RankOf(scores, func(pr Pred) bool { return pr.Branch == "ROOT" && pr.Edge == isa.EdgeTrue })
+	if pos != 1 {
+		t.Errorf("ROOT=true rank = %d, want 1; top: %+v", pos, scores[0])
+	}
+}
+
+func TestCBIMissesPredicateWithFewRuns(t *testing.T) {
+	// With 1/100 sampling and a predicate evaluated once per run, a
+	// handful of runs almost never observes the root cause — the paper's
+	// diagnosis-latency argument (§5.3, §7.2).
+	p := prog(t)
+	runs := collect(t, p, 20, 10, DefaultRate, 1)
+	runs = append(runs, collect(t, p, 5, 10, DefaultRate, 60_000)...)
+	scores := Rank(runs)
+	pos := RankOf(scores, func(pr Pred) bool { return pr.Branch == "ROOT" && pr.Edge == isa.EdgeTrue })
+	if pos == 1 {
+		// Not impossible, just very unlikely (~10% per run to observe).
+		t.Logf("CBI got lucky with 10 runs (rank %d)", pos)
+	}
+}
+
+func TestSamplingRateRespected(t *testing.T) {
+	p := prog(t)
+	dense := collect(t, p, 20, 30, 1.0, 7) // sample everything
+	sparse := collect(t, p, 20, 30, 0.001, 7)
+	denseObs, sparseObs := 0, 0
+	for _, r := range dense {
+		denseObs += len(r.Observed)
+	}
+	for _, r := range sparse {
+		sparseObs += len(r.Observed)
+	}
+	if denseObs <= sparseObs {
+		t.Errorf("dense sampling observed %d <= sparse %d", denseObs, sparseObs)
+	}
+	// Rate 1.0 must observe both predicates of every executed branch.
+	if len(dense[0].Observed) != 4 { // ITER and ROOT, two edges each
+		t.Errorf("full sampling observed %d predicates, want 4", len(dense[0].Observed))
+	}
+}
+
+func TestCBIOverheadCharged(t *testing.T) {
+	p := prog(t)
+	base, err := vm.Run(p, vm.Options{Seed: 1, Globals: map[string]int64{"n": 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(p, vm.Options{Seed: 1, Globals: map[string]int64{"n": 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewObserver(DefaultRate, 2)
+	o.Attach(m)
+	inst, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Cycles <= base.Cycles {
+		t.Errorf("instrumented cycles %d <= base %d", inst.Cycles, base.Cycles)
+	}
+	overhead := float64(inst.Cycles-base.Cycles) / float64(base.Cycles)
+	if overhead < 0.01 || overhead > 1.0 {
+		t.Errorf("CBI overhead = %.3f, want a noticeable double-digit-percent cost", overhead)
+	}
+}
+
+func TestRankDegenerate(t *testing.T) {
+	if got := Rank(nil); len(got) != 0 {
+		t.Errorf("Rank(nil) = %v", got)
+	}
+	// Observed-only predicates (never true) score zero importance.
+	runs := []RunObs{{
+		Failed:   true,
+		Observed: map[Pred]bool{{"B", isa.EdgeTrue}: true},
+		True:     map[Pred]bool{},
+	}}
+	scores := Rank(runs)
+	if len(scores) != 1 || scores[0].Importance != 0 {
+		t.Errorf("scores = %+v", scores)
+	}
+	if RankOf(scores, func(Pred) bool { return true }) != 0 {
+		t.Error("zero-importance predicate ranked")
+	}
+}

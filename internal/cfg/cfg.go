@@ -1,0 +1,138 @@
+// Package cfg builds control-flow graphs over assembled programs and
+// implements the static analysis behind paper Table 5: for each failure-
+// logging site, explore backwards along all possible paths until each path
+// contains enough branches to fill the LBR, and classify each would-be LBR
+// record as useful (its taken-ness cannot be inferred from the fact that
+// execution reached the logging site) or inferable.
+//
+// The paper implements this with an LLVM analyzer over the real programs;
+// here the same question is answered over the VM programs' CFGs.
+package cfg
+
+import (
+	"stmdiag/internal/isa"
+)
+
+// Graph is an instruction-granularity CFG with interprocedural edges from
+// function entries back to their call sites (so backward exploration can
+// leave a function the way execution entered it). Calls are otherwise
+// stepped over: the analysis does not descend into callees, a conservative
+// approximation the package documentation of the analyzer notes.
+type Graph struct {
+	prog  *isa.Program
+	succs [][]int
+	preds [][]int
+	// entryPreds maps a function-entry PC to the call sites targeting it.
+	entryPreds map[int][]int
+}
+
+// Build constructs the graph.
+func Build(p *isa.Program) *Graph {
+	g := &Graph{
+		prog:       p,
+		succs:      make([][]int, len(p.Instrs)),
+		preds:      make([][]int, len(p.Instrs)),
+		entryPreds: make(map[int][]int),
+	}
+	for pc := range p.Instrs {
+		in := &p.Instrs[pc]
+		var ss []int
+		switch in.Op {
+		case isa.OpJmp:
+			ss = []int{in.Target}
+		case isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle, isa.OpJg, isa.OpJge:
+			ss = []int{in.Target, pc + 1}
+		case isa.OpRet, isa.OpExit, isa.OpHalt, isa.OpJmpr, isa.OpCallr:
+			// Returns and program exits end intraprocedural flow; indirect
+			// transfers have statically unknown targets. A callr still
+			// continues at pc+1 after the callee returns.
+			if in.Op == isa.OpCallr {
+				ss = []int{pc + 1}
+			}
+		case isa.OpCall:
+			// Record the interprocedural edges: into the callee at the
+			// call, and back from each of the callee's returns to the
+			// continuation — so backward exploration sees the branches a
+			// callee would leave in the LBR. The step-over edge remains
+			// for callees without returns.
+			ss = []int{pc + 1}
+			g.entryPreds[in.Target] = append(g.entryPreds[in.Target], pc)
+			if f := p.FuncAt(in.Target); f != nil && pc+1 < len(p.Instrs) {
+				for rpc := f.Entry; rpc < f.End; rpc++ {
+					if p.Instrs[rpc].Op == isa.OpRet {
+						g.preds[pc+1] = append(g.preds[pc+1], rpc)
+					}
+				}
+			}
+		case isa.OpSpawn:
+			ss = []int{pc + 1}
+			g.entryPreds[in.Target] = append(g.entryPreds[in.Target], pc)
+		default:
+			ss = []int{pc + 1}
+		}
+		var valid []int
+		for _, s := range ss {
+			if s >= 0 && s < len(p.Instrs) {
+				valid = append(valid, s)
+			}
+		}
+		g.succs[pc] = valid
+		for _, s := range valid {
+			g.preds[s] = append(g.preds[s], pc)
+		}
+	}
+	return g
+}
+
+// Prog returns the underlying program.
+func (g *Graph) Prog() *isa.Program { return g.prog }
+
+// Succs returns the intraprocedural successors of pc.
+func (g *Graph) Succs(pc int) []int { return g.succs[pc] }
+
+// PredsOf returns the predecessors of pc, including (for function entries)
+// the call and spawn sites that transfer there.
+func (g *Graph) PredsOf(pc int) []int {
+	ps := g.preds[pc]
+	if extra, ok := g.entryPreds[pc]; ok {
+		out := make([]int, 0, len(ps)+len(extra))
+		out = append(out, ps...)
+		out = append(out, extra...)
+		return out
+	}
+	return ps
+}
+
+// ReachableTo returns the set of PCs from which the target is reachable,
+// following the same edges PredsOf exposes. The target itself is included.
+func (g *Graph) ReachableTo(target int) map[int]bool {
+	seen := map[int]bool{target: true}
+	work := []int{target}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, p := range g.PredsOf(pc) {
+			if !seen[p] {
+				seen[p] = true
+				work = append(work, p)
+			}
+		}
+	}
+	return seen
+}
+
+// LogSites returns the PCs of every call to a failure-logging function —
+// the "log points" of paper Tables 4 and 5.
+func LogSites(p *isa.Program) []int {
+	var sites []int
+	for pc := range p.Instrs {
+		in := &p.Instrs[pc]
+		if in.Op != isa.OpCall {
+			continue
+		}
+		if f := p.FuncAt(in.Target); f != nil && f.Attr.Has(isa.AttrFailureLog) {
+			sites = append(sites, pc)
+		}
+	}
+	return sites
+}

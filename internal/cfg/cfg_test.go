@@ -1,0 +1,281 @@
+package cfg
+
+import (
+	"testing"
+
+	"stmdiag/internal/isa"
+)
+
+func asm(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := isa.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSuccessorsShapes(t *testing.T) {
+	p := asm(t, `
+.func main
+main:
+    movi r1, 0
+    cmpi r1, 1
+    je   a
+    jmp  b
+a:
+    call f
+b:
+    exit
+.func f
+f:
+    ret
+`)
+	g := Build(p)
+	for pc := range p.Instrs {
+		in := p.Instrs[pc]
+		ss := g.Succs(pc)
+		switch in.Op {
+		case isa.OpJe:
+			if len(ss) != 2 {
+				t.Errorf("je succs = %v", ss)
+			}
+		case isa.OpJmp:
+			if len(ss) != 1 || ss[0] != in.Target {
+				t.Errorf("jmp succs = %v", ss)
+			}
+		case isa.OpExit, isa.OpRet:
+			if len(ss) != 0 {
+				t.Errorf("%v succs = %v, want none", in.Op, ss)
+			}
+		case isa.OpCall:
+			if len(ss) != 1 || ss[0] != pc+1 {
+				t.Errorf("call succs = %v, want step-over", ss)
+			}
+		}
+	}
+	// Function entry's preds must include the call site.
+	f := p.FuncByName("f")
+	preds := g.PredsOf(f.Entry)
+	found := false
+	for _, pr := range preds {
+		if p.Instrs[pr].Op == isa.OpCall {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("entry preds %v missing call site", preds)
+	}
+}
+
+func TestReachableTo(t *testing.T) {
+	p := asm(t, `
+.func main
+main:
+    cmpi r1, 0
+    je   skip
+    movi r2, 1     ; only on the fall-through path
+skip:
+    exit
+.func dead
+dead:
+    ret
+`)
+	g := Build(p)
+	exit := -1
+	for pc := range p.Instrs {
+		if p.Instrs[pc].Op == isa.OpExit {
+			exit = pc
+		}
+	}
+	reach := g.ReachableTo(exit)
+	if !reach[p.Entry] {
+		t.Error("entry cannot reach exit")
+	}
+	dead := p.FuncByName("dead")
+	if reach[dead.Entry] {
+		t.Error("uncalled function reaches exit")
+	}
+}
+
+func TestLogSites(t *testing.T) {
+	p := asm(t, `
+.func main
+main:
+    call error
+    call helper
+    call error
+    exit
+.func helper
+helper:
+    ret
+.func error log
+error:
+    fail 1
+    ret
+`)
+	sites := LogSites(p)
+	if len(sites) != 2 {
+		t.Fatalf("LogSites = %v, want 2", sites)
+	}
+}
+
+// branchyProgram has a diamond of data-dependent branches before the
+// logging site: none of their outcomes is implied by reaching the site, so
+// all conditional records are useful.
+const branchyProgram = `
+.func main
+main:
+    movi r1, 0
+    movi r2, 1
+.branch A
+    cmpi r1, 5
+    jge  a2
+a2:
+.branch B
+    cmpi r2, 3
+    jge  b2
+b2:
+.branch C
+    cmpi r1, 9
+    jge  c2
+c2:
+    call error
+    exit
+.func error log
+error:
+    fail 1
+    ret
+`
+
+func TestUsefulBranchRatioAllUseful(t *testing.T) {
+	p := asm(t, branchyProgram)
+	a := NewAnalyzer(p)
+	rep := a.Analyze()
+	if rep.LogSites != 1 {
+		t.Fatalf("LogSites = %d", rep.LogSites)
+	}
+	if rep.Ratio != 1.0 {
+		t.Errorf("Ratio = %v, want 1.0 (every branch outcome is uncertain): %+v", rep.Ratio, rep.Sites)
+	}
+}
+
+// gatedProgram logs only inside one edge of branch G: reaching the site
+// implies G's outcome, so G's record is inferable (not useful).
+const gatedProgram = `
+.func main
+main:
+    movi r1, 0
+.branch A
+    cmpi r1, 5
+    jge  a2
+a2:
+.branch G
+    cmpi r1, 7
+    jge  past
+    call error     ; only reachable when G is false
+past:
+    exit
+.func error log
+error:
+    fail 1
+    ret
+`
+
+func TestGatedBranchNotUseful(t *testing.T) {
+	p := asm(t, gatedProgram)
+	a := NewAnalyzer(p)
+	rep := a.Analyze()
+	if rep.LogSites != 1 {
+		t.Fatalf("LogSites = %d", rep.LogSites)
+	}
+	if rep.Ratio >= 1.0 || rep.Ratio <= 0 {
+		t.Errorf("Ratio = %v, want in (0,1): G inferable, A useful; sites %+v", rep.Ratio, rep.Sites)
+	}
+}
+
+// loopProgram: the backedge jmp is an unconditional record (not useful);
+// the loop condition is useful only while the exit edge also reaches the
+// site.
+const loopProgram = `
+.func main
+main:
+    movi r1, 0
+loop:
+.branch L
+    cmpi r1, 4
+    jge  done
+    addi r1, 1
+    jmp  loop
+done:
+    call error
+    exit
+.func error log
+error:
+    fail 1
+    ret
+`
+
+func TestLoopTerminatesAndMixes(t *testing.T) {
+	p := asm(t, loopProgram)
+	a := NewAnalyzer(p)
+	a.Window = 8
+	a.MaxPaths = 32
+	rep := a.Analyze()
+	if len(rep.Sites) != 1 {
+		t.Fatalf("sites = %v", rep.Sites)
+	}
+	s := rep.Sites[0]
+	if s.Paths == 0 || s.Records == 0 {
+		t.Fatalf("no paths explored: %+v", s)
+	}
+	// The loop-condition branch is useful (both edges reach the site via
+	// iteration), the backedge jmp is not: ratio strictly between 0 and 1.
+	if rep.Ratio <= 0 || rep.Ratio >= 1 {
+		t.Errorf("Ratio = %v, want in (0,1): %+v", rep.Ratio, s)
+	}
+}
+
+func TestInterproceduralBackwalk(t *testing.T) {
+	// The logging site is inside a callee; backward exploration must leave
+	// through the entry to the caller's branches.
+	p := asm(t, `
+.func main
+main:
+.branch A
+    cmpi r1, 5
+    jge  a2
+a2:
+    call logger
+    exit
+.func logger
+logger:
+    call error
+    ret
+.func error log
+error:
+    fail 1
+    ret
+`)
+	a := NewAnalyzer(p)
+	rep := a.Analyze()
+	if len(rep.Sites) != 1 {
+		t.Fatalf("sites = %d", len(rep.Sites))
+	}
+	if rep.Sites[0].Records == 0 {
+		t.Fatal("backward walk never left the callee")
+	}
+	if rep.Ratio != 1.0 {
+		t.Errorf("Ratio = %v, want 1.0 (branch A useful)", rep.Ratio)
+	}
+}
+
+func TestMaxPathsCap(t *testing.T) {
+	p := asm(t, branchyProgram)
+	a := NewAnalyzer(p)
+	a.MaxPaths = 2
+	rep := a.SiteRatio(LogSites(p)[0])
+	if rep.Paths > 2 {
+		t.Errorf("Paths = %d exceeds cap", rep.Paths)
+	}
+}

@@ -1,0 +1,180 @@
+package cfg
+
+import (
+	"sort"
+
+	"stmdiag/internal/isa"
+)
+
+// Analyzer computes useful-branch ratios (paper Table 5).
+type Analyzer struct {
+	g *Graph
+	// Window is the LBR depth the exploration fills (16 on Nehalem).
+	Window int
+	// MaxPaths caps the backward paths enumerated per logging site.
+	MaxPaths int
+}
+
+// NewAnalyzer builds an analyzer with the paper's defaults: a 16-entry
+// window and a 128-path cap per site.
+func NewAnalyzer(p *isa.Program) *Analyzer {
+	return &Analyzer{g: Build(p), Window: 16, MaxPaths: 128}
+}
+
+// SiteReport is the analysis result for one logging site.
+type SiteReport struct {
+	// Site is the logging-site PC.
+	Site int
+	// Paths is how many backward paths were explored.
+	Paths int
+	// Records is the total would-be LBR records over all paths.
+	Records int
+	// Useful is how many of those records are useful.
+	Useful int
+	// Ratio is the mean per-path useful ratio.
+	Ratio float64
+}
+
+// AppReport aggregates over an application's logging sites.
+type AppReport struct {
+	// App is the program name.
+	App string
+	// LogSites is the number of logging sites analyzed.
+	LogSites int
+	// Ratio is the useful-branch ratio averaged across all logging sites
+	// (paper Table 5's "Useful br. ratio").
+	Ratio float64
+	// Sites holds the per-site details, ordered by PC.
+	Sites []SiteReport
+}
+
+// recordedEdge reports whether traversing CFG edge from->to would push an
+// LBR record under the paper's filter configuration (taken conditional
+// jumps and unconditional relative jumps; calls, returns and indirect
+// transfers are filtered out).
+func (a *Analyzer) recordedEdge(from, to int) bool {
+	in := &a.g.prog.Instrs[from]
+	switch in.Op {
+	case isa.OpJmp:
+		return true
+	case isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle, isa.OpJg, isa.OpJge:
+		return to == in.Target // only the taken edge records
+	}
+	return false
+}
+
+// usefulRecord reports whether the record produced by edge from->to is
+// useful for a logging site with backward-reachability set reach: the
+// record must carry source-branch outcome information (it embodies a
+// source-branch edge) and the opposite outcome must also be able to reach
+// the site — otherwise static control-flow analysis infers the outcome
+// from the site alone.
+func (a *Analyzer) usefulRecord(from int, reach map[int]bool) bool {
+	in := &a.g.prog.Instrs[from]
+	if in.BranchID == isa.NoBranch {
+		// A plain unconditional jump: always taken, statically inferable.
+		return false
+	}
+	// Locate the conditional jump of this source branch: either this very
+	// instruction, or (for the synthetic fall-through jump) the
+	// instruction before it.
+	condPC := from
+	if !in.Op.IsCond() {
+		condPC = from - 1
+	}
+	if condPC < 0 || !a.g.prog.Instrs[condPC].Op.IsCond() {
+		return false
+	}
+	cond := &a.g.prog.Instrs[condPC]
+	takenReach := reach[cond.Target]
+	fallReach := condPC+1 < len(a.g.prog.Instrs) && reach[condPC+1]
+	return takenReach && fallReach
+}
+
+// SiteRatio analyzes one logging site: it explores backward paths until
+// each contains Window records (or runs out of predecessors), classifies
+// every record, and averages the per-path useful ratios.
+func (a *Analyzer) SiteRatio(site int) SiteReport {
+	reach := a.g.ReachableTo(site)
+	rep := SiteReport{Site: site}
+	var ratios []float64
+
+	const maxDepth = 1024 // instructions per backward path; guards recursion
+	type frame struct {
+		pc      int
+		depth   int
+		records int
+		useful  int
+	}
+	var dfs func(f frame)
+	dfs = func(f frame) {
+		if rep.Paths >= a.MaxPaths {
+			return
+		}
+		if f.records >= a.Window || f.depth >= maxDepth {
+			if f.records == 0 {
+				return
+			}
+			rep.Paths++
+			rep.Records += f.records
+			rep.Useful += f.useful
+			ratios = append(ratios, float64(f.useful)/float64(f.records))
+			return
+		}
+		preds := a.g.PredsOf(f.pc)
+		if len(preds) == 0 {
+			// Reached the program entry (or an unmodeled edge) before the
+			// window filled; the partial path still contributes.
+			rep.Paths++
+			if f.records > 0 {
+				rep.Records += f.records
+				rep.Useful += f.useful
+				ratios = append(ratios, float64(f.useful)/float64(f.records))
+			}
+			return
+		}
+		for _, p := range preds {
+			nf := frame{pc: p, depth: f.depth + 1, records: f.records, useful: f.useful}
+			if a.recordedEdge(p, f.pc) {
+				nf.records++
+				if a.usefulRecord(p, reach) {
+					nf.useful++
+				}
+			}
+			dfs(nf)
+			if rep.Paths >= a.MaxPaths {
+				return
+			}
+		}
+	}
+	dfs(frame{pc: site})
+	var sum float64
+	for _, r := range ratios {
+		sum += r
+	}
+	if len(ratios) > 0 {
+		rep.Ratio = sum / float64(len(ratios))
+	}
+	return rep
+}
+
+// Analyze computes the application-level report over every logging site.
+func (a *Analyzer) Analyze() AppReport {
+	sites := LogSites(a.g.prog)
+	rep := AppReport{App: a.g.prog.Name, LogSites: len(sites)}
+	var sum float64
+	n := 0
+	for _, s := range sites {
+		sr := a.SiteRatio(s)
+		rep.Sites = append(rep.Sites, sr)
+		if sr.Paths > 0 && sr.Records > 0 {
+			sum += sr.Ratio
+			n++
+		}
+	}
+	if n > 0 {
+		rep.Ratio = sum / float64(n)
+	}
+	sort.Slice(rep.Sites, func(i, j int) bool { return rep.Sites[i].Site < rep.Sites[j].Site })
+	return rep
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"stmdiag/internal/isa"
+	"stmdiag/internal/stats"
+	"stmdiag/internal/vm"
+)
+
+// Mode selects which record the diagnosis consumes.
+type Mode uint8
+
+const (
+	// ModeLBR diagnoses from branch records (LBRA, sequential bugs).
+	ModeLBR Mode = iota
+	// ModeLCR diagnoses from coherence records (LCRA, concurrency bugs).
+	ModeLCR
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeLCR {
+		return "LCRA"
+	}
+	return "LBRA"
+}
+
+// ProfiledRun pairs one run's selected profile with the program build it
+// was collected from (reactive deployments profile success runs on an
+// updated binary, so the builds can differ).
+type ProfiledRun struct {
+	// Prog is the program build that produced the profile.
+	Prog *isa.Program
+	// Profile is the selected LBR/LCR snapshot.
+	Profile vm.Profile
+}
+
+// FailureRunProfile selects a failed run's failure-run profile: the last
+// failure-site snapshot, i.e. the one taken at the moment the failure
+// surfaced (paper §5.2: exactly one record per fail-stop failure).
+func FailureRunProfile(res *vm.Result) (vm.Profile, bool) {
+	profs := res.FailureProfiles()
+	if len(profs) == 0 {
+		return vm.Profile{}, false
+	}
+	return profs[len(profs)-1], true
+}
+
+// SuccessRunProfile selects a successful run's success-run profile: the
+// last success-site snapshot, the one nearest to where a failure would
+// have occurred.
+func SuccessRunProfile(res *vm.Result) (vm.Profile, bool) {
+	profs := res.SuccessProfiles()
+	if len(profs) == 0 {
+		return vm.Profile{}, false
+	}
+	return profs[len(profs)-1], true
+}
+
+// Report is a completed diagnosis.
+type Report struct {
+	// Mode is the record type diagnosed.
+	Mode Mode
+	// Ranking lists every event, best failure predictor first.
+	Ranking []stats.Scored[Event]
+	// FailureRuns and SuccessRuns count the profiles compared.
+	FailureRuns, SuccessRuns int
+}
+
+// Diagnose runs the LBRA/LCRA statistical comparison of paper §5.2 over
+// failure-run and success-run profiles.
+func Diagnose(mode Mode, fail, succ []ProfiledRun) (*Report, error) {
+	if len(fail) == 0 {
+		return nil, fmt.Errorf("core: diagnosis needs at least one failure-run profile")
+	}
+	runs := make([]stats.Run[Event], 0, len(fail)+len(succ))
+	for _, r := range fail {
+		runs = append(runs, stats.Run[Event]{Failed: true, Events: eventsOf(mode, r)})
+	}
+	for _, r := range succ {
+		runs = append(runs, stats.Run[Event]{Failed: false, Events: eventsOf(mode, r)})
+	}
+	return &Report{
+		Mode:        mode,
+		Ranking:     stats.Rank(runs),
+		FailureRuns: len(fail),
+		SuccessRuns: len(succ),
+	}, nil
+}
+
+// eventsOf extracts the mode's events from a profiled run.
+func eventsOf(mode Mode, r ProfiledRun) []Event {
+	if mode == ModeLCR {
+		return CoherenceEvents(r.Prog, r.Profile)
+	}
+	return BranchEvents(r.Prog, r.Profile)
+}
+
+// Top returns the best failure predictor, or a zero event if none.
+func (r *Report) Top() (stats.Scored[Event], bool) {
+	if len(r.Ranking) == 0 {
+		return stats.Scored[Event]{}, false
+	}
+	return r.Ranking[0], true
+}
+
+// RankOfBranch returns the 1-based rank of the named source branch
+// (either edge), or 0 if absent.
+func (r *Report) RankOfBranch(name string) int {
+	return stats.RankOf(r.Ranking, func(e Event) bool {
+		return e.Kind == EventBranch && e.Branch == name
+	})
+}
+
+// RankOfBranchEdge returns the 1-based rank of a specific branch outcome.
+func (r *Report) RankOfBranchEdge(name string, edge isa.BranchEdge) int {
+	return stats.RankOf(r.Ranking, func(e Event) bool {
+		return e.Kind == EventBranch && e.Branch == name && e.Edge == edge
+	})
+}
+
+// RankOfCoherence returns the 1-based rank of the first coherence event
+// satisfying the predicate.
+func (r *Report) RankOfCoherence(match func(Event) bool) int {
+	return stats.RankOf(r.Ranking, func(e Event) bool {
+		return e.Kind == EventCoherence && match(e)
+	})
+}
+
+// Render formats the top-k ranking for humans.
+func (r *Report) Render(k int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s diagnosis over %d failure + %d success runs\n",
+		r.Mode, r.FailureRuns, r.SuccessRuns)
+	for i, s := range r.Ranking {
+		if i >= k {
+			break
+		}
+		fmt.Fprintf(&b, "%3d. %s\n", i+1, s)
+	}
+	return b.String()
+}

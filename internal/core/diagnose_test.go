@@ -1,0 +1,168 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"stmdiag/internal/cache"
+	"stmdiag/internal/isa"
+	"stmdiag/internal/pmu"
+	"stmdiag/internal/vm"
+)
+
+func TestModeAndSchemeStrings(t *testing.T) {
+	if ModeLBR.String() != "LBRA" || ModeLCR.String() != "LCRA" {
+		t.Error("Mode strings wrong")
+	}
+	if SchemeLogOnly.String() != "log-only" ||
+		SchemeReactive.String() != "reactive" ||
+		SchemeProactive.String() != "proactive" {
+		t.Error("Scheme strings wrong")
+	}
+	if Scheme(9).String() == "" {
+		t.Error("unknown scheme should render")
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Kind: EventBranch, Branch: "A", Edge: isa.EdgeTrue}, "branch A=true"},
+		{Event{Kind: EventJump, File: "a.c", Line: 3}, "jmp@a.c:3"},
+		{Event{Kind: EventCoherence, Access: cache.Load, State: cache.Invalid, File: "b.c", Line: 9}, "load:I@b.c:9"},
+		{Event{Kind: EventPollution, Access: cache.Load, State: cache.Exclusive}, "driver-pollution(load:E)"},
+	}
+	for _, tc := range cases {
+		if got := tc.e.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+	if got := (Event{Kind: EventKind(9)}).String(); got != "unknown-event" {
+		t.Errorf("unknown event kind = %q", got)
+	}
+}
+
+func TestCoherenceEventsMapping(t *testing.T) {
+	p, err := isa.Assemble("t", `
+.file x.c
+.func main
+main:
+.line 4
+    exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := vm.Profile{Coherence: []pmu.CoherenceEvent{
+		{PC: 0, Kind: cache.Store, State: cache.Shared},
+		{PC: -1, Kind: cache.Load, State: cache.Exclusive},
+		{PC: 99, Kind: cache.Load, State: cache.Invalid},
+	}}
+	evs := CoherenceEvents(p, prof)
+	if len(evs) != 3 {
+		t.Fatalf("events = %v", evs)
+	}
+	if evs[0].Kind != EventCoherence || evs[0].File != "x.c" || evs[0].Line != 4 {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Kind != EventPollution || evs[2].Kind != EventPollution {
+		t.Errorf("out-of-range PCs not mapped to pollution: %v", evs[1:])
+	}
+}
+
+func TestBranchLocs(t *testing.T) {
+	p, err := isa.Assemble("t", `
+.file x.c
+.func main
+main:
+.line 7
+.branch B
+    cmpi r1, 0
+    je   next
+next:
+    exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := vm.Profile{Branches: []pmu.BranchRecord{
+		{From: p.Labels["main"] + 1}, // the je
+		{From: -5},                   // ignored
+	}}
+	locs := BranchLocs(p, prof)
+	if len(locs) != 1 || locs[0].Line != 7 {
+		t.Errorf("locs = %v", locs)
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	fail := []ProfiledRun{{Prog: &isa.Program{}, Profile: vm.Profile{}}}
+	rep, err := Diagnose(ModeLCR, fail, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Top(); ok {
+		t.Error("empty ranking should have no top")
+	}
+	if rep.RankOfBranch("x") != 0 || rep.RankOfCoherence(func(Event) bool { return true }) != 0 {
+		t.Error("ranks on empty ranking should be 0")
+	}
+	out := rep.Render(5)
+	if !strings.Contains(out, "LCRA diagnosis over 1 failure + 0 success runs") {
+		t.Errorf("Render = %q", out)
+	}
+}
+
+func TestRenderTopK(t *testing.T) {
+	prog, err := isa.Assemble("t", `
+.func main
+main:
+.branch A
+    cmpi r1, 0
+    je   n1
+n1:
+.branch B
+    cmpi r1, 1
+    je   n2
+n2:
+    exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-build profiles: A=false in failures only, B=false in both.
+	jccA, jccB := -1, -1
+	for pc := range prog.Instrs {
+		if prog.Instrs[pc].Op == isa.OpJe {
+			if jccA < 0 {
+				jccA = pc
+			} else {
+				jccB = pc
+			}
+		}
+	}
+	mk := func(pcs ...int) vm.Profile {
+		var recs []pmu.BranchRecord
+		for _, pc := range pcs {
+			recs = append(recs, pmu.BranchRecord{From: pc, To: pc + 1, Class: isa.BranchCond})
+		}
+		return vm.Profile{Branches: recs}
+	}
+	fail := []ProfiledRun{{prog, mk(jccA, jccB)}, {prog, mk(jccA, jccB)}}
+	succ := []ProfiledRun{{prog, mk(jccB)}, {prog, mk(jccB)}}
+	rep, err := Diagnose(ModeLBR, fail, succ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.RankOfBranchEdge("A", isa.EdgeFalse); got != 1 {
+		t.Errorf("A=false rank %d\n%s", got, rep.Render(10))
+	}
+	if !strings.Contains(rep.Render(1), "branch A=false") {
+		t.Error("Render(1) missing top event")
+	}
+	if strings.Count(rep.Render(1), "\n") > 2 {
+		t.Error("Render(1) printed more than one entry")
+	}
+}

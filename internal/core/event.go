@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"stmdiag/internal/cache"
+	"stmdiag/internal/isa"
+	"stmdiag/internal/vm"
+)
+
+// EventKind distinguishes the event classes the diagnosis ranks.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EventBranch is a source-branch outcome resolved from an LBR record
+	// (a conditional jump or its synthetic fall-through jump).
+	EventBranch EventKind = iota
+	// EventJump is an LBR record of a plain unconditional jump that does
+	// not embody a source-branch edge (e.g. a loop backedge).
+	EventJump
+	// EventCoherence is an LCR record: an access kind, the observed MESI
+	// state, and the access's source location.
+	EventCoherence
+	// EventPollution is an LCR record injected by the driver's
+	// enable/disable sequences.
+	EventPollution
+)
+
+// Event is a profile event in source-stable terms: it is keyed by source
+// branch names and source locations rather than raw PCs, so profiles taken
+// from differently-instrumented builds of the same program (the reactive
+// scheme redeploys an updated binary, §5.2) compare correctly.
+type Event struct {
+	// Kind classifies the event.
+	Kind EventKind
+	// Branch is the source-branch name for EventBranch.
+	Branch string
+	// Edge is the branch outcome for EventBranch.
+	Edge isa.BranchEdge
+	// File and Line locate EventJump and EventCoherence events.
+	File string
+	Line int
+	// Access and State describe EventCoherence events.
+	Access cache.AccessKind
+	State  cache.State
+}
+
+// String renders the event the way reports print it.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventBranch:
+		return fmt.Sprintf("branch %s=%s", e.Branch, e.Edge)
+	case EventJump:
+		return fmt.Sprintf("jmp@%s:%d", e.File, e.Line)
+	case EventCoherence:
+		return fmt.Sprintf("%s:%s@%s:%d", e.Access, e.State, e.File, e.Line)
+	case EventPollution:
+		return fmt.Sprintf("driver-pollution(%s:%s)", e.Access, e.State)
+	}
+	return "unknown-event"
+}
+
+// BranchEvents maps an LBR snapshot to events, newest-first, using the
+// program the profile was collected from.
+func BranchEvents(p *isa.Program, prof vm.Profile) []Event {
+	out := make([]Event, 0, len(prof.Branches))
+	for _, r := range prof.Branches {
+		if r.From < 0 || r.From >= len(p.Instrs) {
+			continue
+		}
+		in := &p.Instrs[r.From]
+		if in.BranchID != isa.NoBranch {
+			out = append(out, Event{
+				Kind:   EventBranch,
+				Branch: p.BranchName(in.BranchID),
+				Edge:   in.Edge,
+			})
+			continue
+		}
+		out = append(out, Event{
+			Kind: EventJump,
+			File: in.Loc.File,
+			Line: in.Loc.Line,
+		})
+	}
+	return out
+}
+
+// CoherenceEvents maps an LCR snapshot to events, newest-first.
+func CoherenceEvents(p *isa.Program, prof vm.Profile) []Event {
+	out := make([]Event, 0, len(prof.Coherence))
+	for _, r := range prof.Coherence {
+		if r.PC < 0 || r.PC >= len(p.Instrs) {
+			// Keep the access kind and state for display; all pollution
+			// still shares one event identity per (kind, state).
+			out = append(out, Event{Kind: EventPollution, Access: r.Kind, State: r.State})
+			continue
+		}
+		loc := p.Instrs[r.PC].Loc
+		out = append(out, Event{
+			Kind:   EventCoherence,
+			File:   loc.File,
+			Line:   loc.Line,
+			Access: r.Kind,
+			State:  r.State,
+		})
+	}
+	return out
+}
+
+// BranchLocs returns the source locations of the branches in an LBR
+// snapshot, for patch-distance measurement (paper Table 6).
+func BranchLocs(p *isa.Program, prof vm.Profile) []isa.SourceLoc {
+	var locs []isa.SourceLoc
+	for _, r := range prof.Branches {
+		if r.From >= 0 && r.From < len(p.Instrs) {
+			locs = append(locs, p.Instrs[r.From].Loc)
+		}
+	}
+	return locs
+}

@@ -1,0 +1,68 @@
+package core
+
+import "sort"
+
+// SiteKey identifies a failure location in source-stable terms, so
+// profiles from different builds of the same program group together.
+type SiteKey struct {
+	// File and Line locate the profiling site.
+	File string
+	Line int
+}
+
+// siteKeyOf derives the key from a profile's site PC.
+func siteKeyOf(r ProfiledRun) SiteKey {
+	if r.Profile.Site >= 0 && r.Profile.Site < len(r.Prog.Instrs) {
+		loc := r.Prog.Instrs[r.Profile.Site].Loc
+		return SiteKey{File: loc.File, Line: loc.Line}
+	}
+	return SiteKey{}
+}
+
+// GroupBySite splits failure-run profiles by failure location. Large
+// software fails for several reasons at once (paper §5.3 "Multiple
+// failures"): because every profile records where it was taken, failures
+// at different program locations are diagnosed independently instead of
+// polluting each other's statistics.
+func GroupBySite(fail []ProfiledRun) map[SiteKey][]ProfiledRun {
+	groups := make(map[SiteKey][]ProfiledRun)
+	for _, r := range fail {
+		k := siteKeyOf(r)
+		groups[k] = append(groups[k], r)
+	}
+	return groups
+}
+
+// SiteReport is the diagnosis of one failure location.
+type SiteReport struct {
+	// Site is the failure location.
+	Site SiteKey
+	// Failures is how many failure profiles the site collected.
+	Failures int
+	// Report is the per-site diagnosis.
+	Report *Report
+}
+
+// DiagnoseBySite runs one diagnosis per failure location, sharing the
+// success-run profiles across sites, and returns the reports ordered by
+// descending failure count (the triage order a developer would use).
+func DiagnoseBySite(mode Mode, fail, succ []ProfiledRun) ([]SiteReport, error) {
+	var out []SiteReport
+	for site, runs := range GroupBySite(fail) {
+		rep, err := Diagnose(mode, runs, succ)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SiteReport{Site: site, Failures: len(runs), Report: rep})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Failures != out[j].Failures {
+			return out[i].Failures > out[j].Failures
+		}
+		if out[i].Site.File != out[j].Site.File {
+			return out[i].Site.File < out[j].Site.File
+		}
+		return out[i].Site.Line < out[j].Site.Line
+	})
+	return out, nil
+}

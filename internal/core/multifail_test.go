@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"stmdiag/internal/isa"
+	"stmdiag/internal/kernel"
+	"stmdiag/internal/vm"
+)
+
+// twoBugs has two independent bugs failing at different logging sites:
+// mode=1 takes branch BUGA's bad edge and fails at parser.c:20; mode=2
+// takes BUGB's bad edge and fails at writer.c:40. Paper §5.3 claims the
+// system separates such failures by site; this program proves it.
+const twoBugs = `
+.file parser.c
+.str pmsg "parse error"
+.str wmsg "write error"
+.global mode
+
+.func main
+main:
+    lea  r1, mode
+    ld   r2, [r1+0]
+.line 10
+.branch BUGA
+    cmpi r2, 1
+    jne  pa_ok             ; mode 1: the parser bug fires
+    movi r3, 1
+    jmp  pa_join
+pa_ok:
+    movi r3, 0
+pa_join:
+.line 20
+.branch pa_zguard
+    cmpi r3, 0
+    je   pa_done
+    call error_parse
+pa_done:
+.file writer.c
+.line 30
+.branch BUGB
+    cmpi r2, 2
+    jne  wr_ok             ; mode 2: the writer bug fires
+    movi r4, 1
+    jmp  wr_join
+wr_ok:
+    movi r4, 0
+wr_join:
+.line 40
+.branch wr_zguard
+    cmpi r4, 0
+    je   wr_done
+    call error_write
+wr_done:
+    exit
+
+.func error_parse log
+error_parse:
+    print pmsg
+    fail 1
+    ret
+
+.func error_write log
+error_write:
+    print wmsg
+    fail 2
+    ret
+`
+
+func collectTwoBugs(t *testing.T, inst *Instrumented, mode int64, n int) []ProfiledRun {
+	t.Helper()
+	var out []ProfiledRun
+	for seed := int64(0); len(out) < n && seed < 50; seed++ {
+		res, err := vm.Run(inst.Prog, vm.Options{
+			Seed:       seed,
+			Driver:     kernel.Driver{},
+			SegvIoctls: inst.SegvIoctls,
+			Globals:    map[string]int64{"mode": mode},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode == 0 {
+			if res.Failed() {
+				continue
+			}
+			if pr, ok := SuccessRunProfile(res); ok {
+				out = append(out, ProfiledRun{Prog: inst.Prog, Profile: pr})
+			}
+			continue
+		}
+		if !res.Failed() {
+			continue
+		}
+		if pr, ok := FailureRunProfile(res); ok {
+			out = append(out, ProfiledRun{Prog: inst.Prog, Profile: pr})
+		}
+	}
+	if len(out) != n {
+		t.Fatalf("collected %d/%d mode-%d profiles", len(out), n, mode)
+	}
+	return out
+}
+
+func TestMultipleFailuresDiagnosedPerSite(t *testing.T) {
+	p, err := isa.Assemble("twobugs", twoBugs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := EnhanceLogging(p, Options{LBR: true, Scheme: SchemeProactive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fail []ProfiledRun
+	fail = append(fail, collectTwoBugs(t, inst, 1, 6)...) // parser failures
+	fail = append(fail, collectTwoBugs(t, inst, 2, 4)...) // writer failures
+	succ := collectTwoBugs(t, inst, 0, 10)
+
+	groups := GroupBySite(fail)
+	if len(groups) != 2 {
+		t.Fatalf("GroupBySite found %d sites, want 2: %v", len(groups), groups)
+	}
+
+	reports, err := DiagnoseBySite(ModeLBR, fail, succ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("%d site reports", len(reports))
+	}
+	// Triage order: the parser site saw more failures.
+	if reports[0].Site.File != "parser.c" || reports[0].Failures != 6 {
+		t.Errorf("first report = %+v, want parser.c with 6 failures", reports[0])
+	}
+	if got := reports[0].Report.RankOfBranchEdge("BUGA", isa.EdgeTrue); got != 1 {
+		t.Errorf("parser site: BUGA rank %d, want 1\n%s", got, reports[0].Report.Render(6))
+	}
+	if reports[1].Site.File != "writer.c" || reports[1].Failures != 4 {
+		t.Errorf("second report = %+v, want writer.c with 4 failures", reports[1])
+	}
+	if got := reports[1].Report.RankOfBranchEdge("BUGB", isa.EdgeTrue); got != 1 {
+		t.Errorf("writer site: BUGB rank %d, want 1\n%s", got, reports[1].Report.Render(6))
+	}
+
+	// The pooled diagnosis is strictly worse: neither root cause predicts
+	// every failure, so neither can reach a perfect score.
+	pooled, err := Diagnose(ModeLBR, fail, succ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top, _ := pooled.Top(); top.Score >= 0.999 {
+		t.Errorf("pooled top score %.3f; mixing sites should deny a perfect predictor", top.Score)
+	}
+}

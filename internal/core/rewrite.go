@@ -1,0 +1,138 @@
+// Package core implements the paper's contribution: using the hardware
+// short-term memory for production-run failure diagnosis.
+//
+// It provides the two usage modes of paper §5:
+//
+//   - LBRLOG / LCRLOG (log enhancement): a program transformer that mirrors
+//     the paper's source-to-source transformer, wrapping library calls with
+//     record toggling, arming the LBR/LCR at the entry of main, profiling
+//     right before every failure-logging call, and registering a
+//     segmentation-fault handler that profiles on crashes.
+//
+//   - LBRA / LCRA (automatic diagnosis): success-site instrumentation
+//     (reactive or proactive, Figure 8) plus the statistical comparison of
+//     failure-run and success-run profiles that ranks the best
+//     failure-predicting event (§5.2).
+package core
+
+import (
+	"fmt"
+
+	"stmdiag/internal/isa"
+)
+
+// Rewriter inserts instrumentation instructions into a resolved program,
+// remapping every control-flow target, label and function boundary. Only
+// non-control instructions (ioctl and friends) may be inserted; that keeps
+// remapping exact and mirrors the fact that the paper's instrumentation
+// adds no user-level branches (§4.3).
+//
+// InsertBefore attaches code to an instruction: control transfers targeting
+// that instruction execute the inserted code first (so arming code at a
+// function entry runs on every call). InsertAfter detaches code behind an
+// instruction: control transfers targeting the *next* instruction skip it
+// (so the re-enable half of a toggling pair runs only on the fall-through
+// path of the call it wraps, never on jumps into the join point).
+type Rewriter struct {
+	prog   *isa.Program
+	before map[int][]isa.Instr
+	after  map[int][]isa.Instr
+}
+
+// NewRewriter prepares to rewrite a copy of p; p itself is not modified.
+func NewRewriter(p *isa.Program) *Rewriter {
+	return &Rewriter{
+		prog:   p,
+		before: make(map[int][]isa.Instr),
+		after:  make(map[int][]isa.Instr),
+	}
+}
+
+func (r *Rewriter) add(m map[int][]isa.Instr, pc int, ins []isa.Instr) error {
+	if pc < 0 || pc >= len(r.prog.Instrs) {
+		return fmt.Errorf("core: insert position %d out of range", pc)
+	}
+	for _, in := range ins {
+		if in.Op.IsControl() {
+			return fmt.Errorf("core: refusing to insert control instruction %v", in.Op)
+		}
+	}
+	marked := make([]isa.Instr, len(ins))
+	for i, in := range ins {
+		in.Synthetic = true
+		in.BranchID = isa.NoBranch
+		if in.Loc.IsZero() {
+			// Inherit the location of the instruction being instrumented,
+			// so profile sites report meaningful source positions.
+			in.Loc = r.prog.Instrs[pc].Loc
+		}
+		marked[i] = in
+	}
+	m[pc] = append(m[pc], marked...)
+	return nil
+}
+
+// InsertBefore schedules instructions immediately before the original PC;
+// labels and branch targets referring to pc will execute them.
+func (r *Rewriter) InsertBefore(pc int, ins ...isa.Instr) error {
+	return r.add(r.before, pc, ins)
+}
+
+// InsertAfter schedules instructions immediately after the original PC, on
+// its fall-through path only.
+func (r *Rewriter) InsertAfter(pc int, ins ...isa.Instr) error {
+	return r.add(r.after, pc, ins)
+}
+
+// Apply produces the rewritten program and a map from original PCs to the
+// new PC of the same instruction.
+func (r *Rewriter) Apply() (*isa.Program, map[int]int, error) {
+	p := r.prog
+	n := len(p.Instrs)
+
+	// Layout per original pc: [before[pc]...] [instr] [after[pc]...].
+	// startOf[pc] = new index of before-block (what targets remap to);
+	// instrAt[pc] = new index of the original instruction.
+	startOf := make([]int, n+1)
+	instrAt := make([]int, n)
+	shift := 0
+	for pc := 0; pc < n; pc++ {
+		startOf[pc] = pc + shift
+		shift += len(r.before[pc])
+		instrAt[pc] = pc + shift
+		shift += len(r.after[pc])
+	}
+	startOf[n] = n + shift
+
+	out := p.Clone()
+	out.Instrs = make([]isa.Instr, 0, n+shift)
+	for pc := 0; pc < n; pc++ {
+		out.Instrs = append(out.Instrs, r.before[pc]...)
+		in := p.Instrs[pc]
+		if in.Op.IsControl() || in.Op == isa.OpSpawn {
+			if in.Target >= 0 && in.Target <= n {
+				in.Target = startOf[in.Target]
+			}
+		}
+		out.Instrs = append(out.Instrs, in)
+		out.Instrs = append(out.Instrs, r.after[pc]...)
+	}
+
+	for name, pc := range out.Labels {
+		out.Labels[name] = startOf[pc]
+	}
+	for i := range out.Funcs {
+		out.Funcs[i].Entry = startOf[out.Funcs[i].Entry]
+		out.Funcs[i].End = startOf[out.Funcs[i].End]
+	}
+	out.Entry = startOf[out.Entry]
+
+	pcMap := make(map[int]int, n)
+	for pc := 0; pc < n; pc++ {
+		pcMap[pc] = instrAt[pc]
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("core: rewrite produced invalid program: %w", err)
+	}
+	return out, pcMap, nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stmdiag/internal/isa"
+	"stmdiag/internal/vm"
+)
+
+const rewriteDemo = `
+.global n
+.func main
+main:
+    lea  r1, n
+    ld   r2, [r1+0]
+    movi r3, 0
+loop:
+.branch L
+    cmpi r3, 5
+    jge  done
+    add  r2, r3
+    addi r3, 1
+    jmp  loop
+done:
+    out  r2
+    call helper
+    exit
+.func helper
+helper:
+    addi r2, 1
+    ret
+`
+
+func asmT(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := isa.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runOutput(t *testing.T, p *isa.Program, opts vm.Options) []string {
+	t.Helper()
+	res, err := vm.Run(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("failures: %v", res.Failures)
+	}
+	return res.Output
+}
+
+func TestRewriterPreservesSemantics(t *testing.T) {
+	p := asmT(t, rewriteDemo)
+	base := runOutput(t, p, vm.Options{Globals: map[string]int64{"n": 7}})
+
+	r := NewRewriter(p)
+	// Insert harmless nops at assorted positions, including jump targets
+	// and function entries.
+	for pc := 0; pc < len(p.Instrs); pc += 2 {
+		if err := r.InsertBefore(pc, isa.Instr{Op: isa.OpNop}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, pcMap, err := r.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Instrs) <= len(p.Instrs) {
+		t.Fatal("nothing inserted")
+	}
+	got := runOutput(t, q, vm.Options{Globals: map[string]int64{"n": 7}})
+	if len(got) != len(base) || got[0] != base[0] {
+		t.Errorf("rewritten output %v, base %v", got, base)
+	}
+	// The PC map must point at the same instruction.
+	for origPC, newPC := range pcMap {
+		if p.Instrs[origPC].Op != q.Instrs[newPC].Op {
+			t.Errorf("pcMap[%d]=%d maps %v to %v", origPC, newPC, p.Instrs[origPC].Op, q.Instrs[newPC].Op)
+		}
+	}
+}
+
+func TestRewriterRejectsControlInserts(t *testing.T) {
+	p := asmT(t, rewriteDemo)
+	r := NewRewriter(p)
+	if err := r.InsertBefore(0, isa.Instr{Op: isa.OpJmp, Target: 0}); err == nil {
+		t.Error("control-flow insert accepted")
+	}
+	if err := r.InsertBefore(-1, isa.Instr{Op: isa.OpNop}); err == nil {
+		t.Error("negative position accepted")
+	}
+	if err := r.InsertBefore(len(p.Instrs), isa.Instr{Op: isa.OpNop}); err == nil {
+		t.Error("past-end position accepted")
+	}
+}
+
+func TestRewriterLabelPointsAtInsertedBlock(t *testing.T) {
+	p := asmT(t, rewriteDemo)
+	r := NewRewriter(p)
+	entry := p.Entry
+	if err := r.InsertBefore(entry, isa.Instr{Op: isa.OpIoctl, Imm: 1}, isa.Instr{Op: isa.OpIoctl, Imm: 2}); err != nil {
+		t.Fatal(err)
+	}
+	q, _, err := r.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Instrs[q.Entry].Op != isa.OpIoctl {
+		t.Errorf("entry does not execute inserted code first: %v", q.Instrs[q.Entry])
+	}
+	if q.Instrs[q.Labels["main"]].Op != isa.OpIoctl {
+		t.Error("label main does not point at inserted block")
+	}
+}
+
+// Property: any pattern of nop insertions leaves program output unchanged.
+func TestRewriterQuick(t *testing.T) {
+	p, err := isa.Assemble("t", rewriteDemo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := vm.Run(p, vm.Options{Globals: map[string]int64{"n": 3}})
+	if err != nil || base.Failed() {
+		t.Fatal(err)
+	}
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRewriter(p)
+		for i := 0; i < int(count%12)+1; i++ {
+			pos := rng.Intn(len(p.Instrs))
+			var err error
+			if rng.Intn(2) == 0 {
+				err = r.InsertBefore(pos, isa.Instr{Op: isa.OpNop})
+			} else {
+				err = r.InsertAfter(pos, isa.Instr{Op: isa.OpNop})
+			}
+			if err != nil {
+				return false
+			}
+		}
+		q, _, err := r.Apply()
+		if err != nil {
+			return false
+		}
+		res, err := vm.Run(q, vm.Options{Globals: map[string]int64{"n": 3}})
+		if err != nil || res.Failed() {
+			return false
+		}
+		if len(res.Output) != len(base.Output) {
+			return false
+		}
+		for i := range res.Output {
+			if res.Output[i] != base.Output[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+
+	"stmdiag/internal/cfg"
+	"stmdiag/internal/isa"
+	"stmdiag/internal/kernel"
+)
+
+// Scheme selects how success-run profiles are collected (paper §5.2).
+type Scheme uint8
+
+const (
+	// SchemeLogOnly is plain LBRLOG/LCRLOG: failure-site profiling only,
+	// no success sites.
+	SchemeLogOnly Scheme = iota
+	// SchemeReactive inserts success sites only for failure locations
+	// already observed (the updated-binary scheme; needs Options.FailurePCs).
+	SchemeReactive
+	// SchemeProactive inserts success sites for every failure-logging site
+	// before release. It cannot cover unexpected locations such as
+	// segmentation faults.
+	SchemeProactive
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeLogOnly:
+		return "log-only"
+	case SchemeReactive:
+		return "reactive"
+	case SchemeProactive:
+		return "proactive"
+	}
+	return fmt.Sprintf("scheme(%d)", uint8(s))
+}
+
+// Options configure the transformer.
+type Options struct {
+	// LBR and LCR choose which facilities to arm and profile.
+	LBR, LCR bool
+	// Toggling wraps calls to library functions with disable/enable pairs
+	// so library execution cannot pollute the records (paper §4.3). It
+	// costs run time; §7.1.3 measures the trade-off.
+	Toggling bool
+	// Scheme picks the success-site strategy.
+	Scheme Scheme
+	// FailurePCs are original-program PCs where failures were observed
+	// (log-call sites or faulting instructions); SchemeReactive pairs
+	// success sites with them.
+	FailurePCs []int
+}
+
+// Instrumented is the transformed program plus the run configuration it
+// needs.
+type Instrumented struct {
+	// Prog is the rewritten program.
+	Prog *isa.Program
+	// SegvIoctls is the driver request sequence for the segmentation-fault
+	// handler (vm.Options.SegvIoctls).
+	SegvIoctls []int64
+	// PCMap maps original PCs to the new PC of the same instruction.
+	PCMap map[int]int
+	// FailureSites and SuccessSites count the instrumented sites.
+	FailureSites, SuccessSites int
+}
+
+// EnhanceLogging applies the LBRLOG/LCRLOG transformation of paper §5.1:
+//
+//  1. wrap library calls with record toggling (when Options.Toggling);
+//  2. arm (clean, configure, enable) the records at the entry of main;
+//  3. profile right before every call to a failure-logging function;
+//  4. register a segmentation-fault handler that profiles.
+//
+// With SchemeReactive or SchemeProactive it additionally inserts the
+// success logging sites of Figure 8.
+func EnhanceLogging(p *isa.Program, opts Options) (*Instrumented, error) {
+	if !opts.LBR && !opts.LCR {
+		return nil, fmt.Errorf("core: nothing to instrument (neither LBR nor LCR selected)")
+	}
+	if opts.Scheme == SchemeReactive && len(opts.FailurePCs) == 0 {
+		return nil, fmt.Errorf("core: reactive scheme needs observed failure PCs")
+	}
+	r := NewRewriter(p)
+	inst := &Instrumented{}
+
+	// Step 2: arm at the entry of main.
+	var arm []isa.Instr
+	if opts.LBR {
+		arm = append(arm, ioctl(kernel.ReqCleanLBR), ioctl(kernel.ReqConfigLBR), ioctl(kernel.ReqEnableLBR))
+	}
+	if opts.LCR {
+		arm = append(arm, ioctl(kernel.ReqCleanLCR), ioctl(kernel.ReqConfigLCR), ioctl(kernel.ReqEnableLCR))
+	}
+	if err := r.InsertBefore(p.Entry, arm...); err != nil {
+		return nil, err
+	}
+	// Spawned threads arm their own LCR (per-thread record): instrument
+	// every spawn target entry as well.
+	armed := map[int]bool{p.Entry: true}
+	for pc := range p.Instrs {
+		in := &p.Instrs[pc]
+		if in.Op == isa.OpSpawn && !armed[in.Target] {
+			armed[in.Target] = true
+			if err := r.InsertBefore(in.Target, arm...); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Step 1: toggling around library calls.
+	if opts.Toggling {
+		for pc := range p.Instrs {
+			in := &p.Instrs[pc]
+			if in.Op != isa.OpCall {
+				continue
+			}
+			f := p.FuncAt(in.Target)
+			if f == nil || !f.Attr.Has(isa.AttrLibrary) {
+				continue
+			}
+			if err := r.InsertBefore(pc, disableSeq(opts)...); err != nil {
+				return nil, err
+			}
+			if err := r.InsertAfter(pc, enableSeq(opts)...); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Step 3: profile before every failure-logging call.
+	logSites := cfg.LogSites(p)
+	for _, pc := range logSites {
+		if err := r.InsertBefore(pc, profileSeq(opts, false)...); err != nil {
+			return nil, err
+		}
+		inst.FailureSites++
+	}
+
+	// Success sites (Figure 8).
+	switch opts.Scheme {
+	case SchemeProactive:
+		for _, pc := range logSites {
+			n, err := insertSuccessSite(r, p, pc, opts)
+			if err != nil {
+				return nil, err
+			}
+			inst.SuccessSites += n
+		}
+	case SchemeReactive:
+		for _, pc := range opts.FailurePCs {
+			if pc < 0 || pc >= len(p.Instrs) {
+				return nil, fmt.Errorf("core: failure PC %d out of range", pc)
+			}
+			n, err := insertSuccessSite(r, p, pc, opts)
+			if err != nil {
+				return nil, err
+			}
+			inst.SuccessSites += n
+		}
+	}
+
+	prog, pcMap, err := r.Apply()
+	if err != nil {
+		return nil, err
+	}
+	inst.Prog = prog
+	inst.PCMap = pcMap
+	// Step 4: the segfault handler profiles whatever is armed.
+	if opts.LBR {
+		inst.SegvIoctls = append(inst.SegvIoctls, kernel.ReqDisableLBR, kernel.ReqProfileLBR)
+	}
+	if opts.LCR {
+		inst.SegvIoctls = append(inst.SegvIoctls, kernel.ReqDisableLCR, kernel.ReqProfileLCR)
+	}
+	return inst, nil
+}
+
+// insertSuccessSite places a success-profiling sequence for a failure
+// location (paper Figure 8 and §5.2):
+//
+//   - for a failure-logging call, right before the conditional jump that
+//     guards the basic block containing the call, so the profile is taken
+//     whether or not the program then enters the failing block;
+//   - for any other instruction i (one that can trigger a segmentation
+//     fault), right after i.
+//
+// It returns how many sites were inserted (0 when no guard exists).
+func insertSuccessSite(r *Rewriter, p *isa.Program, failPC int, opts Options) (int, error) {
+	in := &p.Instrs[failPC]
+	if in.Op == isa.OpCall {
+		f := p.FuncAt(failPC)
+		for pc := failPC - 1; pc >= 0 && f != nil && pc >= f.Entry; pc-- {
+			if p.Instrs[pc].Op.IsCond() {
+				if err := r.InsertBefore(pc, profileSeq(opts, true)...); err != nil {
+					return 0, err
+				}
+				return 1, nil
+			}
+		}
+		// No guard in the function: the call is unconditional; reaching it
+		// is itself the failure, so there is no comparable success site.
+		return 0, nil
+	}
+	if err := r.InsertAfter(failPC, profileSeq(opts, true)...); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// ioctl builds a driver-request instruction.
+func ioctl(req int64) isa.Instr {
+	return isa.Instr{Op: isa.OpIoctl, Imm: req, BranchID: isa.NoBranch}
+}
+
+// disableSeq stops recording for the armed facilities.
+func disableSeq(opts Options) []isa.Instr {
+	var seq []isa.Instr
+	if opts.LBR {
+		seq = append(seq, ioctl(kernel.ReqDisableLBR))
+	}
+	if opts.LCR {
+		seq = append(seq, ioctl(kernel.ReqDisableLCR))
+	}
+	return seq
+}
+
+// enableSeq resumes recording.
+func enableSeq(opts Options) []isa.Instr {
+	var seq []isa.Instr
+	if opts.LBR {
+		seq = append(seq, ioctl(kernel.ReqEnableLBR))
+	}
+	if opts.LCR {
+		seq = append(seq, ioctl(kernel.ReqEnableLCR))
+	}
+	return seq
+}
+
+// profileSeq freezes, snapshots and re-arms the records at a logging site.
+func profileSeq(opts Options, success bool) []isa.Instr {
+	var seq []isa.Instr
+	if opts.LBR {
+		req := kernel.ReqProfileLBR
+		if success {
+			req = kernel.ReqProfileLBRSuccess
+		}
+		seq = append(seq, ioctl(kernel.ReqDisableLBR), ioctl(req), ioctl(kernel.ReqEnableLBR))
+	}
+	if opts.LCR {
+		req := kernel.ReqProfileLCR
+		if success {
+			req = kernel.ReqProfileLCRSuccess
+		}
+		seq = append(seq, ioctl(kernel.ReqDisableLCR), ioctl(req), ioctl(kernel.ReqEnableLCR))
+	}
+	return seq
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"testing"
+
+	"stmdiag/internal/isa"
+	"stmdiag/internal/kernel"
+	"stmdiag/internal/pmu"
+	"stmdiag/internal/vm"
+)
+
+// miniBug is a sort-style sequential bug: when the input exceeds a
+// threshold, branch ROOT takes its buggy edge and nulls a pointer that is
+// dereferenced a little later, crashing. The root-cause branch is a few
+// recorded branches before the failure, as for most Table 6 bugs.
+const miniBug = `
+.file mini.c
+.str  msg "error detected"
+.global n
+.func main
+main:
+.line 3
+    lea  r1, n
+    ld   r2, [r1+0]
+.line 5
+.branch ROOT
+    cmpi r2, 10
+    jle  ok            ; false edge: input is sane
+    movi r3, 0         ; true edge: bug nulls the pointer
+    jmp  cont
+ok:
+    lea  r3, n
+cont:
+.line 9
+.branch USE
+    cmpi r2, 0
+    jge  use
+use:
+.line 11
+    ld   r4, [r3+0]    ; segfaults when ROOT went the buggy way
+.line 12
+.branch CHK
+    cmpi r4, 1000
+    jle  fine
+    call error
+fine:
+    exit
+
+.func memcopy lib
+memcopy:
+    ret
+
+.func error log
+error:
+.line 20
+    print msg
+    fail 1
+    ret
+`
+
+func instrument(t *testing.T, src string, opts Options) *Instrumented {
+	t.Helper()
+	p := asmT(t, src)
+	inst, err := EnhanceLogging(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func runInst(t *testing.T, inst *Instrumented, n int64, seed int64) *vm.Result {
+	t.Helper()
+	res, err := vm.Run(inst.Prog, vm.Options{
+		Seed:       seed,
+		Driver:     kernel.Driver{},
+		SegvIoctls: inst.SegvIoctls,
+		Globals:    map[string]int64{"n": n},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEnhanceLoggingArmsAndProfiles(t *testing.T) {
+	inst := instrument(t, miniBug, Options{LBR: true, Toggling: true})
+	if inst.FailureSites != 1 {
+		t.Errorf("FailureSites = %d, want 1", inst.FailureSites)
+	}
+	// Failure run: n=20 nulls the pointer and segfaults; the segfault
+	// handler must capture the LBR.
+	res := runInst(t, inst, 20, 1)
+	if !res.Failed() || res.FirstFailure().Kind != vm.FailCrash {
+		t.Fatalf("failures = %v", res.Failures)
+	}
+	prof, ok := FailureRunProfile(res)
+	if !ok {
+		t.Fatal("no failure profile from segfault handler")
+	}
+	evs := BranchEvents(inst.Prog, prof)
+	if len(evs) == 0 {
+		t.Fatal("no branch events")
+	}
+	// The buggy edge of ROOT must be in the captured record.
+	found := 0
+	for i, e := range evs {
+		if e.Kind == EventBranch && e.Branch == "ROOT" && e.Edge == isa.EdgeTrue {
+			found = i + 1
+		}
+	}
+	if found == 0 {
+		t.Fatalf("ROOT=true not captured: %v", evs)
+	}
+	if found > 8 {
+		t.Errorf("ROOT=true at entry %d; short propagation should keep it in the top 8", found)
+	}
+}
+
+func TestLoggedFailureProfiledAtSite(t *testing.T) {
+	inst := instrument(t, miniBug, Options{LBR: true})
+	// n = 5: sane pointer, but the loaded value 5 <= 1000, so no error;
+	// craft a logged failure instead with a negative... n = 5 passes all.
+	res := runInst(t, inst, 5, 1)
+	if res.Failed() {
+		t.Fatalf("n=5 should succeed: %v", res.Failures)
+	}
+	if len(res.FailureProfiles()) != 0 {
+		t.Errorf("success run produced failure profiles: %v", res.Profiles)
+	}
+}
+
+func TestTogglingInsertsPairs(t *testing.T) {
+	p := asmT(t, `
+.func main
+main:
+    call libfn
+    exit
+.func libfn lib
+libfn:
+    ret
+`)
+	inst, err := EnhanceLogging(p, Options{LBR: true, Toggling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq []int64
+	for _, in := range inst.Prog.Instrs {
+		if in.Op == isa.OpIoctl {
+			seq = append(seq, in.Imm)
+		}
+	}
+	// Arm (clean, config, enable) + disable-before-call + enable-after.
+	want := []int64{kernel.ReqCleanLBR, kernel.ReqConfigLBR, kernel.ReqEnableLBR,
+		kernel.ReqDisableLBR, kernel.ReqEnableLBR}
+	if len(seq) != len(want) {
+		t.Fatalf("ioctl sequence = %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("ioctl sequence = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestReactiveNeedsFailurePCs(t *testing.T) {
+	p := asmT(t, miniBug)
+	if _, err := EnhanceLogging(p, Options{LBR: true, Scheme: SchemeReactive}); err == nil {
+		t.Error("reactive without failure PCs accepted")
+	}
+	if _, err := EnhanceLogging(p, Options{}); err == nil {
+		t.Error("neither LBR nor LCR accepted")
+	}
+}
+
+func TestProactiveInsertsSuccessSites(t *testing.T) {
+	inst := instrument(t, miniBug, Options{LBR: true, Scheme: SchemeProactive})
+	if inst.SuccessSites != 1 {
+		t.Errorf("SuccessSites = %d, want 1 (the CHK guard)", inst.SuccessSites)
+	}
+	res := runInst(t, inst, 5, 1)
+	if res.Failed() {
+		t.Fatalf("failures: %v", res.Failures)
+	}
+	if _, ok := SuccessRunProfile(res); !ok {
+		t.Error("proactive success run produced no success profile")
+	}
+}
+
+// TestLBRAEndToEnd is the pipeline acceptance test: instrument, collect 10
+// failure and 10 success profiles, diagnose, and require the buggy edge of
+// the root-cause branch to be the top-ranked failure predictor — what
+// paper §7.2 reports for all 20 sequential-bug failures.
+func TestLBRAEndToEnd(t *testing.T) {
+	// Failure runs come from the deployed LBRLOG build.
+	logBuild := instrument(t, miniBug, Options{LBR: true, Toggling: true})
+	var fail []ProfiledRun
+	for seed := int64(0); len(fail) < 10 && seed < 40; seed++ {
+		res := runInst(t, logBuild, 20, seed)
+		if !res.Failed() {
+			continue
+		}
+		if prof, ok := FailureRunProfile(res); ok {
+			fail = append(fail, ProfiledRun{Prog: logBuild.Prog, Profile: prof})
+		}
+	}
+	if len(fail) != 10 {
+		t.Fatalf("collected %d failure profiles", len(fail))
+	}
+
+	// The reactive build adds a success site paired with the faulting
+	// instruction (the ld at mini.c:11).
+	p := asmT(t, miniBug)
+	var faultPC int = -1
+	for pc := range p.Instrs {
+		if p.Instrs[pc].Op == isa.OpLd && p.Instrs[pc].Loc.Line == 11 {
+			faultPC = pc
+		}
+	}
+	if faultPC < 0 {
+		t.Fatal("fault instruction not found")
+	}
+	reactive, err := EnhanceLogging(p, Options{LBR: true, Toggling: true,
+		Scheme: SchemeReactive, FailurePCs: []int{faultPC}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reactive.SuccessSites != 1 {
+		t.Fatalf("SuccessSites = %d", reactive.SuccessSites)
+	}
+	var succ []ProfiledRun
+	for seed := int64(0); len(succ) < 10 && seed < 40; seed++ {
+		res := runInst(t, reactive, 5, seed)
+		if res.Failed() {
+			continue
+		}
+		if prof, ok := SuccessRunProfile(res); ok {
+			succ = append(succ, ProfiledRun{Prog: reactive.Prog, Profile: prof})
+		}
+	}
+	if len(succ) != 10 {
+		t.Fatalf("collected %d success profiles", len(succ))
+	}
+
+	rep, err := Diagnose(ModeLBR, fail, succ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.RankOfBranchEdge("ROOT", isa.EdgeTrue); got != 1 {
+		t.Errorf("ROOT=true rank = %d, want 1\n%s", got, rep.Render(10))
+	}
+	top, ok := rep.Top()
+	if !ok || top.Score != 1.0 {
+		t.Errorf("top predictor %v, want perfect score", top)
+	}
+}
+
+func TestDiagnoseNeedsFailures(t *testing.T) {
+	if _, err := Diagnose(ModeLBR, nil, nil); err == nil {
+		t.Error("empty diagnosis accepted")
+	}
+}
+
+func TestOverheadOrdering(t *testing.T) {
+	// Cycle accounting must reproduce the paper's cost ordering on a
+	// success workload: base < LBRLOG w/o toggling < LBRLOG w/ toggling.
+	p := asmT(t, miniBug)
+	base, err := vm.Run(p, vm.Options{Globals: map[string]int64{"n": 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noTog := instrument(t, miniBug, Options{LBR: true})
+	wTog := instrument(t, miniBug, Options{LBR: true, Toggling: true})
+	rNoTog := runInst(t, noTog, 5, 1)
+	rWTog := runInst(t, wTog, 5, 1)
+	if !(base.Cycles < rNoTog.Cycles) {
+		t.Errorf("base %d !< no-toggling %d", base.Cycles, rNoTog.Cycles)
+	}
+	if !(rNoTog.Cycles <= rWTog.Cycles) {
+		t.Errorf("no-toggling %d !<= toggling %d", rNoTog.Cycles, rWTog.Cycles)
+	}
+}
+
+func TestLCRInstrumentationArmsSpawnedThreads(t *testing.T) {
+	src := `
+.global g
+.func main
+main:
+    movi r1, 7
+    spawn worker, r1
+    join
+    exit
+.func worker
+worker:
+    lea r2, g
+    ld  r3, [r2+0]
+    halt
+`
+	p := asmT(t, src)
+	inst, err := EnhanceLogging(p, Options{LCR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(inst.Prog, vm.Options{
+		Driver:    kernel.Driver{},
+		LCRConfig: pmu.ConfSpaceConsuming,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	worker := m.Threads()[1]
+	if !worker.LCR.Enabled() {
+		t.Error("spawned thread's LCR not armed")
+	}
+	if worker.LCR.Len() == 0 {
+		t.Error("spawned thread's LCR recorded nothing")
+	}
+}

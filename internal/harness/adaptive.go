@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"stmdiag/internal/apps"
+	"stmdiag/internal/cbi"
+	"stmdiag/internal/cfg"
+	"stmdiag/internal/isa"
+	"stmdiag/internal/vm"
+)
+
+// AdaptiveResult summarizes one CBI-adaptive diagnosis (the iterative
+// variant discussed in paper §8): instead of sampling every predicate from
+// the start, instrumentation begins near the failure site and expands
+// backward through the CFG between iterations until a failure predictor
+// emerges.
+type AdaptiveResult struct {
+	// App is the benchmark.
+	App *apps.App
+	// Found reports whether the root-cause predicate was identified.
+	Found bool
+	// Iterations is how many instrument-run-analyze rounds ran.
+	Iterations int
+	// RunsUsed counts all runs across iterations.
+	RunsUsed int
+	// EvaluatedFraction is the share of the program's branch predicates
+	// that ended up instrumented (the paper quotes ~40% for
+	// CBI-adaptive without control-flow knowledge).
+	EvaluatedFraction float64
+}
+
+// branchLayers orders the program's source branches by backward CFG
+// distance (in branch hops) from the failure location, the expansion order
+// the adaptive strategy uses.
+func branchLayers(p *isa.Program, failPC int) [][]string {
+	g := cfg.Build(p)
+	dist := map[int]int{failPC: 0}
+	frontier := []int{failPC}
+	for len(frontier) > 0 {
+		var next []int
+		for _, pc := range frontier {
+			for _, pr := range g.PredsOf(pc) {
+				if _, seen := dist[pr]; seen {
+					continue
+				}
+				d := dist[pc]
+				if p.Instrs[pr].Op.IsCond() {
+					d++
+				}
+				dist[pr] = d
+				next = append(next, pr)
+			}
+		}
+		frontier = next
+	}
+	layerOf := map[string]int{}
+	for pc, d := range dist {
+		in := &p.Instrs[pc]
+		if !in.Op.IsCond() || in.BranchID == isa.NoBranch {
+			continue
+		}
+		name := p.BranchName(in.BranchID)
+		if cur, ok := layerOf[name]; !ok || d < cur {
+			layerOf[name] = d
+		}
+	}
+	maxLayer := 0
+	for _, d := range layerOf {
+		if d > maxLayer {
+			maxLayer = d
+		}
+	}
+	layers := make([][]string, maxLayer+2)
+	for name, d := range layerOf {
+		layers[d] = append(layers[d], name)
+	}
+	// Branches unreachable backward from the failure site go last.
+	for _, b := range p.Branches {
+		if _, ok := layerOf[b.Name]; !ok {
+			layers[maxLayer+1] = append(layers[maxLayer+1], b.Name)
+		}
+	}
+	for _, l := range layers {
+		sort.Strings(l)
+	}
+	return layers
+}
+
+// RunAdaptive drives the CBI-adaptive loop on a sequential benchmark:
+// each iteration instruments the branches discovered so far (at full
+// per-site cost but the given sampling rate), collects runsPerIter failing
+// and succeeding runs, and stops when the root-cause predicate carries
+// positive Increase — or when every layer is instrumented and maxIters is
+// exhausted.
+func RunAdaptive(a *apps.App, rate float64, runsPerIter, maxIters int, seed int64) (*AdaptiveResult, error) {
+	p := a.Program()
+	failPC := a.FaultPC()
+	if failPC < 0 {
+		sites := cfg.LogSites(p)
+		if len(sites) == 0 {
+			return nil, fmt.Errorf("harness: %s has no failure location for adaptive CBI", a.Name)
+		}
+		failPC = sites[len(sites)-1]
+	}
+	layers := branchLayers(p, failPC)
+	active := map[string]bool{}
+	res := &AdaptiveResult{App: a}
+	var runs []cbi.RunObs
+	nextLayer := 0
+
+	collect := func(w apps.Workload, wantFail bool, base int64) error {
+		got := 0
+		for s := int64(0); got < runsPerIter && s < int64(runsPerIter)*6; s++ {
+			m, err := vm.New(p, w.VMOptions(seed+base+s))
+			if err != nil {
+				return err
+			}
+			o := cbi.NewObserver(rate, seed+base+s+4242)
+			o.Restrict(active)
+			o.Attach(m)
+			r, err := m.Run()
+			if err != nil {
+				return err
+			}
+			if w.FailedRun(r) != wantFail {
+				continue
+			}
+			runs = append(runs, o.Finish(wantFail))
+			got++
+		}
+		return nil
+	}
+
+	for res.Iterations < maxIters {
+		res.Iterations++
+		// Expand by one layer per iteration (all layers consumed -> keep
+		// sampling with the full set).
+		if nextLayer < len(layers) {
+			for _, name := range layers[nextLayer] {
+				active[name] = true
+			}
+			nextLayer++
+		}
+		base := int64(res.Iterations) * 100_000
+		if err := collect(a.Fail, true, base); err != nil {
+			return nil, err
+		}
+		if err := collect(a.Succeed, false, base+50_000); err != nil {
+			return nil, err
+		}
+		res.RunsUsed += 2 * runsPerIter
+		scores := cbi.Rank(runs)
+		rank := cbi.RankOf(scores, func(pr cbi.Pred) bool {
+			return pr.Branch == a.RootBranch || (a.RelatedBranch != "" && pr.Branch == a.RelatedBranch)
+		})
+		if rank >= 1 && rank <= 3 {
+			res.Found = true
+			break
+		}
+	}
+	if len(p.Branches) > 0 {
+		res.EvaluatedFraction = float64(len(active)) / float64(len(p.Branches))
+	}
+	return res, nil
+}

@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"testing"
+
+	"stmdiag/internal/apps"
+)
+
+func TestAdaptiveFindsRootCause(t *testing.T) {
+	// sort's root-cause branch executes (with contrasting outcomes) in both
+	// run classes, so the adaptive expansion converges once the layer
+	// containing it is instrumented; dense per-layer sampling means far
+	// fewer runs than vanilla CBI's 1000+1000.
+	a := apps.ByName("sort")
+	res, err := RunAdaptive(a, 1.0, 10, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sort adaptive: %+v", res)
+	if !res.Found {
+		t.Fatal("adaptive CBI did not converge on sort")
+	}
+	if res.RunsUsed >= 2000 {
+		t.Errorf("adaptive used %d runs, should undercut vanilla CBI's 2000", res.RunsUsed)
+	}
+	if res.EvaluatedFraction <= 0 || res.EvaluatedFraction > 1 {
+		t.Errorf("EvaluatedFraction = %v", res.EvaluatedFraction)
+	}
+}
+
+func TestAdaptiveIterationGrowth(t *testing.T) {
+	// ln's root cause sits many branch layers before the failure site, so
+	// adaptive needs more expansion iterations than sort — the
+	// iteration-count pathology paper §8 describes.
+	sortRes, err := RunAdaptive(apps.ByName("sort"), 1.0, 10, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnRes, err := RunAdaptive(apps.ByName("ln"), 1.0, 10, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sort: %d iters (%.0f%% predicates); ln: %d iters (%.0f%% predicates)",
+		sortRes.Iterations, 100*sortRes.EvaluatedFraction,
+		lnRes.Iterations, 100*lnRes.EvaluatedFraction)
+	if !lnRes.Found {
+		t.Fatal("adaptive CBI did not converge on ln")
+	}
+	if lnRes.Iterations <= sortRes.Iterations {
+		t.Errorf("ln (deep root cause) took %d iters, sort took %d; want ln > sort",
+			lnRes.Iterations, sortRes.Iterations)
+	}
+}
+
+func TestAdaptiveCannotFixContextOnePredicates(t *testing.T) {
+	// Apache2's failing region executes only in failing runs; no amount of
+	// adaptive expansion gives its predicates Increase > 0.
+	res, err := RunAdaptive(apps.ByName("Apache2"), 1.0, 6, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Error("adaptive CBI claimed the Apache2 root cause; Context=1 predicates cannot be ranked")
+	}
+	if res.Iterations != 12 {
+		t.Errorf("iterations = %d, want the full budget", res.Iterations)
+	}
+}

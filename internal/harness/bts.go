@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+
+	"stmdiag/internal/apps"
+	"stmdiag/internal/isa"
+	"stmdiag/internal/vm"
+)
+
+// BTSResult is one benchmark under the whole-execution Branch Trace Store
+// (paper §2.1's alternative to the LBR): the root cause is always in the
+// trace — nothing is ever evicted — but the recording overhead is in the
+// tens of percent, which is why the paper rules BTS out for production.
+type BTSResult struct {
+	// App is the benchmark.
+	App *apps.App
+	// RootInTrace reports whether the root-cause (or related) branch
+	// appears anywhere in the failure run's trace.
+	RootInTrace bool
+	// TraceRecords is the failure-run trace length (vs the LBR's 16).
+	TraceRecords int
+	// Overhead is the BTS recording cost on the success workload.
+	Overhead float64
+}
+
+// RunBTS traces one benchmark's failure run with a Branch Trace Store and
+// measures the recording overhead on its success workload.
+func RunBTS(a *apps.App, seed int64) (*BTSResult, error) {
+	p := a.Program()
+	res := &BTSResult{App: a}
+
+	// Failure run under tracing.
+	failOpts := a.Fail.VMOptions(seed)
+	failOpts.BTS = true
+	m, err := vm.New(p, failOpts)
+	if err != nil {
+		return nil, err
+	}
+	r, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	if !a.Fail.FailedRun(r) {
+		return nil, fmt.Errorf("harness: %s BTS failure run did not fail", a.Name)
+	}
+	for _, core := range m.Cores() {
+		if core.BTS == nil {
+			continue
+		}
+		res.TraceRecords += core.BTS.Len()
+		for _, rec := range core.BTS.Trace() {
+			if rec.From < 0 || rec.From >= len(p.Instrs) {
+				continue
+			}
+			id := p.Instrs[rec.From].BranchID
+			if id == isa.NoBranch {
+				continue
+			}
+			name := p.BranchName(id)
+			if name == a.RootBranch || (a.RelatedBranch != "" && name == a.RelatedBranch) {
+				res.RootInTrace = true
+			}
+		}
+	}
+
+	// Overhead on the success workload.
+	base, err := vm.Run(p, a.Succeed.VMOptions(seed))
+	if err != nil {
+		return nil, err
+	}
+	succOpts := a.Succeed.VMOptions(seed)
+	succOpts.BTS = true
+	traced, err := vm.Run(p, succOpts)
+	if err != nil {
+		return nil, err
+	}
+	res.Overhead = overhead(float64(base.Cycles), float64(traced.Cycles))
+	return res, nil
+}

@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"testing"
+
+	"stmdiag/internal/apps"
+)
+
+// TestBTSVersusLBR verifies the paper's §2.1 contrast on the five
+// benchmarks that lose their root cause without toggling: the
+// whole-execution BTS always holds the root cause, but its recording
+// overhead is an order of magnitude above LBRLOG's.
+func TestBTSVersusLBR(t *testing.T) {
+	for _, name := range []string{"cp", "ln", "PBZIP1", "tar2", "sort"} {
+		a := apps.ByName(name)
+		res, err := RunBTS(a, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		t.Logf("%s: root-in-trace=%v records=%d overhead=%.1f%%",
+			name, res.RootInTrace, res.TraceRecords, 100*res.Overhead)
+		if !res.RootInTrace {
+			t.Errorf("%s: BTS lost the root cause (it never should)", name)
+		}
+		if res.TraceRecords <= 16 {
+			t.Errorf("%s: trace of %d records is no bigger than an LBR", name, res.TraceRecords)
+		}
+		if res.Overhead < 0.10 {
+			t.Errorf("%s: BTS overhead %.3f implausibly low", name, res.Overhead)
+		}
+	}
+}

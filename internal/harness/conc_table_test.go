@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"testing"
+
+	"stmdiag/internal/apps"
+)
+
+// TestConcurrentRows checks every concurrency benchmark against its
+// engineered Table 7 expectations: the LCRLOG entry ranks under the two
+// configurations and LCRA's verdict.
+func TestConcurrentRows(t *testing.T) {
+	for _, a := range apps.Concurrent() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			row, err := RunConcurrent(a, quickCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: conf1=%d conf2=%d lcra=%d failrate=%.2f",
+				a.Name, row.RankConf1, row.RankConf2, row.LCRARank, row.FailRate)
+			if row.RankConf1 != a.Paper.LCRConf1 {
+				t.Errorf("RankConf1 = %d, want %d", row.RankConf1, a.Paper.LCRConf1)
+			}
+			if row.RankConf2 != a.Paper.LCRConf2 {
+				t.Errorf("RankConf2 = %d, want %d", row.RankConf2, a.Paper.LCRConf2)
+			}
+			if a.Diagnosable {
+				if row.LCRARank != 1 {
+					t.Errorf("LCRARank = %d, want 1", row.LCRARank)
+				}
+			} else if row.LCRARank != 0 {
+				t.Errorf("LCRARank = %d, want 0 (undiagnosed)", row.LCRARank)
+			}
+			if row.FailRate <= 0.02 || row.FailRate >= 0.98 {
+				t.Errorf("FailRate = %.3f; the interleaving must make both outcomes reachable", row.FailRate)
+			}
+		})
+	}
+}

@@ -1,0 +1,391 @@
+// Package harness orchestrates the paper's experiments over the benchmark
+// suite: it builds the instrumented program variants, drives failure and
+// success runs, applies LBRA/LCRA and the CBI baseline, measures run-time
+// overheads by cycle accounting, and renders every table of the paper's
+// evaluation section (Tables 1–7).
+package harness
+
+import (
+	"fmt"
+
+	"stmdiag/internal/apps"
+	"stmdiag/internal/cbi"
+	"stmdiag/internal/core"
+	"stmdiag/internal/isa"
+	"stmdiag/internal/kernel"
+	"stmdiag/internal/vm"
+)
+
+// Config sizes the experiments. The defaults follow paper §7.2: 10 failure
+// and 10 success runs for LBRA/LCRA, 1000+1000 runs for CBI at its default
+// 1/100 sampling rate.
+type Config struct {
+	// FailRuns and SuccRuns are the LBRA/LCRA profile counts.
+	FailRuns, SuccRuns int
+	// CBIRuns is the per-class (failing and successful) CBI run count.
+	CBIRuns int
+	// CBIRate is CBI's sampling rate.
+	CBIRate float64
+	// OverheadRuns is how many runs each overhead figure averages.
+	OverheadRuns int
+	// MaxAttempts bounds run attempts per collected profile (concurrency
+	// benchmarks fail probabilistically).
+	MaxAttempts int
+	// Seed offsets every seed used.
+	Seed int64
+	// LBRSize and LCRSize override record depths (0 = paper defaults).
+	LBRSize, LCRSize int
+}
+
+// DefaultConfig is the paper's experiment configuration.
+var DefaultConfig = Config{
+	FailRuns:     10,
+	SuccRuns:     10,
+	CBIRuns:      1000,
+	CBIRate:      cbi.DefaultRate,
+	OverheadRuns: 10,
+	MaxAttempts:  400,
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig
+	if c.FailRuns == 0 {
+		c.FailRuns = d.FailRuns
+	}
+	if c.SuccRuns == 0 {
+		c.SuccRuns = d.SuccRuns
+	}
+	if c.CBIRuns == 0 {
+		c.CBIRuns = d.CBIRuns
+	}
+	if c.CBIRate == 0 {
+		c.CBIRate = d.CBIRate
+	}
+	if c.OverheadRuns == 0 {
+		c.OverheadRuns = d.OverheadRuns
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = d.MaxAttempts
+	}
+	return c
+}
+
+// SeqResult is one sequential benchmark's Table 6 row.
+type SeqResult struct {
+	// App is the benchmark.
+	App *apps.App
+	// RankTog and RankNoTog are the LBR entry positions (1 = latest) of
+	// the root-cause branch in the failure-run profile with and without
+	// toggling; 0 means missed.
+	RankTog, RankNoTog int
+	// RelatedTog/RelatedNoTog mark ranks that refer to the related branch
+	// because the root-cause branch itself was evicted (the * cases).
+	RelatedTog, RelatedNoTog bool
+	// LBRARank is the root-cause branch's position in LBRA's predictor
+	// ranking; CBIRank is the same for CBI (0 = missed).
+	LBRARank, CBIRank int
+	// DistFailureSite and DistLBR are the patch distances of Table 6.
+	DistFailureSite, DistLBR int
+	// Overheads, as fractions (0.01 = 1%).
+	OvLogTog, OvLogNoTog, OvReactive, OvProactive, OvCBI float64
+}
+
+// runApp executes one instrumented run.
+func runApp(inst *core.Instrumented, w apps.Workload, seed int64, lbrSize int) (*vm.Result, error) {
+	opts := w.VMOptions(seed)
+	opts.Driver = kernel.Driver{}
+	opts.SegvIoctls = inst.SegvIoctls
+	opts.LBRSize = lbrSize
+	return vm.Run(inst.Prog, opts)
+}
+
+// branchRank returns the 1-based position of the first LBR record naming
+// the branch, newest-first; 0 if absent.
+func branchRank(p *isa.Program, prof vm.Profile, branch string) int {
+	if branch == "" {
+		return 0
+	}
+	for i, r := range prof.Branches {
+		if r.From >= 0 && r.From < len(p.Instrs) {
+			if id := p.Instrs[r.From].BranchID; id != isa.NoBranch && p.BranchName(id) == branch {
+				return i + 1
+			}
+		}
+	}
+	return 0
+}
+
+// rankWithFallback resolves the root-cause rank, falling back to the
+// related branch (the * cases of Table 6).
+func rankWithFallback(a *apps.App, p *isa.Program, prof vm.Profile) (rank int, related bool) {
+	if r := branchRank(p, prof, a.RootBranch); r > 0 {
+		return r, false
+	}
+	if r := branchRank(p, prof, a.RelatedBranch); r > 0 {
+		return r, true
+	}
+	return 0, false
+}
+
+// failureProfileOf runs the failure workload once and extracts the
+// failure-run profile.
+func failureProfileOf(a *apps.App, inst *core.Instrumented, seed int64, lbrSize int) (vm.Profile, error) {
+	res, err := runApp(inst, a.Fail, seed, lbrSize)
+	if err != nil {
+		return vm.Profile{}, err
+	}
+	if !a.Fail.FailedRun(res) {
+		return vm.Profile{}, fmt.Errorf("harness: %s failure workload did not fail (seed %d)", a.Name, seed)
+	}
+	prof, ok := core.FailureRunProfile(res)
+	if !ok {
+		return vm.Profile{}, fmt.Errorf("harness: %s failure run produced no profile", a.Name)
+	}
+	return prof, nil
+}
+
+// origFailurePC maps a failure back to original-program coordinates for
+// the reactive scheme: the faulting instruction for crash benchmarks, or
+// the failing log-call site otherwise.
+func origFailurePC(a *apps.App, inst *core.Instrumented, prof vm.Profile) (int, error) {
+	if pc := a.FaultPC(); pc >= 0 {
+		return pc, nil
+	}
+	// The profile site is the ioctl inserted right before the log call;
+	// scan forward to the call, then invert the PC map.
+	p := inst.Prog
+	for pc := prof.Site; pc < len(p.Instrs) && pc < prof.Site+16; pc++ {
+		if p.Instrs[pc].Op == isa.OpCall {
+			for orig, now := range inst.PCMap {
+				if now == pc {
+					return orig, nil
+				}
+			}
+		}
+	}
+	return 0, fmt.Errorf("harness: cannot locate original failure site for %s (profile site %d)", a.Name, prof.Site)
+}
+
+// successProfiles collects success-run profiles on the given build.
+func successProfiles(a *apps.App, inst *core.Instrumented, cfg Config) ([]core.ProfiledRun, error) {
+	var out []core.ProfiledRun
+	for seed := int64(0); len(out) < cfg.SuccRuns && seed < int64(cfg.MaxAttempts); seed++ {
+		res, err := runApp(inst, a.Succeed, cfg.Seed+1000+seed, cfg.LBRSize)
+		if err != nil {
+			return nil, err
+		}
+		if a.Succeed.FailedRun(res) {
+			continue
+		}
+		prof, ok := core.SuccessRunProfile(res)
+		if !ok {
+			// Unconditional site: the same-site snapshot from a successful
+			// run is the comparable success profile.
+			if prof, ok = core.FailureRunProfile(res); !ok {
+				continue
+			}
+		}
+		out = append(out, core.ProfiledRun{Prog: inst.Prog, Profile: prof})
+	}
+	if len(out) < cfg.SuccRuns {
+		return nil, fmt.Errorf("harness: %s: only %d/%d success profiles", a.Name, len(out), cfg.SuccRuns)
+	}
+	return out, nil
+}
+
+// RunSequential reproduces one Table 6 row.
+func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
+	cfg = cfg.withDefaults()
+	p := a.Program()
+	res := &SeqResult{App: a}
+
+	logTog, err := core.EnhanceLogging(p, core.Options{LBR: true, Toggling: true})
+	if err != nil {
+		return nil, err
+	}
+	logNoTog, err := core.EnhanceLogging(p, core.Options{LBR: true})
+	if err != nil {
+		return nil, err
+	}
+
+	// LBRLOG ranks and patch distances from one failure-run profile each.
+	profTog, err := failureProfileOf(a, logTog, cfg.Seed, cfg.LBRSize)
+	if err != nil {
+		return nil, err
+	}
+	res.RankTog, res.RelatedTog = rankWithFallback(a, logTog.Prog, profTog)
+	profNoTog, err := failureProfileOf(a, logNoTog, cfg.Seed, cfg.LBRSize)
+	if err != nil {
+		return nil, err
+	}
+	res.RankNoTog, res.RelatedNoTog = rankWithFallback(a, logNoTog.Prog, profNoTog)
+
+	siteLoc := isa.SourceLoc{}
+	if profTog.Site >= 0 && profTog.Site < len(logTog.Prog.Instrs) {
+		siteLoc = logTog.Prog.Instrs[profTog.Site].Loc
+	}
+	res.DistFailureSite = a.Patch.Distance(siteLoc)
+	res.DistLBR = a.Patch.MinDistance(core.BranchLocs(logTog.Prog, profTog))
+
+	// LBRA: failure profiles from the deployed build, success profiles
+	// from the reactive redeployment.
+	var failProfiles []core.ProfiledRun
+	for seed := int64(0); len(failProfiles) < cfg.FailRuns && seed < int64(cfg.MaxAttempts); seed++ {
+		prof, err := failureProfileOf(a, logTog, cfg.Seed+seed, cfg.LBRSize)
+		if err != nil {
+			continue
+		}
+		failProfiles = append(failProfiles, core.ProfiledRun{Prog: logTog.Prog, Profile: prof})
+	}
+	if len(failProfiles) < cfg.FailRuns {
+		return nil, fmt.Errorf("harness: %s: only %d/%d failure profiles", a.Name, len(failProfiles), cfg.FailRuns)
+	}
+	failPC, err := origFailurePC(a, logTog, failProfiles[0].Profile)
+	if err != nil {
+		return nil, err
+	}
+	reactive, err := core.EnhanceLogging(p, core.Options{LBR: true, Toggling: true,
+		Scheme: core.SchemeReactive, FailurePCs: []int{failPC}})
+	if err != nil {
+		return nil, err
+	}
+	succProfiles, err := successProfiles(a, reactive, cfg)
+	if err != nil {
+		return nil, err
+	}
+	report, err := core.Diagnose(core.ModeLBR, failProfiles, succProfiles)
+	if err != nil {
+		return nil, err
+	}
+	res.LBRARank = report.RankOfBranchEdge(a.RootBranch, a.BuggyEdge)
+	if res.LBRARank == 0 && a.RelatedBranch != "" {
+		res.LBRARank = report.RankOfBranch(a.RelatedBranch)
+	}
+
+	// CBI baseline.
+	res.CBIRank, err = runCBI(a, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Overheads on the success workload.
+	proactive, err := core.EnhanceLogging(p, core.Options{LBR: true, Toggling: true,
+		Scheme: core.SchemeProactive})
+	if err != nil {
+		return nil, err
+	}
+	base, err := meanCycles(p, a, nil, nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range []struct {
+		inst *core.Instrumented
+		out  *float64
+	}{
+		{logTog, &res.OvLogTog},
+		{logNoTog, &res.OvLogNoTog},
+		{reactive, &res.OvReactive},
+		{proactive, &res.OvProactive},
+	} {
+		cycles, err := meanCycles(v.inst.Prog, a, v.inst.SegvIoctls, nil, cfg)
+		if err != nil {
+			return nil, err
+		}
+		*v.out = overhead(base, cycles)
+	}
+	cbiCycles, err := meanCycles(p, a, nil, func(m *vm.Machine, seed int64) {
+		cbi.NewObserver(cfg.CBIRate, seed+777).Attach(m)
+	}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.OvCBI = overhead(base, cbiCycles)
+	return res, nil
+}
+
+// runCBI collects sampled predicate observations over many runs and ranks.
+// It returns -1 for benchmarks CBI does not support (the paper's CBI
+// framework handles C programs only; Cppcheck and PBZIP are C++).
+func runCBI(a *apps.App, cfg Config) (int, error) {
+	if a.Paper.CBIRank < 0 {
+		return -1, nil
+	}
+	if a.RootBranch == "" {
+		return 0, nil
+	}
+	p := a.Program()
+	var runs []cbi.RunObs
+	collect := func(w apps.Workload, wantFail bool, n int, base int64) error {
+		got := 0
+		for seed := int64(0); got < n && seed < int64(n)*4; seed++ {
+			m, err := vm.New(p, w.VMOptions(cfg.Seed+base+seed))
+			if err != nil {
+				return err
+			}
+			o := cbi.NewObserver(cfg.CBIRate, cfg.Seed+base+seed+31337)
+			o.Attach(m)
+			res, err := m.Run()
+			if err != nil {
+				return err
+			}
+			if w.FailedRun(res) != wantFail {
+				continue
+			}
+			runs = append(runs, o.Finish(wantFail))
+			got++
+		}
+		if got < n {
+			return fmt.Errorf("harness: %s: only %d/%d CBI %v runs", a.Name, got, n, wantFail)
+		}
+		return nil
+	}
+	if err := collect(a.Fail, true, cfg.CBIRuns, 0); err != nil {
+		return 0, err
+	}
+	if err := collect(a.Succeed, false, cfg.CBIRuns, 1_000_000); err != nil {
+		return 0, err
+	}
+	scores := cbi.Rank(runs)
+	rank := cbi.RankOf(scores, func(pr cbi.Pred) bool {
+		return pr.Branch == a.RootBranch && pr.Edge == a.BuggyEdge
+	})
+	if rank == 0 && a.RelatedBranch != "" {
+		rank = cbi.RankOf(scores, func(pr cbi.Pred) bool { return pr.Branch == a.RelatedBranch })
+	}
+	return rank, nil
+}
+
+// meanCycles averages run cycles on the success workload.
+func meanCycles(p *isa.Program, a *apps.App, segv []int64, hook func(*vm.Machine, int64), cfg Config) (float64, error) {
+	var total uint64
+	for i := 0; i < cfg.OverheadRuns; i++ {
+		seed := cfg.Seed + int64(i)
+		opts := a.Succeed.VMOptions(seed)
+		opts.LBRSize = cfg.LBRSize
+		if segv != nil {
+			opts.SegvIoctls = segv
+		}
+		opts.Driver = kernel.Driver{}
+		m, err := vm.New(p, opts)
+		if err != nil {
+			return 0, err
+		}
+		if hook != nil {
+			hook(m, seed)
+		}
+		res, err := m.Run()
+		if err != nil {
+			return 0, err
+		}
+		total += res.Cycles
+	}
+	return float64(total) / float64(cfg.OverheadRuns), nil
+}
+
+// overhead computes (v-base)/base, clamped at 0.
+func overhead(base, v float64) float64 {
+	if base <= 0 || v <= base {
+		return 0
+	}
+	return (v - base) / base
+}

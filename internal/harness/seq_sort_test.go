@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"testing"
+
+	"stmdiag/internal/apps"
+)
+
+// quickCfg keeps unit tests fast; the bench harness uses DefaultConfig.
+var quickCfg = Config{
+	FailRuns:     10,
+	SuccRuns:     10,
+	CBIRuns:      120,
+	OverheadRuns: 3,
+}
+
+func TestSortRow(t *testing.T) {
+	a := apps.ByName("sort")
+	if a == nil {
+		t.Fatal("sort not registered")
+	}
+	row, err := RunSequential(a, quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sort row: %+v", row)
+	if row.RankTog != a.Paper.LBRRankTog {
+		t.Errorf("RankTog = %d, want %d", row.RankTog, a.Paper.LBRRankTog)
+	}
+	if row.RankNoTog != a.Paper.LBRRankNoTog {
+		t.Errorf("RankNoTog = %d, want %d", row.RankNoTog, a.Paper.LBRRankNoTog)
+	}
+	if row.LBRARank < 1 || row.LBRARank > 2 {
+		t.Errorf("LBRARank = %d, want 1..2", row.LBRARank)
+	}
+	if row.DistFailureSite != a.Paper.PatchDistFailure {
+		t.Errorf("DistFailureSite = %d, want %d", row.DistFailureSite, a.Paper.PatchDistFailure)
+	}
+	if row.DistLBR != a.Paper.PatchDistLBR {
+		t.Errorf("DistLBR = %d, want %d", row.DistLBR, a.Paper.PatchDistLBR)
+	}
+	if row.OvLogTog <= 0 || row.OvLogTog > 0.10 {
+		t.Errorf("OvLogTog = %v, want small positive", row.OvLogTog)
+	}
+	if row.OvLogNoTog >= row.OvLogTog {
+		t.Errorf("no-toggling overhead %v !< toggling %v", row.OvLogNoTog, row.OvLogTog)
+	}
+}

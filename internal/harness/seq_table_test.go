@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"testing"
+
+	"stmdiag/internal/apps"
+	"stmdiag/internal/source"
+)
+
+// TestSequentialRows checks every registered sequential benchmark against
+// its engineered Table 6 expectations: the LBRLOG entry ranks with and
+// without toggling, the * (related-branch) flag, the LBRA predictor rank,
+// patch distances, and the overhead ordering.
+func TestSequentialRows(t *testing.T) {
+	for _, a := range apps.Sequential() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			cfg := quickCfg
+			cfg.CBIRuns = 0 // CBI is asserted separately; it needs 1000 runs
+			cfg.CBIRuns = 60
+			row, err := RunSequential(a, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %+v", a.Name, row)
+			if row.RankTog != a.Paper.LBRRankTog {
+				t.Errorf("RankTog = %d, want %d", row.RankTog, a.Paper.LBRRankTog)
+			}
+			if row.RankNoTog != a.Paper.LBRRankNoTog {
+				t.Errorf("RankNoTog = %d, want %d", row.RankNoTog, a.Paper.LBRRankNoTog)
+			}
+			if row.RelatedTog != a.Paper.Related {
+				t.Errorf("RelatedTog = %v, want %v", row.RelatedTog, a.Paper.Related)
+			}
+			if a.Diagnosable && (row.LBRARank < 1 || row.LBRARank > 2) {
+				t.Errorf("LBRARank = %d, want 1..2", row.LBRARank)
+			}
+			if row.DistFailureSite != a.Paper.PatchDistFailure {
+				t.Errorf("DistFailureSite = %s, want %s",
+					source.FormatDistance(row.DistFailureSite), source.FormatDistance(a.Paper.PatchDistFailure))
+			}
+			if row.DistLBR != a.Paper.PatchDistLBR {
+				t.Errorf("DistLBR = %s, want %s",
+					source.FormatDistance(row.DistLBR), source.FormatDistance(a.Paper.PatchDistLBR))
+			}
+			// Overhead shape (paper §7.1.3, §7.2): log-enhancement stays in
+			// the low single-digit percents, toggling costs more than not
+			// toggling, and CBI costs several times more than LBRLOG.
+			if row.OvLogTog <= 0 || row.OvLogTog > 0.06 {
+				t.Errorf("OvLogTog = %.4f, want (0, 0.06]", row.OvLogTog)
+			}
+			if row.OvLogNoTog >= row.OvLogTog {
+				t.Errorf("OvLogNoTog %.4f !< OvLogTog %.4f", row.OvLogNoTog, row.OvLogTog)
+			}
+			if row.OvLogNoTog > 0.01 {
+				t.Errorf("OvLogNoTog = %.4f, want <= 0.01", row.OvLogNoTog)
+			}
+			if row.OvProactive < row.OvLogTog {
+				t.Errorf("OvProactive %.4f < OvLogTog %.4f", row.OvProactive, row.OvLogTog)
+			}
+			if row.OvCBI < 2*row.OvLogTog {
+				t.Errorf("OvCBI %.4f not clearly above LBRLOG %.4f", row.OvCBI, row.OvLogTog)
+			}
+		})
+	}
+}

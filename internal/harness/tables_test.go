@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"stmdiag/internal/apps"
+)
+
+func TestTable1RendersFilterSemantics(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{
+		"0x1d9", "0x1c8", "0x801",
+		"filter ring-0 branches",
+		"suppresses: ring-0 conditional",
+		"filter near relative jumps",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+	// The paper's configuration must keep conditionals and relative jumps.
+	if strings.Contains(out, "* 0x004") {
+		t.Error("conditional-branch filter wrongly marked as used")
+	}
+}
+
+func TestTable2CountsEveryState(t *testing.T) {
+	out := Table2()
+	for _, want := range []string{
+		"code 0x40 umask 0x01 (observe I before load): 2",
+		"code 0x40 umask 0x04 (observe E before load): 1",
+		"code 0x41 umask 0x02 (observe S before store): 1",
+		"code 0x41 umask 0x08 (observe M before store): 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3FPETaxonomy(t *testing.T) {
+	out, err := Table3(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"A.V. (RWR)", "A.V. (RWW)", "A.V. (WWR)", "A.V. (WRW)",
+		"O.V. (read-too-early)", "O.V. (read-too-late)",
+		"E load at fft.c:20 (3/3 runs)",
+		"I load at jsapi.c:14 (3/3 runs)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 missing %q:\n%s", want, out)
+		}
+	}
+	// MySQL1's WRW row must show no FPE in the failure thread; the RWW
+	// micro-benchmark must show one (the bank-balance example's invalid
+	// write).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "MySQL1") && !strings.HasSuffix(strings.TrimSpace(line), "no") {
+			t.Errorf("MySQL1 row should say no: %q", line)
+		}
+		if strings.HasPrefix(line, "micro-RWW") {
+			if !strings.Contains(line, "I store at bank.c:14") || !strings.HasSuffix(strings.TrimSpace(line), "yes") {
+				t.Errorf("micro-RWW row wrong: %q", line)
+			}
+		}
+	}
+}
+
+func TestTable4ListsAllBenchmarks(t *testing.T) {
+	out := Table4()
+	for _, a := range apps.All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("Table4 missing %s", a.Name)
+		}
+	}
+}
+
+func TestTable5RatiosInBand(t *testing.T) {
+	out := Table5()
+	if !strings.Contains(out, "synth-0") {
+		t.Errorf("Table5 missing synthetic programs:\n%s", out)
+	}
+	if !strings.Contains(out, "total logging sites analyzed") {
+		t.Error("Table5 missing total")
+	}
+	// Every reported ratio must be within (0,1].
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 3 && strings.Contains(fields[1], ".") {
+			if ratio, err := strconv.ParseFloat(fields[1], 64); err == nil {
+				if ratio <= 0 || ratio > 1 {
+					t.Errorf("ratio out of band: %q", line)
+				}
+			}
+		}
+	}
+}
+
+func TestRenderTableDispatch(t *testing.T) {
+	if _, err := RenderTable(0, quickCfg); err == nil {
+		t.Error("table 0 accepted")
+	}
+	if _, err := RenderTable(8, quickCfg); err == nil {
+		t.Error("table 8 accepted")
+	}
+	for _, n := range []int{1, 2, 4, 5} {
+		out, err := RenderTable(n, quickCfg)
+		if err != nil || out == "" {
+			t.Errorf("RenderTable(%d) = %q, %v", n, out, err)
+		}
+	}
+}
+
+func TestDiagnosisLatencyGap(t *testing.T) {
+	a := apps.ByName("sort")
+	cfg := quickCfg
+	lbra, cbi, err := DiagnosisLatency(a, 200, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sort: LBRA needs %d failure runs, CBI needs %d (cap 200)", lbra, cbi)
+	if lbra <= 0 || lbra > 10 {
+		t.Errorf("LBRA latency = %d runs, want <= 10", lbra)
+	}
+	// CBI either needs far more runs or fails within the cap — the paper's
+	// tens-to-hundreds-of-times latency gap.
+	if cbi > 0 && cbi < 5*lbra {
+		t.Errorf("CBI latency %d not clearly above LBRA %d", cbi, lbra)
+	}
+}

@@ -1,0 +1,544 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses and resolves a program written in the stmdiag assembly
+// dialect. The dialect is line-oriented:
+//
+//	; comment to end of line
+//	.file sort.c            set the modeled source file
+//	.func merge [attrs]     start a function (attrs: lib, log, kernel)
+//	.line 12                set the modeled source line
+//	.branch A [true|false]  annotate the next conditional jump as source
+//	                        branch "A"; the given edge (default false) is
+//	                        the outcome when the jump is TAKEN. A synthetic
+//	                        fall-through jmp for the opposite edge is
+//	                        inserted automatically (paper Figure 2).
+//	.entry main             set the entry label (default "main")
+//	.global buf 16          reserve a 16-word zeroed global
+//	.str msg "text"         define a string-table entry
+//	label:                  define a label (may prefix an instruction)
+//	movi r1, 42             instructions; see the Op documentation
+//
+// Numbers may be decimal, negative, or 0x-prefixed hex. Memory operands are
+// written [rN], [rN+off] or [rN-off].
+func Assemble(name, src string) (*Program, error) {
+	a := &asm{
+		prog: &Program{
+			Name:   name,
+			Entry:  -1,
+			Labels: make(map[string]int),
+		},
+		entryLabel: "main",
+		curFunc:    -1,
+		pendBranch: NoBranch,
+		branchIdx:  make(map[string]int),
+		strIdx:     make(map[string]int),
+		nextAddr:   GlobalBase,
+	}
+	for i, line := range strings.Split(src, "\n") {
+		a.line(i+1, line)
+	}
+	a.finish()
+	if len(a.errs) > 0 {
+		return nil, fmt.Errorf("assemble %s: %w", name, errors.Join(a.errs...))
+	}
+	return a.prog, nil
+}
+
+// MustAssemble is Assemble for sources known at build time (the benchmark
+// suite); it panics on error.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type asm struct {
+	prog       *Program
+	errs       []error
+	entryLabel string
+
+	loc        SourceLoc // current .file/.line/.func state
+	curFunc    int       // index into prog.Funcs, -1 when outside
+	pendBranch int       // branch ID awaiting its conditional jump, or NoBranch
+	pendEdge   BranchEdge
+	pendLine   int // source line of the pending .branch directive
+	branchIdx  map[string]int
+	strIdx     map[string]int
+	nextAddr   int64
+}
+
+func (a *asm) errorf(lineno int, format string, args ...any) {
+	a.errs = append(a.errs, fmt.Errorf("line %d: "+format, append([]any{lineno}, args...)...))
+}
+
+func (a *asm) line(lineno int, raw string) {
+	text := stripComment(raw)
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return
+	}
+	if strings.HasPrefix(text, ".") {
+		a.directive(lineno, text)
+		return
+	}
+	// Leading labels, possibly followed by an instruction.
+	for {
+		idx := strings.IndexByte(text, ':')
+		if idx < 0 {
+			break
+		}
+		label := strings.TrimSpace(text[:idx])
+		if !isIdent(label) {
+			break
+		}
+		if _, dup := a.prog.Labels[label]; dup {
+			a.errorf(lineno, "duplicate label %q", label)
+		}
+		a.prog.Labels[label] = len(a.prog.Instrs)
+		text = strings.TrimSpace(text[idx+1:])
+		if text == "" {
+			return
+		}
+	}
+	a.instr(lineno, text)
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case ';':
+			if !inStr {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *asm) directive(lineno int, text string) {
+	fields := strings.Fields(text)
+	switch fields[0] {
+	case ".file":
+		if len(fields) != 2 {
+			a.errorf(lineno, ".file wants 1 argument")
+			return
+		}
+		a.loc.File = fields[1]
+	case ".line":
+		if len(fields) != 2 {
+			a.errorf(lineno, ".line wants 1 argument")
+			return
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			a.errorf(lineno, ".line: %v", err)
+			return
+		}
+		a.loc.Line = n
+	case ".entry":
+		if len(fields) != 2 {
+			a.errorf(lineno, ".entry wants 1 argument")
+			return
+		}
+		a.entryLabel = fields[1]
+	case ".func":
+		if len(fields) < 2 {
+			a.errorf(lineno, ".func wants a name")
+			return
+		}
+		a.closeFunc()
+		f := Function{Name: fields[1], Entry: len(a.prog.Instrs), End: -1}
+		for _, attr := range fields[2:] {
+			switch attr {
+			case "lib":
+				f.Attr |= AttrLibrary
+			case "log":
+				f.Attr |= AttrFailureLog
+			case "kernel":
+				f.Attr |= AttrKernel
+			default:
+				a.errorf(lineno, ".func: unknown attribute %q", attr)
+			}
+		}
+		a.prog.Funcs = append(a.prog.Funcs, f)
+		a.curFunc = len(a.prog.Funcs) - 1
+		a.loc.Func = f.Name
+	case ".branch":
+		if len(fields) < 2 || len(fields) > 3 {
+			a.errorf(lineno, ".branch wants a name and optional edge")
+			return
+		}
+		name := fields[1]
+		if _, dup := a.branchIdx[name]; dup {
+			a.errorf(lineno, "duplicate branch %q", name)
+			return
+		}
+		edge := EdgeFalse
+		if len(fields) == 3 {
+			switch fields[2] {
+			case "true":
+				edge = EdgeTrue
+			case "false":
+				edge = EdgeFalse
+			default:
+				a.errorf(lineno, ".branch: edge must be true or false")
+				return
+			}
+		}
+		if a.pendLine != 0 {
+			a.errorf(lineno, ".branch %q: previous .branch not yet consumed by a conditional jump", name)
+			return
+		}
+		id := len(a.prog.Branches)
+		a.prog.Branches = append(a.prog.Branches, SourceBranch{Name: name, Loc: a.loc})
+		a.branchIdx[name] = id
+		a.pendBranch = id
+		a.pendEdge = edge
+		a.pendLine = lineno
+	case ".global":
+		if len(fields) < 2 || len(fields) > 3 {
+			a.errorf(lineno, ".global wants a name and optional size")
+			return
+		}
+		size := int64(1)
+		if len(fields) == 3 {
+			n, err := strconv.ParseInt(fields[2], 0, 64)
+			if err != nil || n <= 0 {
+				a.errorf(lineno, ".global: bad size %q", fields[2])
+				return
+			}
+			size = n
+		}
+		if a.prog.GlobalByName(fields[1]) != nil {
+			a.errorf(lineno, "duplicate global %q", fields[1])
+			return
+		}
+		a.prog.Globals = append(a.prog.Globals, Global{Name: fields[1], Addr: a.nextAddr, Size: size})
+		a.nextAddr += size
+	case ".str":
+		rest := strings.TrimSpace(strings.TrimPrefix(text, ".str"))
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			a.errorf(lineno, ".str wants a name and a quoted string")
+			return
+		}
+		strName := rest[:sp]
+		quoted := strings.TrimSpace(rest[sp+1:])
+		val, err := strconv.Unquote(quoted)
+		if err != nil {
+			a.errorf(lineno, ".str %s: %v", strName, err)
+			return
+		}
+		if _, dup := a.strIdx[strName]; dup {
+			a.errorf(lineno, "duplicate string %q", strName)
+			return
+		}
+		a.prog.Strings = append(a.prog.Strings, val)
+		a.strIdx[strName] = len(a.prog.Strings) - 1
+	default:
+		a.errorf(lineno, "unknown directive %s", fields[0])
+	}
+}
+
+func (a *asm) closeFunc() {
+	if a.curFunc >= 0 {
+		a.prog.Funcs[a.curFunc].End = len(a.prog.Instrs)
+	}
+	a.curFunc = -1
+}
+
+func (a *asm) emit(in Instr) {
+	a.prog.Instrs = append(a.prog.Instrs, in)
+}
+
+func (a *asm) instr(lineno int, text string) {
+	mnemonic, rest, _ := strings.Cut(text, " ")
+	op, ok := OpByName(mnemonic)
+	if !ok {
+		a.errorf(lineno, "unknown instruction %q", mnemonic)
+		return
+	}
+	in := Instr{Op: op, Loc: a.loc, BranchID: NoBranch}
+	args := splitArgs(rest)
+	info := opTable[op]
+	bad := func() {
+		a.errorf(lineno, "%s: bad operands %q", mnemonic, strings.TrimSpace(rest))
+	}
+	switch info.shape {
+	case shapeNone:
+		if len(args) != 0 {
+			bad()
+			return
+		}
+	case shapeRegImm:
+		if len(args) != 2 {
+			bad()
+			return
+		}
+		rd, ok1 := parseReg(args[0])
+		imm, ok2 := parseImm(args[1])
+		if !ok1 || !ok2 {
+			bad()
+			return
+		}
+		in.Rd, in.Imm = rd, imm
+	case shapeRegReg:
+		if len(args) != 2 {
+			bad()
+			return
+		}
+		rd, ok1 := parseReg(args[0])
+		rs, ok2 := parseReg(args[1])
+		if !ok1 || !ok2 {
+			bad()
+			return
+		}
+		in.Rd, in.Rs = rd, rs
+	case shapeRegSym:
+		if len(args) != 2 {
+			bad()
+			return
+		}
+		rd, ok1 := parseReg(args[0])
+		if !ok1 || !isIdent(args[1]) {
+			bad()
+			return
+		}
+		in.Rd, in.Sym = rd, args[1]
+	case shapeLoad:
+		if len(args) != 2 {
+			bad()
+			return
+		}
+		rd, ok1 := parseReg(args[0])
+		rs, off, ok2 := parseMem(args[1])
+		if !ok1 || !ok2 {
+			bad()
+			return
+		}
+		in.Rd, in.Rs, in.Imm = rd, rs, off
+	case shapeStore:
+		if len(args) != 2 {
+			bad()
+			return
+		}
+		rd, off, ok1 := parseMem(args[0])
+		rs, ok2 := parseReg(args[1])
+		if !ok1 || !ok2 {
+			bad()
+			return
+		}
+		in.Rd, in.Rs, in.Imm = rd, rs, off
+	case shapeLabel:
+		if len(args) != 1 || !isIdent(args[0]) {
+			bad()
+			return
+		}
+		in.Sym = args[0]
+		in.Target = -1
+	case shapeReg:
+		if len(args) != 1 {
+			bad()
+			return
+		}
+		rd, ok1 := parseReg(args[0])
+		if !ok1 {
+			bad()
+			return
+		}
+		in.Rd = rd
+	case shapeImm:
+		if len(args) != 1 {
+			bad()
+			return
+		}
+		imm, ok1 := parseImm(args[0])
+		if !ok1 {
+			bad()
+			return
+		}
+		in.Imm = imm
+	case shapeStr:
+		if len(args) != 1 || !isIdent(args[0]) {
+			bad()
+			return
+		}
+		in.Sym = args[0]
+	case shapeSpawn:
+		if len(args) < 1 || len(args) > 2 || !isIdent(args[0]) {
+			bad()
+			return
+		}
+		in.Sym = args[0]
+		in.Target = -1
+		if len(args) == 2 {
+			rs, ok1 := parseReg(args[1])
+			if !ok1 {
+				bad()
+				return
+			}
+			in.Rs = rs
+		}
+	}
+
+	if op.IsCond() && a.pendLine != 0 {
+		in.BranchID = a.pendBranch
+		in.Edge = a.pendEdge
+		a.emit(in)
+		// Figure 2: insert the harmless unconditional jump along the
+		// fall-through edge so the opposite outcome is also recorded.
+		a.emit(Instr{
+			Op:        OpJmp,
+			Target:    len(a.prog.Instrs) + 1,
+			Loc:       a.loc,
+			BranchID:  a.pendBranch,
+			Edge:      a.pendEdge.Opposite(),
+			Synthetic: true,
+		})
+		a.pendBranch = NoBranch
+		a.pendLine = 0
+		return
+	}
+	a.emit(in)
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func parseReg(s string) (Reg, bool) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, false
+	}
+	return Reg(n), true
+}
+
+func parseImm(s string) (int64, bool) {
+	n, err := strconv.ParseInt(s, 0, 64)
+	return n, err == nil
+}
+
+// parseMem parses [rN], [rN+off], [rN-off].
+func parseMem(s string) (Reg, int64, bool) {
+	if len(s) < 3 || s[0] != '[' || s[len(s)-1] != ']' {
+		return 0, 0, false
+	}
+	body := s[1 : len(s)-1]
+	sign := int64(1)
+	regPart, offPart := body, ""
+	if i := strings.IndexAny(body, "+-"); i > 0 {
+		regPart, offPart = body[:i], body[i+1:]
+		if body[i] == '-' {
+			sign = -1
+		}
+	}
+	r, ok := parseReg(strings.TrimSpace(regPart))
+	if !ok {
+		return 0, 0, false
+	}
+	off := int64(0)
+	if offPart != "" {
+		n, err := strconv.ParseInt(strings.TrimSpace(offPart), 0, 64)
+		if err != nil {
+			return 0, 0, false
+		}
+		off = n
+	}
+	return r, sign * off, true
+}
+
+// finish closes the last function, resolves symbols, and validates.
+func (a *asm) finish() {
+	a.closeFunc()
+	if a.pendLine != 0 {
+		a.errs = append(a.errs, fmt.Errorf("line %d: .branch never consumed by a conditional jump", a.pendLine))
+	}
+	p := a.prog
+	p.GlobalWords = a.nextAddr - GlobalBase
+	// Auto-define a label at each function entry if the author did not.
+	for i := range p.Funcs {
+		if _, ok := p.Labels[p.Funcs[i].Name]; !ok {
+			p.Labels[p.Funcs[i].Name] = p.Funcs[i].Entry
+		}
+	}
+	if pc, ok := p.Labels[a.entryLabel]; ok {
+		p.Entry = pc
+	} else {
+		a.errs = append(a.errs, fmt.Errorf("entry label %q not defined", a.entryLabel))
+	}
+	// Resolve operands.
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch opTable[in.Op].shape {
+		case shapeLabel, shapeSpawn:
+			if in.Target >= 0 { // synthetic fall-through jump, pre-resolved
+				continue
+			}
+			pc, ok := p.Labels[in.Sym]
+			if !ok {
+				a.errs = append(a.errs, fmt.Errorf("instr %d (%s): undefined label %q", i, in.Op, in.Sym))
+				continue
+			}
+			in.Target = pc
+		case shapeRegSym:
+			g := p.GlobalByName(in.Sym)
+			if g == nil {
+				a.errs = append(a.errs, fmt.Errorf("instr %d (lea): undefined global %q", i, in.Sym))
+				continue
+			}
+			in.Imm = g.Addr
+		case shapeStr:
+			idx, ok := a.strIdx[in.Sym]
+			if !ok {
+				a.errs = append(a.errs, fmt.Errorf("instr %d (print): undefined string %q", i, in.Sym))
+				continue
+			}
+			in.Imm = int64(idx)
+		}
+	}
+	if len(a.errs) == 0 {
+		if err := p.Validate(); err != nil {
+			a.errs = append(a.errs, err)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const demoSrc = `
+; demo program exercising every directive
+.file demo.c
+.entry main
+.global buf 8
+.global n
+.str hello "hi there"
+
+.func main
+.line 3
+main:
+    movi r1, 0
+    lea  r2, buf
+loop:
+.line 5
+.branch L
+    cmpi r1, 8
+    jge  done
+    st   [r2+0], r1
+    addi r2, 1
+    addi r1, 1
+    jmp  loop
+done:
+.line 9
+    call helper
+    print hello
+    exit
+
+.func helper lib
+helper:
+    movi r3, 7
+    ret
+
+.func error log
+error:
+    fail 2
+    ret
+`
+
+func mustDemo(t *testing.T) *Program {
+	t.Helper()
+	p, err := Assemble("demo", demoSrc)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestAssembleBasics(t *testing.T) {
+	p := mustDemo(t)
+	if p.Name != "demo" {
+		t.Errorf("Name = %q", p.Name)
+	}
+	if p.Entry != p.Labels["main"] {
+		t.Errorf("Entry = %d, want label main = %d", p.Entry, p.Labels["main"])
+	}
+	if len(p.Funcs) != 3 {
+		t.Fatalf("got %d funcs, want 3", len(p.Funcs))
+	}
+	if f := p.FuncByName("helper"); f == nil || !f.Attr.Has(AttrLibrary) {
+		t.Errorf("helper not marked lib: %+v", f)
+	}
+	if f := p.FuncByName("error"); f == nil || !f.Attr.Has(AttrFailureLog) {
+		t.Errorf("error not marked log: %+v", f)
+	}
+	if g := p.GlobalByName("buf"); g == nil || g.Size != 8 || g.Addr != GlobalBase {
+		t.Errorf("buf global wrong: %+v", g)
+	}
+	if g := p.GlobalByName("n"); g == nil || g.Addr != GlobalBase+8 {
+		t.Errorf("n global wrong: %+v", g)
+	}
+	if p.GlobalWords != 9 {
+		t.Errorf("GlobalWords = %d, want 9", p.GlobalWords)
+	}
+	if len(p.Strings) != 1 || p.Strings[0] != "hi there" {
+		t.Errorf("Strings = %q", p.Strings)
+	}
+}
+
+func TestAssembleFallThroughLowering(t *testing.T) {
+	p := mustDemo(t)
+	// Find the annotated conditional jump.
+	var condPC int = -1
+	for pc := range p.Instrs {
+		if p.Instrs[pc].Op == OpJge {
+			condPC = pc
+			break
+		}
+	}
+	if condPC < 0 {
+		t.Fatal("no jge found")
+	}
+	cond := p.Instrs[condPC]
+	if cond.BranchID == NoBranch {
+		t.Fatal("jge not annotated with source branch")
+	}
+	if got := p.BranchName(cond.BranchID); got != "L" {
+		t.Errorf("branch name = %q, want L", got)
+	}
+	if cond.Edge != EdgeFalse {
+		t.Errorf("cond jump edge = %v, want false (Figure 2 convention)", cond.Edge)
+	}
+	ft := p.Instrs[condPC+1]
+	if ft.Op != OpJmp || !ft.Synthetic {
+		t.Fatalf("instruction after annotated jcc = %v, want synthetic jmp", ft)
+	}
+	if ft.BranchID != cond.BranchID || ft.Edge != EdgeTrue {
+		t.Errorf("fall-through jump edges wrong: %+v", ft)
+	}
+	if ft.Target != condPC+2 {
+		t.Errorf("fall-through target = %d, want %d", ft.Target, condPC+2)
+	}
+}
+
+func TestAssembleBranchEdgeOverride(t *testing.T) {
+	src := `
+.func main
+main:
+.branch B true
+    cmpi r1, 0
+    jne taken
+taken:
+    exit
+`
+	p, err := Assemble("t", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	var jcc *Instr
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == OpJne {
+			jcc = &p.Instrs[i]
+		}
+	}
+	if jcc == nil || jcc.Edge != EdgeTrue {
+		t.Fatalf("override edge not applied: %+v", jcc)
+	}
+}
+
+func TestAssembleResolution(t *testing.T) {
+	p := mustDemo(t)
+	for pc := range p.Instrs {
+		in := p.Instrs[pc]
+		if in.Op == OpCall && p.FuncAt(in.Target) == nil {
+			t.Errorf("call at %d targets no function", pc)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown op", ".func main\nmain:\n zap r1\n", "unknown instruction"},
+		{"undefined label", ".func main\nmain:\n jmp nowhere\n", "undefined label"},
+		{"undefined global", ".func main\nmain:\n lea r1, nothing\n exit\n", "undefined global"},
+		{"undefined string", ".func main\nmain:\n print nope\n exit\n", "undefined string"},
+		{"duplicate label", ".func main\nmain:\nmain:\n exit\n", "duplicate label"},
+		{"duplicate branch", ".func main\nmain:\n.branch X\n cmpi r1, 0\n je main\n.branch X\n cmpi r1, 0\n je main\n", "duplicate branch"},
+		{"dangling branch", ".func main\nmain:\n.branch Y\n exit\n", "never consumed"},
+		{"bad register", ".func main\nmain:\n movi r16, 1\n exit\n", "bad operands"},
+		{"missing entry", ".func helper\nhelper:\n ret\n", `entry label "main" not defined`},
+		{"unconsumed branch before next", ".func main\nmain:\n.branch A\n.branch B\n exit\n", "not yet consumed"},
+		{"bad func attr", ".func main wat\nmain:\n exit\n", "unknown attribute"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble("t", tc.src)
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+; full-line comment
+.func main
+main:   movi r1, 0x10   ; trailing comment
+        exit
+.str s "semi;colon inside"
+`
+	p, err := Assemble("t", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if p.Instrs[p.Labels["main"]].Imm != 16 {
+		t.Errorf("hex immediate not parsed: %+v", p.Instrs[p.Labels["main"]])
+	}
+	if len(p.Strings) != 1 || p.Strings[0] != "semi;colon inside" {
+		t.Errorf("string with semicolon mangled: %q", p.Strings)
+	}
+}
+
+func TestLabelBeforeInstructionOnSameLine(t *testing.T) {
+	src := ".func main\nstart: main: movi r1, 5\n exit\n"
+	p, err := Assemble("t", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if p.Labels["start"] != p.Labels["main"] {
+		t.Errorf("stacked labels differ: %v", p.Labels)
+	}
+}
+
+func TestParseMem(t *testing.T) {
+	cases := []struct {
+		in  string
+		reg Reg
+		off int64
+		ok  bool
+	}{
+		{"[r0]", 0, 0, true},
+		{"[r3+4]", 3, 4, true},
+		{"[r3-4]", 3, -4, true},
+		{"[r15+0x10]", 15, 16, true},
+		{"[r16]", 0, 0, false},
+		{"r3+4", 0, 0, false},
+		{"[+4]", 0, 0, false},
+		{"[r3+x]", 0, 0, false},
+	}
+	for _, tc := range cases {
+		r, off, ok := parseMem(tc.in)
+		if ok != tc.ok || (ok && (r != tc.reg || off != tc.off)) {
+			t.Errorf("parseMem(%q) = %v,%v,%v want %v,%v,%v", tc.in, r, off, ok, tc.reg, tc.off, tc.ok)
+		}
+	}
+}
+
+func TestStatsCountsLogSites(t *testing.T) {
+	src := `
+.func main
+main:
+    call error
+    call error
+    call helper
+    exit
+.func helper
+helper:
+    ret
+.func error log
+error:
+    fail 1
+    ret
+`
+	p, err := Assemble("t", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	s := p.Stats()
+	if s.LogSites != 2 {
+		t.Errorf("LogSites = %d, want 2", s.LogSites)
+	}
+	if s.Calls != 3 {
+		t.Errorf("Calls = %d, want 3", s.Calls)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := mustDemo(t)
+	q := p.Clone()
+	q.Instrs[0].Op = OpHalt
+	q.Labels["extra"] = 0
+	q.Strings[0] = "changed"
+	if p.Instrs[0].Op == OpHalt {
+		t.Error("Clone shares Instrs")
+	}
+	if _, ok := p.Labels["extra"]; ok {
+		t.Error("Clone shares Labels")
+	}
+	if p.Strings[0] == "changed" {
+		t.Error("Clone shares Strings")
+	}
+}
+
+func TestOpTableComplete(t *testing.T) {
+	for op := Op(0); op < opCount; op++ {
+		if opTable[op].name == "" {
+			t.Errorf("opcode %d has no table entry", op)
+		}
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v,%v", op.String(), got, ok)
+		}
+	}
+}
+
+// Property: stripComment never removes characters inside string literals and
+// always removes everything after an unquoted semicolon.
+func TestStripCommentQuick(t *testing.T) {
+	f := func(prefix string, suffix string) bool {
+		clean := strings.NewReplacer(";", "", "\"", "").Replace(prefix)
+		line := clean + ";" + suffix
+		return stripComment(line) == clean
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parseImm accepts whatever strconv would and round-trips values.
+func TestParseImmQuick(t *testing.T) {
+	f := func(v int64) bool {
+		got, ok := parseImm(Instr{Op: OpMovi, Imm: v}.String()[len("movi r0, "):])
+		return ok && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every register r0..r15 round-trips through its String form.
+func TestParseRegQuick(t *testing.T) {
+	f := func(n uint8) bool {
+		r := Reg(n % NumRegs)
+		got, ok := parseReg(r.String())
+		return ok && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisasmMentionsBranches(t *testing.T) {
+	p := mustDemo(t)
+	d := p.Disasm()
+	if !strings.Contains(d, "branch L") {
+		t.Errorf("Disasm missing branch annotation:\n%s", d)
+	}
+	if !strings.Contains(d, "main:") {
+		t.Errorf("Disasm missing label:\n%s", d)
+	}
+}

@@ -1,0 +1,25 @@
+package isa
+
+import "testing"
+
+// FuzzAssemble feeds arbitrary text to the assembler: it must return a
+// valid program or an error, never panic, and anything it accepts must
+// pass validation.
+func FuzzAssemble(f *testing.F) {
+	f.Add(demoSrc)
+	f.Add(".func main\nmain:\n exit\n")
+	f.Add(".func main\nmain:\n.branch A\n cmpi r1, 0\n je main\n")
+	f.Add(".global g 8\n.str s \"x\"\n.func main\nmain:\n print s\n exit\n")
+	f.Add(".func main\nmain:\n movi r1, 0x7fffffffffffffff\n exit\n")
+	f.Add(".entry other\n.func other\nother:\n halt\n")
+	f.Add("garbage ::: [r1+")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted program fails validation: %v\nsource:\n%s", verr, src)
+		}
+	})
+}

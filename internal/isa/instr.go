@@ -1,0 +1,385 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Memory layout constants, in word addresses. The region below GlobalBase
+// is unmapped: dereferencing it (a null or corrupted pointer) raises a
+// segmentation fault in the VM, the crash symptom several Table 4
+// benchmarks exhibit.
+const (
+	// GlobalBase is the word address of the first global; the assembler
+	// lays globals out from here.
+	GlobalBase = 4096
+	// StackBase is where the first thread's stack is placed; stacks grow
+	// down and successive threads sit StackSpan words apart.
+	StackBase = 1 << 22
+	// StackSpan is the per-thread stack reservation in words.
+	StackSpan = 1 << 14
+)
+
+// Reg identifies one of the 16 general-purpose registers r0..r15. By
+// convention r0 carries a thread's start argument and r15 is the frame
+// scratch register; the VM keeps the stack pointer separately.
+type Reg uint8
+
+// NumRegs is the size of the register file.
+const NumRegs = 16
+
+// String returns the assembler name of the register.
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Valid reports whether the register index is within the register file.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// SourceLoc ties an instruction back to the modeled source program; the
+// diagnosis layers report root causes in these terms, and patch distance
+// (paper Table 6) is measured between SourceLocs.
+type SourceLoc struct {
+	// File is the modeled source file name, e.g. "sort.c".
+	File string
+	// Line is the modeled source line.
+	Line int
+	// Func is the enclosing function name.
+	Func string
+}
+
+// IsZero reports whether the location carries no information.
+func (l SourceLoc) IsZero() bool { return l.File == "" && l.Line == 0 && l.Func == "" }
+
+// String formats the location as file:line (func).
+func (l SourceLoc) String() string {
+	if l.IsZero() {
+		return "<unknown>"
+	}
+	return fmt.Sprintf("%s:%d (%s)", l.File, l.Line, l.Func)
+}
+
+// BranchEdge distinguishes the two outcomes of a source-level branch.
+type BranchEdge uint8
+
+const (
+	// EdgeFalse is the source condition evaluating to false.
+	EdgeFalse BranchEdge = iota
+	// EdgeTrue is the source condition evaluating to true.
+	EdgeTrue
+)
+
+// Opposite returns the other edge.
+func (e BranchEdge) Opposite() BranchEdge {
+	if e == EdgeFalse {
+		return EdgeTrue
+	}
+	return EdgeFalse
+}
+
+// String returns "true" or "false".
+func (e BranchEdge) String() string {
+	if e == EdgeTrue {
+		return "true"
+	}
+	return "false"
+}
+
+// NoBranch marks an instruction that does not embody a source-level branch
+// edge.
+const NoBranch = -1
+
+// SourceBranch describes a source-level conditional branch. The assembler
+// creates one per ".branch" directive; both machine jumps implementing the
+// branch (the conditional jump and the inserted fall-through jump) refer to
+// it by index.
+type SourceBranch struct {
+	// Name is the author-chosen identifier, e.g. "A" for the sort bug's
+	// while condition in Figure 3 of the paper.
+	Name string
+	// Loc is where the branch lives in the modeled source.
+	Loc SourceLoc
+}
+
+// String returns the branch name with its location.
+func (b SourceBranch) String() string { return b.Name + " @ " + b.Loc.String() }
+
+// FuncAttr carries the function attributes the diagnosis pipeline cares
+// about.
+type FuncAttr uint8
+
+const (
+	// AttrLibrary marks common library functions; the LBRLOG transformer
+	// toggles LBR/LCR recording off around calls to them (paper §4.3).
+	AttrLibrary FuncAttr = 1 << iota
+	// AttrFailureLog marks application failure-logging functions such as
+	// error() in coreutils or ap_log_error in Apache (paper §5.1).
+	AttrFailureLog
+	// AttrKernel marks code executing at ring 0; the LBR and LCR filters
+	// can exclude its events.
+	AttrKernel
+)
+
+// Has reports whether attr contains all bits of q.
+func (a FuncAttr) Has(q FuncAttr) bool { return a&q == q }
+
+// Function is a contiguous region of instructions with a name and
+// attributes.
+type Function struct {
+	// Name is the function's label; calls target it.
+	Name string
+	// Entry and End delimit the instruction range [Entry, End).
+	Entry, End int
+	// Attr is the function's attribute set.
+	Attr FuncAttr
+}
+
+// Instr is a single decoded instruction. Instructions are fixed-size; PCs
+// are indices into Program.Instrs.
+type Instr struct {
+	// Op is the opcode.
+	Op Op
+	// Rd and Rs are the register operands (see opcode docs).
+	Rd, Rs Reg
+	// Imm is the immediate operand; for OpLd/OpSt it is the address
+	// displacement, for OpLea the resolved global address, for OpPrint the
+	// string-table index.
+	Imm int64
+	// Target is the resolved instruction index for control transfers and
+	// OpSpawn.
+	Target int
+	// Sym preserves the label or symbol the operand was written with.
+	Sym string
+	// Loc is the instruction's modeled source location.
+	Loc SourceLoc
+	// BranchID indexes Program.Branches when the instruction embodies a
+	// source-branch edge, else NoBranch.
+	BranchID int
+	// Edge is the source-branch outcome this jump represents; meaningful
+	// only when BranchID != NoBranch. For a conditional jump it is the
+	// outcome when the jump is taken; for the inserted fall-through jump it
+	// is the opposite outcome.
+	Edge BranchEdge
+	// Synthetic marks instructions inserted by tooling (the assembler's
+	// fall-through jumps and the LBRLOG/LCRLOG/CBI instrumentation).
+	Synthetic bool
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	info := opTable[in.Op]
+	switch info.shape {
+	case shapeNone:
+		return in.Op.String()
+	case shapeRegImm:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case shapeRegReg:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs)
+	case shapeRegSym:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Sym)
+	case shapeLoad:
+		return fmt.Sprintf("%s %s, [%s%+d]", in.Op, in.Rd, in.Rs, in.Imm)
+	case shapeStore:
+		return fmt.Sprintf("%s [%s%+d], %s", in.Op, in.Rd, in.Imm, in.Rs)
+	case shapeLabel:
+		if in.Sym != "" {
+			return fmt.Sprintf("%s %s", in.Op, in.Sym)
+		}
+		return fmt.Sprintf("%s @%d", in.Op, in.Target)
+	case shapeReg:
+		return fmt.Sprintf("%s %s", in.Op, in.Rd)
+	case shapeImm:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	case shapeStr:
+		if in.Sym != "" {
+			return fmt.Sprintf("%s %s", in.Op, in.Sym)
+		}
+		return fmt.Sprintf("%s #%d", in.Op, in.Imm)
+	case shapeSpawn:
+		if in.Sym != "" {
+			return fmt.Sprintf("%s %s, %s", in.Op, in.Sym, in.Rs)
+		}
+		return fmt.Sprintf("%s @%d, %s", in.Op, in.Target, in.Rs)
+	}
+	return in.Op.String()
+}
+
+// Global is a named region of zero-initialized words in the data segment.
+type Global struct {
+	// Name is the symbol programs reference with lea.
+	Name string
+	// Addr is the resolved word address.
+	Addr int64
+	// Size is the region length in words.
+	Size int64
+}
+
+// Program is a fully assembled, resolved program.
+type Program struct {
+	// Name identifies the program (the benchmark name for apps).
+	Name string
+	// Instrs is the instruction memory; PC values index it.
+	Instrs []Instr
+	// Entry is the PC of the entry point (the ".entry" function's label).
+	Entry int
+	// Funcs lists functions in instruction order.
+	Funcs []Function
+	// Labels maps label names to PCs.
+	Labels map[string]int
+	// Globals lists the data-segment symbols in address order.
+	Globals []Global
+	// GlobalWords is the total data-segment size in words.
+	GlobalWords int64
+	// Strings is the string table indexed by OpPrint immediates.
+	Strings []string
+	// Branches is the source-branch table indexed by Instr.BranchID.
+	Branches []SourceBranch
+}
+
+// FuncAt returns the function containing pc, or nil.
+func (p *Program) FuncAt(pc int) *Function {
+	for i := range p.Funcs {
+		f := &p.Funcs[i]
+		if pc >= f.Entry && pc < f.End {
+			return f
+		}
+	}
+	return nil
+}
+
+// FuncByName returns the named function, or nil.
+func (p *Program) FuncByName(name string) *Function {
+	for i := range p.Funcs {
+		if p.Funcs[i].Name == name {
+			return &p.Funcs[i]
+		}
+	}
+	return nil
+}
+
+// GlobalByName returns the named global, or nil.
+func (p *Program) GlobalByName(name string) *Global {
+	for i := range p.Globals {
+		if p.Globals[i].Name == name {
+			return &p.Globals[i]
+		}
+	}
+	return nil
+}
+
+// GlobalAt returns the global containing the word address, or nil.
+func (p *Program) GlobalAt(addr int64) *Global {
+	for i := range p.Globals {
+		g := &p.Globals[i]
+		if addr >= g.Addr && addr < g.Addr+g.Size {
+			return g
+		}
+	}
+	return nil
+}
+
+// BranchName returns the source-branch name for a branch ID, or "".
+func (p *Program) BranchName(id int) string {
+	if id < 0 || id >= len(p.Branches) {
+		return ""
+	}
+	return p.Branches[id].Name
+}
+
+// StringIndex returns the index of s in the string table, adding it if
+// absent. Instrumentation passes use it to attach messages.
+func (p *Program) StringIndex(s string) int64 {
+	for i, have := range p.Strings {
+		if have == s {
+			return int64(i)
+		}
+	}
+	p.Strings = append(p.Strings, s)
+	return int64(len(p.Strings) - 1)
+}
+
+// CountOp returns how many instructions use the opcode.
+func (p *Program) CountOp(op Op) int {
+	n := 0
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats summarizes a program for reporting (Table 4 analog).
+type Stats struct {
+	Instructions int
+	Functions    int
+	Branches     int // source-level branches
+	CondJumps    int
+	Calls        int
+	LogSites     int // calls to failure-logging functions
+}
+
+// Stats computes summary statistics.
+func (p *Program) Stats() Stats {
+	s := Stats{
+		Instructions: len(p.Instrs),
+		Functions:    len(p.Funcs),
+		Branches:     len(p.Branches),
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch in.Op.Branch() {
+		case BranchCond:
+			s.CondJumps++
+		case BranchRelCall, BranchIndCall:
+			s.Calls++
+			if f := p.FuncAt(in.Target); in.Op == OpCall && f != nil && f.Attr.Has(AttrFailureLog) {
+				s.LogSites++
+			}
+		}
+	}
+	return s
+}
+
+// Clone returns a deep copy of the program; instrumentation passes mutate
+// the copy and leave the original intact.
+func (p *Program) Clone() *Program {
+	q := &Program{
+		Name:        p.Name,
+		Instrs:      append([]Instr(nil), p.Instrs...),
+		Entry:       p.Entry,
+		Funcs:       append([]Function(nil), p.Funcs...),
+		Labels:      make(map[string]int, len(p.Labels)),
+		Globals:     append([]Global(nil), p.Globals...),
+		GlobalWords: p.GlobalWords,
+		Strings:     append([]string(nil), p.Strings...),
+		Branches:    append([]SourceBranch(nil), p.Branches...),
+	}
+	for k, v := range p.Labels {
+		q.Labels[k] = v
+	}
+	return q
+}
+
+// Disasm renders the whole program as annotated assembly, mainly for
+// debugging and golden tests.
+func (p *Program) Disasm() string {
+	var b strings.Builder
+	rev := make(map[int][]string)
+	for name, pc := range p.Labels {
+		rev[pc] = append(rev[pc], name)
+	}
+	for pc := range p.Instrs {
+		for _, name := range rev[pc] {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		in := &p.Instrs[pc]
+		fmt.Fprintf(&b, "%5d\t%s", pc, in.String())
+		if in.BranchID != NoBranch {
+			fmt.Fprintf(&b, "\t; branch %s edge=%s", p.BranchName(in.BranchID), in.Edge)
+		}
+		if in.Synthetic {
+			b.WriteString("\t; synthetic")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,256 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceLocString(t *testing.T) {
+	if got := (SourceLoc{}).String(); got != "<unknown>" {
+		t.Errorf("zero loc = %q", got)
+	}
+	loc := SourceLoc{File: "a.c", Line: 7, Func: "f"}
+	if got := loc.String(); got != "a.c:7 (f)" {
+		t.Errorf("loc = %q", got)
+	}
+	if (SourceLoc{}).IsZero() != true || loc.IsZero() {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestBranchEdgeHelpers(t *testing.T) {
+	if EdgeFalse.Opposite() != EdgeTrue || EdgeTrue.Opposite() != EdgeFalse {
+		t.Error("Opposite wrong")
+	}
+	if EdgeFalse.String() != "false" || EdgeTrue.String() != "true" {
+		t.Error("String wrong")
+	}
+}
+
+func TestSourceBranchString(t *testing.T) {
+	b := SourceBranch{Name: "A", Loc: SourceLoc{File: "x.c", Line: 3, Func: "m"}}
+	if got := b.String(); got != "A @ x.c:3 (m)" {
+		t.Errorf("branch = %q", got)
+	}
+}
+
+func TestBranchClassStrings(t *testing.T) {
+	want := map[BranchClass]string{
+		BranchNone:      "none",
+		BranchCond:      "cond",
+		BranchUncondRel: "uncond-rel",
+		BranchUncondInd: "uncond-ind",
+		BranchRelCall:   "rel-call",
+		BranchIndCall:   "ind-call",
+		BranchReturn:    "return",
+	}
+	for c, w := range want {
+		if c.String() != w {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), w)
+		}
+	}
+	if !OpCall.IsControl() || OpMovi.IsControl() {
+		t.Error("IsControl wrong")
+	}
+}
+
+func TestProgramHelpers(t *testing.T) {
+	p := mustDemo(t)
+	if g := p.GlobalAt(GlobalBase + 3); g == nil || g.Name != "buf" {
+		t.Errorf("GlobalAt inside buf = %+v", g)
+	}
+	if g := p.GlobalAt(GlobalBase + 100); g != nil {
+		t.Errorf("GlobalAt past end = %+v", g)
+	}
+	if p.BranchName(-1) != "" || p.BranchName(99) != "" {
+		t.Error("BranchName out of range should be empty")
+	}
+	if p.CountOp(OpExit) != 1 {
+		t.Errorf("CountOp(exit) = %d", p.CountOp(OpExit))
+	}
+	// StringIndex dedupes and appends.
+	i1 := p.StringIndex("hi there")
+	if i1 != 0 {
+		t.Errorf("existing string index = %d", i1)
+	}
+	i2 := p.StringIndex("new message")
+	if i2 != 1 || p.Strings[1] != "new message" {
+		t.Errorf("appended index = %d, table %v", i2, p.Strings)
+	}
+	if p.FuncAt(-1) != nil || p.FuncAt(len(p.Instrs)+5) != nil {
+		t.Error("FuncAt out of range should be nil")
+	}
+	if p.FuncByName("nonesuch") != nil {
+		t.Error("FuncByName unknown should be nil")
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("bad", "zap r1\n")
+}
+
+// TestInstrStringRoundTrip: every non-control instruction's String() form
+// reassembles to an equivalent instruction.
+func TestInstrStringRoundTrip(t *testing.T) {
+	cases := []Instr{
+		{Op: OpNop},
+		{Op: OpMovi, Rd: 3, Imm: -42},
+		{Op: OpMov, Rd: 1, Rs: 2},
+		{Op: OpLd, Rd: 4, Rs: 5, Imm: 8},
+		{Op: OpSt, Rd: 6, Rs: 7, Imm: -3},
+		{Op: OpAdd, Rd: 1, Rs: 2},
+		{Op: OpShr, Rd: 9, Rs: 10},
+		{Op: OpAddi, Rd: 2, Imm: 100},
+		{Op: OpCmp, Rd: 3, Rs: 4},
+		{Op: OpCmpi, Rd: 5, Imm: 0},
+		{Op: OpPush, Rd: 11},
+		{Op: OpPop, Rd: 12},
+		{Op: OpLock, Rd: 13},
+		{Op: OpUnlock, Rd: 14},
+		{Op: OpOut, Rd: 15},
+		{Op: OpFail, Imm: 9},
+		{Op: OpIoctl, Imm: 3},
+		{Op: OpDelay, Imm: 50},
+		{Op: OpJoin},
+		{Op: OpYield},
+		{Op: OpExit},
+		{Op: OpHalt},
+		{Op: OpJmpr, Rd: 1},
+		{Op: OpCallr, Rd: 2},
+		{Op: OpRet},
+	}
+	for _, in := range cases {
+		src := ".func main\nmain:\n " + in.String() + "\n exit\n"
+		p, err := Assemble("rt", src)
+		if err != nil {
+			t.Errorf("%v: %v", in.String(), err)
+			continue
+		}
+		got := p.Instrs[p.Labels["main"]]
+		if got.Op != in.Op || got.Rd != in.Rd || got.Rs != in.Rs || got.Imm != in.Imm {
+			t.Errorf("round trip %q -> %v", in.String(), got.String())
+		}
+	}
+}
+
+// TestAssembleNeverPanics: arbitrary text must produce a value or an
+// error, never a panic.
+func TestAssembleNeverPanics(t *testing.T) {
+	tokens := []string{
+		"movi", "r1", "r99", ",", "[", "]", "jmp", ".branch", ".func", ".line",
+		".global", ".str", "\"x\"", ":", "main", "lock", "0x", "-", "9", ";c",
+		"exit", "\n", " ", ".entry", "call", "st", "ld", "[r1+", "+2]",
+	}
+	f := func(picks []uint8) bool {
+		var b strings.Builder
+		for _, p := range picks {
+			b.WriteString(tokens[int(p)%len(tokens)])
+			if p%3 == 0 {
+				b.WriteByte(' ')
+			}
+			if p%7 == 0 {
+				b.WriteByte('\n')
+			}
+		}
+		_, _ = Assemble("fuzz", b.String()) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	fresh := func() *Program { return mustDemo(t).Clone() }
+
+	p := fresh()
+	p.Instrs[0].Op = Op(200)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "invalid opcode") {
+		t.Errorf("bad opcode: %v", err)
+	}
+
+	p = fresh()
+	p.Entry = -1
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "entry PC") {
+		t.Errorf("bad entry: %v", err)
+	}
+
+	p = fresh()
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == OpJmp {
+			p.Instrs[i].Target = 10_000
+			break
+		}
+	}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("bad target: %v", err)
+	}
+
+	p = fresh()
+	p.Instrs[0].Rd = 99
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "register") {
+		t.Errorf("bad register: %v", err)
+	}
+
+	p = fresh()
+	p.Labels["ghost"] = 10_000
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "label") {
+		t.Errorf("bad label: %v", err)
+	}
+
+	p = fresh()
+	p.Funcs[0].End = p.Funcs[0].Entry - 1
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "bad range") {
+		t.Errorf("bad func range: %v", err)
+	}
+
+	p = fresh()
+	p.Globals[0].Size = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero-size global accepted")
+	}
+
+	p = fresh()
+	p.GlobalWords += 5
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "GlobalWords") {
+		t.Errorf("bad GlobalWords: %v", err)
+	}
+
+	p = fresh()
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == OpPrint {
+			p.Instrs[i].Imm = 99
+			break
+		}
+	}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "string index") {
+		t.Errorf("bad string index: %v", err)
+	}
+
+	p = fresh()
+	p.Instrs[0].BranchID = 50
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "branch id") {
+		t.Errorf("bad branch id: %v", err)
+	}
+}
+
+func TestRegAndOpStrings(t *testing.T) {
+	if Reg(5).String() != "r5" {
+		t.Error("Reg.String wrong")
+	}
+	if Op(250).String() == "" || Op(250).Valid() {
+		t.Error("invalid op handling wrong")
+	}
+	if Op(250).Branch() != BranchNone {
+		t.Error("invalid op branch class wrong")
+	}
+	if BranchClass(99).String() == "" {
+		t.Error("unknown class should still render")
+	}
+}

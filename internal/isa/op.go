@@ -1,0 +1,284 @@
+// Package isa defines the instruction set of the stmdiag virtual machine,
+// the in-memory program representation, and a two-pass assembler.
+//
+// The VM is the substrate that replaces the paper's real x86 binaries: the
+// benchmark applications from Table 4 of the paper are re-authored in this
+// instruction set, and the machine in internal/vm executes them while the
+// hardware short-term-memory facilities in internal/pmu observe retired
+// branches and data-cache accesses.
+//
+// Branches follow the lowering described in Figure 2 of the paper: a
+// source-level conditional branch becomes one conditional jump (taken when
+// the source condition evaluates one way) plus one unconditional relative
+// jump inserted along the fall-through edge, so that whichever way the
+// source branch goes, some taken machine branch is recorded by the LBR.
+package isa
+
+import "fmt"
+
+// Op is a VM opcode.
+type Op uint8
+
+// The instruction set. Operand conventions are documented per opcode; Rd is
+// the first register operand, Rs the second, Imm the immediate, and Target
+// the resolved instruction index for control transfers.
+const (
+	// OpNop does nothing.
+	OpNop Op = iota
+
+	// OpMovi sets Rd to Imm.
+	OpMovi
+	// OpMov copies Rs into Rd.
+	OpMov
+	// OpLea sets Rd to the address of the global named by Sym (resolved
+	// into Imm at assembly time).
+	OpLea
+
+	// OpLd loads Rd from memory at address Rs+Imm (a data-cache access).
+	OpLd
+	// OpSt stores Rs to memory at address Rd+Imm (a data-cache access).
+	OpSt
+
+	// Binary register arithmetic: Rd <- Rd op Rs.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+
+	// Immediate arithmetic: Rd <- Rd op Imm.
+	OpAddi
+	OpSubi
+	OpMuli
+	OpAndi
+
+	// OpCmp compares Rd with Rs and sets the flags.
+	OpCmp
+	// OpCmpi compares Rd with Imm and sets the flags.
+	OpCmpi
+
+	// OpJmp is an unconditional relative jump to Target.
+	OpJmp
+	// Conditional jumps to Target, based on the flags.
+	OpJe
+	OpJne
+	OpJl
+	OpJle
+	OpJg
+	OpJge
+	// OpJmpr is an unconditional indirect jump to the address in Rd.
+	OpJmpr
+
+	// OpCall is a direct call to Target; OpCallr calls the address in Rd.
+	OpCall
+	OpCallr
+	// OpRet returns to the caller.
+	OpRet
+
+	// OpPush pushes Rd; OpPop pops into Rd.
+	OpPush
+	OpPop
+
+	// OpLock acquires the mutex whose handle is the value in Rd, blocking
+	// the thread until it is free. A non-positive handle is a null-mutex
+	// dereference and faults, modeling pthread_mutex_lock(NULL) — the
+	// crash of the paper's PBZIP2 read-too-late example (Figure 6).
+	OpLock
+	// OpUnlock releases the mutex whose handle is the value in Rd.
+	OpUnlock
+
+	// OpSpawn starts a new thread at Target with its r0 set to Rs.
+	OpSpawn
+	// OpJoin blocks until every thread spawned by this thread has exited.
+	OpJoin
+	// OpYield hints the scheduler to switch threads.
+	OpYield
+
+	// OpPrint appends string-table entry Imm to the program output.
+	OpPrint
+	// OpOut appends the decimal value of Rd to the program output.
+	OpOut
+	// OpFail records failure symptom Imm (used by failure-logging
+	// functions such as the benchmarks' error()).
+	OpFail
+	// OpExit terminates the whole program.
+	OpExit
+	// OpHalt terminates the current thread.
+	OpHalt
+
+	// OpIoctl invokes the LBR/LCR kernel driver (internal/kernel) with
+	// request code Imm. Inserted by the LBRLOG/LCRLOG transformer; programs
+	// may also use it directly, mirroring Figure 7 of the paper.
+	OpIoctl
+	// OpDelay busy-waits for Imm cycles. Benchmarks use it to widen or
+	// narrow interleaving windows around shared accesses.
+	OpDelay
+
+	opCount // sentinel
+)
+
+// BranchClass categorizes taken control transfers the way the LBR filter
+// configuration (paper Table 1) distinguishes them.
+type BranchClass uint8
+
+// Branch classes recognized by the LBR_SELECT filter masks.
+const (
+	// BranchNone marks instructions that are not control transfers.
+	BranchNone BranchClass = iota
+	// BranchCond is a taken conditional jump.
+	BranchCond
+	// BranchUncondRel is an unconditional relative jump (OpJmp),
+	// including the fall-through-edge jumps inserted by the assembler.
+	BranchUncondRel
+	// BranchUncondInd is an unconditional indirect jump (OpJmpr).
+	BranchUncondInd
+	// BranchRelCall is a near relative call (OpCall).
+	BranchRelCall
+	// BranchIndCall is a near indirect call (OpCallr).
+	BranchIndCall
+	// BranchReturn is a near return (OpRet).
+	BranchReturn
+)
+
+// opInfo carries per-opcode assembler and execution metadata.
+type opInfo struct {
+	name   string
+	branch BranchClass
+	// operand shape used by the assembler and disassembler
+	shape operandShape
+}
+
+type operandShape uint8
+
+const (
+	shapeNone   operandShape = iota // op
+	shapeRegImm                     // op rd, imm
+	shapeRegReg                     // op rd, rs
+	shapeRegSym                     // op rd, global
+	shapeLoad                       // op rd, [rs+imm]
+	shapeStore                      // op [rd+imm], rs
+	shapeLabel                      // op label
+	shapeReg                        // op rd
+	shapeImm                        // op imm
+	shapeStr                        // op strname
+	shapeSpawn                      // op label [, rs]
+)
+
+var opTable = [opCount]opInfo{
+	OpNop:    {"nop", BranchNone, shapeNone},
+	OpMovi:   {"movi", BranchNone, shapeRegImm},
+	OpMov:    {"mov", BranchNone, shapeRegReg},
+	OpLea:    {"lea", BranchNone, shapeRegSym},
+	OpLd:     {"ld", BranchNone, shapeLoad},
+	OpSt:     {"st", BranchNone, shapeStore},
+	OpAdd:    {"add", BranchNone, shapeRegReg},
+	OpSub:    {"sub", BranchNone, shapeRegReg},
+	OpMul:    {"mul", BranchNone, shapeRegReg},
+	OpDiv:    {"div", BranchNone, shapeRegReg},
+	OpMod:    {"mod", BranchNone, shapeRegReg},
+	OpAnd:    {"and", BranchNone, shapeRegReg},
+	OpOr:     {"or", BranchNone, shapeRegReg},
+	OpXor:    {"xor", BranchNone, shapeRegReg},
+	OpShl:    {"shl", BranchNone, shapeRegReg},
+	OpShr:    {"shr", BranchNone, shapeRegReg},
+	OpAddi:   {"addi", BranchNone, shapeRegImm},
+	OpSubi:   {"subi", BranchNone, shapeRegImm},
+	OpMuli:   {"muli", BranchNone, shapeRegImm},
+	OpAndi:   {"andi", BranchNone, shapeRegImm},
+	OpCmp:    {"cmp", BranchNone, shapeRegReg},
+	OpCmpi:   {"cmpi", BranchNone, shapeRegImm},
+	OpJmp:    {"jmp", BranchUncondRel, shapeLabel},
+	OpJe:     {"je", BranchCond, shapeLabel},
+	OpJne:    {"jne", BranchCond, shapeLabel},
+	OpJl:     {"jl", BranchCond, shapeLabel},
+	OpJle:    {"jle", BranchCond, shapeLabel},
+	OpJg:     {"jg", BranchCond, shapeLabel},
+	OpJge:    {"jge", BranchCond, shapeLabel},
+	OpJmpr:   {"jmpr", BranchUncondInd, shapeReg},
+	OpCall:   {"call", BranchRelCall, shapeLabel},
+	OpCallr:  {"callr", BranchIndCall, shapeReg},
+	OpRet:    {"ret", BranchReturn, shapeNone},
+	OpPush:   {"push", BranchNone, shapeReg},
+	OpPop:    {"pop", BranchNone, shapeReg},
+	OpLock:   {"lock", BranchNone, shapeReg},
+	OpUnlock: {"unlock", BranchNone, shapeReg},
+	OpSpawn:  {"spawn", BranchNone, shapeSpawn},
+	OpJoin:   {"join", BranchNone, shapeNone},
+	OpYield:  {"yield", BranchNone, shapeNone},
+	OpPrint:  {"print", BranchNone, shapeStr},
+	OpOut:    {"out", BranchNone, shapeReg},
+	OpFail:   {"fail", BranchNone, shapeImm},
+	OpExit:   {"exit", BranchNone, shapeNone},
+	OpHalt:   {"halt", BranchNone, shapeNone},
+	OpIoctl:  {"ioctl", BranchNone, shapeImm},
+	OpDelay:  {"delay", BranchNone, shapeImm},
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opTable) && opTable[o].name != "" {
+		return opTable[o].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Branch reports the branch class the opcode belongs to. Conditional jumps
+// are classified BranchCond whether or not they end up taken; the machine
+// only records them in the LBR when taken.
+func (o Op) Branch() BranchClass {
+	if int(o) < len(opTable) {
+		return opTable[o].branch
+	}
+	return BranchNone
+}
+
+// IsCond reports whether the opcode is a conditional jump.
+func (o Op) IsCond() bool { return o.Branch() == BranchCond }
+
+// IsControl reports whether the opcode can transfer control.
+func (o Op) IsControl() bool { return o.Branch() != BranchNone }
+
+// Valid reports whether the opcode is a defined instruction.
+func (o Op) Valid() bool { return o < opCount && opTable[o].name != "" }
+
+// String returns a short name for the branch class.
+func (c BranchClass) String() string {
+	switch c {
+	case BranchNone:
+		return "none"
+	case BranchCond:
+		return "cond"
+	case BranchUncondRel:
+		return "uncond-rel"
+	case BranchUncondInd:
+		return "uncond-ind"
+	case BranchRelCall:
+		return "rel-call"
+	case BranchIndCall:
+		return "ind-call"
+	case BranchReturn:
+		return "return"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// OpByName resolves an assembler mnemonic to its opcode.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, len(opTable))
+	for op, info := range opTable {
+		if info.name != "" {
+			m[info.name] = Op(op)
+		}
+	}
+	return m
+}()

@@ -1,0 +1,72 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks structural invariants of a resolved program: every
+// control-transfer target is a valid PC, registers are in range, string and
+// branch references resolve, and function ranges tile without overlap.
+// Instrumentation passes call it after rewriting.
+func (p *Program) Validate() error {
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Instrs) {
+		bad("entry PC %d out of range [0,%d)", p.Entry, len(p.Instrs))
+	}
+	for pc := range p.Instrs {
+		in := &p.Instrs[pc]
+		if !in.Op.Valid() {
+			bad("instr %d: invalid opcode %d", pc, uint8(in.Op))
+			continue
+		}
+		if !in.Rd.Valid() || !in.Rs.Valid() {
+			bad("instr %d (%s): register out of range", pc, in.Op)
+		}
+		switch opTable[in.Op].shape {
+		case shapeLabel, shapeSpawn:
+			if in.Target < 0 || in.Target >= len(p.Instrs) {
+				bad("instr %d (%s): target %d out of range", pc, in.Op, in.Target)
+			}
+		case shapeStr:
+			if in.Imm < 0 || in.Imm >= int64(len(p.Strings)) {
+				bad("instr %d (print): string index %d out of range", pc, in.Imm)
+			}
+		}
+		if in.BranchID != NoBranch && (in.BranchID < 0 || in.BranchID >= len(p.Branches)) {
+			bad("instr %d: branch id %d out of range", pc, in.BranchID)
+		}
+	}
+	for name, pc := range p.Labels {
+		if pc < 0 || pc > len(p.Instrs) {
+			bad("label %q: PC %d out of range", name, pc)
+		}
+	}
+	for i := range p.Funcs {
+		f := &p.Funcs[i]
+		if f.Entry < 0 || f.End < f.Entry || f.End > len(p.Instrs) {
+			bad("func %q: bad range [%d,%d)", f.Name, f.Entry, f.End)
+		}
+		if i > 0 && f.Entry < p.Funcs[i-1].End {
+			bad("func %q overlaps %q", f.Name, p.Funcs[i-1].Name)
+		}
+	}
+	prevEnd := int64(GlobalBase)
+	for i := range p.Globals {
+		g := &p.Globals[i]
+		if g.Size <= 0 {
+			bad("global %q: non-positive size", g.Name)
+		}
+		if g.Addr < prevEnd {
+			bad("global %q overlaps previous", g.Name)
+		}
+		prevEnd = g.Addr + g.Size
+	}
+	if prevEnd-GlobalBase != p.GlobalWords {
+		bad("GlobalWords %d != size of globals %d", p.GlobalWords, prevEnd-GlobalBase)
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,141 @@
+// Package kernel emulates the Linux kernel module of paper §4.3 and
+// Figure 7: a /dev/lbrdriver device whose ioctl interface cleans,
+// configures, enables, disables and profiles the LBR — extended, as the
+// paper proposes, with the same interface for the LCR.
+//
+// The driver is "native" code: its own execution is not simulated
+// instruction-by-instruction. For the LBR that is faithful — the paper's
+// disabling code contains no user-level branches and kernel-level branches
+// are filtered out, so the driver never pollutes the LBR. For the LCR the
+// paper's simulator explicitly models the pollution its user-level entry
+// sequences cause, and this driver injects the same dummy events: two
+// user-level exclusive reads on enable, and two user-level exclusive reads
+// plus one user-level shared read on disable (§4.3 "LCR simulation").
+package kernel
+
+import (
+	"fmt"
+
+	"stmdiag/internal/cache"
+	"stmdiag/internal/pmu"
+	"stmdiag/internal/vm"
+)
+
+// Driver ioctl request codes. The LBR half mirrors paper Figure 7; the LCR
+// half is the analogous interface for the proposed hardware.
+const (
+	// ReqCleanLBR resets the branch stack (DRIVER_CLEAN_LBR).
+	ReqCleanLBR int64 = iota + 1
+	// ReqConfigLBR writes the run's LBR_SELECT filter value
+	// (DRIVER_CONFIG_LBR).
+	ReqConfigLBR
+	// ReqEnableLBR starts branch recording (DRIVER_ENABLE_LBR).
+	ReqEnableLBR
+	// ReqDisableLBR stops branch recording (DRIVER_DISABLE_LBR).
+	ReqDisableLBR
+	// ReqProfileLBR snapshots the branch stack into a failure-run profile
+	// (DRIVER_PROFILE_LBR).
+	ReqProfileLBR
+	// ReqProfileLBRSuccess snapshots the branch stack into a success-run
+	// profile (taken at the success logging sites of paper Figure 8).
+	ReqProfileLBRSuccess
+
+	// ReqCleanLCR resets the coherence record.
+	ReqCleanLCR
+	// ReqConfigLCR writes the run's LCR event-selection configuration.
+	ReqConfigLCR
+	// ReqEnableLCR starts coherence recording (and injects the enable
+	// pollution).
+	ReqEnableLCR
+	// ReqDisableLCR injects the disable pollution, then stops recording.
+	ReqDisableLCR
+	// ReqProfileLCR snapshots the coherence record into a failure-run
+	// profile.
+	ReqProfileLCR
+	// ReqProfileLCRSuccess snapshots the coherence record into a
+	// success-run profile.
+	ReqProfileLCRSuccess
+)
+
+// Driver implements vm.Driver over the machine's PMU state.
+type Driver struct{}
+
+var _ vm.Driver = Driver{}
+
+// Ioctl services one request on behalf of thread t.
+func (Driver) Ioctl(m *vm.Machine, t *vm.Thread, req int64) error {
+	core := m.CoreOf(t)
+	switch req {
+	case ReqCleanLBR:
+		core.LBR.Clear()
+	case ReqConfigLBR:
+		return core.LBR.WriteMSR(pmu.MSRLBRSelect, m.Opts().LBRSelect)
+	case ReqEnableLBR:
+		return core.LBR.WriteMSR(pmu.MSRDebugCtl, pmu.DebugCtlEnableLBR)
+	case ReqDisableLBR:
+		return core.LBR.WriteMSR(pmu.MSRDebugCtl, pmu.DebugCtlDisableLBR)
+	case ReqProfileLBR, ReqProfileLBRSuccess:
+		// Always disable right before reading so the read itself cannot
+		// pollute the stack (paper §4.3), restoring the previous state.
+		wasOn := core.LBR.Enabled()
+		if err := core.LBR.WriteMSR(pmu.MSRDebugCtl, pmu.DebugCtlDisableLBR); err != nil {
+			return err
+		}
+		m.AddCycles(vm.CostProfile)
+		m.AddProfile(vm.Profile{
+			Site:     t.PC,
+			Thread:   t.ID,
+			Success:  req == ReqProfileLBRSuccess,
+			Branches: core.LBR.Latest(),
+		})
+		if wasOn {
+			return core.LBR.WriteMSR(pmu.MSRDebugCtl, pmu.DebugCtlEnableLBR)
+		}
+
+	case ReqCleanLCR:
+		t.LCR.Clear()
+	case ReqConfigLCR:
+		t.LCR.Configure(m.Opts().LCRConfig)
+	case ReqEnableLCR:
+		t.LCR.SetEnabled(true)
+		injectEnablePollution(t)
+	case ReqDisableLCR:
+		injectDisablePollution(t)
+		t.LCR.SetEnabled(false)
+	case ReqProfileLCR, ReqProfileLCRSuccess:
+		m.AddCycles(vm.CostProfile)
+		m.AddProfile(vm.Profile{
+			Site:      t.PC,
+			Thread:    t.ID,
+			Success:   req == ReqProfileLCRSuccess,
+			Coherence: t.LCR.Latest(),
+		})
+
+	default:
+		return fmt.Errorf("kernel: unknown ioctl request %d", req)
+	}
+	return nil
+}
+
+// PollutionPC is the PC recorded for the driver's dummy LCR events; it is
+// outside any program so diagnosis can identify (and must tolerate) the
+// pollution.
+const PollutionPC = -1
+
+// injectEnablePollution models the two user-level exclusive reads the
+// enabling ioctl introduces (paper §4.3).
+func injectEnablePollution(t *vm.Thread) {
+	for i := 0; i < 2; i++ {
+		t.LCR.Record(pmu.CoherenceEvent{PC: PollutionPC, Kind: cache.Load, State: cache.Exclusive})
+	}
+}
+
+// injectDisablePollution models the two user-level exclusive reads and one
+// user-level shared read the disabling ioctl introduces before recording
+// stops (paper §4.3).
+func injectDisablePollution(t *vm.Thread) {
+	for i := 0; i < 2; i++ {
+		t.LCR.Record(pmu.CoherenceEvent{PC: PollutionPC, Kind: cache.Load, State: cache.Exclusive})
+	}
+	t.LCR.Record(pmu.CoherenceEvent{PC: PollutionPC, Kind: cache.Load, State: cache.Shared})
+}

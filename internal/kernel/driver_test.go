@@ -1,0 +1,241 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"stmdiag/internal/cache"
+	"stmdiag/internal/isa"
+	"stmdiag/internal/pmu"
+	"stmdiag/internal/vm"
+)
+
+// figure7Src mirrors paper Figure 7: clean, configure, enable, run the
+// workload, disable, profile, then call the failure-logging function.
+var figure7Src = fmt.Sprintf(`
+.func main
+main:
+    ioctl %d        ; DRIVER_CLEAN_LBR
+    ioctl %d        ; DRIVER_CONFIG_LBR
+    ioctl %d        ; DRIVER_ENABLE_LBR
+    movi r1, 0
+loop:
+.branch L
+    cmpi r1, 4
+    jge  done
+    addi r1, 1
+    jmp  loop
+done:
+    ioctl %d        ; DRIVER_DISABLE_LBR
+    ioctl %d        ; DRIVER_PROFILE_LBR
+    call error
+    exit
+.func error log
+error:
+    fail 1
+    ret
+`, ReqCleanLBR, ReqConfigLBR, ReqEnableLBR, ReqDisableLBR, ReqProfileLBR)
+
+func TestFigure7Flow(t *testing.T) {
+	p, err := isa.Assemble("fig7", figure7Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(p, vm.Options{Driver: Driver{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Profiles) != 1 {
+		t.Fatalf("profiles = %d, want 1", len(res.Profiles))
+	}
+	prof := res.Profiles[0]
+	if prof.Success {
+		t.Error("ReqProfileLBR produced a success profile")
+	}
+	if len(prof.Branches) == 0 {
+		t.Fatal("profile has no branches")
+	}
+	// Newest entry must be the loop-exit jge (branch L false->exit edge
+	// taken when r1 >= 4).
+	top := prof.Branches[0]
+	if in := p.Instrs[top.From]; in.Op != isa.OpJge {
+		t.Errorf("top profile entry %v is %v, want the jge", top, in.Op)
+	}
+	// 4 iterations record 4 synthetic fall-through jmps + 4 backedge jmps,
+	// then the final taken jge: 9 records.
+	if len(prof.Branches) != 9 {
+		t.Errorf("branch count = %d, want 9: %v", len(prof.Branches), prof.Branches)
+	}
+}
+
+func TestProfileRestoresEnableState(t *testing.T) {
+	src := fmt.Sprintf(`
+.func main
+main:
+    ioctl %d
+    ioctl %d
+    ioctl %d   ; enable
+    movi r1, 0
+    cmpi r1, 0
+    je   a
+a:
+    ioctl %d   ; profile while enabled
+    cmpi r1, 1
+    jne  b
+b:
+    ioctl %d   ; profile again; must include the jne
+    exit
+`, ReqCleanLBR, ReqConfigLBR, ReqEnableLBR, ReqProfileLBR, ReqProfileLBR)
+	p, err := isa.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(p, vm.Options{Driver: Driver{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Profiles) != 2 {
+		t.Fatalf("profiles = %d", len(res.Profiles))
+	}
+	if len(res.Profiles[1].Branches) != len(res.Profiles[0].Branches)+1 {
+		t.Errorf("recording did not continue after profile: %d then %d",
+			len(res.Profiles[0].Branches), len(res.Profiles[1].Branches))
+	}
+}
+
+func TestLCRPollutionModel(t *testing.T) {
+	src := fmt.Sprintf(`
+.global g
+.func main
+main:
+    ioctl %d   ; clean LCR
+    ioctl %d   ; config LCR
+    ioctl %d   ; enable LCR (injects 2 exclusive loads)
+    lea  r1, g
+    ld   r2, [r1+0]   ; observes I -> recorded under Conf2
+    ioctl %d   ; disable LCR (injects 2 exclusive + 1 shared load)
+    ioctl %d   ; profile LCR
+    exit
+`, ReqCleanLCR, ReqConfigLCR, ReqEnableLCR, ReqDisableLCR, ReqProfileLCR)
+	p, err := isa.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(p, vm.Options{Driver: Driver{}, LCRConfig: pmu.ConfSpaceConsuming})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Profiles) != 1 {
+		t.Fatalf("profiles = %d", len(res.Profiles))
+	}
+	evs := res.Profiles[0].Coherence
+	// Under Conf2 (I loads, I stores, E loads): enable injects 2 E-loads,
+	// the program load observes I, disable injects 2 E-loads (its S-load
+	// is filtered). Newest-first: E, E, I, E, E.
+	if len(evs) != 5 {
+		t.Fatalf("events = %v, want 5", evs)
+	}
+	wantStates := []cache.State{cache.Exclusive, cache.Exclusive, cache.Invalid, cache.Exclusive, cache.Exclusive}
+	for i, w := range wantStates {
+		if evs[i].State != w {
+			t.Errorf("event %d = %v, want state %v", i, evs[i], w)
+		}
+	}
+	if evs[2].PC == PollutionPC {
+		t.Error("the real program event was marked as pollution")
+	}
+	if evs[0].PC != PollutionPC || evs[4].PC != PollutionPC {
+		t.Error("pollution entries missing PollutionPC marker")
+	}
+}
+
+func TestLCRPollutionUnderConf1(t *testing.T) {
+	src := fmt.Sprintf(`
+.global g
+.func main
+main:
+    ioctl %d
+    ioctl %d
+    ioctl %d
+    lea  r1, g
+    ld   r2, [r1+0]
+    ioctl %d
+    ioctl %d
+    exit
+`, ReqCleanLCR, ReqConfigLCR, ReqEnableLCR, ReqDisableLCR, ReqProfileLCR)
+	p, err := isa.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(p, vm.Options{Driver: Driver{}, LCRConfig: pmu.ConfSpaceSaving})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := res.Profiles[0].Coherence
+	// Under Conf1 (I loads, I stores, S loads) the exclusive-load
+	// pollution is filtered; only the disable's shared load remains.
+	// Newest-first: S(pollution), I(program).
+	if len(evs) != 2 {
+		t.Fatalf("events = %v, want 2", evs)
+	}
+	if evs[0].State != cache.Shared || evs[0].PC != PollutionPC {
+		t.Errorf("event 0 = %v, want shared pollution", evs[0])
+	}
+	if evs[1].State != cache.Invalid {
+		t.Errorf("event 1 = %v, want the program's invalid load", evs[1])
+	}
+}
+
+func TestSegvHandlerProfiles(t *testing.T) {
+	src := fmt.Sprintf(`
+.func main
+main:
+    ioctl %d
+    ioctl %d
+    ioctl %d
+    movi r1, 0
+    cmpi r1, 0
+    je   boom
+boom:
+    ld   r2, [r1+0]   ; segfault at null
+    exit
+`, ReqCleanLBR, ReqConfigLBR, ReqEnableLBR)
+	p, err := isa.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(p, vm.Options{
+		Driver:     Driver{},
+		SegvIoctls: []int64{ReqDisableLBR, ReqProfileLBR},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() || res.FirstFailure().Kind != vm.FailCrash {
+		t.Fatalf("failures = %v", res.Failures)
+	}
+	if len(res.Profiles) != 1 {
+		t.Fatalf("segv handler produced %d profiles, want 1", len(res.Profiles))
+	}
+	prof := res.Profiles[0]
+	if len(prof.Branches) == 0 {
+		t.Fatal("segv profile empty")
+	}
+	if in := p.Instrs[prof.Branches[0].From]; in.Op != isa.OpJe {
+		t.Errorf("top branch %v, want the je before the fault", in.Op)
+	}
+	// The profile site must be the faulting instruction.
+	if in := p.Instrs[prof.Site]; in.Op != isa.OpLd {
+		t.Errorf("profile site = %v, want the faulting ld", in.Op)
+	}
+}
+
+func TestUnknownIoctlErrors(t *testing.T) {
+	p, err := isa.Assemble("t", ".func main\nmain:\n ioctl 999\n exit\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Run(p, vm.Options{Driver: Driver{}}); err == nil {
+		t.Error("unknown ioctl request accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Package memory implements the VM's word-addressed shared memory as a set
+// of mapped segments with access protection. Accesses outside any segment
+// raise a Fault, which the machine surfaces as a segmentation fault — the
+// crash symptom of several of the paper's Table 4 benchmarks (sort,
+// Cppcheck, PBZIP2, tac, Squid2, Mozilla-JS1, MySQL1, PBZIP3).
+//
+// Addresses are in 64-bit words; the data cache translates them to byte
+// addresses (one word = 8 bytes) when forming cache blocks.
+package memory
+
+import "fmt"
+
+// Fault describes an invalid memory access.
+type Fault struct {
+	// Addr is the faulting word address.
+	Addr int64
+	// Write reports whether the access was a store.
+	Write bool
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	kind := "read"
+	if f.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("segmentation fault: invalid %s at word address %d", kind, f.Addr)
+}
+
+// Segment is a contiguous mapped region.
+type Segment struct {
+	// Name identifies the segment in diagnostics ("globals", "stack0"...).
+	Name string
+	// Base is the first mapped word address.
+	Base int64
+	// Words is the backing store; the segment spans [Base, Base+len).
+	Words []int64
+}
+
+// Contains reports whether the word address falls inside the segment.
+func (s *Segment) Contains(addr int64) bool {
+	return addr >= s.Base && addr < s.Base+int64(len(s.Words))
+}
+
+// Memory is a collection of non-overlapping segments.
+type Memory struct {
+	segs []*Segment
+}
+
+// New returns an empty address space.
+func New() *Memory { return &Memory{} }
+
+// Map adds a zeroed segment of the given size. It returns an error if the
+// new segment would overlap an existing one.
+func (m *Memory) Map(name string, base, size int64) (*Segment, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("memory: map %s: negative size %d", name, size)
+	}
+	for _, s := range m.segs {
+		if base < s.Base+int64(len(s.Words)) && s.Base < base+size {
+			return nil, fmt.Errorf("memory: map %s [%d,%d) overlaps %s [%d,%d)",
+				name, base, base+size, s.Name, s.Base, s.Base+int64(len(s.Words)))
+		}
+	}
+	seg := &Segment{Name: name, Base: base, Words: make([]int64, size)}
+	m.segs = append(m.segs, seg)
+	return seg, nil
+}
+
+// SegmentAt returns the segment containing addr, or nil.
+func (m *Memory) SegmentAt(addr int64) *Segment {
+	for _, s := range m.segs {
+		if s.Contains(addr) {
+			return s
+		}
+	}
+	return nil
+}
+
+// Load reads the word at addr.
+func (m *Memory) Load(addr int64) (int64, error) {
+	s := m.SegmentAt(addr)
+	if s == nil {
+		return 0, &Fault{Addr: addr}
+	}
+	return s.Words[addr-s.Base], nil
+}
+
+// Store writes the word at addr.
+func (m *Memory) Store(addr, val int64) error {
+	s := m.SegmentAt(addr)
+	if s == nil {
+		return &Fault{Addr: addr, Write: true}
+	}
+	s.Words[addr-s.Base] = val
+	return nil
+}
+
+// Segments returns the mapped segments (not a copy; callers must not
+// mutate the slice).
+func (m *Memory) Segments() []*Segment { return m.segs }

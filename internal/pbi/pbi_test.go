@@ -1,0 +1,158 @@
+package pbi
+
+import (
+	"fmt"
+	"testing"
+
+	"stmdiag/internal/apps"
+	"stmdiag/internal/cache"
+	"stmdiag/internal/vm"
+)
+
+// sampleRun executes one run of an app's failure workload under PBI
+// sampling and classifies it.
+func sampleRun(t testing.TB, a *apps.App, period int, seed int64) (RunObs, bool) {
+	m, err := vm.New(a.Program(), a.Fail.VMOptions(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(period, seed+555)
+	s.Attach(m)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := a.Fail.FailedRun(res)
+	return s.Finish(failed), failed
+}
+
+// collect gathers n runs of each class.
+func collect(t testing.TB, a *apps.App, period, n int, base int64) []RunObs {
+	var runs []RunObs
+	nf, ns := 0, 0
+	for seed := base; nf < n || ns < n; seed++ {
+		if seed > base+4000 {
+			t.Fatalf("could not collect %d+%d runs", n, n)
+		}
+		r, failed := sampleRun(t, a, period, seed)
+		if failed && nf < n {
+			runs = append(runs, r)
+			nf++
+		} else if !failed && ns < n {
+			runs = append(runs, r)
+			ns++
+		}
+	}
+	return runs
+}
+
+func fpeMatch(a *apps.App) func(Pred) bool {
+	return func(p Pred) bool {
+		return p.File == a.FPE.File && p.Line == a.FPE.Line &&
+			p.Kind == a.FPE.Kind && p.State == a.FPE.State
+	}
+}
+
+// TestPBIDiagnosesWithManyRuns: with enough failing runs, sampling the
+// coherence-event stream surfaces the same FPE that the LCR records — the
+// paper's §7.3 "PBI can successfully diagnose" side.
+func TestPBIDiagnosesWithManyRuns(t *testing.T) {
+	a := apps.ByName("Mozilla-JS3")
+	// Dense-ish sampling, many runs.
+	runs := collect(t, a, 8, 150, 0)
+	scores := Rank(runs)
+	rank := RankOf(scores, fpeMatch(a))
+	if rank < 1 || rank > 3 {
+		top := ""
+		for i, s := range scores {
+			if i < 4 {
+				top += fmt.Sprintf("\n  %d. %v", i+1, s)
+			}
+		}
+		t.Fatalf("PBI rank of FPE = %d, want 1..3; top:%s", rank, top)
+	}
+}
+
+// TestPBINeedsFarMoreRunsThanLCRA reproduces the latency gap: at 10+10
+// runs (where LCRA already answers), PBI's sampled predicates usually
+// cannot separate the FPE.
+func TestPBINeedsFarMoreRunsThanLCRA(t *testing.T) {
+	a := apps.ByName("Mozilla-JS3")
+	runs := collect(t, a, 8, 10, 50_000)
+	rank := RankOf(Rank(runs), fpeMatch(a))
+	// The FPE event occurs once per failing run; at period 8 the sampler
+	// hits it in only a fraction of runs, so with 10 runs the estimate is
+	// unstable. Accept rank 1 occasionally but require the common case to
+	// be a miss across three independent batches.
+	misses := 0
+	for _, base := range []int64{50_000, 60_000, 70_000} {
+		runs = collect(t, a, 8, 10, base)
+		if RankOf(Rank(runs), fpeMatch(a)) != 1 {
+			misses++
+		}
+	}
+	t.Logf("rank at first batch: %d; misses in 3 batches of 10: %d", rank, misses)
+	if misses == 0 {
+		t.Error("PBI matched LCRA's 10-run latency in every batch; sampling should not be that lucky")
+	}
+}
+
+func TestSamplerPeriodControlsDensity(t *testing.T) {
+	a := apps.ByName("MySQL2")
+	dense, _ := sampleRun(t, a, 5, 3)
+	sparse, _ := sampleRun(t, a, 500, 3)
+	if len(dense.True) <= len(sparse.True) {
+		t.Errorf("dense sampling saw %d preds, sparse %d", len(dense.True), len(sparse.True))
+	}
+}
+
+func TestPredString(t *testing.T) {
+	p := Pred{File: "a.c", Line: 7, Kind: cache.Load, State: cache.Invalid}
+	if p.String() != "load:I@a.c:7" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestMinFailRunsToRankLadder(t *testing.T) {
+	a := apps.ByName("Mozilla-JS3")
+	failSeeds, succSeeds := []int64{}, []int64{}
+	for seed := int64(0); len(failSeeds) < 400 || len(succSeeds) < 400; seed++ {
+		m, err := vm.New(a.Program(), a.Fail.VMOptions(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Fail.FailedRun(res) {
+			failSeeds = append(failSeeds, seed)
+		} else {
+			succSeeds = append(succSeeds, seed)
+		}
+	}
+	fi, si := 0, 0
+	runner := func(failed bool, _ int64) (RunObs, error) {
+		var seed int64
+		if failed {
+			seed = failSeeds[fi%len(failSeeds)]
+			fi++
+		} else {
+			seed = succSeeds[si%len(succSeeds)]
+			si++
+		}
+		r, got := sampleRun(t, a, 8, seed)
+		if got != failed {
+			t.Fatalf("seed class changed")
+		}
+		return r, nil
+	}
+	n, err := MinFailRunsToRank([]int{10, 50, 150, 400}, fpeMatch(a), runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("PBI needed %d failing runs (LCRA needs 10)", n)
+	if n != 0 && n < 50 {
+		t.Errorf("PBI converged at %d runs; expected 50+ (the latency gap)", n)
+	}
+}

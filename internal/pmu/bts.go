@@ -1,0 +1,68 @@
+package pmu
+
+// BTS models the Branch Trace Store, the other Intel branch-tracing
+// facility the paper contrasts with the LBR (§2.1): instead of a small
+// ring of registers, BTS streams every retired taken branch into a
+// memory-resident buffer. It can hold the whole execution's branch trace —
+// the "whole-execution approach" of Figure 1 — but each record is a store
+// into cacheable memory, which costs 20%–100% run time on real hardware
+// and is why the paper rules it out for production runs.
+//
+// The VM charges vm.CostBTSRecord cycles per record, reproducing that
+// overhead class, and the harness's BTS ablation shows the capability it
+// buys: no root cause is ever evicted.
+type BTS struct {
+	buf     []BranchRecord
+	limit   int
+	dropped uint64
+	enabled bool
+}
+
+// DefaultBTSLimit bounds the trace buffer (records); the OS-provided ring
+// the real facility uses is similarly bounded.
+const DefaultBTSLimit = 1 << 20
+
+// NewBTS returns a trace store holding up to limit records (0 means
+// DefaultBTSLimit).
+func NewBTS(limit int) *BTS {
+	if limit <= 0 {
+		limit = DefaultBTSLimit
+	}
+	return &BTS{limit: limit}
+}
+
+// SetEnabled starts or stops tracing.
+func (b *BTS) SetEnabled(on bool) { b.enabled = on }
+
+// Enabled reports whether tracing is on.
+func (b *BTS) Enabled() bool { return b.enabled }
+
+// Record appends a retired taken branch. BTS has no class filters; when
+// the buffer is full the oldest half is flushed (the OS would drain it),
+// counted in Dropped.
+func (b *BTS) Record(r BranchRecord) {
+	if !b.enabled {
+		return
+	}
+	if len(b.buf) >= b.limit {
+		half := len(b.buf) / 2
+		b.dropped += uint64(half)
+		b.buf = append(b.buf[:0], b.buf[half:]...)
+	}
+	b.buf = append(b.buf, r)
+}
+
+// Trace returns the retained records, oldest first.
+func (b *BTS) Trace() []BranchRecord { return b.buf }
+
+// Len returns the retained record count.
+func (b *BTS) Len() int { return len(b.buf) }
+
+// Dropped returns how many records were flushed to make room.
+func (b *BTS) Dropped() uint64 { return b.dropped }
+
+// Clear empties the trace.
+func (b *BTS) Clear() {
+	b.buf = b.buf[:0]
+	b.dropped = 0
+}

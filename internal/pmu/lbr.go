@@ -1,0 +1,191 @@
+package pmu
+
+import (
+	"fmt"
+
+	"stmdiag/internal/isa"
+)
+
+// MSR identifiers and values, following paper Table 1 (Intel Nehalem).
+const (
+	// MSRDebugCtl is IA32_DEBUGCTL (0x1d9); writing DebugCtlEnableLBR
+	// starts branch recording, writing DebugCtlDisableLBR stops it.
+	MSRDebugCtl = 0x1d9
+	// MSRLBRSelect is LBR_SELECT (0x1c8); its bits *filter out* (suppress)
+	// branch classes from recording.
+	MSRLBRSelect = 0x1c8
+	// MSRBranchFromBase is BRANCH_0_FROM_IP; register i of the branch
+	// stack is MSRBranchFromBase+i.
+	MSRBranchFromBase = 0x680
+	// MSRBranchToBase is BRANCH_0_TO_IP.
+	MSRBranchToBase = 0x6c0
+
+	// DebugCtlEnableLBR is the IA32_DEBUGCTL value that enables LBR
+	// recording (paper Table 1).
+	DebugCtlEnableLBR = 0x801
+	// DebugCtlDisableLBR disables LBR recording.
+	DebugCtlDisableLBR = 0x0
+)
+
+// LBR_SELECT filter masks (paper Table 1). A set bit SUPPRESSES that class
+// of branches from being recorded.
+const (
+	// SelCPLEq0 filters branches occurring in ring 0 (kernel).
+	SelCPLEq0 = 0x1
+	// SelCPLNeq0 filters branches occurring in other (user) levels.
+	SelCPLNeq0 = 0x2
+	// SelJCC filters conditional branches.
+	SelJCC = 0x4
+	// SelNearRelCall filters near relative calls.
+	SelNearRelCall = 0x8
+	// SelNearIndCall filters near indirect calls.
+	SelNearIndCall = 0x10
+	// SelNearRet filters near returns.
+	SelNearRet = 0x20
+	// SelNearIndJmp filters near unconditional indirect jumps.
+	SelNearIndJmp = 0x40
+	// SelNearRelJmp filters near unconditional relative branches.
+	SelNearRelJmp = 0x80
+	// SelFarBranch filters far branches.
+	SelFarBranch = 0x100
+)
+
+// PaperLBRSelect is the filter configuration the paper uses (the starred
+// masks of Table 1): suppress kernel branches, calls, returns, indirect
+// jumps and far branches, keeping conditional branches and unconditional
+// relative jumps — the two classes that resolve source-branch outcomes via
+// the Figure 2 lowering.
+const PaperLBRSelect = SelCPLEq0 | SelNearRelCall | SelNearIndCall |
+	SelNearRet | SelNearIndJmp | SelFarBranch
+
+// DefaultLBRSize is the branch-stack depth of Nehalem processors, the
+// microarchitecture all the paper's experiments run on.
+const DefaultLBRSize = 16
+
+// BranchRecord is one LBR entry: the source and target of a retired taken
+// branch.
+type BranchRecord struct {
+	// From is the PC of the branch instruction.
+	From int
+	// To is the PC it transferred to.
+	To int
+	// Class is the branch class, used only for filtering.
+	Class isa.BranchClass
+	// Kernel reports whether the branch retired at ring 0.
+	Kernel bool
+}
+
+// String formats the record like the driver's debug output.
+func (b BranchRecord) String() string {
+	return fmt.Sprintf("%d->%d (%s)", b.From, b.To, b.Class)
+}
+
+// LBR is one core's Last Branch Record facility.
+type LBR struct {
+	ring    *Ring[BranchRecord]
+	sel     uint64
+	enabled bool
+}
+
+// NewLBR returns an LBR with the given stack depth.
+func NewLBR(size int) *LBR {
+	return &LBR{ring: NewRing[BranchRecord](size)}
+}
+
+// WriteMSR implements the wrmsr side of the two configuration registers.
+// Unknown MSR ids are rejected, mirroring the #GP a bad wrmsr raises.
+func (l *LBR) WriteMSR(id uint32, val uint64) error {
+	switch id {
+	case MSRDebugCtl:
+		l.enabled = val == DebugCtlEnableLBR
+		return nil
+	case MSRLBRSelect:
+		l.sel = val
+		return nil
+	}
+	return fmt.Errorf("pmu: wrmsr to unknown MSR %#x", id)
+}
+
+// ReadMSR implements rdmsr for the configuration and branch-stack MSRs.
+func (l *LBR) ReadMSR(id uint32) (uint64, error) {
+	switch {
+	case id == MSRDebugCtl:
+		if l.enabled {
+			return DebugCtlEnableLBR, nil
+		}
+		return DebugCtlDisableLBR, nil
+	case id == MSRLBRSelect:
+		return l.sel, nil
+	case id >= MSRBranchFromBase && id < MSRBranchFromBase+uint32(l.ring.Cap()):
+		recs := l.ring.Latest()
+		i := int(id - MSRBranchFromBase)
+		if i < len(recs) {
+			return uint64(recs[i].From), nil
+		}
+		return 0, nil
+	case id >= MSRBranchToBase && id < MSRBranchToBase+uint32(l.ring.Cap()):
+		recs := l.ring.Latest()
+		i := int(id - MSRBranchToBase)
+		if i < len(recs) {
+			return uint64(recs[i].To), nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("pmu: rdmsr from unknown MSR %#x", id)
+}
+
+// Enabled reports whether recording is on.
+func (l *LBR) Enabled() bool { return l.enabled }
+
+// Select returns the current LBR_SELECT value.
+func (l *LBR) Select() uint64 { return l.sel }
+
+// suppressed maps a branch class to its LBR_SELECT suppress bit.
+func suppressBit(c isa.BranchClass) uint64 {
+	switch c {
+	case isa.BranchCond:
+		return SelJCC
+	case isa.BranchUncondRel:
+		return SelNearRelJmp
+	case isa.BranchUncondInd:
+		return SelNearIndJmp
+	case isa.BranchRelCall:
+		return SelNearRelCall
+	case isa.BranchIndCall:
+		return SelNearIndCall
+	case isa.BranchReturn:
+		return SelNearRet
+	}
+	return 0
+}
+
+// Record offers a retired taken branch to the LBR. It is recorded unless
+// recording is disabled or an LBR_SELECT bit suppresses its class or
+// privilege level.
+func (l *LBR) Record(r BranchRecord) {
+	if !l.enabled {
+		return
+	}
+	if r.Kernel && l.sel&SelCPLEq0 != 0 {
+		return
+	}
+	if !r.Kernel && l.sel&SelCPLNeq0 != 0 {
+		return
+	}
+	if l.sel&suppressBit(r.Class) != 0 {
+		return
+	}
+	l.ring.Push(r)
+}
+
+// Clear empties the branch stack (the driver's DRIVER_CLEAN_LBR).
+func (l *LBR) Clear() { l.ring.Clear() }
+
+// Latest returns the stack newest-first.
+func (l *LBR) Latest() []BranchRecord { return l.ring.Latest() }
+
+// Len returns the number of held records.
+func (l *LBR) Len() int { return l.ring.Len() }
+
+// Cap returns the stack depth.
+func (l *LBR) Cap() int { return l.ring.Cap() }

@@ -1,0 +1,187 @@
+package pmu
+
+import (
+	"fmt"
+
+	"stmdiag/internal/cache"
+)
+
+// Coherence-event encoding, following paper Table 2 (Intel Nehalem L1D
+// cache-coherence events).
+const (
+	// EventCodeLoad is the event code for loads (0x40).
+	EventCodeLoad = 0x40
+	// EventCodeStore is the event code for stores (0x41).
+	EventCodeStore = 0x41
+
+	// UmaskInvalid observes the I state prior to a cache access.
+	UmaskInvalid = 0x01
+	// UmaskShared observes the S state prior to a cache access.
+	UmaskShared = 0x02
+	// UmaskExclusive observes the E state prior to a cache access.
+	UmaskExclusive = 0x04
+	// UmaskModified observes the M state prior to a cache access.
+	UmaskModified = 0x08
+)
+
+// StateUmask maps a MESI state to its Table 2 unit-mask bit.
+func StateUmask(s cache.State) uint8 {
+	switch s {
+	case cache.Invalid:
+		return UmaskInvalid
+	case cache.Shared:
+		return UmaskShared
+	case cache.Exclusive:
+		return UmaskExclusive
+	case cache.Modified:
+		return UmaskModified
+	}
+	return 0
+}
+
+// DefaultLCRSize is the record depth the paper proposes (K=16, resembling
+// the Nehalem LBR).
+const DefaultLCRSize = 16
+
+// CoherenceEvent is one LCR entry: the program counter of a retired L1D
+// access and the coherence state it observed before the access. Memory
+// addresses are deliberately NOT recorded (paper §4.2.1 footnote), which is
+// what makes LCR privacy-preserving.
+type CoherenceEvent struct {
+	// PC is the instruction counter of the load or store.
+	PC int
+	// Kind says whether the access was a load or a store.
+	Kind cache.AccessKind
+	// State is the MESI state observed prior to the access.
+	State cache.State
+	// Kernel reports whether the access retired at ring 0.
+	Kernel bool
+}
+
+// String formats the event compactly, e.g. "load@123:I".
+func (e CoherenceEvent) String() string {
+	return fmt.Sprintf("%s@%d:%s", e.Kind, e.PC, e.State)
+}
+
+// LCRConfig selects which coherence events the LCR records, mirroring the
+// configuration register of paper §4.2.1 item 1. The masks use the Table 2
+// unit-mask bits.
+type LCRConfig struct {
+	// LoadMask selects observed states recorded for loads.
+	LoadMask uint8
+	// StoreMask selects observed states recorded for stores.
+	StoreMask uint8
+	// FilterKernel drops ring-0 accesses.
+	FilterKernel bool
+	// FilterUser drops user-level accesses.
+	FilterUser bool
+}
+
+// ConfSpaceSaving is the paper's first ("more space-saving") user-level LCR
+// configuration: invalid loads, invalid stores, and shared loads. It is
+// Conf1 in paper Table 7.
+var ConfSpaceSaving = LCRConfig{
+	LoadMask:     UmaskInvalid | UmaskShared,
+	StoreMask:    UmaskInvalid,
+	FilterKernel: true,
+}
+
+// ConfSpaceConsuming records invalid loads, invalid stores, and exclusive
+// loads — the configuration that covers every failure-predicting event
+// class of paper Table 3 directly. It is Conf2 in paper Table 7 and the
+// configuration LCRA uses.
+var ConfSpaceConsuming = LCRConfig{
+	LoadMask:     UmaskInvalid | UmaskExclusive,
+	StoreMask:    UmaskInvalid,
+	FilterKernel: true,
+}
+
+// Matches reports whether the configuration records the event.
+func (c LCRConfig) Matches(e CoherenceEvent) bool {
+	if e.Kernel && c.FilterKernel {
+		return false
+	}
+	if !e.Kernel && c.FilterUser {
+		return false
+	}
+	mask := c.LoadMask
+	if e.Kind == cache.Store {
+		mask = c.StoreMask
+	}
+	return mask&StateUmask(e.State) != 0
+}
+
+// LCR is one hardware context's Last Cache-coherence Record. The paper's
+// PIN-based simulator maintains one per thread (§4.3 "LCR simulation"); the
+// VM follows that design.
+type LCR struct {
+	ring    *Ring[CoherenceEvent]
+	cfg     LCRConfig
+	enabled bool
+}
+
+// NewLCR returns an LCR with the given record depth.
+func NewLCR(size int) *LCR {
+	return &LCR{ring: NewRing[CoherenceEvent](size)}
+}
+
+// Configure sets the event-selection register.
+func (l *LCR) Configure(cfg LCRConfig) { l.cfg = cfg }
+
+// Config returns the current configuration.
+func (l *LCR) Config() LCRConfig { return l.cfg }
+
+// SetEnabled starts or stops recording; a frozen (disabled) LCR retains its
+// contents for profiling.
+func (l *LCR) SetEnabled(on bool) { l.enabled = on }
+
+// Enabled reports whether recording is on.
+func (l *LCR) Enabled() bool { return l.enabled }
+
+// Record offers a retired L1D access to the LCR; it is kept if recording
+// is enabled and the configuration matches.
+func (l *LCR) Record(e CoherenceEvent) {
+	if !l.enabled || !l.cfg.Matches(e) {
+		return
+	}
+	l.ring.Push(e)
+}
+
+// Clear empties the record.
+func (l *LCR) Clear() { l.ring.Clear() }
+
+// Latest returns the record newest-first.
+func (l *LCR) Latest() []CoherenceEvent { return l.ring.Latest() }
+
+// Len returns the number of held records.
+func (l *LCR) Len() int { return l.ring.Len() }
+
+// Cap returns the record depth.
+func (l *LCR) Cap() int { return l.ring.Cap() }
+
+// Counters is a bank of L1D coherence-event performance counters, the
+// existing-hardware facility of paper §2.2 that LCR extends "from being
+// able to count cache-coherence events to being able to record while
+// counting". Counts are indexed by access kind and observed state.
+type Counters struct {
+	counts [2][4]uint64
+}
+
+// Observe counts one retired access.
+func (c *Counters) Observe(kind cache.AccessKind, st cache.State) {
+	c.counts[kind][st]++
+}
+
+// Count returns the number of accesses of the kind that observed the state.
+func (c *Counters) Count(kind cache.AccessKind, st cache.State) uint64 {
+	return c.counts[kind][st]
+}
+
+// Total returns all counted accesses of the kind.
+func (c *Counters) Total(kind cache.AccessKind) uint64 {
+	var n uint64
+	for _, v := range c.counts[kind] {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,278 @@
+package pmu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stmdiag/internal/cache"
+	"stmdiag/internal/isa"
+)
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := NewRing[int](4)
+	for i := 1; i <= 6; i++ {
+		r.Push(i)
+	}
+	got := r.Latest()
+	want := []int{6, 5, 4, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Latest() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Latest() = %v, want %v", got, want)
+		}
+	}
+	old := r.Oldest()
+	if old[0] != 3 || old[3] != 6 {
+		t.Errorf("Oldest() = %v", old)
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing[string](8)
+	if r.Len() != 0 || len(r.Latest()) != 0 {
+		t.Error("empty ring not empty")
+	}
+	r.Push("a")
+	r.Push("b")
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	got := r.Latest()
+	if got[0] != "b" || got[1] != "a" {
+		t.Errorf("Latest = %v", got)
+	}
+	r.Clear()
+	if r.Len() != 0 {
+		t.Error("Clear did not empty ring")
+	}
+}
+
+// Property: after pushing n values the ring holds min(n, cap) values, and
+// Latest()[0] is always the last pushed value.
+func TestRingQuick(t *testing.T) {
+	f := func(vals []int64, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		r := NewRing[int64](capacity)
+		for _, v := range vals {
+			r.Push(v)
+		}
+		n := len(vals)
+		wantLen := n
+		if wantLen > capacity {
+			wantLen = capacity
+		}
+		got := r.Latest()
+		if len(got) != wantLen {
+			return false
+		}
+		for i := 0; i < wantLen; i++ {
+			if got[i] != vals[n-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func lbrWith(t *testing.T, sel uint64) *LBR {
+	t.Helper()
+	l := NewLBR(DefaultLBRSize)
+	if err := l.WriteMSR(MSRLBRSelect, sel); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteMSR(MSRDebugCtl, DebugCtlEnableLBR); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLBRPaperFilterKeepsCondAndRelJmp(t *testing.T) {
+	l := lbrWith(t, PaperLBRSelect)
+	records := []BranchRecord{
+		{From: 1, To: 10, Class: isa.BranchCond},
+		{From: 2, To: 20, Class: isa.BranchUncondRel},
+		{From: 3, To: 30, Class: isa.BranchRelCall},
+		{From: 4, To: 40, Class: isa.BranchIndCall},
+		{From: 5, To: 50, Class: isa.BranchReturn},
+		{From: 6, To: 60, Class: isa.BranchUncondInd},
+		{From: 7, To: 70, Class: isa.BranchCond, Kernel: true},
+	}
+	for _, r := range records {
+		l.Record(r)
+	}
+	got := l.Latest()
+	if len(got) != 2 {
+		t.Fatalf("recorded %d entries (%v), want 2", len(got), got)
+	}
+	if got[0].From != 2 || got[1].From != 1 {
+		t.Errorf("Latest = %v", got)
+	}
+}
+
+func TestLBRDisabledRecordsNothing(t *testing.T) {
+	l := NewLBR(4)
+	l.Record(BranchRecord{From: 1, To: 2, Class: isa.BranchCond})
+	if l.Len() != 0 {
+		t.Error("disabled LBR recorded a branch")
+	}
+	if err := l.WriteMSR(MSRDebugCtl, DebugCtlEnableLBR); err != nil {
+		t.Fatal(err)
+	}
+	l.Record(BranchRecord{From: 1, To: 2, Class: isa.BranchCond})
+	if l.Len() != 1 {
+		t.Error("enabled LBR did not record")
+	}
+	if err := l.WriteMSR(MSRDebugCtl, DebugCtlDisableLBR); err != nil {
+		t.Fatal(err)
+	}
+	l.Record(BranchRecord{From: 3, To: 4, Class: isa.BranchCond})
+	if l.Len() != 1 {
+		t.Error("disabled LBR kept recording")
+	}
+}
+
+func TestLBRUserFilter(t *testing.T) {
+	l := lbrWith(t, SelCPLNeq0) // suppress user-level branches
+	l.Record(BranchRecord{From: 1, To: 2, Class: isa.BranchCond})
+	l.Record(BranchRecord{From: 3, To: 4, Class: isa.BranchCond, Kernel: true})
+	got := l.Latest()
+	if len(got) != 1 || !got[0].Kernel {
+		t.Errorf("Latest = %v, want only the kernel branch", got)
+	}
+}
+
+func TestLBRMSRInterface(t *testing.T) {
+	l := lbrWith(t, PaperLBRSelect)
+	if v, err := l.ReadMSR(MSRLBRSelect); err != nil || v != PaperLBRSelect {
+		t.Errorf("ReadMSR(LBR_SELECT) = %#x, %v", v, err)
+	}
+	if v, err := l.ReadMSR(MSRDebugCtl); err != nil || v != DebugCtlEnableLBR {
+		t.Errorf("ReadMSR(DEBUGCTL) = %#x, %v", v, err)
+	}
+	l.Record(BranchRecord{From: 11, To: 22, Class: isa.BranchCond})
+	l.Record(BranchRecord{From: 33, To: 44, Class: isa.BranchCond})
+	if v, _ := l.ReadMSR(MSRBranchFromBase); v != 33 {
+		t.Errorf("BRANCH_0_FROM_IP = %d, want 33 (most recent)", v)
+	}
+	if v, _ := l.ReadMSR(MSRBranchToBase + 1); v != 22 {
+		t.Errorf("BRANCH_1_TO_IP = %d, want 22", v)
+	}
+	if v, _ := l.ReadMSR(MSRBranchFromBase + 5); v != 0 {
+		t.Errorf("unfilled stack MSR = %d, want 0", v)
+	}
+	if _, err := l.ReadMSR(0x9999); err == nil {
+		t.Error("unknown rdmsr accepted")
+	}
+	if err := l.WriteMSR(0x9999, 1); err == nil {
+		t.Error("unknown wrmsr accepted")
+	}
+}
+
+func TestLCRConfigurations(t *testing.T) {
+	cases := []struct {
+		cfg  LCRConfig
+		ev   CoherenceEvent
+		want bool
+	}{
+		{ConfSpaceConsuming, CoherenceEvent{Kind: cache.Load, State: cache.Invalid}, true},
+		{ConfSpaceConsuming, CoherenceEvent{Kind: cache.Store, State: cache.Invalid}, true},
+		{ConfSpaceConsuming, CoherenceEvent{Kind: cache.Load, State: cache.Exclusive}, true},
+		{ConfSpaceConsuming, CoherenceEvent{Kind: cache.Load, State: cache.Shared}, false},
+		{ConfSpaceConsuming, CoherenceEvent{Kind: cache.Store, State: cache.Modified}, false},
+		{ConfSpaceSaving, CoherenceEvent{Kind: cache.Load, State: cache.Shared}, true},
+		{ConfSpaceSaving, CoherenceEvent{Kind: cache.Load, State: cache.Exclusive}, false},
+		{ConfSpaceSaving, CoherenceEvent{Kind: cache.Store, State: cache.Invalid}, true},
+		{ConfSpaceConsuming, CoherenceEvent{Kind: cache.Load, State: cache.Invalid, Kernel: true}, false},
+	}
+	for i, tc := range cases {
+		if got := tc.cfg.Matches(tc.ev); got != tc.want {
+			t.Errorf("case %d: Matches(%v) = %v, want %v", i, tc.ev, got, tc.want)
+		}
+	}
+}
+
+func TestLCRRecordAndFreeze(t *testing.T) {
+	l := NewLCR(4)
+	l.Configure(ConfSpaceConsuming)
+	l.SetEnabled(true)
+	l.Record(CoherenceEvent{PC: 1, Kind: cache.Load, State: cache.Invalid})
+	l.Record(CoherenceEvent{PC: 2, Kind: cache.Load, State: cache.Shared}) // filtered
+	l.Record(CoherenceEvent{PC: 3, Kind: cache.Store, State: cache.Invalid})
+	l.SetEnabled(false)
+	l.Record(CoherenceEvent{PC: 4, Kind: cache.Load, State: cache.Invalid}) // frozen
+	got := l.Latest()
+	if len(got) != 2 || got[0].PC != 3 || got[1].PC != 1 {
+		t.Errorf("Latest = %v", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	c.Observe(cache.Load, cache.Invalid)
+	c.Observe(cache.Load, cache.Invalid)
+	c.Observe(cache.Store, cache.Modified)
+	if c.Count(cache.Load, cache.Invalid) != 2 {
+		t.Errorf("load-I count = %d", c.Count(cache.Load, cache.Invalid))
+	}
+	if c.Total(cache.Load) != 2 || c.Total(cache.Store) != 1 {
+		t.Errorf("totals = %d/%d", c.Total(cache.Load), c.Total(cache.Store))
+	}
+}
+
+func TestStateUmaskMatchesTable2(t *testing.T) {
+	want := map[cache.State]uint8{
+		cache.Invalid:   0x01,
+		cache.Shared:    0x02,
+		cache.Exclusive: 0x04,
+		cache.Modified:  0x08,
+	}
+	for st, m := range want {
+		if StateUmask(st) != m {
+			t.Errorf("StateUmask(%v) = %#x, want %#x", st, StateUmask(st), m)
+		}
+	}
+}
+
+// Property: an LBR of capacity k holds exactly the last k matching records
+// in reverse push order, regardless of interleaved filtered records.
+func TestLBRQuick(t *testing.T) {
+	f := func(classes []uint8) bool {
+		l := NewLBR(8)
+		if err := l.WriteMSR(MSRLBRSelect, PaperLBRSelect); err != nil {
+			return false
+		}
+		if err := l.WriteMSR(MSRDebugCtl, DebugCtlEnableLBR); err != nil {
+			return false
+		}
+		var kept []int
+		for i, c := range classes {
+			class := isa.BranchClass(c%6) + 1 // BranchCond..BranchReturn
+			l.Record(BranchRecord{From: i, To: i + 1000, Class: class})
+			if class == isa.BranchCond || class == isa.BranchUncondRel {
+				kept = append(kept, i)
+			}
+		}
+		got := l.Latest()
+		wantLen := len(kept)
+		if wantLen > 8 {
+			wantLen = 8
+		}
+		if len(got) != wantLen {
+			return false
+		}
+		for i := 0; i < wantLen; i++ {
+			if got[i].From != kept[len(kept)-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

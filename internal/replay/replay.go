@@ -1,0 +1,165 @@
+// Package replay implements record-and-replay over the VM — the paper's
+// §8 comparison class (Triage, ODR, time-traveling VMs, Respec).
+//
+// Recording captures every nondeterministic input of a run: the workload
+// values and each scheduling decision (which runnable thread, slice
+// length). Replaying drives the scheduler from the log and reproduces the
+// execution exactly — including a concurrency failure's interleaving,
+// which is what makes the approach attractive for diagnosis.
+//
+// The paper's two objections are made measurable here:
+//
+//   - Privacy: the log necessarily contains the program's inputs (the
+//     workload globals), unlike an LBR/LCR bundle — Log.ContainsInput.
+//   - Cost: the log grows with execution length (one entry per scheduling
+//     slice, more for finer-grained systems), and multiprocessor replay
+//     needs every shared-memory ordering; EventCost models the recording
+//     overhead class.
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"stmdiag/internal/isa"
+	"stmdiag/internal/vm"
+)
+
+// EventCost is the modeled recording cost per logged scheduling event, in
+// VM cycles; used to compare against LBRLOG's fixed per-failure cost.
+const EventCost = 25
+
+// decision is one logged scheduler choice.
+type decision struct {
+	// Pick is the index chosen among the runnable set; Quantum the slice
+	// length.
+	Pick    int `json:"pick"`
+	Quantum int `json:"quantum"`
+}
+
+// Log is a recorded run: everything needed to reproduce it.
+type Log struct {
+	// Program names the recorded build.
+	Program string `json:"program"`
+	// Seed is the recorded run's RNG seed (delay jitter etc.).
+	Seed int64 `json:"seed"`
+	// Globals and Arrays are the captured workload inputs — the privacy
+	// liability of this approach.
+	Globals map[string]int64   `json:"globals,omitempty"`
+	Arrays  map[string][]int64 `json:"arrays,omitempty"`
+	// Decisions is the scheduling trace.
+	Decisions []decision `json:"decisions"`
+}
+
+// Events returns the number of logged scheduling events.
+func (l *Log) Events() int { return len(l.Decisions) }
+
+// RecordingCycles returns the modeled recording cost.
+func (l *Log) RecordingCycles() uint64 { return uint64(len(l.Decisions)) * EventCost }
+
+// Marshal serializes the log (what would be shipped for off-site replay).
+func (l *Log) Marshal() ([]byte, error) { return json.Marshal(l) }
+
+// ContainsInput reports whether the serialized log carries the given input
+// value — it always does when the value was part of the workload, which is
+// the privacy contrast with trace.Encode bundles.
+func (l *Log) ContainsInput(name string, value int64) bool {
+	if v, ok := l.Globals[name]; ok && v == value {
+		return true
+	}
+	for _, arr := range l.Arrays {
+		for _, v := range arr {
+			if v == value {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recorder wraps the default policy and logs its decisions.
+type recorder struct {
+	inner vm.SchedSource
+	log   *Log
+}
+
+func (r *recorder) Pick(runnable []int) int {
+	p := r.inner.Pick(runnable)
+	r.log.Decisions = append(r.log.Decisions, decision{Pick: p})
+	return p
+}
+
+func (r *recorder) Quantum(min, max int) int {
+	q := r.inner.Quantum(min, max)
+	r.log.Decisions[len(r.log.Decisions)-1].Quantum = q
+	return q
+}
+
+// replayer feeds logged decisions back to the scheduler.
+type replayer struct {
+	log *Log
+	i   int
+	err error
+}
+
+func (r *replayer) Pick(runnable []int) int {
+	if r.i >= len(r.log.Decisions) {
+		r.err = fmt.Errorf("replay: log exhausted after %d decisions", r.i)
+		return 0
+	}
+	p := r.log.Decisions[r.i].Pick
+	if p >= len(runnable) {
+		// The runnable set diverged from the recording; pin to a valid
+		// choice and surface the divergence.
+		r.err = fmt.Errorf("replay: decision %d picks %d of %d runnable", r.i, p, len(runnable))
+		p = 0
+	}
+	return p
+}
+
+func (r *replayer) Quantum(min, max int) int {
+	if r.i >= len(r.log.Decisions) {
+		return min // log exhausted; Pick already recorded the divergence
+	}
+	q := r.log.Decisions[r.i].Quantum
+	r.i++
+	return q
+}
+
+// Record executes the program while logging every nondeterministic input,
+// returning the run result and the log that reproduces it.
+func Record(p *isa.Program, opts vm.Options) (*vm.Result, *Log, error) {
+	log := &Log{
+		Program: p.Name,
+		Seed:    opts.Seed,
+		Globals: opts.Globals,
+		Arrays:  opts.GlobalArrays,
+	}
+	// Wrap the default policy of a machine configured identically.
+	opts.Sched = &recorder{inner: vm.DefaultSched(opts.Seed), log: log}
+	res, err := vm.Run(p, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, log, nil
+}
+
+// Replay re-executes a recorded run from its log.
+func Replay(p *isa.Program, log *Log, opts vm.Options) (*vm.Result, error) {
+	if p.Name != log.Program {
+		return nil, fmt.Errorf("replay: log is for %q, not %q", log.Program, p.Name)
+	}
+	opts.Seed = log.Seed
+	opts.Globals = log.Globals
+	opts.GlobalArrays = log.Arrays
+	r := &replayer{log: log}
+	opts.Sched = r
+	res, err := vm.Run(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return res, nil
+}

@@ -1,0 +1,167 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"stmdiag/internal/apps"
+	"stmdiag/internal/trace"
+	"stmdiag/internal/vm"
+)
+
+// findFailingSeed locates a seed where the Figure 4 race fires.
+func findFailingSeed(t *testing.T) int64 {
+	a := apps.ByName("Mozilla-JS3")
+	for seed := int64(0); seed < 200; seed++ {
+		res, err := vm.Run(a.Program(), a.Fail.VMOptions(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Fail.FailedRun(res) {
+			return seed
+		}
+	}
+	t.Fatal("no failing seed")
+	return 0
+}
+
+// TestReplayReproducesConcurrencyFailure is the capability record-and-
+// replay buys (paper §8): a recorded racy failure replays exactly —
+// same failure, same output, same instruction count.
+func TestReplayReproducesConcurrencyFailure(t *testing.T) {
+	a := apps.ByName("Mozilla-JS3")
+	seed := findFailingSeed(t)
+
+	rec, log, err := Record(a.Program(), a.Fail.VMOptions(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Failed() {
+		t.Fatal("recorded run did not fail")
+	}
+	rep, err := Replay(a.Program(), log, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps != rec.Steps {
+		t.Errorf("replay steps %d != recorded %d", rep.Steps, rec.Steps)
+	}
+	if len(rep.Failures) != len(rec.Failures) ||
+		rep.Failures[0].PC != rec.Failures[0].PC ||
+		rep.Failures[0].Thread != rec.Failures[0].Thread {
+		t.Errorf("replay failures %v != recorded %v", rep.Failures, rec.Failures)
+	}
+	if strings.Join(rep.Output, "|") != strings.Join(rec.Output, "|") {
+		t.Errorf("replay output %v != recorded %v", rep.Output, rec.Output)
+	}
+}
+
+func TestReplayDeterministicAcrossMany(t *testing.T) {
+	a := apps.ByName("PBZIP3")
+	for seed := int64(0); seed < 8; seed++ {
+		rec, log, err := Record(a.Program(), a.Fail.VMOptions(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Replay(a.Program(), log, vm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Steps != rec.Steps || rep.Failed() != rec.Failed() {
+			t.Errorf("seed %d: replay diverged (%d/%d steps, failed %v/%v)",
+				seed, rep.Steps, rec.Steps, rep.Failed(), rec.Failed())
+		}
+	}
+}
+
+// TestReplayLogLeaksInputs is the paper's privacy objection made
+// executable: the replay log must carry the workload inputs, while the
+// LBR/LCR bundle from the same failure carries none of them.
+func TestReplayLogLeaksInputs(t *testing.T) {
+	a := apps.ByName("sort")
+	const secretFiles0 = 987123 // stand-in for user data in the input
+	opts := a.Fail.VMOptions(1)
+	opts.Globals = map[string]int64{}
+	for k, v := range a.Fail.Globals {
+		opts.Globals[k] = v
+	}
+	opts.Globals["files0"] = secretFiles0
+
+	_, log, err := Record(a.Program(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !log.ContainsInput("files0", secretFiles0) {
+		t.Error("replay log claims not to contain the input it must replay")
+	}
+	data, err := log.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "987123") {
+		t.Error("serialized replay log does not carry the input value")
+	}
+	// The short-term-memory bundle from the same program carries nothing.
+	res, err := vm.Run(a.Program(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := trace.Encode(a.Program(), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.ContainsValue(bundle, secretFiles0) {
+		t.Error("LBR/LCR bundle leaks the input value")
+	}
+}
+
+// TestRecordingCostScalesWithRunLength is the paper's overhead objection:
+// the log grows with the execution, unlike LBRLOG's constant-size rings.
+func TestRecordingCostScalesWithRunLength(t *testing.T) {
+	a := apps.ByName("sort")
+	short := a.Succeed.VMOptions(1)
+	short.Globals = map[string]int64{"nfiles": 0, "same": 1, "files0": 5, "worksize": 500}
+	long := a.Succeed.VMOptions(1)
+	long.Globals = map[string]int64{"nfiles": 0, "same": 1, "files0": 5, "worksize": 5000}
+
+	_, shortLog, err := Record(a.Program(), short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, longLog, err := Record(a.Program(), long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if longLog.Events() < 5*shortLog.Events() {
+		t.Errorf("log did not scale with run length: %d vs %d events",
+			shortLog.Events(), longLog.Events())
+	}
+	if longLog.RecordingCycles() == 0 {
+		t.Error("no recording cost modeled")
+	}
+}
+
+func TestReplayRejectsWrongProgram(t *testing.T) {
+	a := apps.ByName("sort")
+	_, log, err := Record(a.Program(), a.Fail.VMOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(apps.ByName("cp").Program(), log, vm.Options{}); err == nil {
+		t.Error("replaying against the wrong program accepted")
+	}
+}
+
+func TestReplayDetectsDivergence(t *testing.T) {
+	a := apps.ByName("sort")
+	_, log, err := Record(a.Program(), a.Fail.VMOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the log: the replay must surface the exhaustion rather than
+	// silently improvising.
+	log.Decisions = log.Decisions[:len(log.Decisions)/2]
+	if _, err := Replay(a.Program(), log, vm.Options{}); err == nil {
+		t.Error("truncated log replayed without error")
+	}
+}

@@ -1,0 +1,67 @@
+// Package source models the source-level artifacts the diagnosis pipeline
+// reports against: bug patches and the patch-distance metric of paper
+// Table 6, which compares how far the failure site and the LBR-captured
+// branches are from the lines a developer actually changed.
+package source
+
+import (
+	"fmt"
+	"math"
+
+	"stmdiag/internal/isa"
+)
+
+// Infinite is the patch distance between locations in different files,
+// printed as the paper's "∞".
+const Infinite = math.MaxInt32
+
+// Patch is the fix for one benchmark bug: the set of modeled source lines
+// it changes (paper Figure 9 shows two examples).
+type Patch struct {
+	// App names the benchmark the patch belongs to.
+	App string
+	// Lines are the changed lines.
+	Lines []isa.SourceLoc
+}
+
+// Distance returns the patch distance of a location: the minimum line
+// distance to any changed line in the same file, or Infinite if the patch
+// touches no line in the location's file.
+func (p Patch) Distance(loc isa.SourceLoc) int {
+	best := Infinite
+	for _, pl := range p.Lines {
+		if pl.File != loc.File {
+			continue
+		}
+		d := pl.Line - loc.Line
+		if d < 0 {
+			d = -d
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// MinDistance returns the smallest patch distance over a set of locations
+// (e.g. every branch captured in an LBR snapshot), or Infinite for an empty
+// set.
+func (p Patch) MinDistance(locs []isa.SourceLoc) int {
+	best := Infinite
+	for _, loc := range locs {
+		if d := p.Distance(loc); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// FormatDistance renders a distance the way paper Table 6 does, with "inf"
+// for different-file distances.
+func FormatDistance(d int) string {
+	if d >= Infinite {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", d)
+}

@@ -1,0 +1,63 @@
+package source
+
+import (
+	"testing"
+
+	"stmdiag/internal/isa"
+)
+
+func TestDistanceSameFile(t *testing.T) {
+	p := Patch{App: "sort", Lines: []isa.SourceLoc{{File: "sort.c", Line: 100}}}
+	cases := []struct {
+		loc  isa.SourceLoc
+		want int
+	}{
+		{isa.SourceLoc{File: "sort.c", Line: 100}, 0},
+		{isa.SourceLoc{File: "sort.c", Line: 103}, 3},
+		{isa.SourceLoc{File: "sort.c", Line: 96}, 4},
+		{isa.SourceLoc{File: "hash.c", Line: 100}, Infinite},
+	}
+	for _, tc := range cases {
+		if got := p.Distance(tc.loc); got != tc.want {
+			t.Errorf("Distance(%v) = %d, want %d", tc.loc, got, tc.want)
+		}
+	}
+}
+
+func TestDistanceMultipleLines(t *testing.T) {
+	p := Patch{Lines: []isa.SourceLoc{
+		{File: "a.c", Line: 10},
+		{File: "a.c", Line: 50},
+		{File: "b.c", Line: 5},
+	}}
+	if got := p.Distance(isa.SourceLoc{File: "a.c", Line: 45}); got != 5 {
+		t.Errorf("Distance = %d, want 5 (nearest of two lines)", got)
+	}
+	if got := p.Distance(isa.SourceLoc{File: "b.c", Line: 9}); got != 4 {
+		t.Errorf("Distance = %d, want 4", got)
+	}
+}
+
+func TestMinDistance(t *testing.T) {
+	p := Patch{Lines: []isa.SourceLoc{{File: "a.c", Line: 10}}}
+	locs := []isa.SourceLoc{
+		{File: "b.c", Line: 10},
+		{File: "a.c", Line: 14},
+		{File: "a.c", Line: 11},
+	}
+	if got := p.MinDistance(locs); got != 1 {
+		t.Errorf("MinDistance = %d, want 1", got)
+	}
+	if got := p.MinDistance(nil); got != Infinite {
+		t.Errorf("MinDistance(nil) = %d, want Infinite", got)
+	}
+}
+
+func TestFormatDistance(t *testing.T) {
+	if got := FormatDistance(3); got != "3" {
+		t.Errorf("FormatDistance(3) = %q", got)
+	}
+	if got := FormatDistance(Infinite); got != "inf" {
+		t.Errorf("FormatDistance(Infinite) = %q", got)
+	}
+}

@@ -1,0 +1,143 @@
+// Package stats implements the statistical model LBRA and LCRA use to
+// locate failure root causes (paper §5.2 "How to compare?").
+//
+// Each success or failure run contributes a profile — the set of events
+// recorded in its LBR/LCR snapshot. An event's expected prediction
+// precision is |F&e|/|e| (of the runs whose profile contains e, how many
+// failed) and its expected prediction recall is |F&e|/|F| (of the failing
+// runs, how many contain e). Events are ranked by the harmonic mean of the
+// two, and the top-ranked event is reported as the best failure predictor.
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run is one run's profile reduced to an event set.
+type Run[E comparable] struct {
+	// Failed reports whether the run failed.
+	Failed bool
+	// Events are the events present in the run's profile; duplicates are
+	// collapsed (presence semantics, as in the paper's model).
+	Events []E
+}
+
+// Scored is one event with its prediction statistics.
+type Scored[E comparable] struct {
+	// Event is the event.
+	Event E
+	// InFail and InSucc count the failing/successful runs whose profiles
+	// contain the event.
+	InFail, InSucc int
+	// Precision is |F&e| / |e|.
+	Precision float64
+	// Recall is |F&e| / |F|.
+	Recall float64
+	// Score is the harmonic mean of Precision and Recall.
+	Score float64
+}
+
+// String formats the scored event for reports.
+func (s Scored[E]) String() string {
+	return fmt.Sprintf("%v score=%.3f (precision=%.3f recall=%.3f fail=%d succ=%d)",
+		s.Event, s.Score, s.Precision, s.Recall, s.InFail, s.InSucc)
+}
+
+// HarmonicMean returns the harmonic mean of two non-negative quantities,
+// zero when either is zero.
+func HarmonicMean(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	return 2 * a * b / (a + b)
+}
+
+// Rank scores every event appearing in any run and returns them best-first.
+// Ties break deterministically: higher precision first, then more failing
+// occurrences, then the event's formatted representation.
+func Rank[E comparable](runs []Run[E]) []Scored[E] {
+	failTotal := 0
+	inFail := make(map[E]int)
+	inSucc := make(map[E]int)
+	for _, r := range runs {
+		if r.Failed {
+			failTotal++
+		}
+		seen := make(map[E]bool, len(r.Events))
+		for _, e := range r.Events {
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			if r.Failed {
+				inFail[e]++
+			} else {
+				inSucc[e]++
+			}
+		}
+	}
+	events := make(map[E]bool, len(inFail)+len(inSucc))
+	for e := range inFail {
+		events[e] = true
+	}
+	for e := range inSucc {
+		events[e] = true
+	}
+	out := make([]Scored[E], 0, len(events))
+	for e := range events {
+		f, s := inFail[e], inSucc[e]
+		var prec, rec float64
+		if f+s > 0 {
+			prec = float64(f) / float64(f+s)
+		}
+		if failTotal > 0 {
+			rec = float64(f) / float64(failTotal)
+		}
+		out = append(out, Scored[E]{
+			Event:     e,
+			InFail:    f,
+			InSucc:    s,
+			Precision: prec,
+			Recall:    rec,
+			Score:     HarmonicMean(prec, rec),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Precision != b.Precision {
+			return a.Precision > b.Precision
+		}
+		if a.InFail != b.InFail {
+			return a.InFail > b.InFail
+		}
+		return fmt.Sprint(a.Event) < fmt.Sprint(b.Event)
+	})
+	return out
+}
+
+// RankOf returns the 1-based position of the first event satisfying match
+// in the ranking, or 0 if absent.
+func RankOf[E comparable](ranking []Scored[E], match func(E) bool) int {
+	for i, s := range ranking {
+		if match(s.Event) {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Mean returns the arithmetic mean of xs, 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

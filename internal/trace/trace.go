@@ -1,0 +1,158 @@
+// Package trace serializes LBR/LCR profiles into the report bundle an end
+// user's machine would send back to developers.
+//
+// The paper's privacy argument (§5.3) is that the short-term-memory
+// approach "does not directly collect any variable values": an LBR record
+// is two instruction addresses, an LCR record is an instruction address
+// and a coherence state — memory addresses are deliberately not recorded
+// (§4.2.1). This package makes that argument operational: the wire format
+// can only carry code positions and states, and Audit verifies a bundle
+// against the program's data segment so a report containing user data
+// cannot be produced by accident.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"stmdiag/internal/isa"
+	"stmdiag/internal/vm"
+)
+
+// BranchRecord is one serialized LBR entry: code positions only.
+type BranchRecord struct {
+	// FromPC and ToPC are instruction indices.
+	FromPC int `json:"from"`
+	ToPC   int `json:"to"`
+	// Branch and Edge name the source branch, when the record embodies
+	// one.
+	Branch string `json:"branch,omitempty"`
+	Edge   string `json:"edge,omitempty"`
+	// File and Line locate the branch in the modeled source.
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+}
+
+// CoherenceRecord is one serialized LCR entry: an instruction position and
+// a MESI state. There is no address field on purpose.
+type CoherenceRecord struct {
+	PC     int    `json:"pc"`
+	Access string `json:"access"`
+	State  string `json:"state"`
+	File   string `json:"file,omitempty"`
+	Line   int    `json:"line,omitempty"`
+}
+
+// Snapshot is one serialized profile.
+type Snapshot struct {
+	Site      int               `json:"site"`
+	Thread    int               `json:"thread"`
+	Success   bool              `json:"success,omitempty"`
+	Branches  []BranchRecord    `json:"branches,omitempty"`
+	Coherence []CoherenceRecord `json:"coherence,omitempty"`
+}
+
+// Bundle is a failure report: the program identity and the profiles,
+// nothing else.
+type Bundle struct {
+	// Program names the build the profiles came from.
+	Program string `json:"program"`
+	// Failure describes the symptom ("segmentation fault at PC 14").
+	Failure string `json:"failure,omitempty"`
+	// Snapshots are the profiles.
+	Snapshots []Snapshot `json:"snapshots"`
+}
+
+// Encode builds a bundle from a run's profiles and serializes it.
+func Encode(p *isa.Program, res *vm.Result) ([]byte, error) {
+	b := Bundle{Program: p.Name}
+	if f := res.FirstFailure(); f != nil {
+		if f.Msg != "" {
+			b.Failure = fmt.Sprintf("%s: %s", f.Kind, f.Msg)
+		} else {
+			b.Failure = fmt.Sprintf("%s (code %d)", f.Kind, f.Code)
+		}
+	}
+	for _, prof := range res.Profiles {
+		s := Snapshot{Site: prof.Site, Thread: prof.Thread, Success: prof.Success}
+		for _, r := range prof.Branches {
+			br := BranchRecord{FromPC: r.From, ToPC: r.To}
+			if r.From >= 0 && r.From < len(p.Instrs) {
+				in := &p.Instrs[r.From]
+				br.File, br.Line = in.Loc.File, in.Loc.Line
+				if in.BranchID != isa.NoBranch {
+					br.Branch = p.BranchName(in.BranchID)
+					br.Edge = in.Edge.String()
+				}
+			}
+			s.Branches = append(s.Branches, br)
+		}
+		for _, r := range prof.Coherence {
+			cr := CoherenceRecord{PC: r.PC, Access: r.Kind.String(), State: r.State.String()}
+			if r.PC >= 0 && r.PC < len(p.Instrs) {
+				loc := p.Instrs[r.PC].Loc
+				cr.File, cr.Line = loc.File, loc.Line
+			}
+			s.Coherence = append(s.Coherence, cr)
+		}
+		b.Snapshots = append(b.Snapshots, s)
+	}
+	return json.MarshalIndent(b, "", "  ")
+}
+
+// Decode parses a bundle.
+func Decode(data []byte) (*Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &b, nil
+}
+
+// Audit checks a serialized bundle against the privacy guarantee: every
+// numeric field must be a code position (a valid PC) or a record index —
+// never a data-segment address or a program data value. It returns the
+// violations found.
+func Audit(p *isa.Program, data []byte) []string {
+	var bundle Bundle
+	if err := json.Unmarshal(data, &bundle); err != nil {
+		return []string{fmt.Sprintf("unparseable bundle: %v", err)}
+	}
+	var violations []string
+	checkPC := func(what string, pc int) {
+		// kernel pollution entries use -1; everything else must be a PC.
+		if pc >= -1 && pc <= len(p.Instrs) {
+			return
+		}
+		if pc >= isa.GlobalBase {
+			violations = append(violations, fmt.Sprintf("%s %d lies in the data segment", what, pc))
+			return
+		}
+		violations = append(violations, fmt.Sprintf("%s %d is not a code position", what, pc))
+	}
+	for _, s := range bundle.Snapshots {
+		checkPC("snapshot site", s.Site)
+		for _, r := range s.Branches {
+			checkPC("branch from", r.FromPC)
+			checkPC("branch to", r.ToPC)
+		}
+		for _, r := range s.Coherence {
+			checkPC("coherence pc", r.PC)
+			switch r.State {
+			case "I", "S", "E", "M":
+			default:
+				violations = append(violations, fmt.Sprintf("coherence state %q is not a MESI state", r.State))
+			}
+		}
+	}
+	return violations
+}
+
+// ContainsValue reports whether the serialized bundle leaks the given
+// datum (as a decimal number or quoted string) anywhere — the check the
+// privacy tests run with known-secret workloads.
+func ContainsValue(data []byte, secret int64) bool {
+	return strings.Contains(string(data), fmt.Sprintf(": %d", secret)) ||
+		strings.Contains(string(data), fmt.Sprintf("\"%d\"", secret))
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"stmdiag/internal/core"
+	"stmdiag/internal/isa"
+	"stmdiag/internal/kernel"
+	"stmdiag/internal/pmu"
+	"stmdiag/internal/vm"
+)
+
+// secretDemo processes a "secret" user value (seeded by the workload) on
+// the path to a crash: the classic privacy worry about coredumps.
+const secretDemo = `
+.file app.c
+.global secret
+.global key 8
+.func main
+main:
+    lea  r1, secret
+    ld   r2, [r1+0]        ; the user's secret value flows through r2
+    lea  r3, key
+    st   [r3+0], r2        ; and through memory
+.line 8
+.branch chk
+    cmpi r2, 0
+    jle  ok
+    movi r4, 0
+    jmp  boom
+ok:
+    lea  r4, key
+boom:
+.line 14
+    ld   r5, [r4+0]        ; crashes when the secret was positive
+    exit
+`
+
+const secret = 987654321544
+
+func runInstrumented(t *testing.T) (*isa.Program, *vm.Result) {
+	t.Helper()
+	p, err := isa.Assemble("privacy", secretDemo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := core.EnhanceLogging(p, core.Options{LBR: true, LCR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(inst.Prog, vm.Options{
+		Driver:     kernel.Driver{},
+		SegvIoctls: inst.SegvIoctls,
+		LCRConfig:  pmu.ConfSpaceConsuming,
+		Globals:    map[string]int64{"secret": secret},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Fatal("demo did not crash")
+	}
+	return inst.Prog, res
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p, res := runInstrumented(t)
+	data, err := Encode(p, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Program != "privacy" {
+		t.Errorf("Program = %q", b.Program)
+	}
+	if !strings.Contains(b.Failure, "segmentation fault") {
+		t.Errorf("Failure = %q", b.Failure)
+	}
+	if len(b.Snapshots) != len(res.Profiles) {
+		t.Fatalf("snapshots = %d, want %d", len(b.Snapshots), len(res.Profiles))
+	}
+	// The root-cause branch must be readable from the bundle.
+	found := false
+	for _, s := range b.Snapshots {
+		for _, r := range s.Branches {
+			if r.Branch == "chk" {
+				found = true
+				if r.File != "app.c" || r.Line != 8 {
+					t.Errorf("chk located at %s:%d", r.File, r.Line)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("root-cause branch missing from bundle")
+	}
+}
+
+// TestBundleCarriesNoSecrets is the paper's §5.3 privacy claim made
+// executable: the secret value flows through registers and memory on the
+// failure path, and a coredump would contain it — the LBR/LCR bundle must
+// not.
+func TestBundleCarriesNoSecrets(t *testing.T) {
+	p, res := runInstrumented(t)
+	data, err := Encode(p, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ContainsValue(data, secret) {
+		t.Fatalf("bundle leaks the secret:\n%s", data)
+	}
+	if violations := Audit(p, data); len(violations) != 0 {
+		t.Fatalf("audit violations: %v", violations)
+	}
+}
+
+func TestAuditFlagsTampering(t *testing.T) {
+	p, res := runInstrumented(t)
+	data, err := Encode(p, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	// A "bundle" smuggling a data-segment address and a raw value.
+	b.Snapshots[0].Coherence = append(b.Snapshots[0].Coherence, CoherenceRecord{
+		PC: int(isa.GlobalBase + 1), Access: "load", State: "I",
+	})
+	b.Snapshots[0].Branches = append(b.Snapshots[0].Branches, BranchRecord{
+		FromPC: secret, ToPC: 0,
+	})
+	b.Snapshots[0].Coherence = append(b.Snapshots[0].Coherence, CoherenceRecord{
+		PC: 1, Access: "load", State: "42",
+	})
+	tampered, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations := Audit(p, tampered)
+	if len(violations) < 3 {
+		t.Fatalf("audit found %d violations, want >= 3: %v", len(violations), violations)
+	}
+	joined := strings.Join(violations, "; ")
+	if !strings.Contains(joined, "data segment") {
+		t.Errorf("data-segment smuggling not flagged: %v", violations)
+	}
+	if !strings.Contains(joined, "not a MESI state") {
+		t.Errorf("bad state not flagged: %v", violations)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("{")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if v := Audit(&isa.Program{}, []byte("not json")); len(v) == 0 {
+		t.Error("unparseable bundle passed audit")
+	}
+}

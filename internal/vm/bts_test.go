@@ -1,0 +1,109 @@
+package vm
+
+import (
+	"testing"
+
+	"stmdiag/internal/isa"
+	"stmdiag/internal/pmu"
+)
+
+const btsDemo = `
+.func main
+main:
+    movi r1, 0
+loop:
+.branch L
+    cmpi r1, 50
+    jge  done
+    addi r1, 1
+    addi r2, 3
+    addi r3, 5
+    add  r2, r3
+    sub  r3, r1
+    xor  r2, r3
+    addi r4, 7
+    call helper
+    jmp  loop
+done:
+    exit
+.func helper
+helper:
+    ret
+`
+
+func TestBTSCapturesWholeTrace(t *testing.T) {
+	p, err := isa.Assemble("t", btsDemo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, Options{BTS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bts := m.Cores()[0].BTS
+	if bts == nil {
+		t.Fatal("BTS not armed")
+	}
+	// 50 iterations x (call + ret + backedge jmp + synthetic jmp) + exit
+	// jge: far more than an LBR could hold — and unlike the LBR, calls and
+	// returns are all there.
+	if bts.Len() < 150 {
+		t.Fatalf("BTS holds %d records, want the whole trace", bts.Len())
+	}
+	calls, rets := 0, 0
+	for _, r := range bts.Trace() {
+		switch r.Class {
+		case isa.BranchRelCall:
+			calls++
+		case isa.BranchReturn:
+			rets++
+		}
+	}
+	if calls != 50 || rets != 50 {
+		t.Errorf("calls/rets = %d/%d, want 50/50 (BTS has no class filters)", calls, rets)
+	}
+	// The whole-execution approach costs: same program without BTS must be
+	// meaningfully cheaper.
+	plain, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := float64(res.Cycles-plain.Cycles) / float64(plain.Cycles)
+	if overhead < 0.20 || overhead > 1.0 {
+		t.Errorf("BTS overhead = %.2f, want the paper's 20%%-100%% band", overhead)
+	}
+}
+
+func TestBTSBufferFlush(t *testing.T) {
+	b := pmu.NewBTS(8)
+	b.SetEnabled(true)
+	for i := 0; i < 20; i++ {
+		b.Record(pmu.BranchRecord{From: i})
+	}
+	if b.Len() > 8 {
+		t.Errorf("Len = %d exceeds limit", b.Len())
+	}
+	if b.Dropped() == 0 {
+		t.Error("no records dropped despite overflow")
+	}
+	tr := b.Trace()
+	if tr[len(tr)-1].From != 19 {
+		t.Errorf("newest record lost: %+v", tr[len(tr)-1])
+	}
+	b.Clear()
+	if b.Len() != 0 || b.Dropped() != 0 {
+		t.Error("Clear incomplete")
+	}
+}
+
+func TestBTSDisabledRecordsNothing(t *testing.T) {
+	b := pmu.NewBTS(0)
+	b.Record(pmu.BranchRecord{From: 1})
+	if b.Len() != 0 {
+		t.Error("disabled BTS recorded")
+	}
+}

@@ -1,0 +1,49 @@
+// Package vm executes assembled programs on a simulated multicore machine
+// with per-core L1 data caches (internal/cache), per-core LBRs and
+// per-thread LCRs (internal/pmu), a seeded preemptive scheduler, and a
+// pluggable kernel driver servicing OpIoctl (internal/kernel).
+//
+// The machine replaces the paper's Intel Core i7 testbed. Run-time overhead
+// experiments (paper Table 6) are reproduced by cycle accounting: every
+// instruction, cache miss, driver call and profile operation has a
+// documented cycle cost, so "overhead" is extra cycles of an instrumented
+// run over the uninstrumented run on the same workload.
+package vm
+
+// Cycle costs. The absolute values are calibrated to keep the paper's
+// relative cost ordering: reading LBR/LCR at a failure site is ~20µs-class
+// (cheap, rare), toggling around library calls is two MSR writes (cheap but
+// frequent), and CBI-style per-site sampling checks are cheap individually
+// but execute at every instrumented branch.
+const (
+	// CostInstr is the base cost of every retired instruction.
+	CostInstr = 1
+	// CostCacheHit is the extra cost of an L1D hit.
+	CostCacheHit = 2
+	// CostCacheMiss is the extra cost of an L1D miss (bus transaction).
+	CostCacheMiss = 20
+	// CostIoctl is the user/kernel crossing of one driver request
+	// (DRIVER_ENABLE_LBR and friends, paper Figure 7).
+	CostIoctl = 60
+	// CostProfile is the additional cost of DRIVER_PROFILE_LBR/LCR: the
+	// driver reads the whole branch stack over rdmsr and copies it out.
+	// The paper measures logging LBR at under 20µs (§5.3).
+	CostProfile = 400
+	// CostLock and CostUnlock are uncontended mutex operations.
+	CostLock   = 12
+	CostUnlock = 8
+	// CostSpawn is thread creation; CostJoin is an uncontended join.
+	CostSpawn = 150
+	CostJoin  = 10
+	// CostPrint is formatting and buffering one output record.
+	CostPrint = 6
+	// CostSampleCheck is the fast-path cost CBI instrumentation pays at
+	// every instrumented site (countdown check); CostSampleSlow is the
+	// slow path taken when a sample fires.
+	CostSampleCheck = 4
+	CostSampleSlow  = 40
+	// CostBTSRecord is the memory store each Branch Trace Store record
+	// costs; on branch-dense code this lands in the 20%-100% overhead
+	// range the paper reports for BTS (§2.1).
+	CostBTSRecord = 3
+)

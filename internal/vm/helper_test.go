@@ -1,0 +1,12 @@
+package vm
+
+import "stmdiag/internal/pmu"
+
+// pmuConfAll records every user-level coherence event, for tests that want
+// the raw access stream.
+func pmuConfAll() pmu.LCRConfig {
+	return pmu.LCRConfig{
+		LoadMask:  pmu.UmaskInvalid | pmu.UmaskShared | pmu.UmaskExclusive | pmu.UmaskModified,
+		StoreMask: pmu.UmaskInvalid | pmu.UmaskShared | pmu.UmaskExclusive | pmu.UmaskModified,
+	}
+}

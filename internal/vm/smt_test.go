@@ -1,0 +1,108 @@
+package vm
+
+import (
+	"testing"
+
+	"stmdiag/internal/isa"
+)
+
+// smtSrc: main takes its root-cause branch, then a sibling thread runs a
+// branchy helper on the other hardware context. With dedicated cores the
+// root cause stays in main's LBR; with SMT sharing the sibling's branches
+// flood the shared ring (paper §4.2.1: "This will shorten the execution
+// history recorded for each thread").
+const smtSrc = `
+.func main
+main:
+    movi r1, 1
+    spawn sibling, r1
+.branch ROOT
+    cmpi r1, 0
+    jne  taken
+taken:
+    delay 400          ; the sibling spins on the shared core meanwhile
+    join
+    exit
+.func sibling
+sibling:
+    movi r2, 0
+sib_loop:
+.branch SIB
+    cmpi r2, 40
+    jge  sib_done
+    addi r2, 1
+    jmp  sib_loop
+sib_done:
+    halt
+`
+
+func rootInLBR(t *testing.T, tpc int) bool {
+	t.Helper()
+	p, err := isa.Assemble("smt", smtSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, Options{Cores: 4, ThreadsPerCore: tpc, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range m.Cores() {
+		if err := c.LBR.WriteMSR(0x1c8, 0x179); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.LBR.WriteMSR(0x1d9, 0x801); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	main := m.Threads()[0]
+	for _, r := range m.Cores()[main.Core].LBR.Latest() {
+		if id := p.Instrs[r.From].BranchID; id != isa.NoBranch && p.BranchName(id) == "ROOT" {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSMTSharingShortensHistory(t *testing.T) {
+	if !rootInLBR(t, 1) {
+		t.Error("dedicated core: root cause should survive in the LBR")
+	}
+	if rootInLBR(t, 2) {
+		t.Error("SMT-shared LBR: the sibling's 80+ records should have evicted the root cause")
+	}
+}
+
+func TestSMTPinning(t *testing.T) {
+	p, err := isa.Assemble("t", `
+.func main
+main:
+    movi r1, 0
+    spawn w, r1
+    spawn w, r1
+    spawn w, r1
+    join
+    exit
+.func w
+w:
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, Options{Cores: 2, ThreadsPerCore: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantCores := []int{0, 0, 1, 1} // two hardware threads per core
+	for i, th := range m.Threads() {
+		if th.Core != wantCores[i] {
+			t.Errorf("thread %d on core %d, want %d", i, th.Core, wantCores[i])
+		}
+	}
+}

@@ -1,0 +1,393 @@
+package stmdiag
+
+import (
+	"strings"
+	"testing"
+)
+
+// demoBug is a small sequential bug for API tests: input > 10 takes the
+// buggy edge of branch ROOT, nulls a pointer, and crashes at mini.c:11.
+const demoBug = `
+.file mini.c
+.str  msg "demo: error"
+.global n
+.func main
+main:
+    lea  r1, n
+    ld   r2, [r1+0]
+.line 5
+.branch ROOT
+    cmpi r2, 10
+    jle  ok
+    movi r3, 0
+    jmp  cont
+ok:
+    lea  r3, n
+cont:
+.line 11
+    ld   r4, [r3+0]
+.line 12
+.branch CHK
+    cmpi r4, 1000
+    jle  fine
+    call error
+fine:
+    exit
+.func error log
+error:
+    print msg
+    fail 1
+    ret
+`
+
+func mustProgram(t *testing.T) *Program {
+	t.Helper()
+	p, err := Assemble("demo", demoBug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAssembleErrors(t *testing.T) {
+	if _, err := Assemble("bad", "zap r1\n"); err == nil {
+		t.Error("bad source accepted")
+	}
+	p := mustProgram(t)
+	if p.Instructions() == 0 {
+		t.Error("no instructions")
+	}
+	if !strings.Contains(p.Disassemble(), "branch ROOT") {
+		t.Error("disassembly missing branch annotation")
+	}
+}
+
+func TestInstrumentAndRunPipeline(t *testing.T) {
+	p := mustProgram(t)
+	b, err := p.Instrument(InstrumentOptions{LBR: true, Toggling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(RunConfig{Globals: map[string]int64{"n": 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || !strings.Contains(res.FailureMsg, "segmentation fault") {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(res.Profiles) == 0 {
+		t.Fatal("no profiles captured")
+	}
+	prof := res.Profiles[len(res.Profiles)-1]
+	found := false
+	for _, be := range prof.Branches {
+		if be.Branch == "ROOT" && be.Outcome == "true" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("root-cause branch not in profile: %+v", prof.Branches)
+	}
+}
+
+func TestInstrumentValidation(t *testing.T) {
+	p := mustProgram(t)
+	if _, err := p.Instrument(InstrumentOptions{}); err == nil {
+		t.Error("no-op instrumentation accepted")
+	}
+	if _, err := p.Instrument(InstrumentOptions{
+		LBR: true, Proactive: true,
+		ReactiveFailureLines: []SourceLine{{File: "mini.c", Line: 11}},
+	}); err == nil {
+		t.Error("proactive+reactive accepted")
+	}
+	if _, err := p.Instrument(InstrumentOptions{
+		LBR:                  true,
+		ReactiveFailureLines: []SourceLine{{File: "nope.c", Line: 1}},
+	}); err == nil {
+		t.Error("unknown reactive line accepted")
+	}
+}
+
+func TestDiagnoseRunsEndToEnd(t *testing.T) {
+	p := mustProgram(t)
+	logBuild, err := p.Instrument(InstrumentOptions{LBR: true, Toggling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reactive, err := p.Instrument(InstrumentOptions{
+		LBR: true, Toggling: true,
+		ReactiveFailureLines: []SourceLine{{File: "mini.c", Line: 11}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failing, succeeding []*RunResult
+	for seed := int64(0); seed < 10; seed++ {
+		r, err := logBuild.Run(RunConfig{Seed: seed, Globals: map[string]int64{"n": 20}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		failing = append(failing, r)
+		s, err := reactive.Run(RunConfig{Seed: seed, Globals: map[string]int64{"n": 5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		succeeding = append(succeeding, s)
+	}
+	rep, err := DiagnoseRuns(failing, succeeding, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, ok := rep.Top()
+	if !ok || top.Event != "branch ROOT=true" || top.Score != 1 {
+		t.Errorf("top predictor = %+v", top)
+	}
+}
+
+func TestBenchmarksList(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 31 {
+		t.Fatalf("%d benchmarks, want 31", len(bs))
+	}
+	conc := 0
+	for _, b := range bs {
+		if b.Concurrent {
+			conc++
+		}
+	}
+	if conc != 11 {
+		t.Errorf("%d concurrency benchmarks, want 11", conc)
+	}
+}
+
+func TestSequentialRowAPI(t *testing.T) {
+	cfg := ExperimentConfig{FailRuns: 5, SuccRuns: 5, CBIRuns: 40, OverheadRuns: 2}
+	row, err := SequentialRow("sort", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.RankToggling != 3 || row.RankNoToggling != 5 {
+		t.Errorf("sort ranks = %d/%d, want 3/5", row.RankToggling, row.RankNoToggling)
+	}
+	if row.PatchDistFailureSite != PatchDistInfinite {
+		t.Errorf("sort failure-site distance = %d, want infinite", row.PatchDistFailureSite)
+	}
+	if _, err := SequentialRow("FFT", cfg); err == nil {
+		t.Error("concurrency benchmark accepted as sequential")
+	}
+	if _, err := SequentialRow("nope", cfg); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestConcurrentRowAPI(t *testing.T) {
+	cfg := ExperimentConfig{FailRuns: 5, SuccRuns: 5}
+	row, err := ConcurrentRow("Mozilla-JS3", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.RankConf1 != 3 || row.RankConf2 != 11 || row.LCRARank != 1 {
+		t.Errorf("Mozilla-JS3 row = %+v", row)
+	}
+	if _, err := ConcurrentRow("sort", cfg); err == nil {
+		t.Error("sequential benchmark accepted as concurrent")
+	}
+}
+
+func TestRenderTableAPI(t *testing.T) {
+	out, err := RenderTable(1, ExperimentConfig{})
+	if err != nil || !strings.Contains(out, "LBR_SELECT") {
+		t.Errorf("RenderTable(1): %v\n%s", err, out)
+	}
+	if _, err := RenderTable(9, ExperimentConfig{}); err == nil {
+		t.Error("table 9 accepted")
+	}
+}
+
+func TestLCRSpaceSavingConfig(t *testing.T) {
+	// A concurrency run under Conf1 must filter exclusive loads.
+	p, err := Assemble("conc", `
+.global g 8
+.func main
+main:
+    lea r1, g
+    ld  r2, [r1+0]
+    ld  r2, [r1+0]
+    call report
+    exit
+.func report log
+report:
+    fail 1
+    ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Instrument(InstrumentOptions{LCR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf2, err := b.Run(RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf1, err := b.Run(RunConfig{LCRSpaceSaving: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	countE := func(r *RunResult) int {
+		n := 0
+		for _, pr := range r.Profiles {
+			for _, e := range pr.Coherence {
+				if e.State == "E" {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if countE(conf2) == 0 {
+		t.Error("Conf2 recorded no exclusive loads")
+	}
+	if countE(conf1) != 0 {
+		t.Error("Conf1 recorded exclusive loads")
+	}
+}
+
+func TestBTSWholeTraceAPI(t *testing.T) {
+	p := mustProgram(t)
+	b, err := p.Instrument(InstrumentOptions{LBR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := b.Run(RunConfig{Globals: map[string]int64{"n": 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.BranchTrace != nil {
+		t.Error("BranchTrace present without BTS")
+	}
+	traced, err := b.Run(RunConfig{Globals: map[string]int64{"n": 20}, BTS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced.BranchTrace) == 0 {
+		t.Fatal("BTS trace empty")
+	}
+	found := false
+	for _, e := range traced.BranchTrace {
+		if e.Branch == "ROOT" && e.Outcome == "true" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("root cause missing from the whole-execution trace")
+	}
+	if traced.Cycles <= plain.Cycles {
+		t.Errorf("BTS cost not charged: %d <= %d", traced.Cycles, plain.Cycles)
+	}
+}
+
+func TestEncodeAndAuditReportAPI(t *testing.T) {
+	p := mustProgram(t)
+	b, err := p.Instrument(InstrumentOptions{LBR: true, LCR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(RunConfig{Globals: map[string]int64{"n": 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeReport(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || !strings.Contains(string(data), "\"program\": \"demo\"") {
+		t.Errorf("bundle = %s", data)
+	}
+	if v := b.AuditReport(data); len(v) != 0 {
+		t.Errorf("audit violations: %v", v)
+	}
+}
+
+// twoSiteBug fails at two different logging sites depending on mode.
+const twoSiteBug = `
+.file a.c
+.str m1 "first error"
+.str m2 "second error"
+.global mode
+.func main
+main:
+    lea  r1, mode
+    ld   r2, [r1+0]
+.line 5
+.branch BUG1
+    cmpi r2, 1
+    jne  s1
+    call err1
+s1:
+.file b.c
+.line 9
+.branch BUG2
+    cmpi r2, 2
+    jne  s2
+    call err2
+s2:
+    exit
+.func err1 log
+err1:
+    print m1
+    fail 1
+    ret
+.func err2 log
+err2:
+    print m2
+    fail 2
+    ret
+`
+
+func TestDiagnoseRunsBySiteAPI(t *testing.T) {
+	p, err := Assemble("twosite", twoSiteBug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Instrument(InstrumentOptions{LBR: true, Proactive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failing, succeeding []*RunResult
+	for mode := int64(1); mode <= 2; mode++ {
+		for seed := int64(0); seed < 4; seed++ {
+			r, err := b.Run(RunConfig{Seed: seed, Globals: map[string]int64{"mode": mode}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			failing = append(failing, r)
+		}
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		r, err := b.Run(RunConfig{Seed: seed, Globals: map[string]int64{"mode": 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		succeeding = append(succeeding, r)
+	}
+	sites, err := DiagnoseRunsBySite(failing, succeeding, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 2 {
+		t.Fatalf("%d sites, want 2", len(sites))
+	}
+	wantTop := map[string]string{"a.c": "branch BUG1=true", "b.c": "branch BUG2=true"}
+	for _, s := range sites {
+		if s.Failures != 4 {
+			t.Errorf("site %s:%d saw %d failures, want 4", s.File, s.Line, s.Failures)
+		}
+		top, ok := s.Report.Top()
+		if !ok || top.Event != wantTop[s.File] {
+			t.Errorf("site %s top = %+v, want %s", s.File, top, wantTop[s.File])
+		}
+	}
+}
