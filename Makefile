@@ -1,0 +1,8 @@
+# Tier-1 gate: everything a PR must keep green (see ROADMAP.md).
+check:
+	@sh scripts/check.sh
+
+bench:
+	go test -bench=. -benchmem ./...
+
+.PHONY: check bench

@@ -4,11 +4,14 @@
 // Usage:
 //
 //	experiments [-table N] [-failruns N] [-succruns N] [-cbiruns N] [-overhead N] [-seed N]
+//	            [-trace out.json] [-metrics] [-v]
 //
 // Without -table it regenerates every table. The defaults follow the
 // paper's experiment configuration (10 failure + 10 success runs for
 // LBRA/LCRA, 1000+1000 runs for CBI at 1/100 sampling); lower -cbiruns for
-// a faster, noisier pass.
+// a faster, noisier pass. After each table a one-line summary reports the
+// rows computed, app runs driven, simulated cycles and wall time; it exits
+// non-zero on any table-generation error.
 package main
 
 import (
@@ -18,6 +21,8 @@ import (
 	"time"
 
 	"stmdiag"
+	"stmdiag/internal/cliobs"
+	"stmdiag/internal/obs"
 )
 
 func main() {
@@ -27,20 +32,29 @@ func main() {
 	cbiRuns := flag.Int("cbiruns", 1000, "CBI runs per class (paper default 1000)")
 	overhead := flag.Int("overhead", 10, "runs averaged per overhead figure")
 	seed := flag.Int64("seed", 0, "base seed")
+	tf := cliobs.Register()
 	flag.Parse()
 
+	// The per-table summaries need the metrics registry even when the
+	// telemetry flags are off.
+	sink := tf.Sink()
+	if sink == nil {
+		sink = obs.NewSink()
+	}
 	cfg := stmdiag.ExperimentConfig{
 		FailRuns:     *failRuns,
 		SuccRuns:     *succRuns,
 		CBIRuns:      *cbiRuns,
 		OverheadRuns: *overhead,
 		Seed:         *seed,
+		Obs:          sink,
 	}
 	tables := []int{1, 2, 3, 4, 5, 6, 7}
 	if *table != 0 {
 		tables = []int{*table}
 	}
 	for _, n := range tables {
+		before := sink.Metrics.Snapshot()
 		start := time.Now()
 		out, err := stmdiag.RenderTable(n, cfg)
 		if err != nil {
@@ -48,6 +62,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(out)
-		fmt.Printf("(table %d regenerated in %v)\n\n", n, time.Since(start).Round(time.Millisecond))
+		d := sink.Metrics.Snapshot().Delta(before)
+		fmt.Printf("table %d: rows=%d runs=%d cycles=%d wall=%v\n\n",
+			n, d.Counter("harness.rows"), d.Counter("vm.runs"),
+			d.Counter("vm.cycles"), time.Since(start).Round(time.Millisecond))
+	}
+	if err := tf.Finish(sink, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

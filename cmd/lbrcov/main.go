@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	lbrcov -app sort [-period N] [-seed N]
+//	lbrcov -app sort [-period N] [-seed N] [-trace out.json] [-metrics] [-v]
 //	lbrcov -synth [-funcs N] [-stmts N] [-period N]
 package main
 
@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"stmdiag/internal/apps"
+	"stmdiag/internal/cliobs"
 	"stmdiag/internal/harness"
 	"stmdiag/internal/isa"
 	"stmdiag/internal/synth"
@@ -29,7 +30,9 @@ func main() {
 	stmts := flag.Int("stmts", 40, "synthetic statements per function")
 	period := flag.Int("period", 500, "steps between LBR drains")
 	seed := flag.Int64("seed", 1, "seed")
+	tf := cliobs.Register()
 	flag.Parse()
+	sink := tf.Sink()
 
 	var prog *isa.Program
 	opts := vm.Options{Seed: *seed}
@@ -51,6 +54,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	opts.Obs = sink
 	res, err := harness.RunCoverage(prog, opts, *period)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -62,4 +66,8 @@ func main() {
 	fmt.Printf("edges executed:    %d\n", res.ExecutedEdges)
 	fmt.Printf("edges recovered:   %d (%.1f%% coverage)\n", res.CoveredEdges, 100*res.Coverage)
 	fmt.Printf("sampling overhead: %.1f%%\n", 100*res.Overhead)
+	if err := tf.Finish(sink, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	report -app sort [-seed N] > bundle.json
+//	report -app sort [-seed N] [-trace out.json] [-metrics] [-v] > bundle.json
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"stmdiag/internal/apps"
+	"stmdiag/internal/cliobs"
 	"stmdiag/internal/core"
 	"stmdiag/internal/kernel"
 	"stmdiag/internal/pmu"
@@ -24,7 +25,15 @@ import (
 func main() {
 	app := flag.String("app", "", "benchmark to crash and report (see stmdiag -list)")
 	seed := flag.Int64("seed", 0, "starting scheduler seed")
+	tf := cliobs.Register()
 	flag.Parse()
+	sink := tf.Sink()
+	finish := func() {
+		if err := tf.Finish(sink, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *app == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -44,6 +53,7 @@ func main() {
 		opts.Driver = kernel.Driver{}
 		opts.SegvIoctls = inst.SegvIoctls
 		opts.LCRConfig = pmu.ConfSpaceConsuming
+		opts.Obs = sink
 		res, err := vm.Run(inst.Prog, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -64,8 +74,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "failure at seed %d; bundle audited clean (%d bytes)\n", s, len(data))
 		os.Stdout.Write(data)
 		fmt.Println()
+		finish()
 		return
 	}
 	fmt.Fprintln(os.Stderr, "no failing run within 400 seeds")
+	finish()
 	os.Exit(1)
 }

@@ -6,6 +6,7 @@
 //
 //	stmdiag -list
 //	stmdiag -app sort [-failruns N] [-succruns N] [-seed N]
+//	        [-trace out.json] [-metrics] [-v]
 //
 // For a sequential benchmark it prints the Table 6 row (LBRLOG entry ranks
 // with and without toggling, LBRA and CBI predictor ranks, patch distances,
@@ -19,6 +20,7 @@ import (
 	"os"
 
 	"stmdiag"
+	"stmdiag/internal/cliobs"
 )
 
 func main() {
@@ -29,7 +31,15 @@ func main() {
 	succRuns := flag.Int("succruns", 10, "success runs for automatic diagnosis")
 	cbiRuns := flag.Int("cbiruns", 400, "CBI baseline runs per class")
 	seed := flag.Int64("seed", 0, "base seed")
+	tf := cliobs.Register()
 	flag.Parse()
+	sink := tf.Sink()
+	defer func() {
+		if err := tf.Finish(sink, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}()
 
 	if *list {
 		fmt.Printf("%-12s %-9s %8s  %-22s %s\n", "name", "version", "KLOC", "root cause", "symptom")
@@ -43,6 +53,7 @@ func main() {
 		SuccRuns: *succRuns,
 		CBIRuns:  *cbiRuns,
 		Seed:     *seed,
+		Obs:      sink,
 	}
 	if *all {
 		for _, b := range stmdiag.Benchmarks() {

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"stmdiag"
+	"stmdiag/internal/obs"
 )
 
 const src = `
@@ -88,6 +89,10 @@ func main() {
 	fmt.Printf("\nbundle contains the secret value: %v\n", leak)
 	violations := build.AuditReport(bundle)
 	fmt.Printf("privacy audit violations: %d\n", len(violations))
+	snap := obs.Default().Snapshot()
+	fmt.Printf("what the audit checked: %d bundle(s), %d fields verified as code-only; encoder redacted %d coherence addresses\n",
+		snap.Counter("trace.audit.bundles"), snap.Counter("trace.audit.fields"),
+		snap.Counter("trace.encode.redacted"))
 
 	// The whole-execution contrast (paper §2.1): the BTS trace is larger
 	// but still value-free; its cost is what rules it out.

@@ -127,6 +127,7 @@ type System struct {
 	cfg    Config
 	caches []*Cache
 	tick   uint64
+	tel    telemetry
 }
 
 // NewSystem builds a coherent domain of ncores caches.
@@ -196,25 +197,38 @@ func (s *System) Access(core int, wordAddr int64, kind AccessKind) State {
 
 	if ln != nil && ln.state != Invalid {
 		c.stats.Hits++
+		s.tel.hits.Inc()
 		ln.lastUse = s.tick
 		if kind == Store {
 			switch ln.state {
 			case Shared:
 				// Upgrade: invalidate every remote copy.
+				s.tel.busUpgr.Inc()
 				s.invalidateOthers(core, set, tag)
 				ln.state = Modified
 			case Exclusive:
 				ln.state = Modified
 			}
+			s.tel.transition(observed, ln.state)
 		}
 		return observed
 	}
 
 	// Miss (absent or Invalid): fetch over the bus.
 	c.stats.Misses++
+	s.tel.misses.Inc()
+	if kind == Store {
+		s.tel.busRdX.Inc()
+	} else {
+		s.tel.busRd.Inc()
+	}
 	remote := s.snoop(core, set, tag, kind)
 	if ln == nil {
+		evBefore := c.stats.Evictions
 		ln = c.victim(set)
+		if c.stats.Evictions != evBefore {
+			s.tel.evictions.Inc()
+		}
 	}
 	ln.tag = tag
 	ln.lastUse = s.tick
@@ -226,6 +240,7 @@ func (s *System) Access(core int, wordAddr int64, kind AccessKind) State {
 	default:
 		ln.state = Exclusive
 	}
+	s.tel.transition(observed, ln.state)
 	return observed
 }
 
@@ -287,10 +302,13 @@ func (s *System) snoop(requester, set int, tag int64, kind AccessKind) bool {
 		}
 		shared = true
 		if kind == Store {
+			s.tel.transition(ln.state, Invalid)
 			ln.state = Invalid
 			c.stats.Invalidations++
+			s.tel.invalidations.Inc()
 		} else if ln.state == Modified || ln.state == Exclusive {
 			// Writeback (for M) is implicit; both ends hold S after.
+			s.tel.transition(ln.state, Shared)
 			ln.state = Shared
 		}
 	}
@@ -304,8 +322,10 @@ func (s *System) invalidateOthers(requester, set int, tag int64) {
 			continue
 		}
 		if ln := c.find(set, tag); ln != nil {
+			s.tel.transition(ln.state, Invalid)
 			ln.state = Invalid
 			c.stats.Invalidations++
+			s.tel.invalidations.Inc()
 		}
 	}
 }

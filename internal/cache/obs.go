@@ -1,0 +1,50 @@
+package cache
+
+import "stmdiag/internal/obs"
+
+// telemetry caches the coherent domain's counters. The zero value is
+// detached (all counters nil, methods no-ops), so an unattached System
+// pays only nil checks on the access path.
+type telemetry struct {
+	hits          *obs.Counter
+	misses        *obs.Counter
+	evictions     *obs.Counter
+	invalidations *obs.Counter
+	busRd         *obs.Counter // read transactions (load misses)
+	busRdX        *obs.Counter // read-for-ownership transactions (store misses)
+	busUpgr       *obs.Counter // upgrade transactions (S->M without refill)
+	mesi          [4][4]*obs.Counter
+}
+
+// AttachObs resolves the domain's telemetry counters ("cache.*") from the
+// sink, including the full from->to MESI transition matrix
+// ("cache.mesi.I>E", ...). A nil sink detaches.
+func (s *System) AttachObs(sink *obs.Sink) {
+	if sink == nil {
+		s.tel = telemetry{}
+		return
+	}
+	s.tel = telemetry{
+		hits:          sink.Counter("cache.hits"),
+		misses:        sink.Counter("cache.misses"),
+		evictions:     sink.Counter("cache.evictions"),
+		invalidations: sink.Counter("cache.invalidations"),
+		busRd:         sink.Counter("cache.bus.rd"),
+		busRdX:        sink.Counter("cache.bus.rdx"),
+		busUpgr:       sink.Counter("cache.bus.upgrade"),
+	}
+	for from := Invalid; from <= Modified; from++ {
+		for to := Invalid; to <= Modified; to++ {
+			s.tel.mesi[from][to] = sink.Counter(
+				"cache.mesi." + from.String() + ">" + to.String())
+		}
+	}
+}
+
+// transition counts one line's state change; no-op when detached or when
+// the state did not change.
+func (t *telemetry) transition(from, to State) {
+	if c := t.mesi[from][to]; c != nil && from != to {
+		c.Inc()
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"stmdiag/internal/isa"
+	"stmdiag/internal/obs"
 	"stmdiag/internal/stats"
 	"stmdiag/internal/vm"
 )
@@ -53,16 +54,19 @@ type RunObs struct {
 // Attach with Attach before vm.Machine.Run; read the run's observations
 // with Finish.
 type Observer struct {
-	rate   float64
-	rng    *rand.Rand
-	obs    RunObs
-	active map[string]bool // nil = every branch instrumented
+	rate    float64
+	rng     *rand.Rand
+	obs     RunObs
+	active  map[string]bool // nil = every branch instrumented
+	sampled *obs.Counter    // slow-path samples fired, process-wide
 }
 
 // NewObserver builds an observer with the given sampling rate and seed.
 // The seed must differ from the scheduler seed to avoid correlated
 // sampling.
 func NewObserver(rate float64, seed int64) *Observer {
+	reg := obs.Default()
+	reg.Counter("cbi.observers").Inc()
 	return &Observer{
 		rate: rate,
 		rng:  rand.New(rand.NewSource(seed)),
@@ -70,6 +74,7 @@ func NewObserver(rate float64, seed int64) *Observer {
 			Observed: make(map[Pred]bool),
 			True:     make(map[Pred]bool),
 		},
+		sampled: reg.Counter("cbi.predicates.sampled"),
 	}
 }
 
@@ -95,6 +100,7 @@ func (o *Observer) Attach(m *vm.Machine) {
 			return
 		}
 		m.AddCycles(vm.CostSampleSlow)
+		o.sampled.Inc()
 		name := prog.BranchName(in.BranchID)
 		outcome := in.Edge
 		if !vm.CondTaken(in.Op, t.Flags) {

@@ -1,0 +1,76 @@
+// Package cliobs wires the -trace / -metrics / -v telemetry flags shared
+// by the command-line binaries onto the internal/obs layer.
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"stmdiag/internal/obs"
+)
+
+// Flags holds the parsed telemetry flags.
+type Flags struct {
+	// TracePath is the -trace destination ("" = tracing off).
+	TracePath string
+	// Metrics prints a metrics snapshot after the run (-metrics).
+	Metrics bool
+	// Verbose raises trace detail to per-branch/per-coherence events (-v).
+	Verbose bool
+}
+
+// Register installs -trace, -metrics and -v on the default flag set. Call
+// before flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.TracePath, "trace", "", "write a Chrome trace_event JSON trace (chrome://tracing, Perfetto) to this `file`")
+	flag.BoolVar(&f.Metrics, "metrics", false, "print the telemetry counters after the run")
+	flag.BoolVar(&f.Verbose, "v", false, "record fine-grained (per-branch, per-coherence-event) trace events")
+	return f
+}
+
+// Sink builds the sink the flags ask for. It returns nil when every flag
+// is off, keeping the disabled-telemetry path free. Metrics land in the
+// process-wide registry so instrumentation-time counters (sites
+// instrumented, bundles audited) appear in the same snapshot.
+func (f *Flags) Sink() *obs.Sink {
+	if f.TracePath == "" && !f.Metrics && !f.Verbose {
+		return nil
+	}
+	s := obs.NewSink()
+	if f.TracePath != "" {
+		s.Trace = obs.NewTracer()
+	}
+	if f.Verbose {
+		s.Verbosity = 1
+	}
+	return s
+}
+
+// Finish writes the trace file and prints the metrics snapshot to w as the
+// flags request.
+func (f *Flags) Finish(s *obs.Sink, w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	if f.TracePath != "" && s.Trace != nil {
+		data, err := s.Trace.ChromeJSON()
+		if err != nil {
+			return fmt.Errorf("cliobs: encode trace: %w", err)
+		}
+		if err := os.WriteFile(f.TracePath, data, 0o644); err != nil {
+			return fmt.Errorf("cliobs: write trace: %w", err)
+		}
+		fmt.Fprintf(w, "trace: %d events -> %s", s.Trace.Len(), f.TracePath)
+		if d := s.Trace.Dropped(); d > 0 {
+			fmt.Fprintf(w, " (%d dropped at limit)", d)
+		}
+		fmt.Fprintln(w)
+	}
+	if f.Metrics && s.Metrics != nil {
+		fmt.Fprint(w, s.Metrics.Snapshot().Text())
+	}
+	return nil
+}

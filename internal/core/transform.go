@@ -6,6 +6,7 @@ import (
 	"stmdiag/internal/cfg"
 	"stmdiag/internal/isa"
 	"stmdiag/internal/kernel"
+	"stmdiag/internal/obs"
 )
 
 // Scheme selects how success-run profiles are collected (paper §5.2).
@@ -175,6 +176,10 @@ func EnhanceLogging(p *isa.Program, opts Options) (*Instrumented, error) {
 	if opts.LCR {
 		inst.SegvIoctls = append(inst.SegvIoctls, kernel.ReqDisableLCR, kernel.ReqProfileLCR)
 	}
+	reg := obs.Default()
+	reg.Counter("core.instrumented").Inc()
+	reg.Counter("core.sites.failure").Add(uint64(inst.FailureSites))
+	reg.Counter("core.sites.success").Add(uint64(inst.SuccessSites))
 	return inst, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"stmdiag/internal/apps"
 	"stmdiag/internal/core"
 	"stmdiag/internal/kernel"
+	"stmdiag/internal/obs"
 	"stmdiag/internal/pmu"
 	"stmdiag/internal/vm"
 )
@@ -26,6 +27,8 @@ type ConcResult struct {
 	// FailRate is the observed failure probability of the failure
 	// workload, a sanity signal for the interleaving engineering.
 	FailRate float64
+	// Metrics is this row's telemetry delta, nil without a metrics sink.
+	Metrics *obs.Snapshot
 }
 
 // fpeMatch builds an event predicate from an FPE description.
@@ -53,12 +56,13 @@ func coherenceRank(p *core.Instrumented, prof vm.Profile, want *apps.FPEWant) in
 }
 
 // runConc executes one LCR-instrumented run.
-func runConc(a *apps.App, inst *core.Instrumented, w apps.Workload, seed int64, conf pmu.LCRConfig, lcrSize int) (*vm.Result, error) {
+func runConc(a *apps.App, inst *core.Instrumented, w apps.Workload, seed int64, conf pmu.LCRConfig, cfg Config) (*vm.Result, error) {
 	opts := w.VMOptions(seed)
 	opts.Driver = kernel.Driver{}
 	opts.SegvIoctls = inst.SegvIoctls
 	opts.LCRConfig = conf
-	opts.LCRSize = lcrSize
+	opts.LCRSize = cfg.LCRSize
+	opts.Obs = cfg.Obs
 	return vm.Run(inst.Prog, opts)
 }
 
@@ -72,7 +76,7 @@ func collectConc(a *apps.App, inst *core.Instrumented, conf pmu.LCRConfig, wantF
 	}
 	for seed := int64(0); len(out) < n && seed < int64(cfg.MaxAttempts); seed++ {
 		attempts++
-		res, err := runConc(a, inst, w, cfg.Seed+seedBase+seed, conf, cfg.LCRSize)
+		res, err := runConc(a, inst, w, cfg.Seed+seedBase+seed, conf, cfg)
 		if err != nil {
 			return nil, attempts, err
 		}
@@ -126,6 +130,7 @@ func RunConcurrent(a *apps.App, cfg Config) (*ConcResult, error) {
 	cfg = cfg.withDefaults()
 	p := a.Program()
 	res := &ConcResult{App: a}
+	rowStart := beginRow(cfg, a.Name, "concurrent")
 
 	inst, err := core.EnhanceLogging(p, core.Options{LCR: true, Toggling: true})
 	if err != nil {
@@ -200,5 +205,6 @@ func RunConcurrent(a *apps.App, cfg Config) (*ConcResult, error) {
 			}
 		}
 	}
+	res.Metrics = endRow(cfg, rowStart)
 	return res, nil
 }

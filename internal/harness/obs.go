@@ -1,0 +1,32 @@
+package harness
+
+import "stmdiag/internal/obs"
+
+// beginRow tags the start of one table row in the sink and freezes the
+// registry so endRow can attach a per-row metrics delta. Safe with a nil
+// or metrics-less sink (returns an empty snapshot).
+func beginRow(cfg Config, app, mode string) obs.Snapshot {
+	if cfg.Obs == nil {
+		return obs.Snapshot{}
+	}
+	cfg.Obs.Counter("harness.rows").Inc()
+	cfg.Obs.Counter("harness.rows." + mode).Inc()
+	if tr := cfg.Obs.Tracer(); tr != nil {
+		tr.SetProcessName(obs.PipelinePID, "pipeline")
+		tr.Instant("row:"+app, "harness", 0, obs.PipelinePID, 0,
+			map[string]any{"mode": mode})
+	}
+	if cfg.Obs.Metrics == nil {
+		return obs.Snapshot{}
+	}
+	return cfg.Obs.Metrics.Snapshot()
+}
+
+// endRow returns this row's metrics delta, or nil without a registry.
+func endRow(cfg Config, before obs.Snapshot) *obs.Snapshot {
+	if cfg.Obs == nil || cfg.Obs.Metrics == nil {
+		return nil
+	}
+	d := cfg.Obs.Metrics.Snapshot().Delta(before)
+	return &d
+}

@@ -13,6 +13,7 @@ import (
 	"stmdiag/internal/core"
 	"stmdiag/internal/isa"
 	"stmdiag/internal/kernel"
+	"stmdiag/internal/obs"
 	"stmdiag/internal/vm"
 )
 
@@ -35,6 +36,10 @@ type Config struct {
 	Seed int64
 	// LBRSize and LCRSize override record depths (0 = paper defaults).
 	LBRSize, LCRSize int
+	// Obs is the optional telemetry sink. It flows into every VM run the
+	// harness drives; each table row is tagged on the trace and each
+	// row result carries its metrics delta.
+	Obs *obs.Sink
 }
 
 // DefaultConfig is the paper's experiment configuration.
@@ -88,14 +93,17 @@ type SeqResult struct {
 	DistFailureSite, DistLBR int
 	// Overheads, as fractions (0.01 = 1%).
 	OvLogTog, OvLogNoTog, OvReactive, OvProactive, OvCBI float64
+	// Metrics is this row's telemetry delta, nil without a metrics sink.
+	Metrics *obs.Snapshot
 }
 
 // runApp executes one instrumented run.
-func runApp(inst *core.Instrumented, w apps.Workload, seed int64, lbrSize int) (*vm.Result, error) {
+func runApp(inst *core.Instrumented, w apps.Workload, seed int64, cfg Config) (*vm.Result, error) {
 	opts := w.VMOptions(seed)
 	opts.Driver = kernel.Driver{}
 	opts.SegvIoctls = inst.SegvIoctls
-	opts.LBRSize = lbrSize
+	opts.LBRSize = cfg.LBRSize
+	opts.Obs = cfg.Obs
 	return vm.Run(inst.Prog, opts)
 }
 
@@ -129,8 +137,8 @@ func rankWithFallback(a *apps.App, p *isa.Program, prof vm.Profile) (rank int, r
 
 // failureProfileOf runs the failure workload once and extracts the
 // failure-run profile.
-func failureProfileOf(a *apps.App, inst *core.Instrumented, seed int64, lbrSize int) (vm.Profile, error) {
-	res, err := runApp(inst, a.Fail, seed, lbrSize)
+func failureProfileOf(a *apps.App, inst *core.Instrumented, seed int64, cfg Config) (vm.Profile, error) {
+	res, err := runApp(inst, a.Fail, seed, cfg)
 	if err != nil {
 		return vm.Profile{}, err
 	}
@@ -170,7 +178,7 @@ func origFailurePC(a *apps.App, inst *core.Instrumented, prof vm.Profile) (int, 
 func successProfiles(a *apps.App, inst *core.Instrumented, cfg Config) ([]core.ProfiledRun, error) {
 	var out []core.ProfiledRun
 	for seed := int64(0); len(out) < cfg.SuccRuns && seed < int64(cfg.MaxAttempts); seed++ {
-		res, err := runApp(inst, a.Succeed, cfg.Seed+1000+seed, cfg.LBRSize)
+		res, err := runApp(inst, a.Succeed, cfg.Seed+1000+seed, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -198,6 +206,7 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 	cfg = cfg.withDefaults()
 	p := a.Program()
 	res := &SeqResult{App: a}
+	rowStart := beginRow(cfg, a.Name, "sequential")
 
 	logTog, err := core.EnhanceLogging(p, core.Options{LBR: true, Toggling: true})
 	if err != nil {
@@ -209,12 +218,12 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 	}
 
 	// LBRLOG ranks and patch distances from one failure-run profile each.
-	profTog, err := failureProfileOf(a, logTog, cfg.Seed, cfg.LBRSize)
+	profTog, err := failureProfileOf(a, logTog, cfg.Seed, cfg)
 	if err != nil {
 		return nil, err
 	}
 	res.RankTog, res.RelatedTog = rankWithFallback(a, logTog.Prog, profTog)
-	profNoTog, err := failureProfileOf(a, logNoTog, cfg.Seed, cfg.LBRSize)
+	profNoTog, err := failureProfileOf(a, logNoTog, cfg.Seed, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +240,7 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 	// from the reactive redeployment.
 	var failProfiles []core.ProfiledRun
 	for seed := int64(0); len(failProfiles) < cfg.FailRuns && seed < int64(cfg.MaxAttempts); seed++ {
-		prof, err := failureProfileOf(a, logTog, cfg.Seed+seed, cfg.LBRSize)
+		prof, err := failureProfileOf(a, logTog, cfg.Seed+seed, cfg)
 		if err != nil {
 			continue
 		}
@@ -300,6 +309,7 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 		return nil, err
 	}
 	res.OvCBI = overhead(base, cbiCycles)
+	res.Metrics = endRow(cfg, rowStart)
 	return res, nil
 }
 
@@ -318,7 +328,9 @@ func runCBI(a *apps.App, cfg Config) (int, error) {
 	collect := func(w apps.Workload, wantFail bool, n int, base int64) error {
 		got := 0
 		for seed := int64(0); got < n && seed < int64(n)*4; seed++ {
-			m, err := vm.New(p, w.VMOptions(cfg.Seed+base+seed))
+			opts := w.VMOptions(cfg.Seed + base + seed)
+			opts.Obs = cfg.Obs
+			m, err := vm.New(p, opts)
 			if err != nil {
 				return err
 			}
@@ -362,6 +374,7 @@ func meanCycles(p *isa.Program, a *apps.App, segv []int64, hook func(*vm.Machine
 		seed := cfg.Seed + int64(i)
 		opts := a.Succeed.VMOptions(seed)
 		opts.LBRSize = cfg.LBRSize
+		opts.Obs = cfg.Obs
 		if segv != nil {
 			opts.SegvIoctls = segv
 		}

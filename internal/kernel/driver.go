@@ -57,6 +57,37 @@ const (
 	ReqProfileLCRSuccess
 )
 
+// reqName names a request code for telemetry and debug output.
+func reqName(req int64) string {
+	switch req {
+	case ReqCleanLBR:
+		return "clean_lbr"
+	case ReqConfigLBR:
+		return "config_lbr"
+	case ReqEnableLBR:
+		return "enable_lbr"
+	case ReqDisableLBR:
+		return "disable_lbr"
+	case ReqProfileLBR:
+		return "profile_lbr"
+	case ReqProfileLBRSuccess:
+		return "profile_lbr_success"
+	case ReqCleanLCR:
+		return "clean_lcr"
+	case ReqConfigLCR:
+		return "config_lcr"
+	case ReqEnableLCR:
+		return "enable_lcr"
+	case ReqDisableLCR:
+		return "disable_lcr"
+	case ReqProfileLCR:
+		return "profile_lcr"
+	case ReqProfileLCRSuccess:
+		return "profile_lcr_success"
+	}
+	return fmt.Sprintf("req%d", req)
+}
+
 // Driver implements vm.Driver over the machine's PMU state.
 type Driver struct{}
 
@@ -64,6 +95,9 @@ var _ vm.Driver = Driver{}
 
 // Ioctl services one request on behalf of thread t.
 func (Driver) Ioctl(m *vm.Machine, t *vm.Thread, req int64) error {
+	if s := m.Obs(); s != nil {
+		s.Counter("kernel.ioctl." + reqName(req)).Inc()
+	}
 	core := m.CoreOf(t)
 	switch req {
 	case ReqCleanLBR:
@@ -98,9 +132,9 @@ func (Driver) Ioctl(m *vm.Machine, t *vm.Thread, req int64) error {
 		t.LCR.Configure(m.Opts().LCRConfig)
 	case ReqEnableLCR:
 		t.LCR.SetEnabled(true)
-		injectEnablePollution(t)
+		injectEnablePollution(m, t)
 	case ReqDisableLCR:
-		injectDisablePollution(t)
+		injectDisablePollution(m, t)
 		t.LCR.SetEnabled(false)
 	case ReqProfileLCR, ReqProfileLCRSuccess:
 		m.AddCycles(vm.CostProfile)
@@ -124,18 +158,29 @@ const PollutionPC = -1
 
 // injectEnablePollution models the two user-level exclusive reads the
 // enabling ioctl introduces (paper §4.3).
-func injectEnablePollution(t *vm.Thread) {
+func injectEnablePollution(m *vm.Machine, t *vm.Thread) {
 	for i := 0; i < 2; i++ {
-		t.LCR.Record(pmu.CoherenceEvent{PC: PollutionPC, Kind: cache.Load, State: cache.Exclusive})
+		pollute(m, t, cache.Exclusive)
 	}
 }
 
 // injectDisablePollution models the two user-level exclusive reads and one
 // user-level shared read the disabling ioctl introduces before recording
 // stops (paper §4.3).
-func injectDisablePollution(t *vm.Thread) {
+func injectDisablePollution(m *vm.Machine, t *vm.Thread) {
 	for i := 0; i < 2; i++ {
-		t.LCR.Record(pmu.CoherenceEvent{PC: PollutionPC, Kind: cache.Load, State: cache.Exclusive})
+		pollute(m, t, cache.Exclusive)
 	}
-	t.LCR.Record(pmu.CoherenceEvent{PC: PollutionPC, Kind: cache.Load, State: cache.Shared})
+	pollute(m, t, cache.Shared)
+}
+
+// pollute offers one dummy event to the thread's LCR and counts it when it
+// actually lands in the record.
+func pollute(m *vm.Machine, t *vm.Thread, st cache.State) {
+	recorded, _ := t.LCR.Record(pmu.CoherenceEvent{PC: PollutionPC, Kind: cache.Load, State: st})
+	if recorded {
+		if s := m.Obs(); s != nil {
+			s.Counter("kernel.lcr.pollution").Inc()
+		}
+	}
 }

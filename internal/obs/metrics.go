@@ -1,0 +1,388 @@
+// Package obs is the zero-dependency observability layer of the system
+// (DESIGN §6: pure stdlib). It has two halves:
+//
+//   - Metrics: a Registry of named counters, gauges and fixed-bucket
+//     histograms with a lock-free hot path (atomic adds), snapshot/reset,
+//     and deterministic text and JSON rendering. The process-wide registry
+//     (Default) collects instrumentation-time facts (sites instrumented,
+//     predicates sampled, audit coverage); per-run registries hang off a
+//     Sink threaded through vm.Options.
+//
+//   - Tracing: a Tracer of structured events (branch retired, coherence
+//     event, ring push/evict, profile capture, diagnosis phase) timestamped
+//     by the VM cycle clock — never wall clock — so traces are bit-identical
+//     across runs of the same seed, with an exporter to Chrome trace_event
+//     JSON (chrome://tracing, Perfetto) and a compact text dump.
+//
+// Every mutating method is nil-safe on its receiver: a nil *Counter,
+// *Gauge, *Histogram, *Tracer or *Sink turns the call into a no-op, so
+// instrumented hot paths compile to a nil-check when telemetry is off.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain counters from a Registry. All methods are safe on a nil receiver.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n; no-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one; no-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. All methods are safe on a nil
+// receiver.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value; no-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by delta; no-op on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 for a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram of uint64 observations. Bucket i
+// counts observations v <= Bounds[i]; one implicit overflow bucket counts
+// the rest. Observations are lock-free atomic adds.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64 // len(bounds)+1, last is overflow
+	sum    atomic.Uint64
+	n      atomic.Uint64
+}
+
+// DefaultCycleBounds is a power-of-four bucket ladder suited to run cycle
+// and step counts (64 .. ~16M).
+var DefaultCycleBounds = []uint64{
+	64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10,
+	256 << 10, 1 << 20, 4 << 20, 16 << 20,
+}
+
+// Observe records one value; no-op on a nil receiver.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Registry holds named instruments. Lookup (Counter/Gauge/Histogram) is a
+// read-locked map access and is meant for setup paths; hot paths cache the
+// returned pointer and pay only an atomic add per event.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry. Instrumentation that has no
+// Sink in reach (the LBRLOG transformer, CBI observers, the bundle audit)
+// counts here.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns (creating if needed) the named counter. nil-safe: a nil
+// registry returns a nil counter, whose methods are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge; nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram with the given
+// ascending upper bounds; nil-safe. Bounds of an existing histogram are
+// kept (first registration wins).
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		b := make([]uint64, len(bounds))
+		copy(b, bounds)
+		h = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered instrument in place. Cached instrument
+// pointers stay valid — only their values reset.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.sum.Store(0)
+		h.n.Store(0)
+	}
+}
+
+// HistogramSnapshot is one histogram's frozen state.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra overflow
+	// bucket at the end.
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	// Count and Sum aggregate all observations.
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+}
+
+// Snapshot is a frozen view of a registry. Maps marshal with sorted keys,
+// so JSON() and Text() are deterministic.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.v.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.v.Load()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Bounds: append([]uint64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			Count:  h.n.Load(),
+			Sum:    h.sum.Load(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Counter returns a counter's snapshotted value (0 if absent).
+func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// Delta returns s minus prev, per instrument: counters and histogram
+// counts subtract (clamped at 0), gauges keep their current value.
+// Instruments absent from prev pass through unchanged.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	sub := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = sub(v, prev.Counters[name])
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		p, ok := prev.Histograms[name]
+		d := HistogramSnapshot{
+			Bounds: append([]uint64(nil), h.Bounds...),
+			Counts: make([]uint64, len(h.Counts)),
+			Count:  h.Count,
+			Sum:    h.Sum,
+		}
+		if ok && len(p.Counts) == len(h.Counts) {
+			d.Count = sub(h.Count, p.Count)
+			d.Sum = sub(h.Sum, p.Sum)
+			for i := range h.Counts {
+				d.Counts[i] = sub(h.Counts[i], p.Counts[i])
+			}
+		} else {
+			copy(d.Counts, h.Counts)
+		}
+		out.Histograms[name] = d
+	}
+	return out
+}
+
+// Text renders the snapshot as sorted "name value" lines. Zero-valued
+// instruments are skipped so deltas stay readable.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if v := s.Counters[name]; v != 0 {
+			fmt.Fprintf(&b, "%-40s %d\n", name, v)
+		}
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if v := s.Gauges[name]; v != 0 {
+			fmt.Fprintf(&b, "%-40s %d\n", name, v)
+		}
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-40s count=%d sum=%d", name, h.Count, h.Sum)
+		for i, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			if i < len(h.Bounds) {
+				fmt.Fprintf(&b, " le%d=%d", h.Bounds[i], c)
+			} else {
+				fmt.Fprintf(&b, " inf=%d", c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as deterministic (sorted-key) JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeNilSafe(t *testing.T) {
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatalf("nil counter value = %d", c.Value())
+	}
+	var g *Gauge
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge value = %d", g.Value())
+	}
+	var h *Histogram
+	h.Observe(7)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil histogram recorded")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Fatalf("nil registry returned non-nil instrument")
+	}
+	r.Reset()
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatalf("nil registry snapshot non-empty")
+	}
+	var tr *Tracer
+	tr.Instant("x", "c", 1, 0, 0, nil)
+	tr.Advance(10)
+	if tr.Len() != 0 || tr.Base() != 0 {
+		t.Fatalf("nil tracer recorded")
+	}
+	var s *Sink
+	s.Counter("x").Inc()
+	if s.Tracing() || s.Verbose() || s.Tracer() != nil {
+		t.Fatalf("nil sink active")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("a")
+	if a != r.Counter("a") {
+		t.Fatalf("Counter not idempotent")
+	}
+	a.Add(2)
+	a.Inc()
+	if a.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", a.Value())
+	}
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+	h := r.Histogram("h", []uint64{10, 100})
+	if h != r.Histogram("h", []uint64{999}) {
+		t.Fatalf("Histogram not idempotent")
+	}
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	if h.Count() != 3 || h.Sum() != 555 {
+		t.Fatalf("hist count=%d sum=%d", h.Count(), h.Sum())
+	}
+	snap := r.Snapshot()
+	hs := snap.Histograms["h"]
+	want := []uint64{1, 1, 1}
+	for i, c := range hs.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+}
+
+func TestResetPreservesPointers(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", []uint64{1})
+	c.Add(9)
+	h.Observe(2)
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("reset did not zero values")
+	}
+	// The cached pointer must still feed the registry.
+	c.Inc()
+	if r.Snapshot().Counter("c") != 1 {
+		t.Fatalf("cached pointer detached after Reset")
+	}
+}
+
+func TestSnapshotDeltaAndRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("vm.steps")
+	h := r.Histogram("vm.run.cycles", []uint64{100})
+	c.Add(10)
+	h.Observe(50)
+	before := r.Snapshot()
+	c.Add(5)
+	h.Observe(200)
+	after := r.Snapshot()
+	d := after.Delta(before)
+	if d.Counter("vm.steps") != 5 {
+		t.Fatalf("delta counter = %d, want 5", d.Counter("vm.steps"))
+	}
+	dh := d.Histograms["vm.run.cycles"]
+	if dh.Count != 1 || dh.Sum != 200 || dh.Counts[0] != 0 || dh.Counts[1] != 1 {
+		t.Fatalf("delta histogram = %+v", dh)
+	}
+	txt := d.Text()
+	if !bytes.Contains([]byte(txt), []byte("vm.steps")) {
+		t.Fatalf("Text missing counter: %q", txt)
+	}
+	j1, err := after.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := after.JSON()
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("snapshot JSON not deterministic")
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("hist", []uint64{10})
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(uint64(j % 20))
+				tr.Instant("e", "t", uint64(j), i, 0, nil)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+	if tr.Len() != 8000 {
+		t.Fatalf("tracer len = %d, want 8000", tr.Len())
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimit(3)
+	for i := 0; i < 5; i++ {
+		tr.Instant("e", "t", uint64(i), 0, 0, nil)
+	}
+	if tr.Len() != 3 || tr.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestTracerAdvanceOffsetsTimestamps(t *testing.T) {
+	tr := NewTracer()
+	tr.Instant("a", "t", 5, 0, 0, nil)
+	tr.Advance(100)
+	tr.Instant("b", "t", 5, 0, 0, nil)
+	out, err := tr.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			TS   uint64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 || doc.TraceEvents[0].TS != 5 || doc.TraceEvents[1].TS != 105 {
+		t.Fatalf("events = %+v", doc.TraceEvents)
+	}
+}
+
+func TestChromeJSONShapeAndDeterminism(t *testing.T) {
+	build := func() *Tracer {
+		tr := NewTracer()
+		tr.SetProcessName(0, "core 0")
+		tr.SetProcessName(99, "pipeline")
+		tr.SetThreadName(0, 1, "t1")
+		tr.Complete("quantum", "sched", 0, 40, 0, 1, map[string]any{"steps": 7, "app": "sort"})
+		tr.Instant("branch", "vm", 12, 0, 1, map[string]any{"from": 3, "to": 9})
+		tr.Begin("diagnose", "phase", 40, 99, 0, nil)
+		tr.End("diagnose", "phase", 90, 99, 0)
+		return tr
+	}
+	j1, err := build().ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := build().ChromeJSON()
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("ChromeJSON not deterministic:\n%s\n---\n%s", j1, j2)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(j1, &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	// 2 process_name + 1 thread_name + 4 events
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("event count = %d, want 7", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		for _, field := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event missing %q: %v", field, ev)
+			}
+		}
+	}
+	// Complete events carry dur.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" {
+			found = true
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("complete event missing dur: %v", ev)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no complete event exported")
+	}
+}
+
+func TestTracerText(t *testing.T) {
+	tr := NewTracer()
+	tr.Instant("branch", "vm", 7, 1, 2, map[string]any{"to": 4})
+	tr.Complete("quantum", "sched", 0, 9, 0, 0, nil)
+	txt := tr.Text(0)
+	if !bytes.Contains([]byte(txt), []byte("branch")) || !bytes.Contains([]byte(txt), []byte("dur=9")) {
+		t.Fatalf("text dump missing content:\n%s", txt)
+	}
+	if head := tr.Text(1); bytes.Contains([]byte(head), []byte("dur=9")) {
+		t.Fatalf("Text(1) should truncate:\n%s", head)
+	}
+}
+
+func TestSinkHelpers(t *testing.T) {
+	s := &Sink{Metrics: NewRegistry(), Trace: NewTracer(), Verbosity: 1}
+	s.Counter("x").Inc()
+	if s.Metrics.Snapshot().Counter("x") != 1 {
+		t.Fatalf("sink counter did not land in registry")
+	}
+	if !s.Tracing() || !s.Verbose() {
+		t.Fatalf("sink tracing flags wrong")
+	}
+	s.Verbosity = 0
+	if s.Verbose() {
+		t.Fatalf("Verbose at verbosity 0")
+	}
+	d := NewSink()
+	if d.Metrics != Default() || d.Trace != nil {
+		t.Fatalf("NewSink defaults wrong")
+	}
+}

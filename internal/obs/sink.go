@@ -1,0 +1,64 @@
+package obs
+
+// PipelinePID is the reserved trace track group for pipeline-level events
+// (table rows, diagnosis phases) — distinct from the per-core track groups,
+// whose pids are core IDs starting at 0.
+const PipelinePID = 99
+
+// Sink bundles the telemetry destinations one simulation or pipeline run
+// reports into. A nil *Sink disables everything: instrumented code guards
+// with nil checks (or calls nil-safe methods) and pays no other cost.
+type Sink struct {
+	// Metrics receives counter/gauge/histogram updates. May be nil.
+	Metrics *Registry
+	// Trace receives events. Nil disables tracing (the common case:
+	// metrics are cheap, per-branch trace events are not).
+	Trace *Tracer
+	// Verbosity raises event detail: 0 records coarse events only
+	// (runs, profiles, traps, phases); >=1 adds per-branch and
+	// per-coherence-event instants and ring push/evict events.
+	Verbosity int
+}
+
+// NewSink returns a sink recording metrics into the process-wide Default
+// registry, with tracing off.
+func NewSink() *Sink { return &Sink{Metrics: Default()} }
+
+// Counter resolves a named counter from the sink's registry; nil-safe.
+func (s *Sink) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics.Counter(name)
+}
+
+// Gauge resolves a named gauge from the sink's registry; nil-safe.
+func (s *Sink) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics.Gauge(name)
+}
+
+// Histogram resolves a named histogram from the sink's registry; nil-safe.
+func (s *Sink) Histogram(name string, bounds []uint64) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics.Histogram(name, bounds)
+}
+
+// Tracer returns the sink's tracer, or nil.
+func (s *Sink) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.Trace
+}
+
+// Tracing reports whether trace events should be recorded.
+func (s *Sink) Tracing() bool { return s != nil && s.Trace != nil }
+
+// Verbose reports whether fine-grained (per-branch, per-coherence-event)
+// trace events should be recorded.
+func (s *Sink) Verbose() bool { return s != nil && s.Trace != nil && s.Verbosity >= 1 }

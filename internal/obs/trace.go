@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Chrome trace_event phase codes used by the exporter.
+const (
+	PhaseComplete = 'X' // complete event: ts + dur
+	PhaseInstant  = 'i' // instant event
+	PhaseBegin    = 'B' // span begin
+	PhaseEnd      = 'E' // span end
+)
+
+// Event is one trace record. TS and Dur are VM cycles (never wall-clock
+// time); the exporter writes them into the trace_event "ts"/"dur" fields,
+// which viewers interpret as microseconds — one simulated cycle renders as
+// one microsecond.
+type Event struct {
+	Name string
+	Cat  string
+	Ph   byte
+	TS   uint64
+	Dur  uint64
+	PID  int // track group: core ID, or a reserved pipeline PID
+	TID  int // track: thread ID within the group
+	Args map[string]any
+}
+
+// DefaultTraceLimit bounds a Tracer's in-memory event list. Past the limit
+// new events are counted as dropped instead of recorded, so tracing a long
+// run degrades instead of exhausting memory.
+const DefaultTraceLimit = 1 << 20
+
+// Tracer accumulates events. All recording methods are safe on a nil
+// receiver (no-ops) and safe for concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []Event
+	limit   int
+	dropped uint64
+	base    uint64 // cycle offset added to every recorded timestamp
+	procs   map[int]string
+	threads map[[2]int]string
+}
+
+// NewTracer returns an empty tracer with DefaultTraceLimit.
+func NewTracer() *Tracer { return &Tracer{limit: DefaultTraceLimit} }
+
+// SetLimit caps the number of retained events (<=0 means unlimited).
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
+// Advance shifts the tracer's clock base forward. The VM calls this at the
+// end of every run so consecutive runs lay out end-to-end on one timeline;
+// pipeline phases recorded between runs call it to give themselves width.
+func (t *Tracer) Advance(cycles uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.base += cycles
+	t.mu.Unlock()
+}
+
+// Base returns the current clock base.
+func (t *Tracer) Base() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.base
+}
+
+// Emit records an event, offsetting its timestamp by the clock base.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.limit > 0 && len(t.events) >= t.limit {
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
+	ev.TS += t.base
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Instant records a point event at cycle ts.
+func (t *Tracer) Instant(name, cat string, ts uint64, pid, tid int, args map[string]any) {
+	t.Emit(Event{Name: name, Cat: cat, Ph: PhaseInstant, TS: ts, PID: pid, TID: tid, Args: args})
+}
+
+// Complete records a span [ts, ts+dur).
+func (t *Tracer) Complete(name, cat string, ts, dur uint64, pid, tid int, args map[string]any) {
+	t.Emit(Event{Name: name, Cat: cat, Ph: PhaseComplete, TS: ts, Dur: dur, PID: pid, TID: tid, Args: args})
+}
+
+// Begin opens a span; close it with End at the same pid/tid.
+func (t *Tracer) Begin(name, cat string, ts uint64, pid, tid int, args map[string]any) {
+	t.Emit(Event{Name: name, Cat: cat, Ph: PhaseBegin, TS: ts, PID: pid, TID: tid, Args: args})
+}
+
+// End closes the innermost open span at pid/tid.
+func (t *Tracer) End(name, cat string, ts uint64, pid, tid int) {
+	t.Emit(Event{Name: name, Cat: cat, Ph: PhaseEnd, TS: ts, PID: pid, TID: tid})
+}
+
+// SetProcessName labels a pid's track group (e.g. "core 0", "pipeline").
+func (t *Tracer) SetProcessName(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.procs == nil {
+		t.procs = map[int]string{}
+	}
+	t.procs[pid] = name
+	t.mu.Unlock()
+}
+
+// SetThreadName labels a (pid, tid) track.
+func (t *Tracer) SetThreadName(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.threads == nil {
+		t.threads = map[[2]int]string{}
+	}
+	t.threads[[2]int{pid, tid}] = name
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events the limit discarded.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards all events, metadata and the clock base.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = nil
+	t.dropped = 0
+	t.base = 0
+	t.procs = nil
+	t.threads = nil
+	t.mu.Unlock()
+}
+
+// chromeEvent is the trace_event JSON shape. Field order is fixed by the
+// struct, map args marshal with sorted keys: output is deterministic.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeJSON exports the trace in Chrome trace_event format
+// ({"traceEvents":[...]}), loadable in chrome://tracing and Perfetto.
+// Metadata (track names) is emitted first in sorted pid/tid order, then
+// events in recording order; given identical event sequences the output is
+// byte-identical.
+func (t *Tracer) ChromeJSON() ([]byte, error) {
+	if t == nil {
+		return []byte(`{"traceEvents":[]}` + "\n"), nil
+	}
+	t.mu.Lock()
+	events := append([]Event(nil), t.events...)
+	procs := make(map[int]string, len(t.procs))
+	for pid, name := range t.procs {
+		procs[pid] = name
+	}
+	threads := make(map[[2]int]string, len(t.threads))
+	for k, name := range t.threads {
+		threads[k] = name
+	}
+	t.mu.Unlock()
+
+	out := make([]chromeEvent, 0, len(events)+len(procs)+len(threads))
+	pids := make([]int, 0, len(procs))
+	for pid := range procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": procs[pid]},
+		})
+	}
+	tkeys := make([][2]int, 0, len(threads))
+	for k := range threads {
+		tkeys = append(tkeys, k)
+	}
+	sort.Slice(tkeys, func(i, j int) bool {
+		if tkeys[i][0] != tkeys[j][0] {
+			return tkeys[i][0] < tkeys[j][0]
+		}
+		return tkeys[i][1] < tkeys[j][1]
+	})
+	for _, k := range tkeys {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: k[0], TID: k[1],
+			Args: map[string]any{"name": threads[k]},
+		})
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name, Cat: ev.Cat, Ph: string(ev.Ph),
+			TS: ev.TS, PID: ev.PID, TID: ev.TID, Args: ev.Args,
+		}
+		if ev.Ph == PhaseComplete {
+			dur := ev.Dur
+			ce.Dur = &dur
+		}
+		if ev.Ph == PhaseInstant {
+			ce.S = "t" // thread-scoped instant
+		}
+		out = append(out, ce)
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString(`{"traceEvents":[`)
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	for i, ce := range out {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('\n')
+		if err := enc.Encode(ce); err != nil {
+			return nil, err
+		}
+		buf.Truncate(buf.Len() - 1) // drop Encode's trailing newline
+	}
+	buf.WriteString("\n]}\n")
+	return buf.Bytes(), nil
+}
+
+// Text renders up to max events (<=0 for all) as one line each, in
+// recording order.
+func (t *Tracer) Text(max int) string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	events := append([]Event(nil), t.events...)
+	dropped := t.dropped
+	t.mu.Unlock()
+	var b strings.Builder
+	n := len(events)
+	if max > 0 && n > max {
+		n = max
+	}
+	for _, ev := range events[:n] {
+		fmt.Fprintf(&b, "%10d c%d/t%d %c %-12s %s", ev.TS, ev.PID, ev.TID, ev.Ph, ev.Cat, ev.Name)
+		if ev.Ph == PhaseComplete {
+			fmt.Fprintf(&b, " dur=%d", ev.Dur)
+		}
+		if len(ev.Args) > 0 {
+			keys := make([]string, 0, len(ev.Args))
+			for k := range ev.Args {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, " %s=%v", k, ev.Args[k])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if n < len(events) {
+		fmt.Fprintf(&b, "... %d more events\n", len(events)-n)
+	}
+	if dropped > 0 {
+		fmt.Fprintf(&b, "... %d events dropped at limit\n", dropped)
+	}
+	return b.String()
+}

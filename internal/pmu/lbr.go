@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"stmdiag/internal/isa"
+	"stmdiag/internal/obs"
 )
 
 // MSR identifiers and values, following paper Table 1 (Intel Nehalem).
@@ -85,6 +86,7 @@ type LBR struct {
 	ring    *Ring[BranchRecord]
 	sel     uint64
 	enabled bool
+	tel     ringTelemetry
 }
 
 // NewLBR returns an LBR with the given stack depth.
@@ -92,12 +94,20 @@ func NewLBR(size int) *LBR {
 	return &LBR{ring: NewRing[BranchRecord](size)}
 }
 
+// AttachObs resolves this LBR's telemetry counters ("pmu.lbr.*") from the
+// sink. Passing a nil sink detaches (counters become nil, no-op).
+func (l *LBR) AttachObs(s *obs.Sink) { l.tel.attach(s, "pmu.lbr") }
+
 // WriteMSR implements the wrmsr side of the two configuration registers.
 // Unknown MSR ids are rejected, mirroring the #GP a bad wrmsr raises.
 func (l *LBR) WriteMSR(id uint32, val uint64) error {
 	switch id {
 	case MSRDebugCtl:
-		l.enabled = val == DebugCtlEnableLBR
+		enable := val == DebugCtlEnableLBR
+		if enable != l.enabled {
+			l.tel.toggles.Inc()
+		}
+		l.enabled = enable
 		return nil
 	case MSRLBRSelect:
 		l.sel = val
@@ -161,21 +171,30 @@ func suppressBit(c isa.BranchClass) uint64 {
 
 // Record offers a retired taken branch to the LBR. It is recorded unless
 // recording is disabled or an LBR_SELECT bit suppresses its class or
-// privilege level.
-func (l *LBR) Record(r BranchRecord) {
+// privilege level. It reports whether the branch was recorded and whether
+// recording it evicted the oldest stack entry.
+func (l *LBR) Record(r BranchRecord) (recorded, evicted bool) {
 	if !l.enabled {
-		return
+		return false, false
 	}
 	if r.Kernel && l.sel&SelCPLEq0 != 0 {
-		return
+		l.tel.drops.Inc()
+		return false, false
 	}
 	if !r.Kernel && l.sel&SelCPLNeq0 != 0 {
-		return
+		l.tel.drops.Inc()
+		return false, false
 	}
 	if l.sel&suppressBit(r.Class) != 0 {
-		return
+		l.tel.drops.Inc()
+		return false, false
 	}
-	l.ring.Push(r)
+	evicted = l.ring.Push(r)
+	l.tel.pushes.Inc()
+	if evicted {
+		l.tel.evictions.Inc()
+	}
+	return true, evicted
 }
 
 // Clear empties the branch stack (the driver's DRIVER_CLEAN_LBR).

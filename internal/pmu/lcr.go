@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"stmdiag/internal/cache"
+	"stmdiag/internal/obs"
 )
 
 // Coherence-event encoding, following paper Table 2 (Intel Nehalem L1D
@@ -118,12 +119,17 @@ type LCR struct {
 	ring    *Ring[CoherenceEvent]
 	cfg     LCRConfig
 	enabled bool
+	tel     ringTelemetry
 }
 
 // NewLCR returns an LCR with the given record depth.
 func NewLCR(size int) *LCR {
 	return &LCR{ring: NewRing[CoherenceEvent](size)}
 }
+
+// AttachObs resolves this LCR's telemetry counters ("pmu.lcr.*") from the
+// sink. Passing a nil sink detaches.
+func (l *LCR) AttachObs(s *obs.Sink) { l.tel.attach(s, "pmu.lcr") }
 
 // Configure sets the event-selection register.
 func (l *LCR) Configure(cfg LCRConfig) { l.cfg = cfg }
@@ -133,18 +139,33 @@ func (l *LCR) Config() LCRConfig { return l.cfg }
 
 // SetEnabled starts or stops recording; a frozen (disabled) LCR retains its
 // contents for profiling.
-func (l *LCR) SetEnabled(on bool) { l.enabled = on }
+func (l *LCR) SetEnabled(on bool) {
+	if on != l.enabled {
+		l.tel.toggles.Inc()
+	}
+	l.enabled = on
+}
 
 // Enabled reports whether recording is on.
 func (l *LCR) Enabled() bool { return l.enabled }
 
 // Record offers a retired L1D access to the LCR; it is kept if recording
-// is enabled and the configuration matches.
-func (l *LCR) Record(e CoherenceEvent) {
-	if !l.enabled || !l.cfg.Matches(e) {
-		return
+// is enabled and the configuration matches. It reports whether the event
+// was recorded and whether recording it evicted the oldest entry.
+func (l *LCR) Record(e CoherenceEvent) (recorded, evicted bool) {
+	if !l.enabled {
+		return false, false
 	}
-	l.ring.Push(e)
+	if !l.cfg.Matches(e) {
+		l.tel.drops.Inc()
+		return false, false
+	}
+	evicted = l.ring.Push(e)
+	l.tel.pushes.Inc()
+	if evicted {
+		l.tel.evictions.Inc()
+	}
+	return true, evicted
 }
 
 // Clear empties the record.

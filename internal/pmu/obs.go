@@ -1,0 +1,26 @@
+package pmu
+
+import "stmdiag/internal/obs"
+
+// ringTelemetry caches the telemetry counters of one recording facility.
+// The zero value is fully detached: every counter is nil and its methods
+// are no-ops, so an unattached LBR/LCR pays only nil checks.
+type ringTelemetry struct {
+	pushes    *obs.Counter // records accepted into the ring
+	evictions *obs.Counter // oldest-entry evictions caused by pushes
+	drops     *obs.Counter // records suppressed by filters while enabled
+	toggles   *obs.Counter // enable/disable state changes
+}
+
+// attach resolves the counters "<prefix>.pushes" etc. from the sink; a nil
+// sink detaches.
+func (t *ringTelemetry) attach(s *obs.Sink, prefix string) {
+	if s == nil {
+		*t = ringTelemetry{}
+		return
+	}
+	t.pushes = s.Counter(prefix + ".pushes")
+	t.evictions = s.Counter(prefix + ".evictions")
+	t.drops = s.Counter(prefix + ".drops")
+	t.toggles = s.Counter(prefix + ".toggles")
+}

@@ -33,14 +33,19 @@ func (r *Ring[T]) Len() int {
 	return r.next
 }
 
-// Push records v, evicting the oldest record if the ring is full.
-func (r *Ring[T]) Push(v T) {
+// Push records v, evicting the oldest record if the ring is full. It
+// reports whether an older record was evicted to make room — the telemetry
+// layer counts evictions to show how fast the hardware's short-term memory
+// forgets.
+func (r *Ring[T]) Push(v T) (evicted bool) {
+	evicted = r.full
 	r.buf[r.next] = v
 	r.next++
 	if r.next == len(r.buf) {
 		r.next = 0
 		r.full = true
 	}
+	return evicted
 }
 
 // Clear empties the ring (the driver's CLEAN operation).

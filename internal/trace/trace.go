@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"stmdiag/internal/isa"
+	"stmdiag/internal/obs"
 	"stmdiag/internal/vm"
 )
 
@@ -95,6 +96,9 @@ func Encode(p *isa.Program, res *vm.Result) ([]byte, error) {
 				cr.File, cr.Line = loc.File, loc.Line
 			}
 			s.Coherence = append(s.Coherence, cr)
+			// Each coherence record withholds its memory address: that is
+			// one redaction the wire format performs (paper §4.2.1).
+			obs.Default().Counter("trace.encode.redacted").Inc()
 		}
 		b.Snapshots = append(b.Snapshots, s)
 	}
@@ -115,12 +119,17 @@ func Decode(data []byte) (*Bundle, error) {
 // never a data-segment address or a program data value. It returns the
 // violations found.
 func Audit(p *isa.Program, data []byte) []string {
+	reg := obs.Default()
+	reg.Counter("trace.audit.bundles").Inc()
+	fields := reg.Counter("trace.audit.fields")
 	var bundle Bundle
 	if err := json.Unmarshal(data, &bundle); err != nil {
+		reg.Counter("trace.audit.violations").Inc()
 		return []string{fmt.Sprintf("unparseable bundle: %v", err)}
 	}
 	var violations []string
 	checkPC := func(what string, pc int) {
+		fields.Inc()
 		// kernel pollution entries use -1; everything else must be a PC.
 		if pc >= -1 && pc <= len(p.Instrs) {
 			return
@@ -139,6 +148,7 @@ func Audit(p *isa.Program, data []byte) []string {
 		}
 		for _, r := range s.Coherence {
 			checkPC("coherence pc", r.PC)
+			fields.Inc()
 			switch r.State {
 			case "I", "S", "E", "M":
 			default:
@@ -146,6 +156,7 @@ func Audit(p *isa.Program, data []byte) []string {
 			}
 		}
 	}
+	reg.Counter("trace.audit.violations").Add(uint64(len(violations)))
 	return violations
 }
 

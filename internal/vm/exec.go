@@ -21,6 +21,9 @@ func (m *Machine) step(t *Thread) (yield bool, err error) {
 	pc := t.PC
 	m.res.Steps++
 	m.res.Cycles += CostInstr
+	if m.tel.instrs != nil {
+		m.tel.instrs[t.Core].Inc()
+	}
 	if m.hookStep != nil {
 		m.hookStep(m, t, in)
 	}
@@ -283,9 +286,15 @@ func (m *Machine) branch(t *Thread, from, to int, class isa.BranchClass) {
 		Class:  class,
 		Kernel: m.KernelPC(from),
 	}
-	core.LBR.Record(rec)
+	recorded, evicted := core.LBR.Record(rec)
+	if m.tel.sink != nil && m.tel.sink.Verbose() {
+		m.tel.trace.Instant("branch", "vm", m.res.Cycles, t.Core, t.ID,
+			map[string]any{"from": from, "to": to, "class": class.String(),
+				"lbr": recorded, "evicted": evicted})
+	}
 	if core.BTS != nil && core.BTS.Enabled() {
 		m.res.Cycles += CostBTSRecord
+		m.tel.bts.Inc()
 		core.BTS.Record(rec)
 	}
 }
@@ -323,7 +332,12 @@ func (m *Machine) observe(t *Thread, addr int64, kind cache.AccessKind, pc int) 
 	}
 	core := m.cores[t.Core]
 	core.Counters.Observe(kind, st)
-	t.LCR.Record(pmu.CoherenceEvent{PC: pc, Kind: kind, State: st, Kernel: m.KernelPC(pc)})
+	recorded, evicted := t.LCR.Record(pmu.CoherenceEvent{PC: pc, Kind: kind, State: st, Kernel: m.KernelPC(pc)})
+	if m.tel.sink != nil && m.tel.sink.Verbose() {
+		m.tel.trace.Instant("coherence", "vm", m.res.Cycles, t.Core, t.ID,
+			map[string]any{"pc": pc, "kind": kind.String(), "state": st.String(),
+				"lcr": recorded, "evicted": evicted})
+	}
 	if m.hookCoher != nil {
 		m.hookCoher(m, t, pc, kind, st)
 	}

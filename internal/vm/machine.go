@@ -7,6 +7,7 @@ import (
 	"stmdiag/internal/cache"
 	"stmdiag/internal/isa"
 	"stmdiag/internal/memory"
+	"stmdiag/internal/obs"
 	"stmdiag/internal/pmu"
 )
 
@@ -98,6 +99,11 @@ type Options struct {
 	GlobalArrays map[string][]int64
 	// OutputLimit caps captured output records; 0 means 10,000.
 	OutputLimit int
+	// Obs is the optional telemetry sink. When nil (the default) all
+	// instrumentation compiles down to nil checks; when set, the machine
+	// reports counters into its registry and — if it carries a tracer —
+	// records cycle-timestamped trace events.
+	Obs *obs.Sink
 }
 
 func (o Options) withDefaults() Options {
@@ -316,6 +322,7 @@ type Machine struct {
 	exited    bool
 	hookStep  func(m *Machine, t *Thread, in *isa.Instr)
 	hookCoher func(m *Machine, t *Thread, pc int, kind cache.AccessKind, st cache.State)
+	tel       vmTelemetry
 }
 
 // New builds a machine for the program. Most callers use Run.
@@ -381,6 +388,9 @@ func New(prog *isa.Program, opts Options) (*Machine, error) {
 			m.attrs[pc] = f.Attr
 		}
 	}
+	if opts.Obs != nil {
+		m.attachObs(opts.Obs)
+	}
 	if _, err := m.spawnThread(prog.Entry, 0, -1); err != nil {
 		return nil, err
 	}
@@ -412,7 +422,22 @@ func (m *Machine) Cores() []*Core { return m.cores }
 func (m *Machine) Mem() *memory.Memory { return m.mem }
 
 // AddProfile deposits a profile snapshot; drivers call it.
-func (m *Machine) AddProfile(p Profile) { m.res.Profiles = append(m.res.Profiles, p) }
+func (m *Machine) AddProfile(p Profile) {
+	m.res.Profiles = append(m.res.Profiles, p)
+	if m.tel.sink != nil {
+		if p.Success {
+			m.tel.profSucc.Inc()
+		} else {
+			m.tel.profFail.Inc()
+		}
+		if m.tel.trace != nil {
+			core := m.threads[p.Thread].Core
+			m.tel.trace.Instant("profile", "pmu", m.res.Cycles, core, p.Thread,
+				map[string]any{"site": p.Site, "success": p.Success,
+					"branches": len(p.Branches), "coherence": len(p.Coherence)})
+		}
+	}
+}
 
 // AddCycles charges extra cycles (drivers account their own costs).
 func (m *Machine) AddCycles(n uint64) { m.res.Cycles += n }
@@ -451,6 +476,12 @@ func (m *Machine) spawnThread(entry int, arg int64, parent int) (*Thread, error)
 		parent: parent,
 	}
 	t.Regs[0] = arg
+	if m.tel.sink != nil {
+		t.LCR.AttachObs(m.tel.sink)
+		if m.tel.trace != nil {
+			m.tel.trace.SetThreadName(t.Core, t.ID, fmt.Sprintf("thread %d", t.ID))
+		}
+	}
 	m.threads = append(m.threads, t)
 	if parent >= 0 {
 		m.threads[parent].children++
@@ -473,7 +504,14 @@ func (m *Machine) runnable() []int {
 }
 
 // fail records a failure event.
-func (m *Machine) fail(ev FailureEvent) { m.res.Failures = append(m.res.Failures, ev) }
+func (m *Machine) fail(ev FailureEvent) {
+	m.res.Failures = append(m.res.Failures, ev)
+	m.tel.traps.Inc()
+	if m.tel.trace != nil {
+		m.tel.trace.Instant("failure", "vm", m.res.Cycles, m.threads[ev.Thread].Core, ev.Thread,
+			map[string]any{"kind": ev.Kind.String(), "pc": ev.PC, "msg": ev.Msg})
+	}
+}
 
 // Run drives the scheduler loop until exit, deadlock, or the step limit.
 func (m *Machine) Run() (*Result, error) {
@@ -497,6 +535,7 @@ func (m *Machine) Run() (*Result, error) {
 		}
 		t := m.threads[ids[m.opts.Sched.Pick(ids)]]
 		quantum := m.opts.Sched.Quantum(m.opts.QuantumMin, m.opts.QuantumMax)
+		quantumStart := m.res.Cycles
 		for q := 0; q < quantum && t.State == ThreadRunnable && !m.exited; q++ {
 			if m.res.Steps >= m.opts.StepLimit {
 				// Hang: profile the spinning thread where it stands, the
@@ -515,10 +554,19 @@ func (m *Machine) Run() (*Result, error) {
 				break
 			}
 		}
+		if m.tel.sink != nil {
+			if t.State == ThreadRunnable && !m.exited {
+				m.tel.preempts[t.Core].Inc()
+			}
+			if m.tel.trace != nil {
+				m.traceQuantum(t, quantumStart)
+			}
+		}
 	}
 	for i := range m.cores {
 		m.res.CacheStats = append(m.res.CacheStats, m.cache.Stats(i))
 	}
+	m.finishRun()
 	return &m.res, nil
 }
 

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Tier-1 gate (ROADMAP.md): formatting, vet, build, full tests, and a race
+# pass over the packages with lock-free hot paths. Run via `make check`.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (obs, vm)"
+go test -race ./internal/obs/... ./internal/vm/...
+
+echo "check: OK"

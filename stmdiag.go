@@ -36,6 +36,7 @@ import (
 	"stmdiag/internal/harness"
 	"stmdiag/internal/isa"
 	"stmdiag/internal/kernel"
+	"stmdiag/internal/obs"
 	"stmdiag/internal/pmu"
 	"stmdiag/internal/trace"
 	"stmdiag/internal/vm"
@@ -149,6 +150,8 @@ type RunConfig struct {
 	// whole-execution alternative of paper §2.1. The full trace appears in
 	// RunResult.BranchTrace at 20-100%-class recording overhead.
 	BTS bool
+	// Obs is the optional telemetry sink for this run.
+	Obs *obs.Sink
 }
 
 // BranchEvent is one LBR-derived event of a profile.
@@ -213,6 +216,7 @@ func (b *Build) Run(rc RunConfig) (*RunResult, error) {
 		StepLimit:    rc.StepLimit,
 		Driver:       kernel.Driver{},
 		SegvIoctls:   b.inst.SegvIoctls,
+		Obs:          rc.Obs,
 	}
 	if rc.LCRSpaceSaving {
 		opts.LCRConfig = pmu.ConfSpaceSaving
@@ -485,6 +489,10 @@ type ExperimentConfig struct {
 	Seed int64
 	// LBRSize and LCRSize override the 16-entry record depths.
 	LBRSize, LCRSize int
+	// Obs is the optional telemetry sink (internal/obs). When set, every
+	// VM run the experiment drives reports counters into its registry and
+	// — if it carries a tracer — cycle-timestamped trace events.
+	Obs *obs.Sink
 }
 
 func (c ExperimentConfig) internal() harness.Config {
@@ -497,6 +505,7 @@ func (c ExperimentConfig) internal() harness.Config {
 		Seed:         c.Seed,
 		LBRSize:      c.LBRSize,
 		LCRSize:      c.LCRSize,
+		Obs:          c.Obs,
 	}
 }
 
