@@ -2,7 +2,12 @@
 check:
 	@sh scripts/check.sh
 
+# Times the trial-execution engine (-jobs 1 vs NumCPU) and writes
+# BENCH_harness.json; fails if the two runs' stdout differs.
 bench:
+	@sh scripts/bench.sh
+
+microbench:
 	go test -bench=. -benchmem ./...
 
-.PHONY: check bench
+.PHONY: check bench microbench

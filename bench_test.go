@@ -420,11 +420,11 @@ func BenchmarkAblationBTS(b *testing.B) {
 // cause is far from the failure site.
 func BenchmarkAblationAdaptiveCBI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		shallow, err := harness.RunAdaptive(apps.ByName("sort"), 1.0, 10, 40, int64(i))
+		shallow, err := harness.RunAdaptive(apps.ByName("sort"), 1.0, 10, 40, harness.Config{Seed: int64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}
-		deep, err := harness.RunAdaptive(apps.ByName("ln"), 1.0, 10, 40, int64(i))
+		deep, err := harness.RunAdaptive(apps.ByName("ln"), 1.0, 10, 40, harness.Config{Seed: int64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -4,14 +4,16 @@
 // Usage:
 //
 //	experiments [-table N] [-failruns N] [-succruns N] [-cbiruns N] [-overhead N] [-seed N]
-//	            [-trace out.json] [-metrics] [-v]
+//	            [-jobs N] [-trace out.json] [-metrics] [-v]
 //
 // Without -table it regenerates every table. The defaults follow the
 // paper's experiment configuration (10 failure + 10 success runs for
 // LBRA/LCRA, 1000+1000 runs for CBI at 1/100 sampling); lower -cbiruns for
-// a faster, noisier pass. After each table a one-line summary reports the
-// rows computed, app runs driven, simulated cycles and wall time; it exits
-// non-zero on any table-generation error.
+// a faster, noisier pass. -jobs fans independent trials across worker
+// goroutines (default NumCPU; 1 forces sequential execution) — stdout is
+// byte-identical for every value. After each table a one-line summary on
+// stderr reports the rows computed, app runs driven, simulated cycles and
+// wall time; it exits non-zero on any table-generation error.
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 	cbiRuns := flag.Int("cbiruns", 1000, "CBI runs per class (paper default 1000)")
 	overhead := flag.Int("overhead", 10, "runs averaged per overhead figure")
 	seed := flag.Int64("seed", 0, "base seed")
+	jobs := flag.Int("jobs", 0, "trial-execution workers (0 = NumCPU, 1 = sequential)")
 	tf := cliobs.Register()
 	flag.Parse()
 
@@ -46,6 +49,7 @@ func main() {
 		SuccRuns:     *succRuns,
 		CBIRuns:      *cbiRuns,
 		OverheadRuns: *overhead,
+		Jobs:         *jobs,
 		Seed:         *seed,
 		Obs:          sink,
 	}
@@ -62,8 +66,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(out)
+		// The summary is a diagnostic (wall time varies run to run), so it
+		// goes to stderr: stdout stays byte-identical across -jobs values.
 		d := sink.Metrics.Snapshot().Delta(before)
-		fmt.Printf("table %d: rows=%d runs=%d cycles=%d wall=%v\n\n",
+		fmt.Fprintf(os.Stderr, "table %d: rows=%d runs=%d cycles=%d wall=%v\n\n",
 			n, d.Counter("harness.rows"), d.Counter("vm.runs"),
 			d.Counter("vm.cycles"), time.Since(start).Round(time.Millisecond))
 	}

@@ -6,14 +6,21 @@
 //
 // Usage:
 //
-//	lbrcov -app sort [-period N] [-seed N] [-trace out.json] [-metrics] [-v]
+//	lbrcov -app sort [-period N] [-periods N,N,...] [-seed N] [-jobs N]
+//	       [-trace out.json] [-metrics] [-v]
 //	lbrcov -synth [-funcs N] [-stmts N] [-period N]
+//
+// -periods sweeps several sampling periods in one invocation; the
+// measurements fan out across -jobs workers (default NumCPU) and print in
+// period order regardless of the worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"stmdiag/internal/apps"
 	"stmdiag/internal/cliobs"
@@ -29,7 +36,9 @@ func main() {
 	funcs := flag.Int("funcs", 12, "synthetic program functions")
 	stmts := flag.Int("stmts", 40, "synthetic statements per function")
 	period := flag.Int("period", 500, "steps between LBR drains")
+	periodList := flag.String("periods", "", "comma-separated periods to sweep (overrides -period)")
 	seed := flag.Int64("seed", 1, "seed")
+	jobs := flag.Int("jobs", 0, "sweep workers (0 = NumCPU, 1 = sequential)")
 	tf := cliobs.Register()
 	flag.Parse()
 	sink := tf.Sink()
@@ -54,18 +63,34 @@ func main() {
 		os.Exit(2)
 	}
 
+	periods := []int{*period}
+	if *periodList != "" {
+		periods = periods[:0]
+		for _, f := range strings.Split(*periodList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "bad -periods entry %q\n", f)
+				os.Exit(2)
+			}
+			periods = append(periods, n)
+		}
+	}
+
 	opts.Obs = sink
-	res, err := harness.RunCoverage(prog, opts, *period)
+	pool := harness.NewPool(*jobs, sink)
+	results, err := harness.CoverageSweep(prog, opts, periods, pool)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Printf("program:           %s (%d instructions, %d source branches)\n",
 		prog.Name, len(prog.Instrs), len(prog.Branches))
-	fmt.Printf("sampling period:   every %d steps (%d drains)\n", *period, res.Samples)
-	fmt.Printf("edges executed:    %d\n", res.ExecutedEdges)
-	fmt.Printf("edges recovered:   %d (%.1f%% coverage)\n", res.CoveredEdges, 100*res.Coverage)
-	fmt.Printf("sampling overhead: %.1f%%\n", 100*res.Overhead)
+	for i, res := range results {
+		fmt.Printf("sampling period:   every %d steps (%d drains)\n", periods[i], res.Samples)
+		fmt.Printf("edges executed:    %d\n", res.ExecutedEdges)
+		fmt.Printf("edges recovered:   %d (%.1f%% coverage)\n", res.CoveredEdges, 100*res.Coverage)
+		fmt.Printf("sampling overhead: %.1f%%\n", 100*res.Overhead)
+	}
 	if err := tf.Finish(sink, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	report -app sort [-seed N] [-trace out.json] [-metrics] [-v] > bundle.json
+//	report -app sort [-seed N] [-jobs N] [-trace out.json] [-metrics] [-v] > bundle.json
+//
+// The seed search fans out across -jobs workers (default NumCPU) and always
+// reports the first failing seed at or after -seed, independent of the
+// worker count.
 package main
 
 import (
@@ -16,7 +20,9 @@ import (
 	"stmdiag/internal/apps"
 	"stmdiag/internal/cliobs"
 	"stmdiag/internal/core"
+	"stmdiag/internal/harness"
 	"stmdiag/internal/kernel"
+	"stmdiag/internal/obs"
 	"stmdiag/internal/pmu"
 	"stmdiag/internal/trace"
 	"stmdiag/internal/vm"
@@ -25,6 +31,7 @@ import (
 func main() {
 	app := flag.String("app", "", "benchmark to crash and report (see stmdiag -list)")
 	seed := flag.Int64("seed", 0, "starting scheduler seed")
+	jobs := flag.Int("jobs", 0, "seed-search workers (0 = NumCPU, 1 = sequential)")
 	tf := cliobs.Register()
 	flag.Parse()
 	sink := tf.Sink()
@@ -48,36 +55,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	for s := *seed; s < *seed+400; s++ {
-		opts := a.Fail.VMOptions(s)
-		opts.Driver = kernel.Driver{}
-		opts.SegvIoctls = inst.SegvIoctls
-		opts.LCRConfig = pmu.ConfSpaceConsuming
-		opts.Obs = sink
-		res, err := vm.Run(inst.Prog, opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if !a.Fail.FailedRun(res) {
-			continue
-		}
-		data, err := trace.Encode(inst.Prog, res)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if v := trace.Audit(inst.Prog, data); len(v) > 0 {
-			fmt.Fprintf(os.Stderr, "privacy audit failed: %v\n", v)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "failure at seed %d; bundle audited clean (%d bytes)\n", s, len(data))
-		os.Stdout.Write(data)
-		fmt.Println()
-		finish()
-		return
+	// The search scans seeds *seed, *seed+1, ... and keeps the first failing
+	// run in seed order, whatever the worker count.
+	type bundle struct {
+		seed int64
+		data []byte
 	}
-	fmt.Fprintln(os.Stderr, "no failing run within 400 seeds")
+	pool := harness.NewPool(*jobs, sink)
+	b, idx, err := harness.First(pool, 400, a.Name+"/report",
+		func(i int, s *obs.Sink) (bundle, bool, error) {
+			sd := *seed + int64(i)
+			opts := a.Fail.VMOptions(sd)
+			opts.Driver = kernel.Driver{}
+			opts.SegvIoctls = inst.SegvIoctls
+			opts.LCRConfig = pmu.ConfSpaceConsuming
+			opts.Obs = s
+			res, err := vm.Run(inst.Prog, opts)
+			if err != nil {
+				return bundle{}, false, err
+			}
+			if !a.Fail.FailedRun(res) {
+				return bundle{}, false, nil
+			}
+			data, err := trace.Encode(inst.Prog, res)
+			if err != nil {
+				return bundle{}, false, err
+			}
+			return bundle{seed: sd, data: data}, true, nil
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if idx < 0 {
+		fmt.Fprintln(os.Stderr, "no failing run within 400 seeds")
+		finish()
+		os.Exit(1)
+	}
+	if v := trace.Audit(inst.Prog, b.data); len(v) > 0 {
+		fmt.Fprintf(os.Stderr, "privacy audit failed: %v\n", v)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "failure at seed %d; bundle audited clean (%d bytes)\n", b.seed, len(b.data))
+	os.Stdout.Write(b.data)
+	fmt.Println()
 	finish()
-	os.Exit(1)
 }

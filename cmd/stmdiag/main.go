@@ -6,7 +6,7 @@
 //
 //	stmdiag -list
 //	stmdiag -app sort [-failruns N] [-succruns N] [-seed N]
-//	        [-trace out.json] [-metrics] [-v]
+//	        [-jobs N] [-trace out.json] [-metrics] [-v]
 //
 // For a sequential benchmark it prints the Table 6 row (LBRLOG entry ranks
 // with and without toggling, LBRA and CBI predictor ranks, patch distances,
@@ -31,6 +31,7 @@ func main() {
 	succRuns := flag.Int("succruns", 10, "success runs for automatic diagnosis")
 	cbiRuns := flag.Int("cbiruns", 400, "CBI baseline runs per class")
 	seed := flag.Int64("seed", 0, "base seed")
+	jobs := flag.Int("jobs", 0, "trial-execution workers (0 = NumCPU, 1 = sequential)")
 	tf := cliobs.Register()
 	flag.Parse()
 	sink := tf.Sink()
@@ -52,6 +53,7 @@ func main() {
 		FailRuns: *failRuns,
 		SuccRuns: *succRuns,
 		CBIRuns:  *cbiRuns,
+		Jobs:     *jobs,
 		Seed:     *seed,
 		Obs:      sink,
 	}

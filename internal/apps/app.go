@@ -26,6 +26,7 @@ package apps
 
 import (
 	"fmt"
+	"sync"
 
 	"stmdiag/internal/cache"
 	"stmdiag/internal/isa"
@@ -218,11 +219,17 @@ type App struct {
 	Fail, Succeed Workload
 }
 
-// prog caches assembly.
-var progCache = map[string]*isa.Program{}
+// prog caches assembly; the mutex covers concurrent Program calls from
+// parallel harness trials.
+var (
+	progMu    sync.Mutex
+	progCache = map[string]*isa.Program{}
+)
 
 // Program assembles (and caches) the app's program.
 func (a *App) Program() *isa.Program {
+	progMu.Lock()
+	defer progMu.Unlock()
 	if p, ok := progCache[a.Name]; ok {
 		return p
 	}

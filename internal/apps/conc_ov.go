@@ -41,7 +41,7 @@ main:
     ld   r11, [r10+0]      ; warm thread-1 timing state
     movi r1, 0
     spawn Initializer, r1
-    delay 30               ; transform work; sometimes enough for thread 2
+    delay 125              ; transform work; sometimes enough for thread 2
 .line 18
     lea  r2, gend
     ld   r3, [r2+0]        ; B1: printf("End at %f", Gend)
@@ -108,7 +108,7 @@ main:
     ld   r11, [r10+0]      ; warm the reduction thread's block state
     movi r1, 0
     spawn Factorizer, r1
-    delay 30
+    delay 125              ; reduction work; sometimes enough for thread 2
 .line 19
     lea  r2, pivot
     ld   r3, [r2+0]        ; first consume of the pivot element

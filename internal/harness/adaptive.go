@@ -8,6 +8,7 @@ import (
 	"stmdiag/internal/cbi"
 	"stmdiag/internal/cfg"
 	"stmdiag/internal/isa"
+	"stmdiag/internal/obs"
 	"stmdiag/internal/vm"
 )
 
@@ -94,7 +95,9 @@ func branchLayers(p *isa.Program, failPC int) [][]string {
 // and succeeding runs, and stops when the root-cause predicate carries
 // positive Increase — or when every layer is instrumented and maxIters is
 // exhausted.
-func RunAdaptive(a *apps.App, rate float64, runsPerIter, maxIters int, seed int64) (*AdaptiveResult, error) {
+func RunAdaptive(a *apps.App, rate float64, runsPerIter, maxIters int, conf Config) (*AdaptiveResult, error) {
+	conf = conf.withDefaults()
+	pool := conf.pool()
 	p := a.Program()
 	failPC := a.FaultPC()
 	if failPC < 0 {
@@ -110,27 +113,34 @@ func RunAdaptive(a *apps.App, rate float64, runsPerIter, maxIters int, seed int6
 	var runs []cbi.RunObs
 	nextLayer := 0
 
-	collect := func(w apps.Workload, wantFail bool, base int64) error {
-		got := 0
-		for s := int64(0); got < runsPerIter && s < int64(runsPerIter)*6; s++ {
-			m, err := vm.New(p, w.VMOptions(seed+base+s))
-			if err != nil {
-				return err
-			}
-			o := cbi.NewObserver(rate, seed+base+s+4242)
-			o.Restrict(active)
-			o.Attach(m)
-			r, err := m.Run()
-			if err != nil {
-				return err
-			}
-			if w.FailedRun(r) != wantFail {
-				continue
-			}
-			runs = append(runs, o.Finish(wantFail))
-			got++
-		}
-		return nil
+	// collect fans one iteration's runs of one class out through the pool.
+	// active is only mutated between iterations, so trials may read it
+	// concurrently. A shortfall is tolerated: the ranking just sees fewer
+	// observations, as in the paper's budgeted setting.
+	collect := func(w apps.Workload, wantFail bool, label string) ([]cbi.RunObs, error) {
+		stream := a.Name + "/" + label
+		out, _, err := Collect(pool, runsPerIter*6, runsPerIter, stream,
+			func(i int, s *obs.Sink) (cbi.RunObs, bool, error) {
+				seed := TrialSeed(conf.Seed, stream, i)
+				opts := w.VMOptions(seed)
+				opts.Obs = s
+				m, err := vm.New(p, opts)
+				if err != nil {
+					return cbi.RunObs{}, false, err
+				}
+				o := cbi.NewObserver(rate, seed+4242)
+				o.Restrict(active)
+				o.Attach(m)
+				r, err := m.Run()
+				if err != nil {
+					return cbi.RunObs{}, false, err
+				}
+				if w.FailedRun(r) != wantFail {
+					return cbi.RunObs{}, false, nil
+				}
+				return o.Finish(wantFail), true, nil
+			})
+		return out, err
 	}
 
 	for res.Iterations < maxIters {
@@ -143,13 +153,16 @@ func RunAdaptive(a *apps.App, rate float64, runsPerIter, maxIters int, seed int6
 			}
 			nextLayer++
 		}
-		base := int64(res.Iterations) * 100_000
-		if err := collect(a.Fail, true, base); err != nil {
+		failObs, err := collect(a.Fail, true, fmt.Sprintf("adaptive-fail-iter%d", res.Iterations))
+		if err != nil {
 			return nil, err
 		}
-		if err := collect(a.Succeed, false, base+50_000); err != nil {
+		succObs, err := collect(a.Succeed, false, fmt.Sprintf("adaptive-succ-iter%d", res.Iterations))
+		if err != nil {
 			return nil, err
 		}
+		runs = append(runs, failObs...)
+		runs = append(runs, succObs...)
 		res.RunsUsed += 2 * runsPerIter
 		scores := cbi.Rank(runs)
 		rank := cbi.RankOf(scores, func(pr cbi.Pred) bool {

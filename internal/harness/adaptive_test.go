@@ -12,7 +12,7 @@ func TestAdaptiveFindsRootCause(t *testing.T) {
 	// containing it is instrumented; dense per-layer sampling means far
 	// fewer runs than vanilla CBI's 1000+1000.
 	a := apps.ByName("sort")
-	res, err := RunAdaptive(a, 1.0, 10, 40, 1)
+	res, err := RunAdaptive(a, 1.0, 10, 40, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,11 +32,11 @@ func TestAdaptiveIterationGrowth(t *testing.T) {
 	// ln's root cause sits many branch layers before the failure site, so
 	// adaptive needs more expansion iterations than sort — the
 	// iteration-count pathology paper §8 describes.
-	sortRes, err := RunAdaptive(apps.ByName("sort"), 1.0, 10, 40, 1)
+	sortRes, err := RunAdaptive(apps.ByName("sort"), 1.0, 10, 40, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	lnRes, err := RunAdaptive(apps.ByName("ln"), 1.0, 10, 40, 1)
+	lnRes, err := RunAdaptive(apps.ByName("ln"), 1.0, 10, 40, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestAdaptiveIterationGrowth(t *testing.T) {
 func TestAdaptiveCannotFixContextOnePredicates(t *testing.T) {
 	// Apache2's failing region executes only in failing runs; no amount of
 	// adaptive expansion gives its predicates Increase > 0.
-	res, err := RunAdaptive(apps.ByName("Apache2"), 1.0, 6, 12, 1)
+	res, err := RunAdaptive(apps.ByName("Apache2"), 1.0, 6, 12, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

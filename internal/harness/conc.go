@@ -55,48 +55,49 @@ func coherenceRank(p *core.Instrumented, prof vm.Profile, want *apps.FPEWant) in
 	return 0
 }
 
-// runConc executes one LCR-instrumented run.
-func runConc(a *apps.App, inst *core.Instrumented, w apps.Workload, seed int64, conf pmu.LCRConfig, cfg Config) (*vm.Result, error) {
+// runConc executes one LCR-instrumented run against a per-trial sink.
+func runConc(a *apps.App, inst *core.Instrumented, w apps.Workload, seed int64, conf pmu.LCRConfig, cfg Config, sink *obs.Sink) (*vm.Result, error) {
 	opts := w.VMOptions(seed)
 	opts.Driver = kernel.Driver{}
 	opts.SegvIoctls = inst.SegvIoctls
 	opts.LCRConfig = conf
 	opts.LCRSize = cfg.LCRSize
-	opts.Obs = cfg.Obs
+	opts.Obs = sink
 	return vm.Run(inst.Prog, opts)
 }
 
-// collectConc gathers n failing (or succeeding) profiles under a config.
-func collectConc(a *apps.App, inst *core.Instrumented, conf pmu.LCRConfig, wantFail bool, n int, cfg Config, seedBase int64) ([]vm.Profile, int, error) {
-	var out []vm.Profile
-	attempts := 0
+// collectConc gathers n failing (or succeeding) profiles under a config,
+// fanning the runs out through the trial pool. label names the seed stream
+// (scoped by the app name) so every call site draws decorrelated seeds.
+func collectConc(a *apps.App, inst *core.Instrumented, conf pmu.LCRConfig, wantFail bool, n int, cfg Config, pool *Pool, label string) ([]vm.Profile, int, error) {
 	w := a.Fail
 	if !wantFail {
 		w = a.Succeed
 	}
-	for seed := int64(0); len(out) < n && seed < int64(cfg.MaxAttempts); seed++ {
-		attempts++
-		res, err := runConc(a, inst, w, cfg.Seed+seedBase+seed, conf, cfg)
-		if err != nil {
-			return nil, attempts, err
-		}
-		if w.FailedRun(res) != wantFail {
-			continue
-		}
-		var prof vm.Profile
-		var ok bool
-		if wantFail {
-			prof, ok = core.FailureRunProfile(res)
-		} else {
-			if prof, ok = core.SuccessRunProfile(res); !ok {
-				// Unconditional site: use the same-site snapshot.
-				prof, ok = core.FailureRunProfile(res)
+	stream := a.Name + "/" + label
+	out, attempts, err := Collect(pool, cfg.MaxAttempts, n, stream,
+		func(i int, s *obs.Sink) (vm.Profile, bool, error) {
+			res, err := runConc(a, inst, w, TrialSeed(cfg.Seed, stream, i), conf, cfg, s)
+			if err != nil {
+				return vm.Profile{}, false, err
 			}
-		}
-		if !ok {
-			continue
-		}
-		out = append(out, prof)
+			if w.FailedRun(res) != wantFail {
+				return vm.Profile{}, false, nil
+			}
+			var prof vm.Profile
+			var ok bool
+			if wantFail {
+				prof, ok = core.FailureRunProfile(res)
+			} else {
+				if prof, ok = core.SuccessRunProfile(res); !ok {
+					// Unconditional site: use the same-site snapshot.
+					prof, ok = core.FailureRunProfile(res)
+				}
+			}
+			return prof, ok, nil
+		})
+	if err != nil {
+		return nil, attempts, err
 	}
 	if len(out) < n {
 		return nil, attempts, fmt.Errorf("harness: %s: only %d/%d %v-profiles in %d attempts",
@@ -128,6 +129,7 @@ func modalRank(ranks []int) int {
 // RunConcurrent reproduces one Table 7 row.
 func RunConcurrent(a *apps.App, cfg Config) (*ConcResult, error) {
 	cfg = cfg.withDefaults()
+	pool := cfg.pool()
 	p := a.Program()
 	res := &ConcResult{App: a}
 	rowStart := beginRow(cfg, a.Name, "concurrent")
@@ -146,7 +148,7 @@ func RunConcurrent(a *apps.App, cfg Config) (*ConcResult, error) {
 		// For read-too-early order violations the Conf1 signal is the
 		// shared load that success runs record and failure runs miss;
 		// measure its position where it exists (paper §4.2.2).
-		profs1, _, err := collectConc(a, inst, pmu.ConfSpaceSaving, !a.Conf1InSuccess, 5, cfg, 0)
+		profs1, _, err := collectConc(a, inst, pmu.ConfSpaceSaving, !a.Conf1InSuccess, 5, cfg, pool, "conf1")
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +158,7 @@ func RunConcurrent(a *apps.App, cfg Config) (*ConcResult, error) {
 		}
 		res.RankConf1 = modalRank(ranks)
 	}
-	profs2, attempts, err := collectConc(a, inst, pmu.ConfSpaceConsuming, true, cfg.FailRuns, cfg, 5000)
+	profs2, attempts, err := collectConc(a, inst, pmu.ConfSpaceConsuming, true, cfg.FailRuns, cfg, pool, "conf2-fail")
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +181,7 @@ func RunConcurrent(a *apps.App, cfg Config) (*ConcResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	succProfs, _, err := collectConc(a, reactive, pmu.ConfSpaceConsuming, false, cfg.SuccRuns, cfg, 9000)
+	succProfs, _, err := collectConc(a, reactive, pmu.ConfSpaceConsuming, false, cfg.SuccRuns, cfg, pool, "conf2-succ")
 	if err != nil {
 		return nil, err
 	}

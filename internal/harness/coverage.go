@@ -2,6 +2,7 @@ package harness
 
 import (
 	"stmdiag/internal/isa"
+	"stmdiag/internal/obs"
 	"stmdiag/internal/pmu"
 	"stmdiag/internal/vm"
 )
@@ -126,4 +127,16 @@ func RunCoverage(p *isa.Program, opts vm.Options, periodSteps int) (*CoverageRes
 	}
 	res.Overhead = overhead(float64(baseRes.Cycles), float64(sampledRes.Cycles))
 	return res, nil
+}
+
+// CoverageSweep measures coverage at each sampling period, fanning the
+// independent measurements out through the trial pool. Results come back in
+// period order regardless of the worker count.
+func CoverageSweep(p *isa.Program, opts vm.Options, periods []int, pool *Pool) ([]*CoverageResult, error) {
+	return Map(pool, len(periods), p.Name+"/coverage",
+		func(i int, s *obs.Sink) (*CoverageResult, error) {
+			o := opts
+			o.Obs = s
+			return RunCoverage(p, o, periods[i])
+		})
 }

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden table outputs under testdata/golden")
+
+// goldenConfig is a reduced but fully deterministic experiment
+// configuration: small run counts keep the suite fast, and a fixed Jobs
+// value exercises the parallel pool path (the output is identical for any
+// Jobs value — TestTablesJobsInvariance locks that separately).
+func goldenConfig() Config {
+	return Config{
+		FailRuns:     4,
+		SuccRuns:     4,
+		CBIRuns:      40,
+		OverheadRuns: 2,
+		MaxAttempts:  200,
+		Seed:         0,
+		Jobs:         2,
+	}
+}
+
+// TestGoldenTables locks the byte-exact output of every paper table against
+// checked-in golden files. Regenerate after an intended output change with
+//
+//	go test ./internal/harness -run TestGoldenTables -update
+func TestGoldenTables(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		t.Run(fmt.Sprintf("table%d", n), func(t *testing.T) {
+			out, err := RenderTable(n, goldenConfig())
+			if err != nil {
+				t.Fatalf("RenderTable(%d): %v", n, err)
+			}
+			path := filepath.Join("testdata", "golden", fmt.Sprintf("table%d.txt", n))
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with `go test ./internal/harness -update`): %v", err)
+			}
+			if string(want) != out {
+				t.Errorf("table %d drifted from golden output.\n%s\nregenerate with -update if the change is intended",
+					n, firstDiff(string(want), out))
+			}
+		})
+	}
+}
+
+// firstDiff locates the first differing line for a readable failure report.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("first difference at line %d:\n  golden: %q\n  got:    %q", i+1, w, g)
+		}
+	}
+	return "outputs differ only in length"
+}

@@ -101,7 +101,7 @@ func TestOrigFailurePCForCrashApp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prof, err := failureProfileOf(a, inst, 0, Config{})
+	prof, err := failureProfileOf(a, inst, 0, Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestOrigFailurePCForLogApp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prof, err := failureProfileOf(a, inst, 0, Config{})
+	prof, err := failureProfileOf(a, inst, 0, Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,312 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"stmdiag/internal/obs"
+)
+
+// This file is the harness's trial-execution engine. The paper's evaluation
+// reruns every benchmark hundreds of times (10+10 runs per LBRA/LCRA
+// diagnosis, 1000+1000 per CBI baseline, §7.2), and every one of those
+// trials is independent: it owns its VM, its RNG seed and its profile. The
+// Pool fans trials out across workers while keeping every observable result
+// — selected profiles, attempt counts, merged telemetry — byte-identical to
+// the sequential order, whatever the worker count or goroutine scheduling.
+//
+// Three properties make that determinism hold:
+//
+//  1. Seeds are derived, not streamed. TrialSeed hashes (base seed, stream
+//     label, trial index), so trial i's seed never depends on how many
+//     earlier trials were retried or on which worker runs it.
+//
+//  2. Selection is by trial index. Collect accepts the first `need`
+//     accepted trials in index order; workers past the decisive index only
+//     ever do speculative work that is discarded.
+//
+//  3. Telemetry commits in trial order. Each trial runs against a private
+//     metrics registry; the pool merges registries into the parent sink for
+//     exactly the trials the sequential path would have executed (index <=
+//     decisive), so `-metrics` totals and the per-table run/cycle summaries
+//     do not depend on -jobs.
+
+// TrialSeed derives one trial's RNG seed from the experiment's base seed, a
+// stream label (by convention "app-name/purpose") and the trial index. The
+// mix is splitmix64 over an FNV-1a hash of the label, so distinct streams
+// and distinct trials decorrelate fully while staying reproducible across
+// processes and worker counts.
+func TrialSeed(base int64, stream string, trial int) int64 {
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(stream); i++ {
+		h ^= uint64(stream[i])
+		h *= fnvPrime
+	}
+	x := h ^ uint64(base)*0x9e3779b97f4a7c15 ^ uint64(trial)*0xbf58476d1ce4e5b9
+	// splitmix64 finalizer.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	// Keep seeds non-negative: workload seeds double as attempt labels in
+	// error messages and some call sites reserve negative values.
+	return int64(x >> 1)
+}
+
+// Pool executes independent trials across a fixed number of workers.
+// A Pool is cheap (no long-lived goroutines); build one per experiment via
+// Config.pool or NewPool and share it across that experiment's fan-outs.
+type Pool struct {
+	jobs int
+	sink *obs.Sink
+
+	workerTrials []*obs.Counter // per-worker executed-trial counters
+	trials       *obs.Counter   // trials executed (incl. speculation)
+	committed    *obs.Counter   // trials whose telemetry was committed
+	discarded    *obs.Counter   // speculative trials thrown away
+	spans        *obs.Counter   // Collect/Map fan-outs traced
+}
+
+// NewPool returns a pool running up to jobs trials concurrently. jobs <= 0
+// selects runtime.NumCPU(); jobs == 1 is the strictly sequential path (no
+// goroutines, no speculation). The sink, when non-nil, receives pool
+// counters ("harness.pool.*") and — if it carries a tracer — fan-out spans
+// on the obs.PoolPID track group.
+func NewPool(jobs int, sink *obs.Sink) *Pool {
+	if jobs <= 0 {
+		jobs = runtime.NumCPU()
+	}
+	p := &Pool{jobs: jobs, sink: sink}
+	if sink != nil && sink.Metrics != nil {
+		p.trials = sink.Counter("harness.pool.trials")
+		p.committed = sink.Counter("harness.pool.committed")
+		p.discarded = sink.Counter("harness.pool.discarded")
+		p.spans = sink.Counter("harness.pool.fanouts")
+		p.workerTrials = make([]*obs.Counter, jobs)
+		for w := 0; w < jobs; w++ {
+			p.workerTrials[w] = sink.Counter(fmt.Sprintf("harness.pool.worker%d.trials", w))
+		}
+	}
+	if tr := sink.Tracer(); tr != nil {
+		tr.SetProcessName(obs.PoolPID, "pool")
+		for w := 0; w < jobs; w++ {
+			tr.SetThreadName(obs.PoolPID, w, fmt.Sprintf("worker %d", w))
+		}
+	}
+	return p
+}
+
+// Jobs returns the worker count.
+func (p *Pool) Jobs() int { return p.jobs }
+
+// trialSink builds the private sink one trial runs against: its own metrics
+// registry (merged into the parent in commit order), the parent's tracer
+// and verbosity. Nil parent sink means nil trial sinks.
+func (p *Pool) trialSink() *obs.Sink {
+	if p.sink == nil {
+		return nil
+	}
+	s := &obs.Sink{Trace: p.sink.Trace, Verbosity: p.sink.Verbosity}
+	if p.sink.Metrics != nil {
+		s.Metrics = obs.NewRegistry()
+	}
+	return s
+}
+
+// commit folds one executed trial's telemetry into the parent sink.
+func (p *Pool) commit(s *obs.Sink) {
+	p.committed.Inc()
+	if s == nil || s.Metrics == nil || p.sink == nil {
+		return
+	}
+	p.sink.Metrics.Merge(s.Metrics.Snapshot())
+}
+
+// trialOutcome is one executed trial, parked until the commit scan reaches
+// its index.
+type trialOutcome[T any] struct {
+	val  T
+	ok   bool
+	err  error
+	sink *obs.Sink
+}
+
+// Collect runs fn(0), fn(1), ... until `need` trials have been accepted or
+// `max` trials are exhausted, fanning trials across the pool's workers. It
+// returns the accepted values in trial-index order and the attempt count:
+// the number of leading trials the sequential path would have executed
+// (decisive index + 1). fn reports ok=false to reject a trial (its run
+// still counts toward attempts and telemetry, like a success run that
+// happened to fail); a non-nil error aborts the collection at that trial.
+//
+// The returned values, attempts and merged telemetry are byte-identical
+// for every jobs setting: acceptance is decided purely by trial index, and
+// speculative trials past the decisive index are discarded unmerged.
+func Collect[T any](p *Pool, max, need int, label string, fn func(trial int, sink *obs.Sink) (T, bool, error)) ([]T, int, error) {
+	if need <= 0 || max <= 0 {
+		return nil, 0, nil
+	}
+	p.spans.Inc()
+	var traceStart uint64
+	tr := p.sink.Tracer()
+	if tr != nil {
+		traceStart = tr.Base()
+	}
+	out, attempts, err := collect(p, max, need, fn)
+	if tr != nil {
+		end := tr.Base()
+		tr.Complete("pool:"+label, "pool", traceStart, end-traceStart, obs.PoolPID, 0,
+			map[string]any{"jobs": p.jobs, "attempts": attempts, "accepted": len(out), "max": max})
+	}
+	return out, attempts, err
+}
+
+// collect is Collect without the tracing shell.
+func collect[T any](p *Pool, max, need int, fn func(int, *obs.Sink) (T, bool, error)) ([]T, int, error) {
+	if p.jobs == 1 {
+		// Sequential path: run trials in order, stop exactly at the
+		// decisive one. This is byte-identical to the parallel path below
+		// and does zero speculative work.
+		var out []T
+		for i := 0; i < max; i++ {
+			s := p.trialSink()
+			p.trials.Inc()
+			p.workerTrial(0)
+			v, ok, err := fn(i, s)
+			p.commit(s)
+			if err != nil {
+				return out, i + 1, err
+			}
+			if ok {
+				out = append(out, v)
+				if len(out) == need {
+					return out, i + 1, nil
+				}
+			}
+		}
+		return out, max, nil
+	}
+
+	// Parallel path: jobs worker goroutines pull trial indexes from idxCh;
+	// the coordinator commits decided trials in index order and stops
+	// dispatching once the decisive trial is known. At most `jobs` trials
+	// are ever in flight, so the speculation window (work that may be
+	// discarded) is bounded by the worker count.
+	type done struct {
+		i int
+		trialOutcome[T]
+	}
+	var (
+		idxCh = make(chan int)
+		resCh = make(chan done, p.jobs)
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < p.jobs; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range idxCh {
+				s := p.trialSink()
+				p.trials.Inc()
+				p.workerTrial(w)
+				v, ok, err := fn(i, s)
+				resCh <- done{i, trialOutcome[T]{val: v, ok: ok, err: err, sink: s}}
+			}
+		}(w)
+	}
+
+	var (
+		results = make(map[int]trialOutcome[T])
+		out     []T
+
+		next        int  // next trial index to dispatch
+		outstanding int  // dispatched, not yet returned
+		commitNext  int  // next trial index to commit
+		finished    bool // need met or error hit: stop dispatching
+		abortErr    error
+		attempts    int
+	)
+	for {
+		var send chan int
+		if !finished && next < max {
+			send = idxCh
+		}
+		if send == nil && outstanding == 0 {
+			break
+		}
+		select {
+		case send <- next:
+			next++
+			outstanding++
+		case d := <-resCh:
+			outstanding--
+			results[d.i] = d.trialOutcome
+			// Commit every contiguous decided trial in index order.
+			for !finished {
+				r, ready := results[commitNext]
+				if !ready {
+					break
+				}
+				delete(results, commitNext)
+				p.commit(r.sink)
+				commitNext++
+				if r.err != nil {
+					abortErr = r.err
+					attempts = commitNext
+					finished = true
+					break
+				}
+				if r.ok {
+					out = append(out, r.val)
+					if len(out) == need {
+						attempts = commitNext
+						finished = true
+					}
+				}
+			}
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	p.discarded.Add(uint64(len(results)))
+	if !finished {
+		attempts = max // exhausted the attempt budget
+	}
+	return out, attempts, abortErr
+}
+
+// workerTrial bumps one worker's executed-trial counter.
+func (p *Pool) workerTrial(w int) {
+	if p.workerTrials == nil {
+		return
+	}
+	p.workerTrials[w].Inc()
+}
+
+// Map runs fn(0..n-1) across the pool and returns all n results in index
+// order. The first error (in trial-index order) aborts and is returned.
+func Map[T any](p *Pool, n int, label string, fn func(trial int, sink *obs.Sink) (T, error)) ([]T, error) {
+	out, _, err := Collect(p, n, n, label, func(i int, s *obs.Sink) (T, bool, error) {
+		v, err := fn(i, s)
+		return v, err == nil, err
+	})
+	return out, err
+}
+
+// First runs fn over trials 0..max-1 and returns the first accepted result
+// in trial order along with its trial index, or index -1 if no trial was
+// accepted. Like Collect, the result is independent of the worker count.
+func First[T any](p *Pool, max int, label string, fn func(trial int, sink *obs.Sink) (T, bool, error)) (T, int, error) {
+	out, attempts, err := Collect(p, max, 1, label, fn)
+	if err != nil || len(out) == 0 {
+		var zero T
+		return zero, -1, err
+	}
+	return out[0], attempts - 1, nil
+}

@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"stmdiag/internal/obs"
+)
+
+func testPoolJobs() []int { return []int{1, 2, 4, 9} }
+
+func TestTrialSeedProperties(t *testing.T) {
+	if TrialSeed(0, "sort/fail", 3) != TrialSeed(0, "sort/fail", 3) {
+		t.Error("TrialSeed not deterministic")
+	}
+	seen := make(map[int64]string)
+	for _, base := range []int64{0, 1, 12345} {
+		for _, stream := range []string{"sort/fail", "sort/succ", "FFT/conf2-fail"} {
+			for trial := 0; trial < 64; trial++ {
+				s := TrialSeed(base, stream, trial)
+				if s < 0 {
+					t.Fatalf("TrialSeed(%d, %q, %d) = %d < 0", base, stream, trial, s)
+				}
+				key := fmt.Sprintf("%d/%s/%d", base, stream, trial)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: %s and %s both map to %d", prev, key, s)
+				}
+				seen[s] = key
+			}
+		}
+	}
+}
+
+// TestCollectJobsInvariance pins Collect's contract: accepted values,
+// attempt counts and merged telemetry are identical for every worker count,
+// and exactly the sequential prefix of trials is committed.
+func TestCollectJobsInvariance(t *testing.T) {
+	const (
+		max  = 30
+		need = 4
+	)
+	var wantVals []int
+	wantAttempts := 0
+	for i := 0; i < max && len(wantVals) < need; i++ {
+		if i%3 == 0 {
+			wantVals = append(wantVals, i*10)
+		}
+		wantAttempts = i + 1
+	}
+	for _, jobs := range testPoolJobs() {
+		sink := &obs.Sink{Metrics: obs.NewRegistry()}
+		p := NewPool(jobs, sink)
+		out, attempts, err := Collect(p, max, need, "test", func(i int, s *obs.Sink) (int, bool, error) {
+			s.Counter("test.trials").Inc()
+			return i * 10, i%3 == 0, nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if attempts != wantAttempts {
+			t.Errorf("jobs=%d: attempts = %d, want %d", jobs, attempts, wantAttempts)
+		}
+		if len(out) != len(wantVals) {
+			t.Fatalf("jobs=%d: out = %v, want %v", jobs, out, wantVals)
+		}
+		for i := range out {
+			if out[i] != wantVals[i] {
+				t.Errorf("jobs=%d: out[%d] = %d, want %d", jobs, i, out[i], wantVals[i])
+			}
+		}
+		snap := sink.Metrics.Snapshot()
+		if got := snap.Counter("test.trials"); got != uint64(wantAttempts) {
+			t.Errorf("jobs=%d: committed trial telemetry = %d, want exactly the sequential prefix %d",
+				jobs, got, wantAttempts)
+		}
+		if got := snap.Counter("harness.pool.committed"); got != uint64(wantAttempts) {
+			t.Errorf("jobs=%d: pool.committed = %d, want %d", jobs, got, wantAttempts)
+		}
+		executed := snap.Counter("harness.pool.trials")
+		discarded := snap.Counter("harness.pool.discarded")
+		if executed < uint64(wantAttempts) {
+			t.Errorf("jobs=%d: pool.trials = %d < attempts %d", jobs, executed, wantAttempts)
+		}
+		if executed != uint64(wantAttempts)+discarded {
+			t.Errorf("jobs=%d: trials(%d) != committed(%d) + discarded(%d)",
+				jobs, executed, wantAttempts, discarded)
+		}
+		if jobs == 1 && discarded != 0 {
+			t.Errorf("sequential path did speculative work: discarded = %d", discarded)
+		}
+	}
+}
+
+func TestCollectExhaustsBudget(t *testing.T) {
+	for _, jobs := range testPoolJobs() {
+		p := NewPool(jobs, nil)
+		out, attempts, err := Collect(p, 6, 5, "test", func(i int, _ *obs.Sink) (int, bool, error) {
+			return i, i%4 == 0, nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if attempts != 6 {
+			t.Errorf("jobs=%d: attempts = %d, want the full budget 6", jobs, attempts)
+		}
+		if len(out) != 2 || out[0] != 0 || out[1] != 4 {
+			t.Errorf("jobs=%d: out = %v, want [0 4]", jobs, out)
+		}
+	}
+}
+
+func TestCollectErrorAborts(t *testing.T) {
+	boom := errors.New("trial 5 exploded")
+	for _, jobs := range testPoolJobs() {
+		p := NewPool(jobs, nil)
+		out, attempts, err := Collect(p, 20, 3, "test", func(i int, _ *obs.Sink) (int, bool, error) {
+			if i == 5 {
+				return 0, false, boom
+			}
+			return i, i == 8, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("jobs=%d: err = %v, want %v", jobs, err, boom)
+		}
+		if attempts != 6 {
+			t.Errorf("jobs=%d: attempts = %d, want 6 (abort at trial 5)", jobs, attempts)
+		}
+		if len(out) != 0 {
+			t.Errorf("jobs=%d: out = %v, want empty", jobs, out)
+		}
+	}
+}
+
+func TestCollectDegenerate(t *testing.T) {
+	p := NewPool(4, nil)
+	called := false
+	fn := func(i int, _ *obs.Sink) (int, bool, error) { called = true; return 0, true, nil }
+	if out, n, err := Collect(p, 0, 3, "test", fn); out != nil || n != 0 || err != nil || called {
+		t.Errorf("Collect(max=0) = %v, %d, %v (called=%v)", out, n, err, called)
+	}
+	if out, n, err := Collect(p, 3, 0, "test", fn); out != nil || n != 0 || err != nil || called {
+		t.Errorf("Collect(need=0) = %v, %d, %v (called=%v)", out, n, err, called)
+	}
+}
+
+func TestMapOrderAndAbort(t *testing.T) {
+	for _, jobs := range testPoolJobs() {
+		p := NewPool(jobs, nil)
+		out, err := Map(p, 7, "test", func(i int, _ *obs.Sink) (int, error) {
+			return i * i, nil
+		})
+		if err != nil || len(out) != 7 {
+			t.Fatalf("jobs=%d: Map = %v, %v", jobs, out, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Errorf("jobs=%d: out[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+		boom := errors.New("map failure")
+		_, err = Map(p, 7, "test", func(i int, _ *obs.Sink) (int, error) {
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("jobs=%d: Map error = %v, want %v", jobs, err, boom)
+		}
+	}
+}
+
+func TestFirstIndexSemantics(t *testing.T) {
+	for _, jobs := range testPoolJobs() {
+		p := NewPool(jobs, nil)
+		v, idx, err := First(p, 20, "test", func(i int, _ *obs.Sink) (string, bool, error) {
+			return fmt.Sprintf("trial-%d", i), i == 7, nil
+		})
+		if err != nil || idx != 7 || v != "trial-7" {
+			t.Errorf("jobs=%d: First = %q, %d, %v; want trial-7, 7", jobs, v, idx, err)
+		}
+		_, idx, err = First(p, 5, "test", func(i int, _ *obs.Sink) (string, bool, error) {
+			return "", false, nil
+		})
+		if err != nil || idx != -1 {
+			t.Errorf("jobs=%d: First(no match) idx = %d, err = %v; want -1, nil", jobs, idx, err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 
 	"stmdiag/internal/apps"
 	"stmdiag/internal/cbi"
@@ -32,7 +33,12 @@ type Config struct {
 	// MaxAttempts bounds run attempts per collected profile (concurrency
 	// benchmarks fail probabilistically).
 	MaxAttempts int
-	// Seed offsets every seed used.
+	// Jobs is the trial-execution worker count: trials (independent app
+	// runs) fan out across up to Jobs goroutines. 0 selects
+	// runtime.NumCPU(); 1 is the strictly sequential path. Results are
+	// byte-identical for every value — see pool.go.
+	Jobs int
+	// Seed is the base every trial seed is derived from (TrialSeed).
 	Seed int64
 	// LBRSize and LCRSize override record depths (0 = paper defaults).
 	LBRSize, LCRSize int
@@ -72,8 +78,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxAttempts == 0 {
 		c.MaxAttempts = d.MaxAttempts
 	}
+	if c.Jobs <= 0 {
+		c.Jobs = runtime.NumCPU()
+	}
 	return c
 }
+
+// pool builds the trial-execution pool for one experiment entry point.
+func (c Config) pool() *Pool { return NewPool(c.Jobs, c.Obs) }
 
 // SeqResult is one sequential benchmark's Table 6 row.
 type SeqResult struct {
@@ -97,13 +109,14 @@ type SeqResult struct {
 	Metrics *obs.Snapshot
 }
 
-// runApp executes one instrumented run.
-func runApp(inst *core.Instrumented, w apps.Workload, seed int64, cfg Config) (*vm.Result, error) {
+// runApp executes one instrumented run, reporting telemetry into the given
+// (usually per-trial) sink.
+func runApp(inst *core.Instrumented, w apps.Workload, seed int64, cfg Config, sink *obs.Sink) (*vm.Result, error) {
 	opts := w.VMOptions(seed)
 	opts.Driver = kernel.Driver{}
 	opts.SegvIoctls = inst.SegvIoctls
 	opts.LBRSize = cfg.LBRSize
-	opts.Obs = cfg.Obs
+	opts.Obs = sink
 	return vm.Run(inst.Prog, opts)
 }
 
@@ -137,8 +150,8 @@ func rankWithFallback(a *apps.App, p *isa.Program, prof vm.Profile) (rank int, r
 
 // failureProfileOf runs the failure workload once and extracts the
 // failure-run profile.
-func failureProfileOf(a *apps.App, inst *core.Instrumented, seed int64, cfg Config) (vm.Profile, error) {
-	res, err := runApp(inst, a.Fail, seed, cfg)
+func failureProfileOf(a *apps.App, inst *core.Instrumented, seed int64, cfg Config, sink *obs.Sink) (vm.Profile, error) {
+	res, err := runApp(inst, a.Fail, seed, cfg, sink)
 	if err != nil {
 		return vm.Profile{}, err
 	}
@@ -174,26 +187,31 @@ func origFailurePC(a *apps.App, inst *core.Instrumented, prof vm.Profile) (int, 
 	return 0, fmt.Errorf("harness: cannot locate original failure site for %s (profile site %d)", a.Name, prof.Site)
 }
 
-// successProfiles collects success-run profiles on the given build.
-func successProfiles(a *apps.App, inst *core.Instrumented, cfg Config) ([]core.ProfiledRun, error) {
-	var out []core.ProfiledRun
-	for seed := int64(0); len(out) < cfg.SuccRuns && seed < int64(cfg.MaxAttempts); seed++ {
-		res, err := runApp(inst, a.Succeed, cfg.Seed+1000+seed, cfg)
-		if err != nil {
-			return nil, err
-		}
-		if a.Succeed.FailedRun(res) {
-			continue
-		}
-		prof, ok := core.SuccessRunProfile(res)
-		if !ok {
-			// Unconditional site: the same-site snapshot from a successful
-			// run is the comparable success profile.
-			if prof, ok = core.FailureRunProfile(res); !ok {
-				continue
+// successProfiles collects success-run profiles on the given build through
+// the trial pool.
+func successProfiles(a *apps.App, inst *core.Instrumented, cfg Config, pool *Pool) ([]core.ProfiledRun, error) {
+	stream := a.Name + "/succ"
+	out, _, err := Collect(pool, cfg.MaxAttempts, cfg.SuccRuns, stream,
+		func(i int, s *obs.Sink) (core.ProfiledRun, bool, error) {
+			res, err := runApp(inst, a.Succeed, TrialSeed(cfg.Seed, stream, i), cfg, s)
+			if err != nil {
+				return core.ProfiledRun{}, false, err
 			}
-		}
-		out = append(out, core.ProfiledRun{Prog: inst.Prog, Profile: prof})
+			if a.Succeed.FailedRun(res) {
+				return core.ProfiledRun{}, false, nil
+			}
+			prof, ok := core.SuccessRunProfile(res)
+			if !ok {
+				// Unconditional site: the same-site snapshot from a
+				// successful run is the comparable success profile.
+				if prof, ok = core.FailureRunProfile(res); !ok {
+					return core.ProfiledRun{}, false, nil
+				}
+			}
+			return core.ProfiledRun{Prog: inst.Prog, Profile: prof}, true, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	if len(out) < cfg.SuccRuns {
 		return nil, fmt.Errorf("harness: %s: only %d/%d success profiles", a.Name, len(out), cfg.SuccRuns)
@@ -204,6 +222,7 @@ func successProfiles(a *apps.App, inst *core.Instrumented, cfg Config) ([]core.P
 // RunSequential reproduces one Table 6 row.
 func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 	cfg = cfg.withDefaults()
+	pool := cfg.pool()
 	p := a.Program()
 	res := &SeqResult{App: a}
 	rowStart := beginRow(cfg, a.Name, "sequential")
@@ -217,15 +236,42 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 		return nil, err
 	}
 
-	// LBRLOG ranks and patch distances from one failure-run profile each.
-	profTog, err := failureProfileOf(a, logTog, cfg.Seed, cfg)
+	// LBRA failure profiles from the deployed (toggling) build; the first
+	// doubles as Table 6's LBRLOG toggling profile.
+	failStream := a.Name + "/fail"
+	failProfiles, _, err := Collect(pool, cfg.MaxAttempts, cfg.FailRuns, failStream,
+		func(i int, s *obs.Sink) (core.ProfiledRun, bool, error) {
+			prof, err := failureProfileOf(a, logTog, TrialSeed(cfg.Seed, failStream, i), cfg, s)
+			if err != nil {
+				// Concurrency benchmarks fail probabilistically: a run
+				// that happened not to fail is rejected, not fatal.
+				return core.ProfiledRun{}, false, nil
+			}
+			return core.ProfiledRun{Prog: logTog.Prog, Profile: prof}, true, nil
+		})
 	if err != nil {
 		return nil, err
 	}
+	if len(failProfiles) < cfg.FailRuns {
+		return nil, fmt.Errorf("harness: %s: only %d/%d failure profiles", a.Name, len(failProfiles), cfg.FailRuns)
+	}
+	profTog := failProfiles[0].Profile
 	res.RankTog, res.RelatedTog = rankWithFallback(a, logTog.Prog, profTog)
-	profNoTog, err := failureProfileOf(a, logNoTog, cfg.Seed, cfg)
+
+	noTogStream := a.Name + "/fail-notog"
+	profNoTog, noTogIdx, err := First(pool, cfg.MaxAttempts, noTogStream,
+		func(i int, s *obs.Sink) (vm.Profile, bool, error) {
+			prof, err := failureProfileOf(a, logNoTog, TrialSeed(cfg.Seed, noTogStream, i), cfg, s)
+			if err != nil {
+				return vm.Profile{}, false, nil
+			}
+			return prof, true, nil
+		})
 	if err != nil {
 		return nil, err
+	}
+	if noTogIdx < 0 {
+		return nil, fmt.Errorf("harness: %s: no non-toggling failure profile", a.Name)
 	}
 	res.RankNoTog, res.RelatedNoTog = rankWithFallback(a, logNoTog.Prog, profNoTog)
 
@@ -236,19 +282,6 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 	res.DistFailureSite = a.Patch.Distance(siteLoc)
 	res.DistLBR = a.Patch.MinDistance(core.BranchLocs(logTog.Prog, profTog))
 
-	// LBRA: failure profiles from the deployed build, success profiles
-	// from the reactive redeployment.
-	var failProfiles []core.ProfiledRun
-	for seed := int64(0); len(failProfiles) < cfg.FailRuns && seed < int64(cfg.MaxAttempts); seed++ {
-		prof, err := failureProfileOf(a, logTog, cfg.Seed+seed, cfg)
-		if err != nil {
-			continue
-		}
-		failProfiles = append(failProfiles, core.ProfiledRun{Prog: logTog.Prog, Profile: prof})
-	}
-	if len(failProfiles) < cfg.FailRuns {
-		return nil, fmt.Errorf("harness: %s: only %d/%d failure profiles", a.Name, len(failProfiles), cfg.FailRuns)
-	}
 	failPC, err := origFailurePC(a, logTog, failProfiles[0].Profile)
 	if err != nil {
 		return nil, err
@@ -258,7 +291,7 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	succProfiles, err := successProfiles(a, reactive, cfg)
+	succProfiles, err := successProfiles(a, reactive, cfg, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +305,7 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 	}
 
 	// CBI baseline.
-	res.CBIRank, err = runCBI(a, cfg)
+	res.CBIRank, err = runCBI(a, cfg, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -283,20 +316,21 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	base, err := meanCycles(p, a, nil, nil, cfg)
+	base, err := meanCycles(p, a, nil, nil, cfg, pool, a.Name+"/ov-base")
 	if err != nil {
 		return nil, err
 	}
 	for _, v := range []struct {
-		inst *core.Instrumented
-		out  *float64
+		inst   *core.Instrumented
+		stream string
+		out    *float64
 	}{
-		{logTog, &res.OvLogTog},
-		{logNoTog, &res.OvLogNoTog},
-		{reactive, &res.OvReactive},
-		{proactive, &res.OvProactive},
+		{logTog, a.Name + "/ov-log-tog", &res.OvLogTog},
+		{logNoTog, a.Name + "/ov-log-notog", &res.OvLogNoTog},
+		{reactive, a.Name + "/ov-reactive", &res.OvReactive},
+		{proactive, a.Name + "/ov-proactive", &res.OvProactive},
 	} {
-		cycles, err := meanCycles(v.inst.Prog, a, v.inst.SegvIoctls, nil, cfg)
+		cycles, err := meanCycles(v.inst.Prog, a, v.inst.SegvIoctls, nil, cfg, pool, v.stream)
 		if err != nil {
 			return nil, err
 		}
@@ -304,7 +338,7 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 	}
 	cbiCycles, err := meanCycles(p, a, nil, func(m *vm.Machine, seed int64) {
 		cbi.NewObserver(cfg.CBIRate, seed+777).Attach(m)
-	}, cfg)
+	}, cfg, pool, a.Name+"/ov-cbi")
 	if err != nil {
 		return nil, err
 	}
@@ -316,7 +350,7 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 // runCBI collects sampled predicate observations over many runs and ranks.
 // It returns -1 for benchmarks CBI does not support (the paper's CBI
 // framework handles C programs only; Cppcheck and PBZIP are C++).
-func runCBI(a *apps.App, cfg Config) (int, error) {
+func runCBI(a *apps.App, cfg Config, pool *Pool) (int, error) {
 	if a.Paper.CBIRank < 0 {
 		return -1, nil
 	}
@@ -324,40 +358,45 @@ func runCBI(a *apps.App, cfg Config) (int, error) {
 		return 0, nil
 	}
 	p := a.Program()
-	var runs []cbi.RunObs
-	collect := func(w apps.Workload, wantFail bool, n int, base int64) error {
-		got := 0
-		for seed := int64(0); got < n && seed < int64(n)*4; seed++ {
-			opts := w.VMOptions(cfg.Seed + base + seed)
-			opts.Obs = cfg.Obs
-			m, err := vm.New(p, opts)
-			if err != nil {
-				return err
-			}
-			o := cbi.NewObserver(cfg.CBIRate, cfg.Seed+base+seed+31337)
-			o.Attach(m)
-			res, err := m.Run()
-			if err != nil {
-				return err
-			}
-			if w.FailedRun(res) != wantFail {
-				continue
-			}
-			runs = append(runs, o.Finish(wantFail))
-			got++
+	collect := func(w apps.Workload, wantFail bool, n int, label string) ([]cbi.RunObs, error) {
+		stream := a.Name + "/" + label
+		out, _, err := Collect(pool, n*4, n, stream,
+			func(i int, s *obs.Sink) (cbi.RunObs, bool, error) {
+				seed := TrialSeed(cfg.Seed, stream, i)
+				opts := w.VMOptions(seed)
+				opts.Obs = s
+				m, err := vm.New(p, opts)
+				if err != nil {
+					return cbi.RunObs{}, false, err
+				}
+				o := cbi.NewObserver(cfg.CBIRate, seed+31337)
+				o.Attach(m)
+				res, err := m.Run()
+				if err != nil {
+					return cbi.RunObs{}, false, err
+				}
+				if w.FailedRun(res) != wantFail {
+					return cbi.RunObs{}, false, nil
+				}
+				return o.Finish(wantFail), true, nil
+			})
+		if err != nil {
+			return nil, err
 		}
-		if got < n {
-			return fmt.Errorf("harness: %s: only %d/%d CBI %v runs", a.Name, got, n, wantFail)
+		if len(out) < n {
+			return nil, fmt.Errorf("harness: %s: only %d/%d CBI %v runs", a.Name, len(out), n, wantFail)
 		}
-		return nil
+		return out, nil
 	}
-	if err := collect(a.Fail, true, cfg.CBIRuns, 0); err != nil {
+	failRuns, err := collect(a.Fail, true, cfg.CBIRuns, "cbi-fail")
+	if err != nil {
 		return 0, err
 	}
-	if err := collect(a.Succeed, false, cfg.CBIRuns, 1_000_000); err != nil {
+	succRuns, err := collect(a.Succeed, false, cfg.CBIRuns, "cbi-succ")
+	if err != nil {
 		return 0, err
 	}
-	scores := cbi.Rank(runs)
+	scores := cbi.Rank(append(failRuns, succRuns...))
 	rank := cbi.RankOf(scores, func(pr cbi.Pred) bool {
 		return pr.Branch == a.RootBranch && pr.Edge == a.BuggyEdge
 	})
@@ -368,29 +407,36 @@ func runCBI(a *apps.App, cfg Config) (int, error) {
 }
 
 // meanCycles averages run cycles on the success workload.
-func meanCycles(p *isa.Program, a *apps.App, segv []int64, hook func(*vm.Machine, int64), cfg Config) (float64, error) {
+func meanCycles(p *isa.Program, a *apps.App, segv []int64, hook func(*vm.Machine, int64), cfg Config, pool *Pool, stream string) (float64, error) {
+	cycles, err := Map(pool, cfg.OverheadRuns, stream,
+		func(i int, s *obs.Sink) (uint64, error) {
+			seed := TrialSeed(cfg.Seed, stream, i)
+			opts := a.Succeed.VMOptions(seed)
+			opts.LBRSize = cfg.LBRSize
+			opts.Obs = s
+			if segv != nil {
+				opts.SegvIoctls = segv
+			}
+			opts.Driver = kernel.Driver{}
+			m, err := vm.New(p, opts)
+			if err != nil {
+				return 0, err
+			}
+			if hook != nil {
+				hook(m, seed)
+			}
+			res, err := m.Run()
+			if err != nil {
+				return 0, err
+			}
+			return res.Cycles, nil
+		})
+	if err != nil {
+		return 0, err
+	}
 	var total uint64
-	for i := 0; i < cfg.OverheadRuns; i++ {
-		seed := cfg.Seed + int64(i)
-		opts := a.Succeed.VMOptions(seed)
-		opts.LBRSize = cfg.LBRSize
-		opts.Obs = cfg.Obs
-		if segv != nil {
-			opts.SegvIoctls = segv
-		}
-		opts.Driver = kernel.Driver{}
-		m, err := vm.New(p, opts)
-		if err != nil {
-			return 0, err
-		}
-		if hook != nil {
-			hook(m, seed)
-		}
-		res, err := m.Run()
-		if err != nil {
-			return 0, err
-		}
-		total += res.Cycles
+	for _, c := range cycles {
+		total += c
 	}
 	return float64(total) / float64(cfg.OverheadRuns), nil
 }

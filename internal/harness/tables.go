@@ -138,6 +138,7 @@ func Table2() string {
 // reports whether the FPE occurs in the failure thread.
 func Table3(cfg Config) (string, error) {
 	cfg = cfg.withDefaults()
+	pool := cfg.pool()
 	var b strings.Builder
 	b.WriteString("Table 3: failure predicting events (FPE) per concurrency-bug class\n\n")
 	fmt.Fprintf(&b, "%-12s %-24s %-22s %-18s %s\n", "benchmark", "bug class", "FPE (paper)", "FPE observed", "in failure thread")
@@ -166,7 +167,7 @@ func Table3(cfg Config) (string, error) {
 			if err != nil {
 				return "", err
 			}
-			profs, _, err := collectConc(a, inst, pmu.ConfSpaceConsuming, true, 3, cfg, 0)
+			profs, _, err := collectConc(a, inst, pmu.ConfSpaceConsuming, true, 3, cfg, pool, "table3")
 			if err != nil {
 				return "", err
 			}
@@ -345,13 +346,14 @@ func DiagnosisLatency(a *apps.App, maxRuns int, cfg Config) (lbraRuns, cbiRuns i
 			break
 		}
 	}
+	pool := cfg.pool()
 	for _, n := range []int{50, 200, 500, 1000} {
 		if n > maxRuns {
 			break
 		}
 		c := cfg
 		c.CBIRuns = n
-		rank, e := runCBI(a, c)
+		rank, e := runCBI(a, c, pool)
 		if e != nil {
 			return 0, 0, e
 		}

@@ -1,0 +1,72 @@
+package obs
+
+import "testing"
+
+func TestMergeCountersGaugesHistograms(t *testing.T) {
+	parent := NewRegistry()
+	parent.Counter("runs").Add(5)
+	parent.Gauge("depth").Set(2)
+	parent.Histogram("lat", []uint64{10, 100}).Observe(7)
+
+	child := NewRegistry()
+	child.Counter("runs").Add(3)
+	child.Counter("fresh").Add(2)
+	child.Gauge("depth").Set(9)
+	h := child.Histogram("lat", []uint64{10, 100})
+	h.Observe(50)
+	h.Observe(500)
+
+	parent.Merge(child.Snapshot())
+	s := parent.Snapshot()
+	if got := s.Counter("runs"); got != 8 {
+		t.Errorf("merged counter runs = %d, want 5+3", got)
+	}
+	if got := s.Counter("fresh"); got != 2 {
+		t.Errorf("counter created on demand = %d, want 2", got)
+	}
+	if got := s.Gauges["depth"]; got != 9 {
+		t.Errorf("merged gauge = %d, want the snapshot's value 9", got)
+	}
+	hs := s.Histograms["lat"]
+	if hs.Count != 3 || hs.Sum != 7+50+500 {
+		t.Errorf("merged histogram count/sum = %d/%d, want 3/557", hs.Count, hs.Sum)
+	}
+	// Buckets: bounds {10,100} + overflow. 7 -> bucket 0, 50 -> 1, 500 -> 2.
+	want := []uint64{1, 1, 1}
+	for i, c := range hs.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+}
+
+func TestMergeHistogramBoundsMismatch(t *testing.T) {
+	parent := NewRegistry()
+	parent.Histogram("lat", []uint64{10, 100}).Observe(5)
+
+	child := NewRegistry()
+	h := child.Histogram("lat", []uint64{50})
+	h.Observe(1)
+	h.Observe(99)
+
+	parent.Merge(child.Snapshot())
+	hs := parent.Snapshot().Histograms["lat"]
+	if hs.Count != 3 || hs.Sum != 105 {
+		t.Errorf("mismatch merge lost observations: count/sum = %d/%d, want 3/105", hs.Count, hs.Sum)
+	}
+	// The fallback folds the child's observations into the overflow bucket
+	// so the parent's bucket layout survives.
+	if len(hs.Counts) != 3 {
+		t.Fatalf("parent bucket layout changed: %v", hs.Counts)
+	}
+	if hs.Counts[0] != 1 || hs.Counts[2] != 2 {
+		t.Errorf("buckets = %v, want child observations in overflow", hs.Counts)
+	}
+}
+
+func TestMergeIntoNilRegistry(t *testing.T) {
+	child := NewRegistry()
+	child.Counter("x").Inc()
+	var r *Registry
+	r.Merge(child.Snapshot()) // must not panic
+}

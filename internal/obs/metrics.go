@@ -234,6 +234,41 @@ func (r *Registry) Reset() {
 	}
 }
 
+// Merge folds a snapshot into the registry: counters add, gauges take the
+// snapshot's value, histogram bucket counts add (instruments are created on
+// demand, histograms with the snapshot's bounds). The harness worker pool
+// uses this to commit per-trial registries into the run's registry in trial
+// order, so merged totals are independent of worker count and scheduling.
+func (r *Registry) Merge(s Snapshot) {
+	if r == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Set(v)
+	}
+	for name, hs := range s.Histograms {
+		h := r.Histogram(name, hs.Bounds)
+		if len(h.counts) != len(hs.Counts) {
+			// Bounds mismatch with an existing histogram: fold everything
+			// into totals so no observation is silently lost.
+			h.sum.Add(hs.Sum)
+			h.n.Add(hs.Count)
+			if len(h.counts) > 0 {
+				h.counts[len(h.counts)-1].Add(hs.Count)
+			}
+			continue
+		}
+		for i, c := range hs.Counts {
+			h.counts[i].Add(c)
+		}
+		h.sum.Add(hs.Sum)
+		h.n.Add(hs.Count)
+	}
+}
+
 // HistogramSnapshot is one histogram's frozen state.
 type HistogramSnapshot struct {
 	// Bounds are the bucket upper bounds; Counts has one extra overflow

@@ -5,6 +5,10 @@ package obs
 // whose pids are core IDs starting at 0.
 const PipelinePID = 99
 
+// PoolPID is the reserved trace track group for the harness worker pool:
+// fan-out spans land here, one track (tid) per worker.
+const PoolPID = 98
+
 // Sink bundles the telemetry destinations one simulation or pipeline run
 // reports into. A nil *Sink disables everything: instrumented code guards
 // with nil checks (or calls nil-safe methods) and pays no other cost.

@@ -1,0 +1,87 @@
+package pmu
+
+import (
+	"testing"
+
+	"stmdiag/internal/isa"
+)
+
+// FuzzLBRSelect drives the LBR MSR interface with arbitrary filter
+// configurations and branch streams, checking the hardware contract the
+// kernel driver relies on: configuration registers round-trip, the branch
+// stack never exceeds its depth, suppressed classes and privilege levels
+// are never recorded, and the stack MSR window never faults in range.
+func FuzzLBRSelect(f *testing.F) {
+	f.Add(uint64(PaperLBRSelect), uint64(DebugCtlEnableLBR), uint8(16), []byte{0x00, 0x13, 0x2a, 0x81})
+	f.Add(uint64(0), uint64(DebugCtlEnableLBR), uint8(4), []byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06})
+	f.Add(uint64(SelCPLNeq0), uint64(DebugCtlEnableLBR), uint8(8), []byte{0x90, 0x11, 0xf2})
+	f.Add(uint64(SelJCC|SelNearRet), uint64(DebugCtlDisableLBR), uint8(1), []byte{0x01})
+	f.Add(^uint64(0), uint64(DebugCtlEnableLBR), uint8(31), []byte{0xaa, 0x55})
+	f.Fuzz(func(t *testing.T, sel, debugctl uint64, sizeRaw uint8, ops []byte) {
+		size := int(sizeRaw%32) + 1
+		l := NewLBR(size)
+		if err := l.WriteMSR(MSRLBRSelect, sel); err != nil {
+			t.Fatalf("wrmsr LBR_SELECT: %v", err)
+		}
+		if err := l.WriteMSR(MSRDebugCtl, debugctl); err != nil {
+			t.Fatalf("wrmsr DEBUGCTL: %v", err)
+		}
+		if got, err := l.ReadMSR(MSRLBRSelect); err != nil || got != sel {
+			t.Fatalf("LBR_SELECT round-trip: got %#x, %v; wrote %#x", got, err, sel)
+		}
+		enabled := debugctl == DebugCtlEnableLBR
+		if l.Enabled() != enabled {
+			t.Fatalf("Enabled() = %v after wrmsr DEBUGCTL %#x", l.Enabled(), debugctl)
+		}
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+		for i, op := range ops {
+			rec := BranchRecord{
+				From:   i,
+				To:     int(op),
+				Class:  isa.BranchClass(op % 7),
+				Kernel: op&0x80 != 0,
+			}
+			recorded, evicted := l.Record(rec)
+			wantDrop := !enabled ||
+				(rec.Kernel && sel&SelCPLEq0 != 0) ||
+				(!rec.Kernel && sel&SelCPLNeq0 != 0) ||
+				sel&suppressBit(rec.Class) != 0
+			if recorded == wantDrop {
+				t.Fatalf("Record(%+v) recorded=%v with sel=%#x enabled=%v", rec, recorded, sel, enabled)
+			}
+			if evicted && !recorded {
+				t.Fatalf("Record(%+v) evicted without recording", rec)
+			}
+			if recorded {
+				latest := l.Latest()
+				if len(latest) == 0 || latest[0] != rec {
+					t.Fatalf("Latest()[0] != just-recorded branch: %v", latest)
+				}
+			}
+			if l.Len() > l.Cap() {
+				t.Fatalf("Len %d exceeds Cap %d", l.Len(), l.Cap())
+			}
+		}
+		if l.Cap() != size {
+			t.Fatalf("Cap changed: %d, want %d", l.Cap(), size)
+		}
+		// The whole branch-stack MSR window must be readable; one past it
+		// must fault like a bad rdmsr.
+		for i := 0; i < l.Cap(); i++ {
+			if _, err := l.ReadMSR(MSRBranchFromBase + uint32(i)); err != nil {
+				t.Fatalf("rdmsr FROM[%d]: %v", i, err)
+			}
+			if _, err := l.ReadMSR(MSRBranchToBase + uint32(i)); err != nil {
+				t.Fatalf("rdmsr TO[%d]: %v", i, err)
+			}
+		}
+		if _, err := l.ReadMSR(MSRBranchFromBase + uint32(l.Cap())); err == nil {
+			t.Fatal("rdmsr past the branch stack must error")
+		}
+		if err := l.WriteMSR(0xdead, 1); err == nil {
+			t.Fatal("wrmsr to an unknown MSR must error")
+		}
+	})
+}

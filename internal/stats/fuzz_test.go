@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeRuns turns raw fuzz bytes into a bounded run set: each run is a
+// header byte (bit 0 = failed, upper bits = event count) followed by that
+// many event bytes, truncated to the 0..15 event universe so collisions —
+// the interesting case for ranking — actually happen.
+func decodeRuns(data []byte) []Run[int] {
+	var runs []Run[int]
+	for len(data) > 0 && len(runs) < 12 {
+		hdr := data[0]
+		data = data[1:]
+		n := int(hdr>>1) % 8
+		if n > len(data) {
+			n = len(data)
+		}
+		evs := make([]int, 0, n)
+		for _, b := range data[:n] {
+			evs = append(evs, int(b%16))
+		}
+		data = data[n:]
+		runs = append(runs, Run[int]{Failed: hdr&1 == 1, Events: evs})
+	}
+	return runs
+}
+
+// FuzzRank checks the ranking invariants on arbitrary run sets: no panics,
+// every statistic stays within [0,1] and is never NaN, the ranking is
+// sorted best-first, and — because the model only counts set membership —
+// the ranking is identical whatever order the runs arrive in.
+func FuzzRank(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0x03, 0x05, 0x02, 0x05, 0x09})
+	f.Add([]byte{0x07, 0x01, 0x02, 0x03, 0x06, 0x01, 0x02, 0x04, 0x05, 0xff})
+	f.Add([]byte{0x0f, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70, 0x0e, 0x11})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runs := decodeRuns(data)
+		ranking := Rank(runs)
+		prev := math.Inf(1)
+		for _, s := range ranking {
+			for name, v := range map[string]float64{
+				"score": s.Score, "precision": s.Precision, "recall": s.Recall,
+			} {
+				if math.IsNaN(v) || v < 0 || v > 1 {
+					t.Fatalf("%s out of range for %+v", name, s)
+				}
+			}
+			if s.Score > prev {
+				t.Fatalf("ranking not sorted: %v after %v", s.Score, prev)
+			}
+			prev = s.Score
+			if s.InFail < 0 || s.InSucc < 0 || s.InFail+s.InSucc == 0 {
+				t.Fatalf("impossible occurrence counts: %+v", s)
+			}
+		}
+		if got := RankOf(ranking, func(int) bool { return true }); len(ranking) > 0 && got != 1 {
+			t.Fatalf("RankOf(match-all) = %d", got)
+		}
+		// Permutation stability: reversing the run order must not change a
+		// single entry — ties break on the events themselves, never on
+		// arrival order.
+		rev := make([]Run[int], len(runs))
+		for i, r := range runs {
+			rev[len(runs)-1-i] = r
+		}
+		reranked := Rank(rev)
+		if len(reranked) != len(ranking) {
+			t.Fatalf("permuted ranking has %d entries, want %d", len(reranked), len(ranking))
+		}
+		for i := range ranking {
+			if ranking[i] != reranked[i] {
+				t.Fatalf("entry %d differs under permutation: %+v vs %+v", i, ranking[i], reranked[i])
+			}
+		}
+	})
+}
+
+// FuzzHarmonicMean checks the score combiner over the full float64 domain:
+// the result is never NaN, never negative, symmetric in its arguments, and
+// never exceeds twice the larger operand (the a→∞ limit is 2b).
+func FuzzHarmonicMean(f *testing.F) {
+	f.Add(1.0, 1.0)
+	f.Add(0.5, 1.0)
+	f.Add(0.0, 0.25)
+	f.Add(math.NaN(), 1.0)
+	f.Add(math.Inf(1), math.Inf(1))
+	f.Add(math.Inf(1), 0.25)
+	f.Add(-3.0, 2.0)
+	f.Add(1.5e308, 1.5e308)
+	f.Add(math.MaxFloat64, 2.0)
+	f.Add(5e-324, 5e-324)
+	f.Fuzz(func(t *testing.T, a, b float64) {
+		h := HarmonicMean(a, b)
+		if math.IsNaN(h) {
+			t.Fatalf("HarmonicMean(%v, %v) = NaN", a, b)
+		}
+		if h < 0 {
+			t.Fatalf("HarmonicMean(%v, %v) = %v < 0", a, b, h)
+		}
+		if sym := HarmonicMean(b, a); sym != h {
+			t.Fatalf("not symmetric: HM(%v,%v)=%v but HM(%v,%v)=%v", a, b, h, b, a, sym)
+		}
+		if hi := math.Max(a, b); h > 0 && !math.IsInf(hi, 1) && h > 2*hi*(1+1e-9) {
+			t.Fatalf("HarmonicMean(%v, %v) = %v exceeds 2*max", a, b, h)
+		}
+	})
+}

@@ -11,6 +11,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -45,12 +46,32 @@ func (s Scored[E]) String() string {
 }
 
 // HarmonicMean returns the harmonic mean of two non-negative quantities,
-// zero when either is zero.
+// zero when either is zero, non-positive, or NaN. Infinite inputs take the
+// limit: HarmonicMean(+Inf, b) = 2b, and HarmonicMean(+Inf, +Inf) = +Inf —
+// never the NaN that 2*a*b/(a+b) would produce from Inf/Inf.
 func HarmonicMean(a, b float64) float64 {
-	if a <= 0 || b <= 0 {
+	if math.IsNaN(a) || math.IsNaN(b) || a <= 0 || b <= 0 {
 		return 0
 	}
-	return 2 * a * b / (a + b)
+	switch {
+	case math.IsInf(a, 1) && math.IsInf(b, 1):
+		return math.Inf(1)
+	case math.IsInf(a, 1):
+		return 2 * b
+	case math.IsInf(b, 1):
+		return 2 * a
+	}
+	// 2*(a*b), not (2*a)*b: the grouping keeps the expression symmetric in
+	// a and b even when one doubling would overflow. Doubling is exact, so
+	// the value is unchanged wherever neither form overflows.
+	h := 2 * (a * b) / (a + b)
+	if math.IsNaN(h) || math.IsInf(h, 1) {
+		// 2*a*b overflowed for huge finite operands. Both operands must be
+		// enormous for that to happen, so the reciprocal form cannot itself
+		// overflow or divide by zero here.
+		h = 2 / (1/a + 1/b)
+	}
+	return h
 }
 
 // Rank scores every event appearing in any run and returns them best-first.
@@ -130,14 +151,21 @@ func RankOf[E comparable](ranking []Scored[E], match func(E) bool) int {
 	return 0
 }
 
-// Mean returns the arithmetic mean of xs, 0 for empty input.
+// Mean returns the arithmetic mean of xs, 0 for empty input. NaN elements
+// are skipped (a poisoned sample must not erase the whole aggregate); if
+// every element is NaN the mean is 0.
 func Mean(xs []float64) float64 {
-	if len(xs) == 0 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		sum += x
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	var sum float64
-	for _, x := range xs {
-		sum += x
-	}
-	return sum / float64(len(xs))
+	return sum / float64(n)
 }

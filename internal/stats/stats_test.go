@@ -125,12 +125,59 @@ func TestHarmonicMean(t *testing.T) {
 	}
 }
 
+func TestHarmonicMeanEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		a, b float64
+		want float64
+	}{
+		{"nan-left", nan, 1, 0},
+		{"nan-right", 1, nan, 0},
+		{"nan-both", nan, nan, 0},
+		{"negative-left", -3, 2, 0},
+		{"negative-both", -3, -2, 0},
+		{"neg-inf", math.Inf(-1), 5, 0},
+		{"inf-both", inf, inf, inf},
+		{"inf-left", inf, 2, 4},
+		{"inf-right", 2, inf, 4},
+		{"huge-finite", 1.5e308, 1.5e308, 1.5e308},
+		{"huge-asymmetric", math.MaxFloat64, 2, 4},
+	}
+	for _, c := range cases {
+		got := HarmonicMean(c.a, c.b)
+		if math.IsNaN(got) {
+			t.Errorf("%s: HarmonicMean(%v, %v) = NaN", c.name, c.a, c.b)
+			continue
+		}
+		// Huge-but-finite operands go through the overflow-safe reciprocal
+		// form, which is only accurate to rounding.
+		if diff := math.Abs(got - c.want); diff > 1e-9*math.Abs(c.want) && diff > 1e-12 {
+			t.Errorf("%s: HarmonicMean(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
 func TestMean(t *testing.T) {
 	if Mean(nil) != 0 {
 		t.Error("Mean(nil) != 0")
 	}
 	if got := Mean([]float64{1, 2, 3}); got != 2 {
 		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestMeanSkipsNaN(t *testing.T) {
+	nan := math.NaN()
+	if got := Mean([]float64{nan, 2, 4}); got != 3 {
+		t.Errorf("Mean([NaN,2,4]) = %v, want 3", got)
+	}
+	if got := Mean([]float64{nan, nan}); got != 0 {
+		t.Errorf("Mean(all NaN) = %v, want 0", got)
+	}
+	if got := Mean([]float64{nan}); got != 0 {
+		t.Errorf("Mean([NaN]) = %v, want 0", got)
 	}
 }
 

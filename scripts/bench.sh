@@ -1,0 +1,50 @@
+#!/bin/sh
+# Benchmarks the harness trial-execution engine: the same reduced Table 7
+# experiment at -jobs 1 (strict sequential) and -jobs 0 (NumCPU workers),
+# verifying the outputs are byte-identical and recording wall times and the
+# speedup into BENCH_harness.json. Run via `make bench`.
+set -eu
+cd "$(dirname "$0")/.."
+
+TMP="${TMPDIR:-/tmp}"
+BIN="$TMP/stmdiag-bench-experiments"
+ARGS="-table 7 -failruns 6 -succruns 6 -cbiruns 100 -overhead 2"
+
+go build -o "$BIN" ./cmd/experiments
+
+now_ms() {
+    # POSIX date has no sub-second format; go run is too slow to time with.
+    # date +%s%N works on GNU and busybox date.
+    echo $(( $(date +%s%N) / 1000000 ))
+}
+
+t0=$(now_ms)
+"$BIN" $ARGS -jobs 1 >"$TMP/stmdiag-bench-seq.txt" 2>/dev/null
+t1=$(now_ms)
+seq_ms=$((t1 - t0))
+
+t0=$(now_ms)
+"$BIN" $ARGS -jobs 0 >"$TMP/stmdiag-bench-par.txt" 2>/dev/null
+t1=$(now_ms)
+par_ms=$((t1 - t0))
+
+if ! cmp -s "$TMP/stmdiag-bench-seq.txt" "$TMP/stmdiag-bench-par.txt"; then
+    echo "bench: stdout differs between -jobs 1 and -jobs 0" >&2
+    exit 1
+fi
+
+cpus=$(nproc 2>/dev/null || echo 1)
+speedup=$(awk -v s="$seq_ms" -v p="$par_ms" 'BEGIN { printf (p > 0) ? "%.2f" : "0", s / p }')
+
+cat > BENCH_harness.json <<EOF
+{
+  "bench": "cmd/experiments $ARGS",
+  "cpus": $cpus,
+  "jobs1_wall_ms": $seq_ms,
+  "jobsN_wall_ms": $par_ms,
+  "speedup": $speedup,
+  "stdout_identical": true
+}
+EOF
+
+echo "bench: jobs=1 ${seq_ms}ms, jobs=$cpus ${par_ms}ms, speedup ${speedup}x (BENCH_harness.json)"

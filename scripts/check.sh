@@ -24,4 +24,21 @@ go test ./...
 echo "== go test -race (obs, vm)"
 go test -race ./internal/obs/... ./internal/vm/...
 
+echo "== go test -race (harness trial pool)"
+go test -race ./internal/harness -run 'TrialSeed|Collect|Map|First|JobsInvariance'
+
+echo "== fuzz corpus replay"
+# Replays the committed seed corpora (f.Add seeds + testdata/fuzz entries)
+# as regular tests; no fuzzing time is spent.
+go test ./internal/stats ./internal/pmu -run 'Fuzz'
+
+echo "== -jobs stdout identity"
+go build -o "${TMPDIR:-/tmp}/stmdiag-check-experiments" ./cmd/experiments
+"${TMPDIR:-/tmp}/stmdiag-check-experiments" -table 3 -jobs 1 2>/dev/null >"${TMPDIR:-/tmp}/stmdiag-check-seq.txt"
+"${TMPDIR:-/tmp}/stmdiag-check-experiments" -table 3 -jobs 4 2>/dev/null >"${TMPDIR:-/tmp}/stmdiag-check-par.txt"
+if ! cmp -s "${TMPDIR:-/tmp}/stmdiag-check-seq.txt" "${TMPDIR:-/tmp}/stmdiag-check-par.txt"; then
+    echo "stdout differs between -jobs 1 and -jobs 4" >&2
+    exit 1
+fi
+
 echo "check: OK"

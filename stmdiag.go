@@ -485,6 +485,11 @@ type ExperimentConfig struct {
 	CBIRate float64
 	// OverheadRuns averages the overhead measurements.
 	OverheadRuns int
+	// Jobs is the trial-execution worker count: independent runs fan out
+	// across up to Jobs goroutines. 0 selects runtime.NumCPU(); 1 forces
+	// strictly sequential execution. Results are byte-identical for every
+	// value.
+	Jobs int
 	// Seed offsets all seeds.
 	Seed int64
 	// LBRSize and LCRSize override the 16-entry record depths.
@@ -502,6 +507,7 @@ func (c ExperimentConfig) internal() harness.Config {
 		CBIRuns:      c.CBIRuns,
 		CBIRate:      c.CBIRate,
 		OverheadRuns: c.OverheadRuns,
+		Jobs:         c.Jobs,
 		Seed:         c.Seed,
 		LBRSize:      c.LBRSize,
 		LCRSize:      c.LCRSize,
