@@ -1,10 +1,11 @@
 // Command experiments regenerates the tables of the paper's evaluation
-// section (Tables 1–7) from the re-authored benchmark suite.
+// section (Tables 1–7) from the re-authored benchmark suite, plus the
+// repo-added Table 8 robustness sweep over the fault injectors.
 //
 // Usage:
 //
 //	experiments [-table N] [-failruns N] [-succruns N] [-cbiruns N] [-overhead N] [-seed N]
-//	            [-jobs N] [-trace out.json] [-metrics] [-v]
+//	            [-jobs N] [-faults spec] [-trace out.json] [-metrics] [-v]
 //
 // Without -table it regenerates every table. The defaults follow the
 // paper's experiment configuration (10 failure + 10 success runs for
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	table := flag.Int("table", 0, "table number 1-7; 0 regenerates all")
+	table := flag.Int("table", 0, "table number 1-8; 0 regenerates all")
 	failRuns := flag.Int("failruns", 10, "failure runs per LBRA/LCRA diagnosis")
 	succRuns := flag.Int("succruns", 10, "success runs per LBRA/LCRA diagnosis")
 	cbiRuns := flag.Int("cbiruns", 1000, "CBI runs per class (paper default 1000)")
@@ -37,6 +38,19 @@ func main() {
 	jobs := flag.Int("jobs", 0, "trial-execution workers (0 = NumCPU, 1 = sequential)")
 	tf := cliobs.Register()
 	flag.Parse()
+	if err := cliobs.CheckJobs(*jobs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	faults, err := tf.FaultSpec()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *table < 0 || *table > stmdiag.NumTables {
+		fmt.Fprintf(os.Stderr, "-table must be 0 (all) or 1..%d, got %d\n", stmdiag.NumTables, *table)
+		os.Exit(2)
+	}
 
 	// The per-table summaries need the metrics registry even when the
 	// telemetry flags are off.
@@ -52,8 +66,9 @@ func main() {
 		Jobs:         *jobs,
 		Seed:         *seed,
 		Obs:          sink,
+		Faults:       faults,
 	}
-	tables := []int{1, 2, 3, 4, 5, 6, 7}
+	tables := []int{1, 2, 3, 4, 5, 6, 7, 8}
 	if *table != 0 {
 		tables = []int{*table}
 	}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	lbrcov -app sort [-period N] [-periods N,N,...] [-seed N] [-jobs N]
-//	       [-trace out.json] [-metrics] [-v]
+//	       [-faults spec] [-trace out.json] [-metrics] [-v]
 //	lbrcov -synth [-funcs N] [-stmts N] [-period N]
 //
 // -periods sweeps several sampling periods in one invocation; the
@@ -41,6 +41,19 @@ func main() {
 	jobs := flag.Int("jobs", 0, "sweep workers (0 = NumCPU, 1 = sequential)")
 	tf := cliobs.Register()
 	flag.Parse()
+	if err := cliobs.CheckJobs(*jobs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	faults, err := tf.FaultSpec()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *useSynth && *app != "" {
+		fmt.Fprintln(os.Stderr, "-synth and -app are mutually exclusive")
+		os.Exit(2)
+	}
 	sink := tf.Sink()
 
 	var prog *isa.Program
@@ -77,7 +90,7 @@ func main() {
 	}
 
 	opts.Obs = sink
-	pool := harness.NewPool(*jobs, sink)
+	pool := harness.NewPool(*jobs, sink).WithFaults(faults, *seed)
 	results, err := harness.CoverageSweep(prog, opts, periods, pool)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	report -app sort [-seed N] [-jobs N] [-trace out.json] [-metrics] [-v] > bundle.json
+//	report -app sort [-seed N] [-jobs N] [-faults spec]
+//	       [-trace out.json] [-metrics] [-v] > bundle.json
 //
 // The seed search fans out across -jobs workers (default NumCPU) and always
 // reports the first failing seed at or after -seed, independent of the
@@ -22,7 +23,6 @@ import (
 	"stmdiag/internal/core"
 	"stmdiag/internal/harness"
 	"stmdiag/internal/kernel"
-	"stmdiag/internal/obs"
 	"stmdiag/internal/pmu"
 	"stmdiag/internal/trace"
 	"stmdiag/internal/vm"
@@ -34,6 +34,15 @@ func main() {
 	jobs := flag.Int("jobs", 0, "seed-search workers (0 = NumCPU, 1 = sequential)")
 	tf := cliobs.Register()
 	flag.Parse()
+	if err := cliobs.CheckJobs(*jobs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	faults, err := tf.FaultSpec()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	sink := tf.Sink()
 	finish := func() {
 		if err := tf.Finish(sink, os.Stderr); err != nil {
@@ -61,15 +70,16 @@ func main() {
 		seed int64
 		data []byte
 	}
-	pool := harness.NewPool(*jobs, sink)
+	pool := harness.NewPool(*jobs, sink).WithFaults(faults, *seed)
 	b, idx, err := harness.First(pool, 400, a.Name+"/report",
-		func(i int, s *obs.Sink) (bundle, bool, error) {
-			sd := *seed + int64(i)
+		func(tc *harness.Trial) (bundle, bool, error) {
+			sd := *seed + int64(tc.Index)
 			opts := a.Fail.VMOptions(sd)
 			opts.Driver = kernel.Driver{}
 			opts.SegvIoctls = inst.SegvIoctls
 			opts.LCRConfig = pmu.ConfSpaceConsuming
-			opts.Obs = s
+			opts.Obs = tc.Sink
+			opts.Faults = tc.Faults
 			res, err := vm.Run(inst.Prog, opts)
 			if err != nil {
 				return bundle{}, false, err

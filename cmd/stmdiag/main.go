@@ -6,7 +6,7 @@
 //
 //	stmdiag -list
 //	stmdiag -app sort [-failruns N] [-succruns N] [-seed N]
-//	        [-jobs N] [-trace out.json] [-metrics] [-v]
+//	        [-jobs N] [-faults spec] [-trace out.json] [-metrics] [-v]
 //
 // For a sequential benchmark it prints the Table 6 row (LBRLOG entry ranks
 // with and without toggling, LBRA and CBI predictor ranks, patch distances,
@@ -34,6 +34,23 @@ func main() {
 	jobs := flag.Int("jobs", 0, "trial-execution workers (0 = NumCPU, 1 = sequential)")
 	tf := cliobs.Register()
 	flag.Parse()
+	if err := cliobs.CheckJobs(*jobs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	faults, err := tf.FaultSpec()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *all && *app != "" {
+		fmt.Fprintln(os.Stderr, "-all and -app are mutually exclusive")
+		os.Exit(2)
+	}
+	if *list && (*all || *app != "") {
+		fmt.Fprintln(os.Stderr, "-list takes no benchmark selection")
+		os.Exit(2)
+	}
 	sink := tf.Sink()
 	defer func() {
 		if err := tf.Finish(sink, os.Stderr); err != nil {
@@ -56,6 +73,7 @@ func main() {
 		Jobs:     *jobs,
 		Seed:     *seed,
 		Obs:      sink,
+		Faults:   faults,
 	}
 	if *all {
 		for _, b := range stmdiag.Benchmarks() {

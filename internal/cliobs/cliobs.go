@@ -1,5 +1,6 @@
-// Package cliobs wires the -trace / -metrics / -v telemetry flags shared
-// by the command-line binaries onto the internal/obs layer.
+// Package cliobs wires the -trace / -metrics / -v telemetry flags and the
+// -faults fault-injection flag shared by the command-line binaries onto
+// the internal/obs and internal/faultinj layers.
 package cliobs
 
 import (
@@ -8,6 +9,7 @@ import (
 	"io"
 	"os"
 
+	"stmdiag/internal/faultinj"
 	"stmdiag/internal/obs"
 )
 
@@ -19,16 +21,40 @@ type Flags struct {
 	Metrics bool
 	// Verbose raises trace detail to per-branch/per-coherence events (-v).
 	Verbose bool
+	// Faults is the raw -faults fault-injection spec ("" = off); parse it
+	// with FaultSpec after flag.Parse.
+	Faults string
 }
 
-// Register installs -trace, -metrics and -v on the default flag set. Call
-// before flag.Parse.
+// Register installs -trace, -metrics, -v and -faults on the default flag
+// set. Call before flag.Parse.
 func Register() *Flags {
 	f := &Flags{}
 	flag.StringVar(&f.TracePath, "trace", "", "write a Chrome trace_event JSON trace (chrome://tracing, Perfetto) to this `file`")
 	flag.BoolVar(&f.Metrics, "metrics", false, "print the telemetry counters after the run")
 	flag.BoolVar(&f.Verbose, "v", false, "record fine-grained (per-branch, per-coherence-event) trace events")
+	flag.StringVar(&f.Faults, "faults", "", "deterministic fault-injection `spec`, e.g. \"rate=0.01\" or \"lbr-drop=0.1,seed=7\" (\"off\" = none)")
 	return f
+}
+
+// FaultSpec parses the -faults value. The zero spec (injection off) comes
+// back for "" and "off".
+func (f *Flags) FaultSpec() (faultinj.Spec, error) {
+	spec, err := faultinj.ParseSpec(f.Faults)
+	if err != nil {
+		return faultinj.Spec{}, fmt.Errorf("-faults: %w", err)
+	}
+	return spec, nil
+}
+
+// CheckJobs validates a -jobs value: 0 means NumCPU and positive counts
+// are worker counts, but negative values are malformed rather than a
+// silent fallback.
+func CheckJobs(jobs int) error {
+	if jobs < 0 {
+		return fmt.Errorf("-jobs must be >= 0 (0 = NumCPU), got %d", jobs)
+	}
+	return nil
 }
 
 // Sink builds the sink the flags ask for. It returns nil when every flag

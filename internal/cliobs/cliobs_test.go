@@ -1,0 +1,73 @@
+package cliobs
+
+import (
+	"strings"
+	"testing"
+
+	"stmdiag/internal/faultinj"
+)
+
+func TestCheckJobs(t *testing.T) {
+	for _, jobs := range []int{0, 1, 4, 128} {
+		if err := CheckJobs(jobs); err != nil {
+			t.Errorf("CheckJobs(%d) = %v, want nil", jobs, err)
+		}
+	}
+	for _, jobs := range []int{-1, -17} {
+		err := CheckJobs(jobs)
+		if err == nil {
+			t.Fatalf("CheckJobs(%d) accepted a negative worker count", jobs)
+		}
+		if !strings.Contains(err.Error(), "-jobs") {
+			t.Errorf("CheckJobs(%d) error %q does not name the flag", jobs, err)
+		}
+	}
+}
+
+func TestFaultSpec(t *testing.T) {
+	tests := []struct {
+		raw     string
+		wantErr bool
+		enabled bool
+	}{
+		{"", false, false},
+		{"off", false, false},
+		{"rate=0.01", false, true},
+		{"lbr-drop=0.1,seed=7", false, true},
+		{"rate=2", true, false},
+		{"bogus-layer=0.5", true, false},
+	}
+	for _, tc := range tests {
+		f := &Flags{Faults: tc.raw}
+		spec, err := f.FaultSpec()
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("FaultSpec(%q) accepted a malformed spec", tc.raw)
+			} else if !strings.Contains(err.Error(), "-faults") {
+				t.Errorf("FaultSpec(%q) error %q does not name the flag", tc.raw, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("FaultSpec(%q): %v", tc.raw, err)
+			continue
+		}
+		if spec.Enabled() != tc.enabled {
+			t.Errorf("FaultSpec(%q).Enabled() = %v, want %v", tc.raw, spec.Enabled(), tc.enabled)
+		}
+	}
+	// A parsed spec must survive the flag round trip: rendering it back
+	// into -faults form and re-parsing yields the same spec.
+	f := &Flags{Faults: "rate=0.25,msr-write=0.5,seed=11,retries=3"}
+	spec, err := f.FaultSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := faultinj.ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", spec.String(), err)
+	}
+	if again.String() != spec.String() {
+		t.Errorf("flag round trip drifted: %q -> %q", spec.String(), again.String())
+	}
+}

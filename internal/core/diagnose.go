@@ -67,6 +67,10 @@ type Report struct {
 	Ranking []stats.Scored[Event]
 	// FailureRuns and SuccessRuns count the profiles compared.
 	FailureRuns, SuccessRuns int
+	// Verdict grades the evidence behind the ranking: when capture faults
+	// or pollution emptied most failure profiles it reports insufficient
+	// evidence rather than letting a ranking over noise pass as a result.
+	Verdict stats.Verdict
 }
 
 // Diagnose runs the LBRA/LCRA statistical comparison of paper §5.2 over
@@ -87,6 +91,7 @@ func Diagnose(mode Mode, fail, succ []ProfiledRun) (*Report, error) {
 		Ranking:     stats.Rank(runs),
 		FailureRuns: len(fail),
 		SuccessRuns: len(succ),
+		Verdict:     stats.Assess(runs),
 	}, nil
 }
 
@@ -134,6 +139,9 @@ func (r *Report) Render(k int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s diagnosis over %d failure + %d success runs\n",
 		r.Mode, r.FailureRuns, r.SuccessRuns)
+	if r.Verdict != stats.VerdictConclusive {
+		fmt.Fprintf(&b, "verdict: %s — most failure profiles were empty or lost\n", r.Verdict)
+	}
 	for i, s := range r.Ranking {
 		if i >= k {
 			break

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"stmdiag/internal/isa"
+	"stmdiag/internal/pmu"
+	"stmdiag/internal/stats"
+	"stmdiag/internal/vm"
+)
+
+// TestDiagnoseVerdict pins the graceful-degradation contract: a diagnosis
+// over mostly-empty failure profiles flags itself as insufficient evidence
+// instead of presenting a ranking over noise, and Render surfaces that.
+func TestDiagnoseVerdict(t *testing.T) {
+	prog, err := isa.Assemble("t", `
+.func main
+main:
+.branch A
+    cmpi r1, 0
+    je   n1
+n1:
+    exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jcc := -1
+	for pc := range prog.Instrs {
+		if prog.Instrs[pc].Op == isa.OpJe {
+			jcc = pc
+		}
+	}
+	full := vm.Profile{Branches: []pmu.BranchRecord{{From: jcc, To: jcc + 1, Class: isa.BranchCond}}}
+	empty := vm.Profile{}
+
+	rep, err := Diagnose(ModeLBR, []ProfiledRun{{prog, full}, {prog, full}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != stats.VerdictConclusive {
+		t.Errorf("full profiles: verdict = %v, want conclusive", rep.Verdict)
+	}
+	if strings.Contains(rep.Render(3), "insufficient") {
+		t.Error("conclusive Render mentions insufficient evidence")
+	}
+
+	rep, err = Diagnose(ModeLBR, []ProfiledRun{{prog, full}, {prog, empty}, {prog, empty}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != stats.VerdictInsufficient {
+		t.Errorf("mostly-empty profiles: verdict = %v, want insufficient", rep.Verdict)
+	}
+	if !strings.Contains(rep.Render(3), "insufficient evidence") {
+		t.Errorf("Render missing the verdict:\n%s", rep.Render(3))
+	}
+}

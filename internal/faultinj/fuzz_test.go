@@ -1,0 +1,34 @@
+package faultinj
+
+import "testing"
+
+// FuzzParseSpec checks the grammar's core invariant on arbitrary input:
+// whatever parses must render canonically and re-parse to the identical
+// spec, and parsing never panics.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"", "off", "0.01", "rate=0.01", "rate=1,seed=42,retries=3",
+		"lbr-drop=0.5,lcr-corrupt=0.125", "rate=0.01,panic=0",
+		"msr-read=1e-06", "seed=-9223372036854775808", "rate=0.1,,",
+		"bogus=1", "rate=NaN", "retries=0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		back, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, in, err)
+		}
+		if back != s {
+			t.Fatalf("round trip %q -> %q -> %+v, want %+v", in, canon, back, s)
+		}
+		if canon2 := back.String(); canon2 != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canon, canon2)
+		}
+	})
+}

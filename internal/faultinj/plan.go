@@ -1,0 +1,137 @@
+package faultinj
+
+import "stmdiag/internal/obs"
+
+// Plan is one trial attempt's fault schedule: an independent splitmix64
+// stream per layer, advanced once per injection decision. A Plan is derived
+// purely from (spec, base seed, stream label, trial, attempt), so the
+// faults a trial sees never depend on worker count or scheduling — the same
+// property the harness's TrialSeed gives workload RNG. A nil *Plan injects
+// nothing; every method is safe on a nil receiver.
+//
+// A Plan is confined to its trial's goroutine, like the trial's VM and RNG.
+type Plan struct {
+	spec  Spec
+	state [NumLayers]uint64
+	sink  *obs.Sink
+	tel   [NumLayers]*obs.Counter // lazily resolved so clean layers stay out of metrics
+	total *obs.Counter
+}
+
+// NewPlan derives the fault schedule for one trial attempt. It returns nil
+// when the spec is disabled, so clean runs carry no plan and pay only a nil
+// check at each injection point. Injected faults are counted on sink as
+// "faultinj.injected.<layer>" and "faultinj.injected" (total).
+func NewPlan(spec Spec, base int64, stream string, trial, attempt int, sink *obs.Sink) *Plan {
+	if !spec.Enabled() {
+		return nil
+	}
+	p := &Plan{spec: spec, sink: sink}
+	for l := range p.state {
+		p.state[l] = planState(base, spec.Seed, stream, trial, attempt, Layer(l))
+	}
+	return p
+}
+
+// planState hashes the derivation tuple into one layer's initial PRNG
+// state, mirroring harness.TrialSeed's FNV-1a + splitmix64 construction so
+// fault streams decorrelate from each other and from workload seeds.
+func planState(base, salt int64, stream string, trial, attempt int, l Layer) uint64 {
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(stream); i++ {
+		h ^= uint64(stream[i])
+		h *= fnvPrime
+	}
+	h ^= uint64(base) * 0x9e3779b97f4a7c15
+	h ^= uint64(salt) * 0xd6e8feb86659fd93
+	h ^= uint64(trial) * 0xbf58476d1ce4e5b9
+	h ^= uint64(attempt+1) * 0x94d049bb133111eb
+	h ^= (uint64(l) + 1) * 0xff51afd7ed558ccd
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// next advances one layer's stream and returns a fresh 64-bit value.
+func (p *Plan) next(l Layer) uint64 {
+	// splitmix64: add the Weyl constant, finalize.
+	p.state[l] += 0x9e3779b97f4a7c15
+	return mix64(p.state[l])
+}
+
+// Hit decides whether layer l injects a fault at this point, advancing the
+// layer's stream, and counts the injection. Nil-safe: a nil plan never hits.
+func (p *Plan) Hit(l Layer) bool {
+	if p == nil || p.spec.Rates[l] <= 0 {
+		return false
+	}
+	// 53-bit mantissa → uniform float in [0, 1).
+	u := float64(p.next(l)>>11) * (1.0 / (1 << 53))
+	if u >= p.spec.Rates[l] {
+		return false
+	}
+	if p.tel[l] == nil {
+		p.tel[l] = p.sink.Counter("faultinj.injected." + l.String())
+		if p.total == nil {
+			p.total = p.sink.Counter("faultinj.injected")
+		}
+	}
+	p.tel[l].Inc()
+	p.total.Inc()
+	return true
+}
+
+// Corrupt deterministically flips low bits of v using layer l's stream.
+// The result stays non-negative so corrupted PCs decode as out-of-range
+// (and get skipped or reclassified) rather than crashing decoders.
+func (p *Plan) Corrupt(l Layer, v int) int {
+	if p == nil {
+		return v
+	}
+	flipped := v ^ int(p.next(l)&0xffff)
+	if flipped < 0 {
+		flipped = -flipped
+	}
+	return flipped
+}
+
+// TruncN picks how many newest entries of an n-entry snapshot survive a
+// ring-truncation fault: a value in [0, n-1] drawn from layer l's stream.
+func (p *Plan) TruncN(l Layer, n int) int {
+	if p == nil || n <= 0 {
+		return n
+	}
+	return int(p.next(l) % uint64(n))
+}
+
+// Spec returns the spec the plan was derived from (zero for a nil plan).
+func (p *Plan) Spec() Spec {
+	if p == nil {
+		return Spec{}
+	}
+	return p.spec
+}
+
+// InjectedPanic is the value an injected trial panic carries, so the
+// harness's recover path can distinguish scheduled faults from real bugs in
+// telemetry while handling both identically.
+type InjectedPanic struct {
+	Trial   int
+	Attempt int
+}
+
+func (ip InjectedPanic) String() string {
+	return "faultinj: injected trial panic"
+}

@@ -8,7 +8,6 @@ import (
 	"stmdiag/internal/cbi"
 	"stmdiag/internal/cfg"
 	"stmdiag/internal/isa"
-	"stmdiag/internal/obs"
 	"stmdiag/internal/vm"
 )
 
@@ -120,10 +119,11 @@ func RunAdaptive(a *apps.App, rate float64, runsPerIter, maxIters int, conf Conf
 	collect := func(w apps.Workload, wantFail bool, label string) ([]cbi.RunObs, error) {
 		stream := a.Name + "/" + label
 		out, _, err := Collect(pool, runsPerIter*6, runsPerIter, stream,
-			func(i int, s *obs.Sink) (cbi.RunObs, bool, error) {
-				seed := TrialSeed(conf.Seed, stream, i)
+			func(tc *Trial) (cbi.RunObs, bool, error) {
+				seed := TrialSeed(conf.Seed, stream, tc.Index)
 				opts := w.VMOptions(seed)
-				opts.Obs = s
+				opts.Obs = tc.Sink
+				opts.Faults = tc.Faults
 				m, err := vm.New(p, opts)
 				if err != nil {
 					return cbi.RunObs{}, false, err

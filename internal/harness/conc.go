@@ -55,14 +55,15 @@ func coherenceRank(p *core.Instrumented, prof vm.Profile, want *apps.FPEWant) in
 	return 0
 }
 
-// runConc executes one LCR-instrumented run against a per-trial sink.
-func runConc(a *apps.App, inst *core.Instrumented, w apps.Workload, seed int64, conf pmu.LCRConfig, cfg Config, sink *obs.Sink) (*vm.Result, error) {
+// runConc executes one LCR-instrumented run in one trial attempt's context.
+func runConc(a *apps.App, inst *core.Instrumented, w apps.Workload, seed int64, conf pmu.LCRConfig, cfg Config, tc *Trial) (*vm.Result, error) {
 	opts := w.VMOptions(seed)
 	opts.Driver = kernel.Driver{}
 	opts.SegvIoctls = inst.SegvIoctls
 	opts.LCRConfig = conf
 	opts.LCRSize = cfg.LCRSize
-	opts.Obs = sink
+	opts.Obs = tc.Sink
+	opts.Faults = tc.Faults
 	return vm.Run(inst.Prog, opts)
 }
 
@@ -76,8 +77,8 @@ func collectConc(a *apps.App, inst *core.Instrumented, conf pmu.LCRConfig, wantF
 	}
 	stream := a.Name + "/" + label
 	out, attempts, err := Collect(pool, cfg.MaxAttempts, n, stream,
-		func(i int, s *obs.Sink) (vm.Profile, bool, error) {
-			res, err := runConc(a, inst, w, TrialSeed(cfg.Seed, stream, i), conf, cfg, s)
+		func(tc *Trial) (vm.Profile, bool, error) {
+			res, err := runConc(a, inst, w, TrialSeed(cfg.Seed, stream, tc.Index), conf, cfg, tc)
 			if err != nil {
 				return vm.Profile{}, false, err
 			}

@@ -2,7 +2,6 @@ package harness
 
 import (
 	"stmdiag/internal/isa"
-	"stmdiag/internal/obs"
 	"stmdiag/internal/pmu"
 	"stmdiag/internal/vm"
 )
@@ -134,9 +133,10 @@ func RunCoverage(p *isa.Program, opts vm.Options, periodSteps int) (*CoverageRes
 // period order regardless of the worker count.
 func CoverageSweep(p *isa.Program, opts vm.Options, periods []int, pool *Pool) ([]*CoverageResult, error) {
 	return Map(pool, len(periods), p.Name+"/coverage",
-		func(i int, s *obs.Sink) (*CoverageResult, error) {
+		func(tc *Trial) (*CoverageResult, error) {
 			o := opts
-			o.Obs = s
-			return RunCoverage(p, o, periods[i])
+			o.Obs = tc.Sink
+			o.Faults = tc.Faults
+			return RunCoverage(p, o, periods[tc.Index])
 		})
 }

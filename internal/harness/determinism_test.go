@@ -21,7 +21,10 @@ func jobsValues() []int {
 
 // TestTablesJobsInvariance is the pool's core contract: the run-driving
 // tables (3, 6, 7) render byte-identically whatever the worker count, and
-// repeated renders at the same seed are byte-identical too.
+// repeated renders at the same seed are byte-identical too. Table 8 joins
+// the sweep to extend the property to fault-injected trials: its non-zero
+// rates exercise every injector plus the retry/degradation machinery, and
+// its output too must not depend on the worker count.
 func TestTablesJobsInvariance(t *testing.T) {
 	base := Config{
 		FailRuns:     3,
@@ -31,7 +34,7 @@ func TestTablesJobsInvariance(t *testing.T) {
 		MaxAttempts:  200,
 		Seed:         0,
 	}
-	for _, n := range []int{3, 6, 7} {
+	for _, n := range []int{3, 6, 7, 8} {
 		t.Run(fmt.Sprintf("table%d", n), func(t *testing.T) {
 			var ref string
 			for _, jobs := range jobsValues() {

@@ -32,7 +32,7 @@ func goldenConfig() Config {
 //
 //	go test ./internal/harness -run TestGoldenTables -update
 func TestGoldenTables(t *testing.T) {
-	for n := 1; n <= 7; n++ {
+	for n := 1; n <= NumTables; n++ {
 		t.Run(fmt.Sprintf("table%d", n), func(t *testing.T) {
 			out, err := RenderTable(n, goldenConfig())
 			if err != nil {

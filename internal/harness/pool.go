@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"stmdiag/internal/faultinj"
 	"stmdiag/internal/obs"
 )
 
@@ -31,6 +32,14 @@ import (
 //     exactly the trials the sequential path would have executed (index <=
 //     decisive), so `-metrics` totals and the per-table run/cycle summaries
 //     do not depend on -jobs.
+//
+// The pool is also the harness's failure boundary. A trial that panics —
+// whether from an injected fault (-faults panic=...) or a real bug — never
+// takes down the run: the panic is recovered, the trial retried up to a
+// deterministic budget, and a still-failing trial recorded as a degraded
+// TrialError. Because fault plans and retry outcomes are derived purely
+// from (spec, base seed, stream, trial, attempt), degradation decisions are
+// identical for every worker count too.
 
 // TrialSeed derives one trial's RNG seed from the experiment's base seed, a
 // stream label (by convention "app-name/purpose") and the trial index. The
@@ -59,12 +68,44 @@ func TrialSeed(base int64, stream string, trial int) int64 {
 	return int64(x >> 1)
 }
 
+// Trial is the context one trial attempt runs with: its index in the
+// stream, which retry attempt this is (0 = first), the private telemetry
+// sink its run reports into, and the fault plan scheduled for this attempt
+// (nil when fault injection is off).
+type Trial struct {
+	Index   int
+	Attempt int
+	Sink    *obs.Sink
+	Faults  *faultinj.Plan
+}
+
+// TrialError records a trial that exhausted its retry budget: every attempt
+// panicked. The pool treats such a trial as degraded — rejected in Collect
+// and First, a hard error in Map (whose callers need all results).
+type TrialError struct {
+	// Label is the trial stream, Trial the index within it.
+	Label string
+	Trial int
+	// Attempts is how many times the trial ran (1 + retries).
+	Attempts int
+	// Panic is the value the final attempt panicked with.
+	Panic any
+}
+
+func (e *TrialError) Error() string {
+	return fmt.Sprintf("harness: trial %d of %q degraded after %d attempts: panic: %v",
+		e.Trial, e.Label, e.Attempts, e.Panic)
+}
+
 // Pool executes independent trials across a fixed number of workers.
 // A Pool is cheap (no long-lived goroutines); build one per experiment via
 // Config.pool or NewPool and share it across that experiment's fan-outs.
 type Pool struct {
 	jobs int
 	sink *obs.Sink
+
+	faults    faultinj.Spec // fault-injection spec; zero = off
+	faultSeed int64         // base seed fault plans derive from
 
 	workerTrials []*obs.Counter // per-worker executed-trial counters
 	trials       *obs.Counter   // trials executed (incl. speculation)
@@ -102,6 +143,16 @@ func NewPool(jobs int, sink *obs.Sink) *Pool {
 	return p
 }
 
+// WithFaults arms the pool's fault-injection engine: every trial attempt
+// derives a faultinj.Plan from (spec, seed, stream label, trial, attempt)
+// and carries it in its Trial context. A disabled spec leaves plans nil.
+// Returns p for chaining.
+func (p *Pool) WithFaults(spec faultinj.Spec, seed int64) *Pool {
+	p.faults = spec
+	p.faultSeed = seed
+	return p
+}
+
 // Jobs returns the worker count.
 func (p *Pool) Jobs() int { return p.jobs }
 
@@ -131,10 +182,60 @@ func (p *Pool) commit(s *obs.Sink) {
 // trialOutcome is one executed trial, parked until the commit scan reaches
 // its index.
 type trialOutcome[T any] struct {
-	val  T
-	ok   bool
-	err  error
-	sink *obs.Sink
+	val      T
+	ok       bool
+	err      error
+	degraded *TrialError
+	sink     *obs.Sink
+}
+
+// runTrial executes one trial through the retry loop: recover every panic,
+// re-attempt up to the deterministic budget, then mark the trial degraded.
+// One sink spans all attempts of the trial, so a panicked attempt's partial
+// telemetry commits with it (deterministically — the attempt sequence is a
+// pure function of the derivation tuple). Counters are recorded on the
+// trial sink, not the pool, so their merged totals stay jobs-invariant.
+func runTrial[T any](p *Pool, label string, i int, fn func(*Trial) (T, bool, error)) trialOutcome[T] {
+	s := p.trialSink()
+	budget := p.faults.RetryBudget()
+	for attempt := 0; ; attempt++ {
+		tc := &Trial{
+			Index:   i,
+			Attempt: attempt,
+			Sink:    s,
+			Faults:  faultinj.NewPlan(p.faults, p.faultSeed, label, i, attempt, s),
+		}
+		v, ok, err, pan := guardedCall(fn, tc)
+		if pan == nil {
+			return trialOutcome[T]{val: v, ok: ok, err: err, sink: s}
+		}
+		s.Counter("harness.pool.panics").Inc()
+		if attempt >= budget {
+			s.Counter("harness.pool.degraded").Inc()
+			return trialOutcome[T]{
+				degraded: &TrialError{Label: label, Trial: i, Attempts: attempt + 1, Panic: pan},
+				sink:     s,
+			}
+		}
+		s.Counter("harness.pool.retries").Inc()
+	}
+}
+
+// guardedCall invokes fn under recover, converting a panic into a non-nil
+// pan result. The injected trial-panic layer fires here, inside the guard,
+// so scheduled crashes exercise exactly the recovery path real ones take.
+func guardedCall[T any](fn func(*Trial) (T, bool, error), tc *Trial) (v T, ok bool, err error, pan any) {
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			v, ok, err, pan = zero, false, nil, r
+		}
+	}()
+	if tc.Faults.Hit(faultinj.TrialPanic) {
+		panic(faultinj.InjectedPanic{Trial: tc.Index, Attempt: tc.Attempt})
+	}
+	v, ok, err = fn(tc)
+	return
 }
 
 // Collect runs fn(0), fn(1), ... until `need` trials have been accepted or
@@ -144,13 +245,21 @@ type trialOutcome[T any] struct {
 // (decisive index + 1). fn reports ok=false to reject a trial (its run
 // still counts toward attempts and telemetry, like a success run that
 // happened to fail); a non-nil error aborts the collection at that trial.
+// A degraded trial (every attempt panicked) is rejected, not fatal.
 //
 // The returned values, attempts and merged telemetry are byte-identical
 // for every jobs setting: acceptance is decided purely by trial index, and
 // speculative trials past the decisive index are discarded unmerged.
-func Collect[T any](p *Pool, max, need int, label string, fn func(trial int, sink *obs.Sink) (T, bool, error)) ([]T, int, error) {
+func Collect[T any](p *Pool, max, need int, label string, fn func(tc *Trial) (T, bool, error)) ([]T, int, error) {
+	out, attempts, _, err := run(p, max, need, label, fn)
+	return out, attempts, err
+}
+
+// run is the traced entry point shared by Collect, Map and First; it also
+// surfaces the first degraded trial for callers (Map) that must not skip.
+func run[T any](p *Pool, max, need int, label string, fn func(*Trial) (T, bool, error)) ([]T, int, *TrialError, error) {
 	if need <= 0 || max <= 0 {
-		return nil, 0, nil
+		return nil, 0, nil, nil
 	}
 	p.spans.Inc()
 	var traceStart uint64
@@ -158,39 +267,42 @@ func Collect[T any](p *Pool, max, need int, label string, fn func(trial int, sin
 	if tr != nil {
 		traceStart = tr.Base()
 	}
-	out, attempts, err := collect(p, max, need, fn)
+	out, attempts, degraded, err := collect(p, max, need, label, fn)
 	if tr != nil {
 		end := tr.Base()
 		tr.Complete("pool:"+label, "pool", traceStart, end-traceStart, obs.PoolPID, 0,
 			map[string]any{"jobs": p.jobs, "attempts": attempts, "accepted": len(out), "max": max})
 	}
-	return out, attempts, err
+	return out, attempts, degraded, err
 }
 
-// collect is Collect without the tracing shell.
-func collect[T any](p *Pool, max, need int, fn func(int, *obs.Sink) (T, bool, error)) ([]T, int, error) {
+// collect is run without the tracing shell.
+func collect[T any](p *Pool, max, need int, label string, fn func(*Trial) (T, bool, error)) ([]T, int, *TrialError, error) {
+	var firstDegraded *TrialError
 	if p.jobs == 1 {
 		// Sequential path: run trials in order, stop exactly at the
 		// decisive one. This is byte-identical to the parallel path below
 		// and does zero speculative work.
 		var out []T
 		for i := 0; i < max; i++ {
-			s := p.trialSink()
 			p.trials.Inc()
 			p.workerTrial(0)
-			v, ok, err := fn(i, s)
-			p.commit(s)
-			if err != nil {
-				return out, i + 1, err
+			r := runTrial(p, label, i, fn)
+			p.commit(r.sink)
+			if r.err != nil {
+				return out, i + 1, firstDegraded, r.err
 			}
-			if ok {
-				out = append(out, v)
+			if r.degraded != nil && firstDegraded == nil {
+				firstDegraded = r.degraded
+			}
+			if r.ok {
+				out = append(out, r.val)
 				if len(out) == need {
-					return out, i + 1, nil
+					return out, i + 1, firstDegraded, nil
 				}
 			}
 		}
-		return out, max, nil
+		return out, max, firstDegraded, nil
 	}
 
 	// Parallel path: jobs worker goroutines pull trial indexes from idxCh;
@@ -212,11 +324,9 @@ func collect[T any](p *Pool, max, need int, fn func(int, *obs.Sink) (T, bool, er
 		go func(w int) {
 			defer wg.Done()
 			for i := range idxCh {
-				s := p.trialSink()
 				p.trials.Inc()
 				p.workerTrial(w)
-				v, ok, err := fn(i, s)
-				resCh <- done{i, trialOutcome[T]{val: v, ok: ok, err: err, sink: s}}
+				resCh <- done{i, runTrial(p, label, i, fn)}
 			}
 		}(w)
 	}
@@ -262,6 +372,9 @@ func collect[T any](p *Pool, max, need int, fn func(int, *obs.Sink) (T, bool, er
 					finished = true
 					break
 				}
+				if r.degraded != nil && firstDegraded == nil {
+					firstDegraded = r.degraded
+				}
 				if r.ok {
 					out = append(out, r.val)
 					if len(out) == need {
@@ -278,7 +391,7 @@ func collect[T any](p *Pool, max, need int, fn func(int, *obs.Sink) (T, bool, er
 	if !finished {
 		attempts = max // exhausted the attempt budget
 	}
-	return out, attempts, abortErr
+	return out, attempts, firstDegraded, abortErr
 }
 
 // workerTrial bumps one worker's executed-trial counter.
@@ -291,18 +404,27 @@ func (p *Pool) workerTrial(w int) {
 
 // Map runs fn(0..n-1) across the pool and returns all n results in index
 // order. The first error (in trial-index order) aborts and is returned.
-func Map[T any](p *Pool, n int, label string, fn func(trial int, sink *obs.Sink) (T, error)) ([]T, error) {
-	out, _, err := Collect(p, n, n, label, func(i int, s *obs.Sink) (T, bool, error) {
-		v, err := fn(i, s)
+// Unlike Collect, a degraded trial is a hard error: Map callers index
+// results positionally (e.g. CoverageSweep's period sweep, the overhead
+// averages), so a silently missing element would misalign or skew them.
+func Map[T any](p *Pool, n int, label string, fn func(tc *Trial) (T, error)) ([]T, error) {
+	out, _, degraded, err := run(p, n, n, label, func(tc *Trial) (T, bool, error) {
+		v, err := fn(tc)
 		return v, err == nil, err
 	})
-	return out, err
+	if err != nil {
+		return out, err
+	}
+	if degraded != nil {
+		return out, degraded
+	}
+	return out, nil
 }
 
 // First runs fn over trials 0..max-1 and returns the first accepted result
 // in trial order along with its trial index, or index -1 if no trial was
 // accepted. Like Collect, the result is independent of the worker count.
-func First[T any](p *Pool, max int, label string, fn func(trial int, sink *obs.Sink) (T, bool, error)) (T, int, error) {
+func First[T any](p *Pool, max int, label string, fn func(tc *Trial) (T, bool, error)) (T, int, error) {
 	out, attempts, err := Collect(p, max, 1, label, fn)
 	if err != nil || len(out) == 0 {
 		var zero T

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"stmdiag/internal/faultinj"
 	"stmdiag/internal/obs"
 )
 
@@ -51,9 +52,9 @@ func TestCollectJobsInvariance(t *testing.T) {
 	for _, jobs := range testPoolJobs() {
 		sink := &obs.Sink{Metrics: obs.NewRegistry()}
 		p := NewPool(jobs, sink)
-		out, attempts, err := Collect(p, max, need, "test", func(i int, s *obs.Sink) (int, bool, error) {
-			s.Counter("test.trials").Inc()
-			return i * 10, i%3 == 0, nil
+		out, attempts, err := Collect(p, max, need, "test", func(tc *Trial) (int, bool, error) {
+			tc.Sink.Counter("test.trials").Inc()
+			return tc.Index * 10, tc.Index%3 == 0, nil
 		})
 		if err != nil {
 			t.Fatalf("jobs=%d: %v", jobs, err)
@@ -95,8 +96,8 @@ func TestCollectJobsInvariance(t *testing.T) {
 func TestCollectExhaustsBudget(t *testing.T) {
 	for _, jobs := range testPoolJobs() {
 		p := NewPool(jobs, nil)
-		out, attempts, err := Collect(p, 6, 5, "test", func(i int, _ *obs.Sink) (int, bool, error) {
-			return i, i%4 == 0, nil
+		out, attempts, err := Collect(p, 6, 5, "test", func(tc *Trial) (int, bool, error) {
+			return tc.Index, tc.Index%4 == 0, nil
 		})
 		if err != nil {
 			t.Fatalf("jobs=%d: %v", jobs, err)
@@ -114,11 +115,11 @@ func TestCollectErrorAborts(t *testing.T) {
 	boom := errors.New("trial 5 exploded")
 	for _, jobs := range testPoolJobs() {
 		p := NewPool(jobs, nil)
-		out, attempts, err := Collect(p, 20, 3, "test", func(i int, _ *obs.Sink) (int, bool, error) {
-			if i == 5 {
+		out, attempts, err := Collect(p, 20, 3, "test", func(tc *Trial) (int, bool, error) {
+			if tc.Index == 5 {
 				return 0, false, boom
 			}
-			return i, i == 8, nil
+			return tc.Index, tc.Index == 8, nil
 		})
 		if !errors.Is(err, boom) {
 			t.Fatalf("jobs=%d: err = %v, want %v", jobs, err, boom)
@@ -135,7 +136,7 @@ func TestCollectErrorAborts(t *testing.T) {
 func TestCollectDegenerate(t *testing.T) {
 	p := NewPool(4, nil)
 	called := false
-	fn := func(i int, _ *obs.Sink) (int, bool, error) { called = true; return 0, true, nil }
+	fn := func(tc *Trial) (int, bool, error) { called = true; return 0, true, nil }
 	if out, n, err := Collect(p, 0, 3, "test", fn); out != nil || n != 0 || err != nil || called {
 		t.Errorf("Collect(max=0) = %v, %d, %v (called=%v)", out, n, err, called)
 	}
@@ -147,8 +148,8 @@ func TestCollectDegenerate(t *testing.T) {
 func TestMapOrderAndAbort(t *testing.T) {
 	for _, jobs := range testPoolJobs() {
 		p := NewPool(jobs, nil)
-		out, err := Map(p, 7, "test", func(i int, _ *obs.Sink) (int, error) {
-			return i * i, nil
+		out, err := Map(p, 7, "test", func(tc *Trial) (int, error) {
+			return tc.Index * tc.Index, nil
 		})
 		if err != nil || len(out) != 7 {
 			t.Fatalf("jobs=%d: Map = %v, %v", jobs, out, err)
@@ -159,11 +160,11 @@ func TestMapOrderAndAbort(t *testing.T) {
 			}
 		}
 		boom := errors.New("map failure")
-		_, err = Map(p, 7, "test", func(i int, _ *obs.Sink) (int, error) {
-			if i == 3 {
+		_, err = Map(p, 7, "test", func(tc *Trial) (int, error) {
+			if tc.Index == 3 {
 				return 0, boom
 			}
-			return i, nil
+			return tc.Index, nil
 		})
 		if !errors.Is(err, boom) {
 			t.Errorf("jobs=%d: Map error = %v, want %v", jobs, err, boom)
@@ -174,17 +175,177 @@ func TestMapOrderAndAbort(t *testing.T) {
 func TestFirstIndexSemantics(t *testing.T) {
 	for _, jobs := range testPoolJobs() {
 		p := NewPool(jobs, nil)
-		v, idx, err := First(p, 20, "test", func(i int, _ *obs.Sink) (string, bool, error) {
-			return fmt.Sprintf("trial-%d", i), i == 7, nil
+		v, idx, err := First(p, 20, "test", func(tc *Trial) (string, bool, error) {
+			return fmt.Sprintf("trial-%d", tc.Index), tc.Index == 7, nil
 		})
 		if err != nil || idx != 7 || v != "trial-7" {
 			t.Errorf("jobs=%d: First = %q, %d, %v; want trial-7, 7", jobs, v, idx, err)
 		}
-		_, idx, err = First(p, 5, "test", func(i int, _ *obs.Sink) (string, bool, error) {
+		_, idx, err = First(p, 5, "test", func(tc *Trial) (string, bool, error) {
 			return "", false, nil
 		})
 		if err != nil || idx != -1 {
 			t.Errorf("jobs=%d: First(no match) idx = %d, err = %v; want -1, nil", jobs, idx, err)
+		}
+	}
+}
+
+// TestCollectSurvivesPanickingTrial is the graceful-degradation regression
+// test: a trial whose every attempt panics must not abort the run or
+// swallow any other trial's result — it is simply rejected, and the
+// degradation is visible in the merged telemetry, identically for every
+// worker count.
+func TestCollectSurvivesPanickingTrial(t *testing.T) {
+	const (
+		max    = 12
+		need   = 11
+		victim = 4
+	)
+	for _, jobs := range testPoolJobs() {
+		sink := &obs.Sink{Metrics: obs.NewRegistry()}
+		p := NewPool(jobs, sink)
+		out, attempts, err := Collect(p, max, need, "test", func(tc *Trial) (int, bool, error) {
+			if tc.Index == victim {
+				panic(fmt.Sprintf("trial %d attempt %d exploded", tc.Index, tc.Attempt))
+			}
+			return tc.Index, true, nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: err = %v, want nil (degraded trial is not fatal)", jobs, err)
+		}
+		if attempts != max {
+			t.Errorf("jobs=%d: attempts = %d, want %d", jobs, attempts, max)
+		}
+		want := make([]int, 0, max-1)
+		for i := 0; i < max; i++ {
+			if i != victim {
+				want = append(want, i)
+			}
+		}
+		if len(out) != len(want) {
+			t.Fatalf("jobs=%d: out = %v, want every trial but %d: %v", jobs, out, victim, want)
+		}
+		for i := range out {
+			if out[i] != want[i] {
+				t.Errorf("jobs=%d: out[%d] = %d, want %d", jobs, i, out[i], want[i])
+			}
+		}
+		snap := sink.Metrics.Snapshot()
+		wantAttempts := uint64(faultinj.DefaultRetries + 1)
+		if got := snap.Counter("harness.pool.panics"); got != wantAttempts {
+			t.Errorf("jobs=%d: pool.panics = %d, want %d", jobs, got, wantAttempts)
+		}
+		if got := snap.Counter("harness.pool.retries"); got != wantAttempts-1 {
+			t.Errorf("jobs=%d: pool.retries = %d, want %d", jobs, got, wantAttempts-1)
+		}
+		if got := snap.Counter("harness.pool.degraded"); got != 1 {
+			t.Errorf("jobs=%d: pool.degraded = %d, want 1", jobs, got)
+		}
+	}
+}
+
+// TestRetryRecoversTransientPanic pins the retry contract: an attempt-0
+// panic that clears on the retry yields the trial's value as if nothing
+// happened, costing one retry and zero degradations.
+func TestRetryRecoversTransientPanic(t *testing.T) {
+	for _, jobs := range testPoolJobs() {
+		sink := &obs.Sink{Metrics: obs.NewRegistry()}
+		p := NewPool(jobs, sink)
+		out, _, err := Collect(p, 5, 5, "test", func(tc *Trial) (int, bool, error) {
+			if tc.Index == 2 && tc.Attempt == 0 {
+				panic("transient")
+			}
+			return tc.Index, true, nil
+		})
+		if err != nil || len(out) != 5 {
+			t.Fatalf("jobs=%d: Collect = %v, %v; want all 5 trials", jobs, out, err)
+		}
+		for i, v := range out {
+			if v != i {
+				t.Errorf("jobs=%d: out[%d] = %d, want %d", jobs, i, v, i)
+			}
+		}
+		snap := sink.Metrics.Snapshot()
+		if got := snap.Counter("harness.pool.retries"); got != 1 {
+			t.Errorf("jobs=%d: pool.retries = %d, want 1", jobs, got)
+		}
+		if got := snap.Counter("harness.pool.degraded"); got != 0 {
+			t.Errorf("jobs=%d: pool.degraded = %d, want 0", jobs, got)
+		}
+	}
+}
+
+// TestMapDegradedIsHardError: Map callers index results positionally, so a
+// degraded trial must surface as a *TrialError, not silently go missing.
+func TestMapDegradedIsHardError(t *testing.T) {
+	for _, jobs := range testPoolJobs() {
+		p := NewPool(jobs, nil)
+		_, err := Map(p, 6, "maptest", func(tc *Trial) (int, error) {
+			if tc.Index == 3 {
+				panic("positional trial down")
+			}
+			return tc.Index, nil
+		})
+		var te *TrialError
+		if !errors.As(err, &te) {
+			t.Fatalf("jobs=%d: Map error = %v, want *TrialError", jobs, err)
+		}
+		if te.Trial != 3 || te.Label != "maptest" || te.Attempts != faultinj.DefaultRetries+1 {
+			t.Errorf("jobs=%d: TrialError = %+v, want trial 3 of maptest after %d attempts",
+				jobs, te, faultinj.DefaultRetries+1)
+		}
+	}
+}
+
+// TestWithFaultsInjectedPanicDeterminism: armed with a panic layer, the
+// pool schedules crashes from the derived plan — which trials degrade, the
+// surviving values, and every faultinj/pool counter must be identical for
+// all worker counts and across repeated runs.
+func TestWithFaultsInjectedPanicDeterminism(t *testing.T) {
+	spec, err := faultinj.ParseSpec("panic=0.3,retries=1,seed=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		vals     []int
+		attempts int
+		metrics  string
+	}
+	var want *outcome
+	for _, jobs := range testPoolJobs() {
+		for rep := 0; rep < 2; rep++ {
+			sink := &obs.Sink{Metrics: obs.NewRegistry()}
+			p := NewPool(jobs, sink).WithFaults(spec, 7)
+			out, attempts, err := Collect(p, 40, 40, "faulttest", func(tc *Trial) (int, bool, error) {
+				return tc.Index, true, nil
+			})
+			if err != nil {
+				t.Fatalf("jobs=%d rep=%d: %v", jobs, rep, err)
+			}
+			snap := sink.Metrics.Snapshot()
+			got := &outcome{vals: out, attempts: attempts}
+			for _, c := range []string{
+				"harness.pool.panics", "harness.pool.retries", "harness.pool.degraded",
+				"faultinj.injected.panic", "faultinj.injected",
+			} {
+				got.metrics += fmt.Sprintf("%s=%d ", c, snap.Counter(c))
+			}
+			if want == nil {
+				want = got
+				if snap.Counter("harness.pool.panics") == 0 {
+					t.Fatal("panic layer at rate 0.3 never fired over 40 trials")
+				}
+				if len(out) == 40 {
+					t.Log("no trial degraded (retry budget absorbed every panic)")
+				}
+				continue
+			}
+			if got.attempts != want.attempts || got.metrics != want.metrics ||
+				fmt.Sprint(got.vals) != fmt.Sprint(want.vals) {
+				t.Errorf("jobs=%d rep=%d: outcome diverged\n got: %v %d %s\nwant: %v %d %s",
+					jobs, rep, got.vals, got.attempts, got.metrics,
+					want.vals, want.attempts, want.metrics)
+			}
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"stmdiag/internal/apps"
 	"stmdiag/internal/cbi"
 	"stmdiag/internal/core"
+	"stmdiag/internal/faultinj"
 	"stmdiag/internal/isa"
 	"stmdiag/internal/kernel"
 	"stmdiag/internal/obs"
@@ -40,6 +41,10 @@ type Config struct {
 	Jobs int
 	// Seed is the base every trial seed is derived from (TrialSeed).
 	Seed int64
+	// Faults is the fault-injection spec (-faults). The zero spec is off;
+	// an enabled spec derives a deterministic faultinj.Plan per trial
+	// attempt, so results stay byte-identical for every Jobs value.
+	Faults faultinj.Spec
 	// LBRSize and LCRSize override record depths (0 = paper defaults).
 	LBRSize, LCRSize int
 	// Obs is the optional telemetry sink. It flows into every VM run the
@@ -85,7 +90,7 @@ func (c Config) withDefaults() Config {
 }
 
 // pool builds the trial-execution pool for one experiment entry point.
-func (c Config) pool() *Pool { return NewPool(c.Jobs, c.Obs) }
+func (c Config) pool() *Pool { return NewPool(c.Jobs, c.Obs).WithFaults(c.Faults, c.Seed) }
 
 // SeqResult is one sequential benchmark's Table 6 row.
 type SeqResult struct {
@@ -109,14 +114,18 @@ type SeqResult struct {
 	Metrics *obs.Snapshot
 }
 
-// runApp executes one instrumented run, reporting telemetry into the given
-// (usually per-trial) sink.
-func runApp(inst *core.Instrumented, w apps.Workload, seed int64, cfg Config, sink *obs.Sink) (*vm.Result, error) {
+// runApp executes one instrumented run in the context of one trial
+// attempt, wiring the trial's telemetry sink and fault plan into the VM.
+// A nil trial runs outside the pool: no telemetry, no fault plan.
+func runApp(inst *core.Instrumented, w apps.Workload, seed int64, cfg Config, tc *Trial) (*vm.Result, error) {
 	opts := w.VMOptions(seed)
 	opts.Driver = kernel.Driver{}
 	opts.SegvIoctls = inst.SegvIoctls
 	opts.LBRSize = cfg.LBRSize
-	opts.Obs = sink
+	if tc != nil {
+		opts.Obs = tc.Sink
+		opts.Faults = tc.Faults
+	}
 	return vm.Run(inst.Prog, opts)
 }
 
@@ -150,8 +159,8 @@ func rankWithFallback(a *apps.App, p *isa.Program, prof vm.Profile) (rank int, r
 
 // failureProfileOf runs the failure workload once and extracts the
 // failure-run profile.
-func failureProfileOf(a *apps.App, inst *core.Instrumented, seed int64, cfg Config, sink *obs.Sink) (vm.Profile, error) {
-	res, err := runApp(inst, a.Fail, seed, cfg, sink)
+func failureProfileOf(a *apps.App, inst *core.Instrumented, seed int64, cfg Config, tc *Trial) (vm.Profile, error) {
+	res, err := runApp(inst, a.Fail, seed, cfg, tc)
 	if err != nil {
 		return vm.Profile{}, err
 	}
@@ -192,8 +201,8 @@ func origFailurePC(a *apps.App, inst *core.Instrumented, prof vm.Profile) (int, 
 func successProfiles(a *apps.App, inst *core.Instrumented, cfg Config, pool *Pool) ([]core.ProfiledRun, error) {
 	stream := a.Name + "/succ"
 	out, _, err := Collect(pool, cfg.MaxAttempts, cfg.SuccRuns, stream,
-		func(i int, s *obs.Sink) (core.ProfiledRun, bool, error) {
-			res, err := runApp(inst, a.Succeed, TrialSeed(cfg.Seed, stream, i), cfg, s)
+		func(tc *Trial) (core.ProfiledRun, bool, error) {
+			res, err := runApp(inst, a.Succeed, TrialSeed(cfg.Seed, stream, tc.Index), cfg, tc)
 			if err != nil {
 				return core.ProfiledRun{}, false, err
 			}
@@ -240,8 +249,8 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 	// doubles as Table 6's LBRLOG toggling profile.
 	failStream := a.Name + "/fail"
 	failProfiles, _, err := Collect(pool, cfg.MaxAttempts, cfg.FailRuns, failStream,
-		func(i int, s *obs.Sink) (core.ProfiledRun, bool, error) {
-			prof, err := failureProfileOf(a, logTog, TrialSeed(cfg.Seed, failStream, i), cfg, s)
+		func(tc *Trial) (core.ProfiledRun, bool, error) {
+			prof, err := failureProfileOf(a, logTog, TrialSeed(cfg.Seed, failStream, tc.Index), cfg, tc)
 			if err != nil {
 				// Concurrency benchmarks fail probabilistically: a run
 				// that happened not to fail is rejected, not fatal.
@@ -260,8 +269,8 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 
 	noTogStream := a.Name + "/fail-notog"
 	profNoTog, noTogIdx, err := First(pool, cfg.MaxAttempts, noTogStream,
-		func(i int, s *obs.Sink) (vm.Profile, bool, error) {
-			prof, err := failureProfileOf(a, logNoTog, TrialSeed(cfg.Seed, noTogStream, i), cfg, s)
+		func(tc *Trial) (vm.Profile, bool, error) {
+			prof, err := failureProfileOf(a, logNoTog, TrialSeed(cfg.Seed, noTogStream, tc.Index), cfg, tc)
 			if err != nil {
 				return vm.Profile{}, false, nil
 			}
@@ -361,10 +370,11 @@ func runCBI(a *apps.App, cfg Config, pool *Pool) (int, error) {
 	collect := func(w apps.Workload, wantFail bool, n int, label string) ([]cbi.RunObs, error) {
 		stream := a.Name + "/" + label
 		out, _, err := Collect(pool, n*4, n, stream,
-			func(i int, s *obs.Sink) (cbi.RunObs, bool, error) {
-				seed := TrialSeed(cfg.Seed, stream, i)
+			func(tc *Trial) (cbi.RunObs, bool, error) {
+				seed := TrialSeed(cfg.Seed, stream, tc.Index)
 				opts := w.VMOptions(seed)
-				opts.Obs = s
+				opts.Obs = tc.Sink
+				opts.Faults = tc.Faults
 				m, err := vm.New(p, opts)
 				if err != nil {
 					return cbi.RunObs{}, false, err
@@ -409,11 +419,12 @@ func runCBI(a *apps.App, cfg Config, pool *Pool) (int, error) {
 // meanCycles averages run cycles on the success workload.
 func meanCycles(p *isa.Program, a *apps.App, segv []int64, hook func(*vm.Machine, int64), cfg Config, pool *Pool, stream string) (float64, error) {
 	cycles, err := Map(pool, cfg.OverheadRuns, stream,
-		func(i int, s *obs.Sink) (uint64, error) {
-			seed := TrialSeed(cfg.Seed, stream, i)
+		func(tc *Trial) (uint64, error) {
+			seed := TrialSeed(cfg.Seed, stream, tc.Index)
 			opts := a.Succeed.VMOptions(seed)
 			opts.LBRSize = cfg.LBRSize
-			opts.Obs = s
+			opts.Obs = tc.Sink
+			opts.Faults = tc.Faults
 			if segv != nil {
 				opts.SegvIoctls = segv
 			}

@@ -2,17 +2,27 @@ package harness
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 	"strings"
 
 	"stmdiag/internal/apps"
 	"stmdiag/internal/cache"
 	"stmdiag/internal/cfg"
 	"stmdiag/internal/core"
+	"stmdiag/internal/faultinj"
 	"stmdiag/internal/isa"
+	"stmdiag/internal/obs"
 	"stmdiag/internal/pmu"
 	"stmdiag/internal/source"
+	"stmdiag/internal/stats"
 	"stmdiag/internal/synth"
 )
+
+// NumTables is the highest table RenderTable knows: the paper's Tables 1–7
+// plus this reproduction's own Table 8 (diagnosis robustness under
+// injected capture faults).
+const NumTables = 8
 
 // tableOrder fixes the row order of Tables 4–7 to match the paper.
 var tableOrder = []string{
@@ -304,6 +314,200 @@ func Table7(cfg Config) (string, error) {
 	return b.String(), nil
 }
 
+// robustnessRates are the uniform per-layer injection rates Table 8 sweeps.
+// Rate 0 is the fault-free baseline (the nil-plan fast path), locked
+// byte-identical to the other tables' inputs.
+var robustnessRates = []float64{0, 1e-3, 1e-2, 1e-1}
+
+// robustnessApps is the sequential-benchmark subset Table 8 diagnoses at
+// each rate: deterministic failures, so every rejected trial is the
+// injector's doing, and small programs, so the 4-rate sweep stays cheap.
+var robustnessApps = []string{"sort", "cp", "paste", "tac"}
+
+// robustRow is one (rate, app) cell of Table 8.
+type robustRow struct {
+	app                  *apps.App
+	failProfs, succProfs int
+	rank                 int
+	topHit               bool
+	verdict              stats.Verdict
+}
+
+// table8Row runs the LBRA diagnosis for one app under the configured fault
+// spec, tolerating profile attrition: a shortfall of failure or success
+// profiles degrades the verdict instead of failing the table.
+func table8Row(a *apps.App, cfg Config) (*robustRow, error) {
+	cfg = cfg.withDefaults()
+	pool := cfg.pool()
+	logTog, err := core.EnhanceLogging(a.Program(), core.Options{LBR: true, Toggling: true})
+	if err != nil {
+		return nil, err
+	}
+	failStream := a.Name + "/robust-fail"
+	failProfiles, _, err := Collect(pool, cfg.MaxAttempts, cfg.FailRuns, failStream,
+		func(tc *Trial) (core.ProfiledRun, bool, error) {
+			prof, err := failureProfileOf(a, logTog, TrialSeed(cfg.Seed, failStream, tc.Index), cfg, tc)
+			if err != nil {
+				// Injected faults can swallow the crash profile or flip the
+				// run's outcome; such a trial is lost evidence, not an abort.
+				return core.ProfiledRun{}, false, nil
+			}
+			return core.ProfiledRun{Prog: logTog.Prog, Profile: prof}, true, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	row := &robustRow{app: a, failProfs: len(failProfiles)}
+	if len(failProfiles) == 0 {
+		row.verdict = stats.VerdictInsufficient
+		return row, nil
+	}
+	// Success profiles need the reactive build, which needs the failure
+	// site mapped back from the (possibly corrupted) first failure
+	// profile. An unlocatable site degrades to a fail-only diagnosis
+	// rather than failing the row.
+	var succProfiles []core.ProfiledRun
+	if failPC, err := origFailurePC(a, logTog, failProfiles[0].Profile); err == nil {
+		reactive, err := core.EnhanceLogging(a.Program(), core.Options{LBR: true, Toggling: true,
+			Scheme: core.SchemeReactive, FailurePCs: []int{failPC}})
+		if err != nil {
+			return nil, err
+		}
+		succStream := a.Name + "/robust-succ"
+		succProfiles, _, err = Collect(pool, cfg.MaxAttempts, cfg.SuccRuns, succStream,
+			func(tc *Trial) (core.ProfiledRun, bool, error) {
+				res, err := runApp(reactive, a.Succeed, TrialSeed(cfg.Seed, succStream, tc.Index), cfg, tc)
+				if err != nil || a.Succeed.FailedRun(res) {
+					return core.ProfiledRun{}, false, nil
+				}
+				prof, ok := core.SuccessRunProfile(res)
+				if !ok {
+					if prof, ok = core.FailureRunProfile(res); !ok {
+						return core.ProfiledRun{}, false, nil
+					}
+				}
+				return core.ProfiledRun{Prog: reactive.Prog, Profile: prof}, true, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+	}
+	row.succProfs = len(succProfiles)
+	report, err := core.Diagnose(core.ModeLBR, failProfiles, succProfiles)
+	if err != nil {
+		return nil, err
+	}
+	row.verdict = report.Verdict
+	row.rank = report.RankOfBranchEdge(a.RootBranch, a.BuggyEdge)
+	if row.rank == 0 && a.RelatedBranch != "" {
+		row.rank = report.RankOfBranch(a.RelatedBranch)
+	}
+	if top, ok := report.Top(); ok && top.Event.Kind == core.EventBranch &&
+		(top.Event.Branch == a.RootBranch ||
+			(a.RelatedBranch != "" && top.Event.Branch == a.RelatedBranch)) {
+		row.topHit = true
+	}
+	return row, nil
+}
+
+// sumPrefix totals every counter in the snapshot under a dotted prefix.
+func sumPrefix(s obs.Snapshot, prefix string) uint64 {
+	var names []string
+	for name := range s.Counters {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var total uint64
+	for _, name := range names {
+		total += s.Counters[name]
+	}
+	return total
+}
+
+// Table8 is this reproduction's robustness table: it reruns the LBRA
+// diagnosis of Table 6's pipeline over a benchmark subset while injecting
+// capture faults (record drops and corruptions, truncated and glitched
+// profile reads, lost snapshots, crashing trials — the engineered analogs
+// of paper §4.2's pollution sources) at uniform per-layer rates, and
+// reports how diagnosis quality degrades. Every number printed is derived
+// from committed per-trial state, so the table is byte-identical for any
+// -jobs value and across repeated runs.
+func Table8(cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	var b strings.Builder
+	b.WriteString("Table 8: diagnosis robustness under injected capture faults\n\n")
+	fmt.Fprintf(&b, "%-6s %-8s | %5s %5s | %4s %s\n",
+		"rate", "app", "fprof", "sprof", "LBRA", "verdict")
+	for _, rate := range robustnessRates {
+		var spec faultinj.Spec
+		if rate > 0 {
+			for l := range spec.Rates {
+				spec.Rates[l] = rate
+			}
+		}
+		// A private registry isolates this rate's committed-trial counters:
+		// the fault totals below must not depend on whatever else the
+		// caller's sink has accumulated. The caller's tracer still sees the
+		// runs, and the counters merge back into its registry at the end.
+		priv := &obs.Sink{Metrics: obs.NewRegistry()}
+		if cfg.Obs != nil {
+			priv.Trace = cfg.Obs.Trace
+			priv.Verbosity = cfg.Obs.Verbosity
+		}
+		rcfg := cfg
+		rcfg.Faults = spec
+		rcfg.Obs = priv
+
+		topHits, top3, ranked := 0, 0, 0
+		rankSum := 0
+		for _, name := range robustnessApps {
+			a := apps.ByName(name)
+			if a == nil {
+				return "", fmt.Errorf("harness: Table 8 benchmark %q not registered", name)
+			}
+			row, err := table8Row(a, rcfg)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%-6s %-8s | %2d/%-2d %2d/%-2d | %4s %s\n",
+				fmtRate(rate), a.Name, row.failProfs, rcfg.FailRuns, row.succProfs, rcfg.SuccRuns,
+				fmtRank(row.rank, false), row.verdict)
+			if row.topHit {
+				topHits++
+			}
+			if row.rank >= 1 && row.rank <= 3 {
+				top3++
+			}
+			if row.rank > 0 {
+				ranked++
+				rankSum += row.rank
+			}
+		}
+		snap := priv.Metrics.Snapshot()
+		meanRank := "-"
+		if ranked > 0 {
+			meanRank = fmt.Sprintf("%.2f", float64(rankSum)/float64(ranked))
+		}
+		fmt.Fprintf(&b, "rate %-6s top-1 precision %d/%d, top-3 recall %d/%d, mean rank %s | injected %d, recovered %d, degraded %d, retried %d\n\n",
+			fmtRate(rate)+":", topHits, len(robustnessApps), top3, len(robustnessApps), meanRank,
+			snap.Counter("faultinj.injected"),
+			sumPrefix(snap, "faultinj.recovered."),
+			sumPrefix(snap, "faultinj.degraded.")+snap.Counter("harness.pool.degraded"),
+			snap.Counter("harness.pool.retries"))
+		if cfg.Obs != nil && cfg.Obs.Metrics != nil {
+			cfg.Obs.Metrics.Merge(snap)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n") + "\n", nil
+}
+
+// fmtRate renders an injection rate the way -faults specs write it.
+func fmtRate(r float64) string {
+	return strconv.FormatFloat(r, 'g', -1, 64)
+}
+
 // RenderTable regenerates one of the paper's tables by number.
 func RenderTable(n int, cfg Config) (string, error) {
 	switch n {
@@ -321,8 +525,10 @@ func RenderTable(n int, cfg Config) (string, error) {
 		return Table6(cfg)
 	case 7:
 		return Table7(cfg)
+	case 8:
+		return Table8(cfg)
 	}
-	return "", fmt.Errorf("harness: no table %d (the paper has tables 1-7)", n)
+	return "", fmt.Errorf("harness: no table %d (tables 1-%d)", n, NumTables)
 }
 
 // DiagnosisLatency compares how many failure runs LBRA and CBI need before

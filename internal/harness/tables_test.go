@@ -104,8 +104,8 @@ func TestRenderTableDispatch(t *testing.T) {
 	if _, err := RenderTable(0, quickCfg); err == nil {
 		t.Error("table 0 accepted")
 	}
-	if _, err := RenderTable(8, quickCfg); err == nil {
-		t.Error("table 8 accepted")
+	if _, err := RenderTable(NumTables+1, quickCfg); err == nil {
+		t.Errorf("table %d accepted", NumTables+1)
 	}
 	for _, n := range []int{1, 2, 4, 5} {
 		out, err := RenderTable(n, quickCfg)

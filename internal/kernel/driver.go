@@ -14,9 +14,11 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 
 	"stmdiag/internal/cache"
+	"stmdiag/internal/faultinj"
 	"stmdiag/internal/pmu"
 	"stmdiag/internal/vm"
 )
@@ -103,27 +105,32 @@ func (Driver) Ioctl(m *vm.Machine, t *vm.Thread, req int64) error {
 	case ReqCleanLBR:
 		core.LBR.Clear()
 	case ReqConfigLBR:
-		return core.LBR.WriteMSR(pmu.MSRLBRSelect, m.Opts().LBRSelect)
+		return writeMSR(m, core.LBR, pmu.MSRLBRSelect, m.Opts().LBRSelect)
 	case ReqEnableLBR:
-		return core.LBR.WriteMSR(pmu.MSRDebugCtl, pmu.DebugCtlEnableLBR)
+		return writeMSR(m, core.LBR, pmu.MSRDebugCtl, pmu.DebugCtlEnableLBR)
 	case ReqDisableLBR:
-		return core.LBR.WriteMSR(pmu.MSRDebugCtl, pmu.DebugCtlDisableLBR)
+		return writeMSR(m, core.LBR, pmu.MSRDebugCtl, pmu.DebugCtlDisableLBR)
 	case ReqProfileLBR, ReqProfileLBRSuccess:
 		// Always disable right before reading so the read itself cannot
 		// pollute the stack (paper §4.3), restoring the previous state.
 		wasOn := core.LBR.Enabled()
-		if err := core.LBR.WriteMSR(pmu.MSRDebugCtl, pmu.DebugCtlDisableLBR); err != nil {
+		if err := writeMSR(m, core.LBR, pmu.MSRDebugCtl, pmu.DebugCtlDisableLBR); err != nil {
 			return err
 		}
 		m.AddCycles(vm.CostProfile)
-		m.AddProfile(vm.Profile{
-			Site:     t.PC,
-			Thread:   t.ID,
-			Success:  req == ReqProfileLBRSuccess,
-			Branches: core.LBR.Latest(),
-		})
+		success := req == ReqProfileLBRSuccess
+		if success && loseSuccessProfile(m) {
+			// The sampled success-site snapshot was lost; the run proceeds.
+		} else {
+			m.AddProfile(vm.Profile{
+				Site:     t.PC,
+				Thread:   t.ID,
+				Success:  success,
+				Branches: snapshotLBR(m, core.LBR),
+			})
+		}
 		if wasOn {
-			return core.LBR.WriteMSR(pmu.MSRDebugCtl, pmu.DebugCtlEnableLBR)
+			return writeMSR(m, core.LBR, pmu.MSRDebugCtl, pmu.DebugCtlEnableLBR)
 		}
 
 	case ReqCleanLCR:
@@ -138,17 +145,100 @@ func (Driver) Ioctl(m *vm.Machine, t *vm.Thread, req int64) error {
 		t.LCR.SetEnabled(false)
 	case ReqProfileLCR, ReqProfileLCRSuccess:
 		m.AddCycles(vm.CostProfile)
+		success := req == ReqProfileLCRSuccess
+		if success && loseSuccessProfile(m) {
+			break
+		}
 		m.AddProfile(vm.Profile{
 			Site:      t.PC,
 			Thread:    t.ID,
-			Success:   req == ReqProfileLCRSuccess,
-			Coherence: t.LCR.Latest(),
+			Success:   success,
+			Coherence: snapshotLCR(m, t.LCR),
 		})
 
 	default:
 		return fmt.Errorf("kernel: unknown ioctl request %d", req)
 	}
 	return nil
+}
+
+// writeMSR performs a configuration wrmsr with graceful degradation under
+// injected glitches: a faultinj.ErrGlitch is retried once; a second glitch
+// abandons the write and proceeds, mirroring how the paper's driver must
+// not take the profiled application down with it. Recovered and degraded
+// glitches are counted so traces show exactly where faults landed.
+func writeMSR(m *vm.Machine, l *pmu.LBR, id uint32, val uint64) error {
+	err := l.WriteMSR(id, val)
+	if err == nil || !errors.Is(err, faultinj.ErrGlitch) {
+		return err
+	}
+	if err = l.WriteMSR(id, val); err == nil {
+		if s := m.Obs(); s != nil {
+			s.Counter("faultinj.recovered.msr-write").Inc()
+		}
+		return nil
+	}
+	if errors.Is(err, faultinj.ErrGlitch) {
+		if s := m.Obs(); s != nil {
+			s.Counter("faultinj.degraded.msr-write").Inc()
+		}
+		return nil
+	}
+	return err
+}
+
+// loseSuccessProfile decides whether an injected succ-loss fault swallows
+// this success-site snapshot (Figure 8's success-run attrition).
+func loseSuccessProfile(m *vm.Machine) bool {
+	if !m.Faults().Hit(faultinj.SuccLoss) {
+		return false
+	}
+	if s := m.Obs(); s != nil {
+		s.Counter("faultinj.degraded.succ-loss").Inc()
+	}
+	return true
+}
+
+// snapshotLBR reads the branch stack out, applying profile-read faults: a
+// ring-trunc hit keeps only the newest entries (a partial read-out), and
+// per-entry msr-read hits corrupt the endpoints the way a glitched rdmsr
+// of BRANCH_i_FROM/TO_IP would. Latest() copies, so the stack itself is
+// never altered.
+func snapshotLBR(m *vm.Machine, l *pmu.LBR) []pmu.BranchRecord {
+	recs := l.Latest()
+	p := m.Faults()
+	if p == nil {
+		return recs
+	}
+	if len(recs) > 0 && p.Hit(faultinj.RingTrunc) {
+		recs = recs[:p.TruncN(faultinj.RingTrunc, len(recs))]
+	}
+	for i := range recs {
+		if p.Hit(faultinj.MSRRead) {
+			recs[i].From = p.Corrupt(faultinj.MSRRead, recs[i].From)
+			recs[i].To = p.Corrupt(faultinj.MSRRead, recs[i].To)
+		}
+	}
+	return recs
+}
+
+// snapshotLCR reads the coherence record out under the same profile-read
+// fault model as snapshotLBR.
+func snapshotLCR(m *vm.Machine, l *pmu.LCR) []pmu.CoherenceEvent {
+	recs := l.Latest()
+	p := m.Faults()
+	if p == nil {
+		return recs
+	}
+	if len(recs) > 0 && p.Hit(faultinj.RingTrunc) {
+		recs = recs[:p.TruncN(faultinj.RingTrunc, len(recs))]
+	}
+	for i := range recs {
+		if p.Hit(faultinj.MSRRead) {
+			recs[i].PC = p.Corrupt(faultinj.MSRRead, recs[i].PC)
+		}
+	}
+	return recs
 }
 
 // PollutionPC is the PC recorded for the driver's dummy LCR events; it is

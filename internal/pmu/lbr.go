@@ -3,6 +3,7 @@ package pmu
 import (
 	"fmt"
 
+	"stmdiag/internal/faultinj"
 	"stmdiag/internal/isa"
 	"stmdiag/internal/obs"
 )
@@ -86,6 +87,7 @@ type LBR struct {
 	ring    *Ring[BranchRecord]
 	sel     uint64
 	enabled bool
+	faults  *faultinj.Plan
 	tel     ringTelemetry
 }
 
@@ -98,9 +100,18 @@ func NewLBR(size int) *LBR {
 // sink. Passing a nil sink detaches (counters become nil, no-op).
 func (l *LBR) AttachObs(s *obs.Sink) { l.tel.attach(s, "pmu.lbr") }
 
+// SetFaults installs the trial's fault plan. A nil plan (the default)
+// injects nothing and costs one nil check per operation.
+func (l *LBR) SetFaults(p *faultinj.Plan) { l.faults = p }
+
 // WriteMSR implements the wrmsr side of the two configuration registers.
 // Unknown MSR ids are rejected, mirroring the #GP a bad wrmsr raises.
+// An injected msr-write fault makes the wrmsr fail with faultinj.ErrGlitch
+// before it takes effect; callers retry or degrade.
 func (l *LBR) WriteMSR(id uint32, val uint64) error {
+	if l.faults.Hit(faultinj.MSRWrite) {
+		return fmt.Errorf("pmu: wrmsr %#x: %w", id, faultinj.ErrGlitch)
+	}
 	switch id {
 	case MSRDebugCtl:
 		enable := val == DebugCtlEnableLBR
@@ -117,7 +128,18 @@ func (l *LBR) WriteMSR(id uint32, val uint64) error {
 }
 
 // ReadMSR implements rdmsr for the configuration and branch-stack MSRs.
+// An injected msr-read fault corrupts the value read from a branch-stack
+// MSR (configuration reads are unaffected: rereading them is how callers
+// verify writes).
 func (l *LBR) ReadMSR(id uint32) (uint64, error) {
+	v, err := l.readMSR(id)
+	if err == nil && id >= MSRBranchFromBase && l.faults.Hit(faultinj.MSRRead) {
+		v = uint64(l.faults.Corrupt(faultinj.MSRRead, int(v)))
+	}
+	return v, err
+}
+
+func (l *LBR) readMSR(id uint32) (uint64, error) {
 	switch {
 	case id == MSRDebugCtl:
 		if l.enabled {
@@ -172,7 +194,9 @@ func suppressBit(c isa.BranchClass) uint64 {
 // Record offers a retired taken branch to the LBR. It is recorded unless
 // recording is disabled or an LBR_SELECT bit suppresses its class or
 // privilege level. It reports whether the branch was recorded and whether
-// recording it evicted the oldest stack entry.
+// recording it evicted the oldest stack entry. Injected faults act on
+// branches that pass the filters: lbr-drop loses the record, lbr-corrupt
+// scrambles its endpoints, lbr-dup records it twice.
 func (l *LBR) Record(r BranchRecord) (recorded, evicted bool) {
 	if !l.enabled {
 		return false, false
@@ -189,12 +213,29 @@ func (l *LBR) Record(r BranchRecord) (recorded, evicted bool) {
 		l.tel.drops.Inc()
 		return false, false
 	}
-	evicted = l.ring.Push(r)
+	if l.faults.Hit(faultinj.LBRDrop) {
+		l.tel.drops.Inc()
+		return false, false
+	}
+	if l.faults.Hit(faultinj.LBRCorrupt) {
+		r.From = l.faults.Corrupt(faultinj.LBRCorrupt, r.From)
+		r.To = l.faults.Corrupt(faultinj.LBRCorrupt, r.To)
+	}
+	evicted = l.push(r)
+	if l.faults.Hit(faultinj.LBRDup) {
+		evicted = l.push(r) || evicted
+	}
+	return true, evicted
+}
+
+// push records one entry and maintains the ring telemetry.
+func (l *LBR) push(r BranchRecord) bool {
+	evicted := l.ring.Push(r)
 	l.tel.pushes.Inc()
 	if evicted {
 		l.tel.evictions.Inc()
 	}
-	return true, evicted
+	return evicted
 }
 
 // Clear empties the branch stack (the driver's DRIVER_CLEAN_LBR).

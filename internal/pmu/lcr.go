@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"stmdiag/internal/cache"
+	"stmdiag/internal/faultinj"
 	"stmdiag/internal/obs"
 )
 
@@ -119,6 +120,7 @@ type LCR struct {
 	ring    *Ring[CoherenceEvent]
 	cfg     LCRConfig
 	enabled bool
+	faults  *faultinj.Plan
 	tel     ringTelemetry
 }
 
@@ -130,6 +132,9 @@ func NewLCR(size int) *LCR {
 // AttachObs resolves this LCR's telemetry counters ("pmu.lcr.*") from the
 // sink. Passing a nil sink detaches.
 func (l *LCR) AttachObs(s *obs.Sink) { l.tel.attach(s, "pmu.lcr") }
+
+// SetFaults installs the trial's fault plan; nil injects nothing.
+func (l *LCR) SetFaults(p *faultinj.Plan) { l.faults = p }
 
 // Configure sets the event-selection register.
 func (l *LCR) Configure(cfg LCRConfig) { l.cfg = cfg }
@@ -151,7 +156,9 @@ func (l *LCR) Enabled() bool { return l.enabled }
 
 // Record offers a retired L1D access to the LCR; it is kept if recording
 // is enabled and the configuration matches. It reports whether the event
-// was recorded and whether recording it evicted the oldest entry.
+// was recorded and whether recording it evicted the oldest entry. Injected
+// faults act on matching events: lcr-drop loses the record, lcr-corrupt
+// scrambles its PC, lcr-dup records it twice.
 func (l *LCR) Record(e CoherenceEvent) (recorded, evicted bool) {
 	if !l.enabled {
 		return false, false
@@ -160,12 +167,28 @@ func (l *LCR) Record(e CoherenceEvent) (recorded, evicted bool) {
 		l.tel.drops.Inc()
 		return false, false
 	}
-	evicted = l.ring.Push(e)
+	if l.faults.Hit(faultinj.LCRDrop) {
+		l.tel.drops.Inc()
+		return false, false
+	}
+	if l.faults.Hit(faultinj.LCRCorrupt) {
+		e.PC = l.faults.Corrupt(faultinj.LCRCorrupt, e.PC)
+	}
+	evicted = l.push(e)
+	if l.faults.Hit(faultinj.LCRDup) {
+		evicted = l.push(e) || evicted
+	}
+	return true, evicted
+}
+
+// push records one entry and maintains the ring telemetry.
+func (l *LCR) push(e CoherenceEvent) bool {
+	evicted := l.ring.Push(e)
 	l.tel.pushes.Inc()
 	if evicted {
 		l.tel.evictions.Inc()
 	}
-	return true, evicted
+	return evicted
 }
 
 // Clear empties the record.

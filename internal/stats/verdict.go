@@ -1,0 +1,50 @@
+package stats
+
+// Verdict grades how much usable evidence a ranking rests on. Fault
+// injection (and, on real hardware, the pollution sources of paper §4.2)
+// can strip profiles down to nothing: a drained LBR read, a lost
+// success-site snapshot, a run whose every record was corrupted out of
+// program range. A diagnosis computed from such inputs still ranks
+// *something*, so consumers need an explicit signal that the ranking
+// should not be trusted rather than a silently empty or skewed table.
+type Verdict uint8
+
+const (
+	// VerdictConclusive means the ranking rests on enough well-formed
+	// profiles to take its ordering at face value.
+	VerdictConclusive Verdict = iota
+	// VerdictInsufficient means too little usable evidence survived
+	// capture: no failing run carried events, or most failure profiles
+	// came back empty. The ranking is advisory at best.
+	VerdictInsufficient
+)
+
+// String names the verdict the way reports print it.
+func (v Verdict) String() string {
+	if v == VerdictInsufficient {
+		return "insufficient evidence"
+	}
+	return "conclusive"
+}
+
+// Assess grades the evidence in runs. The diagnosis needs failing runs
+// whose profiles still carry events — an empty failure profile contributes
+// nothing to any predictor's recall. The verdict is insufficient when no
+// failing run has events, or when over half of the failure profiles came
+// back empty (the majority of the evidence was lost in capture).
+func Assess[E comparable](runs []Run[E]) Verdict {
+	failTotal, usableFail := 0, 0
+	for _, r := range runs {
+		if !r.Failed {
+			continue
+		}
+		failTotal++
+		if len(r.Events) > 0 {
+			usableFail++
+		}
+	}
+	if usableFail == 0 || 2*usableFail < failTotal {
+		return VerdictInsufficient
+	}
+	return VerdictConclusive
+}

@@ -1,0 +1,35 @@
+package stats
+
+import "testing"
+
+func TestVerdictString(t *testing.T) {
+	if got := VerdictConclusive.String(); got != "conclusive" {
+		t.Errorf("VerdictConclusive = %q", got)
+	}
+	if got := VerdictInsufficient.String(); got != "insufficient evidence" {
+		t.Errorf("VerdictInsufficient = %q", got)
+	}
+}
+
+func TestAssess(t *testing.T) {
+	fail := func(events ...int) Run[int] { return Run[int]{Failed: true, Events: events} }
+	succ := func(events ...int) Run[int] { return Run[int]{Failed: false, Events: events} }
+	cases := []struct {
+		name string
+		runs []Run[int]
+		want Verdict
+	}{
+		{"no runs at all", nil, VerdictInsufficient},
+		{"only success runs", []Run[int]{succ(1), succ(2)}, VerdictInsufficient},
+		{"one usable failure", []Run[int]{fail(1)}, VerdictConclusive},
+		{"all failure profiles empty", []Run[int]{fail(), fail(), succ(1)}, VerdictInsufficient},
+		{"majority of failures empty", []Run[int]{fail(1), fail(), fail(), fail()}, VerdictInsufficient},
+		{"exactly half empty", []Run[int]{fail(1), fail(1), fail(), fail()}, VerdictConclusive},
+		{"full evidence", []Run[int]{fail(1), fail(1), succ(), succ(2)}, VerdictConclusive},
+	}
+	for _, c := range cases {
+		if got := Assess(c.runs); got != c.want {
+			t.Errorf("%s: Assess = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

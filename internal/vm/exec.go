@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"stmdiag/internal/cache"
+	"stmdiag/internal/faultinj"
 	"stmdiag/internal/isa"
 	"stmdiag/internal/memory"
 	"stmdiag/internal/pmu"
@@ -392,9 +393,17 @@ func (m *Machine) segv(t *Thread, pc int, err error) {
 }
 
 // runSegvHandler executes the registered driver requests in the faulting
-// thread's context.
+// thread's context. An injected segv-loss fault models the handler itself
+// dying (the fragile link of paper §5.1 step 4): the run's profile is lost
+// and diagnosis must cope with one fewer failure-run profile.
 func (m *Machine) runSegvHandler(t *Thread, pc int) {
 	if m.opts.Driver == nil {
+		return
+	}
+	if m.opts.Faults.Hit(faultinj.SegvLoss) {
+		if s := m.Obs(); s != nil {
+			s.Counter("faultinj.degraded.segv-loss").Inc()
+		}
 		return
 	}
 	for _, req := range m.opts.SegvIoctls {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"stmdiag/internal/cache"
+	"stmdiag/internal/faultinj"
 	"stmdiag/internal/isa"
 	"stmdiag/internal/memory"
 	"stmdiag/internal/obs"
@@ -104,6 +105,11 @@ type Options struct {
 	// reports counters into its registry and — if it carries a tracer —
 	// records cycle-timestamped trace events.
 	Obs *obs.Sink
+	// Faults is the trial's fault-injection plan. Nil (the default)
+	// injects nothing; when set, the machine arms every capture layer —
+	// per-core LBRs, per-thread LCRs, the driver's profile reads and the
+	// segfault handler — with the same deterministic plan.
+	Faults *faultinj.Plan
 }
 
 func (o Options) withDefaults() Options {
@@ -348,6 +354,7 @@ func New(prog *isa.Program, opts Options) (*Machine, error) {
 	m.cache = cs
 	for i := 0; i < opts.Cores; i++ {
 		c := &Core{ID: i, LBR: pmu.NewLBR(opts.LBRSize)}
+		c.LBR.SetFaults(opts.Faults)
 		if opts.BTS {
 			c.BTS = pmu.NewBTS(opts.BTSLimit)
 			c.BTS.SetEnabled(true)
@@ -421,6 +428,10 @@ func (m *Machine) Cores() []*Core { return m.cores }
 // Mem returns the machine memory (tests and the harness peek at globals).
 func (m *Machine) Mem() *memory.Memory { return m.mem }
 
+// Faults returns the trial's fault plan (nil when injection is off);
+// drivers consult it at profile time.
+func (m *Machine) Faults() *faultinj.Plan { return m.opts.Faults }
+
 // AddProfile deposits a profile snapshot; drivers call it.
 func (m *Machine) AddProfile(p Profile) {
 	m.res.Profiles = append(m.res.Profiles, p)
@@ -475,6 +486,7 @@ func (m *Machine) spawnThread(entry int, arg int64, parent int) (*Thread, error)
 		LCR:    pmu.NewLCR(m.opts.LCRSize),
 		parent: parent,
 	}
+	t.LCR.SetFaults(m.opts.Faults)
 	t.Regs[0] = arg
 	if m.tel.sink != nil {
 		t.LCR.AttachObs(m.tel.sink)

@@ -33,8 +33,22 @@ if ! cmp -s "$TMP/stmdiag-bench-seq.txt" "$TMP/stmdiag-bench-par.txt"; then
     exit 1
 fi
 
+# Fault-path overhead at rate 0: a disabled -faults spec must keep the
+# nil-plan fast path, so this pass should land within noise of the plain
+# parallel run (and produce identical stdout).
+t0=$(now_ms)
+"$BIN" $ARGS -jobs 0 -faults off >"$TMP/stmdiag-bench-f0.txt" 2>/dev/null
+t1=$(now_ms)
+fault0_ms=$((t1 - t0))
+
+if ! cmp -s "$TMP/stmdiag-bench-par.txt" "$TMP/stmdiag-bench-f0.txt"; then
+    echo "bench: stdout differs with -faults off" >&2
+    exit 1
+fi
+
 cpus=$(nproc 2>/dev/null || echo 1)
 speedup=$(awk -v s="$seq_ms" -v p="$par_ms" 'BEGIN { printf (p > 0) ? "%.2f" : "0", s / p }')
+fault0_ratio=$(awk -v p="$par_ms" -v f="$fault0_ms" 'BEGIN { printf (p > 0) ? "%.3f" : "0", f / p }')
 
 cat > BENCH_harness.json <<EOF
 {
@@ -43,8 +57,10 @@ cat > BENCH_harness.json <<EOF
   "jobs1_wall_ms": $seq_ms,
   "jobsN_wall_ms": $par_ms,
   "speedup": $speedup,
+  "faults_rate0_wall_ms": $fault0_ms,
+  "faults_rate0_ratio": $fault0_ratio,
   "stdout_identical": true
 }
 EOF
 
-echo "bench: jobs=1 ${seq_ms}ms, jobs=$cpus ${par_ms}ms, speedup ${speedup}x (BENCH_harness.json)"
+echo "bench: jobs=1 ${seq_ms}ms, jobs=$cpus ${par_ms}ms, speedup ${speedup}x, faults-off ${fault0_ms}ms (BENCH_harness.json)"

@@ -21,23 +21,47 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (obs, vm)"
-go test -race ./internal/obs/... ./internal/vm/...
+echo "== go test -race (obs, vm, faultinj)"
+go test -race ./internal/obs/... ./internal/vm/... ./internal/faultinj/...
 
 echo "== go test -race (harness trial pool)"
-go test -race ./internal/harness -run 'TrialSeed|Collect|Map|First|JobsInvariance'
+go test -race ./internal/harness -run 'TrialSeed|Collect|Map|First|JobsInvariance|Retry|Faults'
 
 echo "== fuzz corpus replay"
 # Replays the committed seed corpora (f.Add seeds + testdata/fuzz entries)
 # as regular tests; no fuzzing time is spent.
-go test ./internal/stats ./internal/pmu -run 'Fuzz'
+go test ./internal/stats ./internal/pmu ./internal/faultinj -run 'Fuzz'
 
 echo "== -jobs stdout identity"
-go build -o "${TMPDIR:-/tmp}/stmdiag-check-experiments" ./cmd/experiments
-"${TMPDIR:-/tmp}/stmdiag-check-experiments" -table 3 -jobs 1 2>/dev/null >"${TMPDIR:-/tmp}/stmdiag-check-seq.txt"
-"${TMPDIR:-/tmp}/stmdiag-check-experiments" -table 3 -jobs 4 2>/dev/null >"${TMPDIR:-/tmp}/stmdiag-check-par.txt"
+EXP="${TMPDIR:-/tmp}/stmdiag-check-experiments"
+go build -o "$EXP" ./cmd/experiments
+"$EXP" -table 3 -jobs 1 2>/dev/null >"${TMPDIR:-/tmp}/stmdiag-check-seq.txt"
+"$EXP" -table 3 -jobs 4 2>/dev/null >"${TMPDIR:-/tmp}/stmdiag-check-par.txt"
 if ! cmp -s "${TMPDIR:-/tmp}/stmdiag-check-seq.txt" "${TMPDIR:-/tmp}/stmdiag-check-par.txt"; then
     echo "stdout differs between -jobs 1 and -jobs 4" >&2
+    exit 1
+fi
+
+echo "== -faults smoke + jobs identity"
+# Table 8 sweeps the injectors internally; its output must also be
+# -jobs-invariant (fault plans and retries derive from seeds, not workers).
+"$EXP" -table 8 -failruns 4 -succruns 4 -jobs 1 2>/dev/null >"${TMPDIR:-/tmp}/stmdiag-check-f1.txt"
+"$EXP" -table 8 -failruns 4 -succruns 4 -jobs 4 2>/dev/null >"${TMPDIR:-/tmp}/stmdiag-check-f4.txt"
+if ! cmp -s "${TMPDIR:-/tmp}/stmdiag-check-f1.txt" "${TMPDIR:-/tmp}/stmdiag-check-f4.txt"; then
+    echo "table 8 stdout differs between -jobs 1 and -jobs 4" >&2
+    exit 1
+fi
+# The -faults flag end to end: an armed spec must run the pipeline to
+# completion, and malformed flag values must be rejected with exit 2.
+SMD="${TMPDIR:-/tmp}/stmdiag-check-stmdiag"
+go build -o "$SMD" ./cmd/stmdiag
+"$SMD" -app sort -failruns 4 -succruns 4 -cbiruns 40 -faults rate=0.01,seed=3 >/dev/null 2>&1
+if "$SMD" -app sort -faults rate=2 >/dev/null 2>&1; then
+    echo "-faults rate=2 (out of range) was accepted" >&2
+    exit 1
+fi
+if "$SMD" -app sort -jobs -1 >/dev/null 2>&1; then
+    echo "-jobs -1 was accepted" >&2
     exit 1
 fi
 

@@ -33,6 +33,7 @@ import (
 
 	"stmdiag/internal/apps"
 	"stmdiag/internal/core"
+	"stmdiag/internal/faultinj"
 	"stmdiag/internal/harness"
 	"stmdiag/internal/isa"
 	"stmdiag/internal/kernel"
@@ -498,6 +499,10 @@ type ExperimentConfig struct {
 	// VM run the experiment drives reports counters into its registry and
 	// — if it carries a tracer — cycle-timestamped trace events.
 	Obs *obs.Sink
+	// Faults is the deterministic fault-injection spec (internal/faultinj;
+	// parse one with faultinj.ParseSpec). The zero value injects nothing
+	// and keeps the fault-free fast path.
+	Faults faultinj.Spec
 }
 
 func (c ExperimentConfig) internal() harness.Config {
@@ -512,6 +517,7 @@ func (c ExperimentConfig) internal() harness.Config {
 		LBRSize:      c.LBRSize,
 		LCRSize:      c.LCRSize,
 		Obs:          c.Obs,
+		Faults:       c.Faults,
 	}
 }
 
@@ -593,7 +599,12 @@ func ConcurrentRow(name string, cfg ExperimentConfig) (*ConcurrentResult, error)
 	}, nil
 }
 
-// RenderTable regenerates one of the paper's tables (1–7) as text.
+// NumTables is the highest table RenderTable accepts: the paper's Tables
+// 1–7 plus the robustness table (8) this reproduction adds.
+const NumTables = harness.NumTables
+
+// RenderTable regenerates one of the tables (1–NumTables) as text: the
+// paper's Tables 1–7, plus Table 8, the fault-injection robustness sweep.
 func RenderTable(n int, cfg ExperimentConfig) (string, error) {
 	return harness.RenderTable(n, cfg.internal())
 }
