@@ -38,6 +38,10 @@ func main() {
 	jobs := flag.Int("jobs", 0, "trial-execution workers (0 = NumCPU, 1 = sequential)")
 	tf := cliobs.Register()
 	flag.Parse()
+	if err := tf.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if err := cliobs.CheckJobs(*jobs); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -57,6 +61,12 @@ func main() {
 	sink := tf.Sink()
 	if sink == nil {
 		sink = obs.NewSink()
+	}
+	// The telemetry server scrapes the same sink the sweep reports into,
+	// so a multi-hour Table 1–8 run can be watched and profiled mid-run.
+	if err := tf.Start(sink, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	cfg := stmdiag.ExperimentConfig{
 		FailRuns:     *failRuns,

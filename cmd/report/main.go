@@ -34,6 +34,10 @@ func main() {
 	jobs := flag.Int("jobs", 0, "seed-search workers (0 = NumCPU, 1 = sequential)")
 	tf := cliobs.Register()
 	flag.Parse()
+	if err := tf.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if err := cliobs.CheckJobs(*jobs); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -44,6 +48,10 @@ func main() {
 		os.Exit(2)
 	}
 	sink := tf.Sink()
+	if err := tf.Start(sink, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	finish := func() {
 		if err := tf.Finish(sink, os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -34,6 +34,10 @@ func main() {
 	jobs := flag.Int("jobs", 0, "trial-execution workers (0 = NumCPU, 1 = sequential)")
 	tf := cliobs.Register()
 	flag.Parse()
+	if err := tf.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if err := cliobs.CheckJobs(*jobs); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -52,6 +56,10 @@ func main() {
 		os.Exit(2)
 	}
 	sink := tf.Sink()
+	if err := tf.Start(sink, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	defer func() {
 		if err := tf.Finish(sink, os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, err)

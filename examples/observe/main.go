@@ -9,9 +9,15 @@
 // process row, the diagnosis pipeline has its own row, and the failure
 // runs show the trap instants that seed LBRLOG.
 //
+// With -serve the example also exposes the live half of the telemetry
+// stack while it runs: an OpenMetrics /metrics endpoint, the Chrome trace
+// as a /trace download, the flight recorder of recent pipeline events as
+// /flightrecorder JSON, and the net/http/pprof profilers — the same
+// endpoints every binary offers via its own -serve flag.
+//
 // Usage:
 //
-//	observe [-o observe-trace.json] [-seed N]
+//	observe [-o observe-trace.json] [-seed N] [-serve :9090]
 package main
 
 import (
@@ -25,18 +31,32 @@ import (
 	"stmdiag/internal/isa"
 	"stmdiag/internal/kernel"
 	"stmdiag/internal/obs"
+	"stmdiag/internal/obshttp"
 	"stmdiag/internal/vm"
 )
 
 func main() {
 	out := flag.String("o", "observe-trace.json", "trace output `file`")
 	seed := flag.Int64("seed", 0, "base seed")
+	serve := flag.String("serve", "", "serve live telemetry on this `addr` while the example runs")
 	flag.Parse()
 
-	// A private registry and tracer: the trace and the metrics below cover
-	// exactly the runs this example drives.
-	sink := &obs.Sink{Metrics: obs.NewRegistry(), Trace: obs.NewTracer()}
+	// A private registry, tracer and flight recorder: the trace and the
+	// metrics below cover exactly the runs this example drives.
+	sink := &obs.Sink{
+		Metrics: obs.NewRegistry(),
+		Trace:   obs.NewTracer(),
+		Flight:  obs.NewFlightRecorder(obs.DefaultFlightCap),
+	}
 	sink.Trace.SetProcessName(obs.PipelinePID, "pipeline")
+	if *serve != "" {
+		srv := obshttp.New(sink)
+		if err := srv.Start(*serve); err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("live telemetry on http://%s — try /metrics, /flightrecorder\n\n", srv.Addr())
+	}
 
 	a := apps.ByName("sort")
 	if a == nil {
@@ -67,6 +87,12 @@ func main() {
 	// Phase 1: failure runs on the deployed build. Each traps, and the
 	// SIGSEGV handler snapshots the 16-entry LBR (LBRLOG).
 	tr := sink.Trace
+	phase := func(name string) {
+		sink.RecordFlight(obs.FlightEvent{
+			Cycle: sink.Cycles(), Trial: -1, Kind: obs.FlightPhase, Detail: name,
+		})
+	}
+	phase("failure runs")
 	tr.Begin("failure runs", "pipeline", tr.Base(), obs.PipelinePID, 0, nil)
 	var failProfiles []core.ProfiledRun
 	var firstProf vm.Profile
@@ -103,6 +129,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	phase("success runs")
 	tr.Begin("success runs", "pipeline", tr.Base(), obs.PipelinePID, 0, nil)
 	var succProfiles []core.ProfiledRun
 	for s := int64(0); len(succProfiles) < 10 && s < 400; s++ {
@@ -124,6 +151,7 @@ func main() {
 	}
 
 	// Phase 3: LBRA statistical debugging over the two profile sets.
+	phase("LBRA")
 	tr.Begin("LBRA", "pipeline", tr.Base(), obs.PipelinePID, 0, nil)
 	report, err := core.Diagnose(core.ModeLBR, failProfiles, succProfiles)
 	if err != nil {
@@ -148,6 +176,13 @@ func main() {
 	fmt.Printf("telemetry: runs=%d cycles=%d traps=%d lbr pushes=%d evictions=%d\n",
 		snap.Counter("vm.runs"), snap.Counter("vm.cycles"), snap.Counter("vm.traps"),
 		snap.Counter("pmu.lbr.pushes"), snap.Counter("pmu.lbr.evictions"))
+
+	// The pipeline's own short-term memory: the flight recorder holds the
+	// recent phase transitions the same way the LBR holds recent branches.
+	fmt.Println("flight recorder tail:")
+	for _, ev := range sink.Flight.Tail(8) {
+		fmt.Println("  " + ev.String())
+	}
 }
 
 // branchRank is the 1-based LBR position (newest first) of the branch.

@@ -1,6 +1,7 @@
-// Package cliobs wires the -trace / -metrics / -v telemetry flags and the
-// -faults fault-injection flag shared by the command-line binaries onto
-// the internal/obs and internal/faultinj layers.
+// Package cliobs wires the -trace / -metrics / -metrics-format / -v
+// telemetry flags, the -serve live-telemetry flag and the -faults
+// fault-injection flag shared by the command-line binaries onto the
+// internal/obs, internal/obshttp and internal/faultinj layers.
 package cliobs
 
 import (
@@ -11,6 +12,14 @@ import (
 
 	"stmdiag/internal/faultinj"
 	"stmdiag/internal/obs"
+	"stmdiag/internal/obshttp"
+)
+
+// Metrics output formats accepted by -metrics-format.
+const (
+	FormatText = "text"
+	FormatJSON = "json"
+	FormatProm = "prom"
 )
 
 // Flags holds the parsed telemetry flags.
@@ -19,22 +28,46 @@ type Flags struct {
 	TracePath string
 	// Metrics prints a metrics snapshot after the run (-metrics).
 	Metrics bool
+	// MetricsFormat selects the -metrics rendering: text (default), json,
+	// or prom (OpenMetrics exposition).
+	MetricsFormat string
 	// Verbose raises trace detail to per-branch/per-coherence events (-v).
 	Verbose bool
 	// Faults is the raw -faults fault-injection spec ("" = off); parse it
 	// with FaultSpec after flag.Parse.
 	Faults string
+	// ServeAddr is the -serve listen address ("" = no telemetry server).
+	ServeAddr string
+	// FlightRec arms the in-memory flight recorder on the run's sink
+	// (-flightrec; on by default whenever telemetry is on).
+	FlightRec bool
+
+	server *obshttp.Server
 }
 
-// Register installs -trace, -metrics, -v and -faults on the default flag
-// set. Call before flag.Parse.
+// Register installs -trace, -metrics, -metrics-format, -v, -faults, -serve
+// and -flightrec on the default flag set. Call before flag.Parse.
 func Register() *Flags {
 	f := &Flags{}
 	flag.StringVar(&f.TracePath, "trace", "", "write a Chrome trace_event JSON trace (chrome://tracing, Perfetto) to this `file`")
 	flag.BoolVar(&f.Metrics, "metrics", false, "print the telemetry counters after the run")
+	flag.StringVar(&f.MetricsFormat, "metrics-format", FormatText, "render -metrics as `text`, json or prom (OpenMetrics)")
 	flag.BoolVar(&f.Verbose, "v", false, "record fine-grained (per-branch, per-coherence-event) trace events")
 	flag.StringVar(&f.Faults, "faults", "", "deterministic fault-injection `spec`, e.g. \"rate=0.01\" or \"lbr-drop=0.1,seed=7\" (\"off\" = none)")
+	flag.StringVar(&f.ServeAddr, "serve", "", "serve live telemetry (/metrics, /trace, /flightrecorder, /debug/pprof) on this `addr` during the run, e.g. :9090")
+	flag.BoolVar(&f.FlightRec, "flightrec", true, "keep a flight recorder of recent harness events on the telemetry sink")
 	return f
+}
+
+// Validate rejects malformed flag combinations; call right after
+// flag.Parse and exit 2 on error.
+func (f *Flags) Validate() error {
+	switch f.MetricsFormat {
+	case FormatText, FormatJSON, FormatProm:
+		return nil
+	}
+	return fmt.Errorf("-metrics-format must be %s, %s or %s, got %q",
+		FormatText, FormatJSON, FormatProm, f.MetricsFormat)
 }
 
 // FaultSpec parses the -faults value. The zero spec (injection off) comes
@@ -60,24 +93,57 @@ func CheckJobs(jobs int) error {
 // Sink builds the sink the flags ask for. It returns nil when every flag
 // is off, keeping the disabled-telemetry path free. Metrics land in the
 // process-wide registry so instrumentation-time counters (sites
-// instrumented, bundles audited) appear in the same snapshot.
+// instrumented, bundles audited) appear in the same snapshot. A -serve
+// run always gets a sink (the server needs something to expose), and any
+// sink carries a pipeline flight recorder unless -flightrec=false.
 func (f *Flags) Sink() *obs.Sink {
-	if f.TracePath == "" && !f.Metrics && !f.Verbose {
+	if f.TracePath == "" && !f.Metrics && !f.Verbose && f.ServeAddr == "" {
 		return nil
 	}
 	s := obs.NewSink()
-	if f.TracePath != "" {
+	if f.TracePath != "" || f.ServeAddr != "" {
 		s.Trace = obs.NewTracer()
 	}
 	if f.Verbose {
 		s.Verbosity = 1
 	}
+	if f.FlightRec {
+		s.Flight = obs.NewFlightRecorder(obs.DefaultFlightCap)
+	}
 	return s
 }
 
-// Finish writes the trace file and prints the metrics snapshot to w as the
-// flags request.
+// Start launches the -serve telemetry server over the run's sink; no-op
+// without -serve. The bound address (useful with ":0") is announced on w.
+func (f *Flags) Start(s *obs.Sink, w io.Writer) error {
+	if f.ServeAddr == "" {
+		return nil
+	}
+	srv := obshttp.New(s)
+	if err := srv.Start(f.ServeAddr); err != nil {
+		return err
+	}
+	f.server = srv
+	fmt.Fprintf(w, "telemetry: serving /metrics /trace /flightrecorder /debug/pprof on http://%s\n", srv.Addr())
+	return nil
+}
+
+// ServerAddr returns the live telemetry server's bound address ("" when
+// -serve is off or Start has not run).
+func (f *Flags) ServerAddr() string {
+	if f.server == nil {
+		return ""
+	}
+	return f.server.Addr()
+}
+
+// Finish writes the trace file, prints the metrics snapshot to w in the
+// format -metrics-format asks for, and stops the -serve server.
 func (f *Flags) Finish(s *obs.Sink, w io.Writer) error {
+	if f.server != nil {
+		f.server.SetReady(false)
+		defer f.server.Close()
+	}
 	if s == nil {
 		return nil
 	}
@@ -96,7 +162,20 @@ func (f *Flags) Finish(s *obs.Sink, w io.Writer) error {
 		fmt.Fprintln(w)
 	}
 	if f.Metrics && s.Metrics != nil {
-		fmt.Fprint(w, s.Metrics.Snapshot().Text())
+		snap := s.Metrics.Snapshot()
+		switch f.MetricsFormat {
+		case FormatJSON:
+			data, err := snap.JSON()
+			if err != nil {
+				return fmt.Errorf("cliobs: encode metrics: %w", err)
+			}
+			w.Write(data) //nolint:errcheck // best-effort diagnostics
+			fmt.Fprintln(w)
+		case FormatProm:
+			io.WriteString(w, snap.OpenMetrics()) //nolint:errcheck
+		default:
+			fmt.Fprint(w, snap.Text())
+		}
 	}
 	return nil
 }

@@ -1,10 +1,13 @@
 package cliobs
 
 import (
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 
 	"stmdiag/internal/faultinj"
+	"stmdiag/internal/obs"
 )
 
 func TestCheckJobs(t *testing.T) {
@@ -69,5 +72,93 @@ func TestFaultSpec(t *testing.T) {
 	}
 	if again.String() != spec.String() {
 		t.Errorf("flag round trip drifted: %q -> %q", spec.String(), again.String())
+	}
+}
+
+func TestValidateMetricsFormat(t *testing.T) {
+	for _, format := range []string{FormatText, FormatJSON, FormatProm} {
+		f := &Flags{MetricsFormat: format}
+		if err := f.Validate(); err != nil {
+			t.Errorf("Validate rejected -metrics-format=%s: %v", format, err)
+		}
+	}
+	for _, format := range []string{"yaml", "TEXT", "openmetrics", ""} {
+		f := &Flags{MetricsFormat: format}
+		err := f.Validate()
+		if err == nil {
+			t.Errorf("Validate accepted -metrics-format=%q", format)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-metrics-format") {
+			t.Errorf("Validate(%q) error %q does not name the flag", format, err)
+		}
+	}
+}
+
+func TestSinkConstruction(t *testing.T) {
+	if s := (&Flags{}).Sink(); s != nil {
+		t.Errorf("all-off flags built a sink: %+v", s)
+	}
+	// -serve alone needs a sink for the server to expose, with a tracer so
+	// /trace has content and a flight recorder by default.
+	s := (&Flags{ServeAddr: ":0", FlightRec: true}).Sink()
+	if s == nil || s.Metrics == nil || s.Trace == nil || s.Flight == nil {
+		t.Fatalf("-serve sink incomplete: %+v", s)
+	}
+	// -flightrec=false strips the recorder but keeps the rest.
+	s = (&Flags{Metrics: true}).Sink()
+	if s == nil || s.Flight != nil {
+		t.Errorf("-flightrec=false sink still carries a recorder: %+v", s)
+	}
+}
+
+func TestStartAndFinishServe(t *testing.T) {
+	f := &Flags{ServeAddr: "127.0.0.1:0", FlightRec: true, MetricsFormat: FormatText}
+	s := f.Sink()
+	var announce strings.Builder
+	if err := f.Start(s, &announce); err != nil {
+		t.Fatal(err)
+	}
+	addr := f.ServerAddr()
+	if addr == "" || !strings.Contains(announce.String(), addr) {
+		t.Fatalf("Start announced %q, ServerAddr=%q", announce.String(), addr)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.HasSuffix(string(body), "# EOF\n") {
+		t.Errorf("GET /metrics = %d %q", resp.StatusCode, body)
+	}
+	var out strings.Builder
+	if err := f.Finish(s, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still answering after Finish")
+	}
+}
+
+func TestFinishMetricsFormats(t *testing.T) {
+	render := func(format string) string {
+		f := &Flags{Metrics: true, MetricsFormat: format}
+		s := &obs.Sink{Metrics: obs.NewRegistry()}
+		s.Counter("vm.runs").Add(2)
+		var out strings.Builder
+		if err := f.Finish(s, &out); err != nil {
+			t.Fatalf("Finish(%s): %v", format, err)
+		}
+		return out.String()
+	}
+	if got := render(FormatJSON); !strings.HasPrefix(got, "{") || !strings.Contains(got, "vm.runs") {
+		t.Errorf("json format rendered %q", got)
+	}
+	if got := render(FormatProm); !strings.Contains(got, "vm_runs_total 2") || !strings.HasSuffix(got, "# EOF\n") {
+		t.Errorf("prom format rendered %q", got)
+	}
+	if got := render(FormatText); !strings.Contains(got, "vm.runs") {
+		t.Errorf("text format rendered %q", got)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"stmdiag/internal/isa"
+	"stmdiag/internal/obs"
 	"stmdiag/internal/stats"
 	"stmdiag/internal/vm"
 )
@@ -71,6 +72,19 @@ type Report struct {
 	// or pollution emptied most failure profiles it reports insufficient
 	// evidence rather than letting a ranking over noise pass as a result.
 	Verdict stats.Verdict
+	// Flight is the flight-recorder tail of a degraded trial the harness
+	// attached: the last events the trial's worker recorded before its
+	// final panic, shipped with the report the way the paper ships the
+	// LBR snapshot the segfault handler read (§3.2, §5.3). Empty when no
+	// trial degraded or the run carried no recorder.
+	Flight []obs.FlightEvent
+}
+
+// AttachFlight ships a degraded trial's flight-recorder tail with the
+// report, so a rejected trial contributes its last-K events instead of
+// just an error message.
+func (r *Report) AttachFlight(evs []obs.FlightEvent) {
+	r.Flight = append([]obs.FlightEvent(nil), evs...)
 }
 
 // Diagnose runs the LBRA/LCRA statistical comparison of paper §5.2 over
@@ -141,6 +155,12 @@ func (r *Report) Render(k int) string {
 		r.Mode, r.FailureRuns, r.SuccessRuns)
 	if r.Verdict != stats.VerdictConclusive {
 		fmt.Fprintf(&b, "verdict: %s — most failure profiles were empty or lost\n", r.Verdict)
+	}
+	if len(r.Flight) > 0 {
+		fmt.Fprintf(&b, "flight recorder of a degraded trial (%d events, oldest first):\n", len(r.Flight))
+		for _, ev := range r.Flight {
+			fmt.Fprintf(&b, "     %s\n", ev)
+		}
 	}
 	for i, s := range r.Ranking {
 		if i >= k {

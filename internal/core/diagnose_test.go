@@ -6,6 +6,7 @@ import (
 
 	"stmdiag/internal/cache"
 	"stmdiag/internal/isa"
+	"stmdiag/internal/obs"
 	"stmdiag/internal/pmu"
 	"stmdiag/internal/vm"
 )
@@ -164,5 +165,35 @@ n2:
 	}
 	if strings.Count(rep.Render(1), "\n") > 2 {
 		t.Error("Render(1) printed more than one entry")
+	}
+}
+
+func TestRenderFlightTail(t *testing.T) {
+	fail := []ProfiledRun{{Prog: &isa.Program{}, Profile: vm.Profile{}}}
+	rep, err := Diagnose(ModeLBR, fail, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(rep.Render(3), "flight recorder") {
+		t.Error("Render mentions a flight tail before AttachFlight")
+	}
+	evs := []obs.FlightEvent{
+		{Cycle: 100, Trial: 4, Kind: obs.FlightTrialStart},
+		{Cycle: 120, Trial: 4, Kind: obs.FlightFault, Detail: "panic"},
+		{Cycle: 121, Trial: 4, Attempt: 1, Kind: obs.FlightTrialDegraded, Detail: "panic: boom"},
+	}
+	rep.AttachFlight(evs)
+	evs[0].Detail = "mutated" // AttachFlight must copy, not alias
+	out := rep.Render(3)
+	if !strings.Contains(out, "flight recorder of a degraded trial (3 events, oldest first):") {
+		t.Fatalf("Render missing flight header:\n%s", out)
+	}
+	for _, want := range []string{"cycle 100", "trial 4.1", "panic: boom"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "mutated") {
+		t.Error("AttachFlight aliased the caller's slice")
 	}
 }

@@ -16,6 +16,8 @@ type Plan struct {
 	sink  *obs.Sink
 	tel   [NumLayers]*obs.Counter // lazily resolved so clean layers stay out of metrics
 	total *obs.Counter
+
+	trial, attempt int // derivation coordinates, stamped onto flight events
 }
 
 // NewPlan derives the fault schedule for one trial attempt. It returns nil
@@ -26,7 +28,7 @@ func NewPlan(spec Spec, base int64, stream string, trial, attempt int, sink *obs
 	if !spec.Enabled() {
 		return nil
 	}
-	p := &Plan{spec: spec, sink: sink}
+	p := &Plan{spec: spec, sink: sink, trial: trial, attempt: attempt}
 	for l := range p.state {
 		p.state[l] = planState(base, spec.Seed, stream, trial, attempt, Layer(l))
 	}
@@ -90,6 +92,14 @@ func (p *Plan) Hit(l Layer) bool {
 	}
 	p.tel[l].Inc()
 	p.total.Inc()
+	// Injections (including MSR read/write glitches) land in the trial's
+	// flight recorder, stamped by the cycle clock: if the trial later
+	// degrades, its TrialError tail shows exactly which faults preceded
+	// the crash.
+	p.sink.RecordFlight(obs.FlightEvent{
+		Cycle: p.sink.Cycles(), Trial: p.trial, Attempt: p.attempt,
+		Kind: obs.FlightFault, Detail: l.String(),
+	})
 	return true
 }
 

@@ -11,6 +11,12 @@ func beginRow(cfg Config, app, mode string) obs.Snapshot {
 	}
 	cfg.Obs.Counter("harness.rows").Inc()
 	cfg.Obs.Counter("harness.rows." + mode).Inc()
+	// Phase transition in the pipeline flight recorder: rows begin in a
+	// deterministic order, so the ring stays jobs-invariant.
+	cfg.Obs.RecordFlight(obs.FlightEvent{
+		Cycle: cfg.Obs.Cycles(), Trial: -1,
+		Kind: obs.FlightPhase, Detail: mode + ":" + app,
+	})
 	if tr := cfg.Obs.Tracer(); tr != nil {
 		tr.SetProcessName(obs.PipelinePID, "pipeline")
 		tr.Instant("row:"+app, "harness", 0, obs.PipelinePID, 0,

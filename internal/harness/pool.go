@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"stmdiag/internal/faultinj"
@@ -90,11 +91,30 @@ type TrialError struct {
 	Attempts int
 	// Panic is the value the final attempt panicked with.
 	Panic any
+	// Events is the trial's flight-recorder tail: the last events its
+	// worker recorded across all attempts (starts, injected faults,
+	// retries), read at the moment of degradation the way the paper's
+	// segfault handler reads the LBR (§3.2). Empty when the run carried
+	// no flight recorder. Contents are identical for every -jobs value.
+	Events []obs.FlightEvent
 }
 
 func (e *TrialError) Error() string {
-	return fmt.Sprintf("harness: trial %d of %q degraded after %d attempts: panic: %v",
+	msg := fmt.Sprintf("harness: trial %d of %q degraded after %d attempts: panic: %v",
 		e.Trial, e.Label, e.Attempts, e.Panic)
+	if n := len(e.Events); n > 0 {
+		msg += fmt.Sprintf(" (flight recorder: %d events)", n)
+	}
+	return msg
+}
+
+// FlightTail renders the trial's recorded flight events, one per line.
+func (e *TrialError) FlightTail() string {
+	var b strings.Builder
+	for _, ev := range e.Events {
+		fmt.Fprintf(&b, "%s\n", ev)
+	}
+	return b.String()
 }
 
 // Pool executes independent trials across a fixed number of workers.
@@ -112,6 +132,9 @@ type Pool struct {
 	committed    *obs.Counter   // trials whose telemetry was committed
 	discarded    *obs.Counter   // speculative trials thrown away
 	spans        *obs.Counter   // Collect/Map fan-outs traced
+
+	mu       sync.Mutex
+	degraded *TrialError // first degraded trial, in trial order
 }
 
 // NewPool returns a pool running up to jobs trials concurrently. jobs <= 0
@@ -157,8 +180,10 @@ func (p *Pool) WithFaults(spec faultinj.Spec, seed int64) *Pool {
 func (p *Pool) Jobs() int { return p.jobs }
 
 // trialSink builds the private sink one trial runs against: its own metrics
-// registry (merged into the parent in commit order), the parent's tracer
-// and verbosity. Nil parent sink means nil trial sinks.
+// registry (merged into the parent in commit order), its own flight-
+// recorder ring when the parent carries one (the per-worker short-term
+// memory of the trial it is running), and the parent's tracer and
+// verbosity. Nil parent sink means nil trial sinks.
 func (p *Pool) trialSink() *obs.Sink {
 	if p.sink == nil {
 		return nil
@@ -167,16 +192,53 @@ func (p *Pool) trialSink() *obs.Sink {
 	if p.sink.Metrics != nil {
 		s.Metrics = obs.NewRegistry()
 	}
+	if p.sink.Flight != nil {
+		s.Flight = obs.NewFlightRecorder(obs.DefaultTrialFlightCap)
+	}
 	return s
 }
 
-// commit folds one executed trial's telemetry into the parent sink.
-func (p *Pool) commit(s *obs.Sink) {
+// commit folds one executed trial's telemetry into the parent sink. The
+// trial's flight-recorder ring appends to the pipeline ring here — in
+// trial order, never arrival order — so pipeline ring contents are
+// byte-identical for every worker count.
+func (p *Pool) commit(i int, s *obs.Sink) {
 	p.committed.Inc()
-	if s == nil || s.Metrics == nil || p.sink == nil {
+	if s == nil || p.sink == nil {
 		return
 	}
-	p.sink.Metrics.Merge(s.Metrics.Snapshot())
+	if s.Metrics != nil && p.sink.Metrics != nil {
+		p.sink.Metrics.Merge(s.Metrics.Snapshot())
+	}
+	if p.sink.Flight != nil && s.Flight != nil {
+		p.sink.Flight.Append(s.Flight.Snapshot())
+		p.sink.RecordFlight(obs.FlightEvent{
+			Cycle: p.sink.Cycles(), Trial: i, Kind: obs.FlightTrialCommit,
+		})
+	}
+}
+
+// noteDegraded keeps the first degraded trial of the pool's lifetime (the
+// callers hand it the first in trial order per fan-out, so the stored
+// value is jobs-invariant).
+func (p *Pool) noteDegraded(e *TrialError) {
+	if e == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.degraded == nil {
+		p.degraded = e
+	}
+	p.mu.Unlock()
+}
+
+// FirstDegraded returns the first degraded trial this pool has seen (in
+// trial order within the first fan-out that had one), or nil. The harness
+// attaches its flight-recorder tail to the diagnosis report.
+func (p *Pool) FirstDegraded() *TrialError {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.degraded
 }
 
 // trialOutcome is one executed trial, parked until the commit scan reaches
@@ -199,6 +261,10 @@ func runTrial[T any](p *Pool, label string, i int, fn func(*Trial) (T, bool, err
 	s := p.trialSink()
 	budget := p.faults.RetryBudget()
 	for attempt := 0; ; attempt++ {
+		s.RecordFlight(obs.FlightEvent{
+			Cycle: s.Cycles(), Trial: i, Attempt: attempt,
+			Kind: obs.FlightTrialStart, Detail: label,
+		})
 		tc := &Trial{
 			Index:   i,
 			Attempt: attempt,
@@ -212,12 +278,25 @@ func runTrial[T any](p *Pool, label string, i int, fn func(*Trial) (T, bool, err
 		s.Counter("harness.pool.panics").Inc()
 		if attempt >= budget {
 			s.Counter("harness.pool.degraded").Inc()
+			s.RecordFlight(obs.FlightEvent{
+				Cycle: s.Cycles(), Trial: i, Attempt: attempt,
+				Kind: obs.FlightTrialDegraded, Detail: fmt.Sprintf("panic: %v", pan),
+			})
 			return trialOutcome[T]{
-				degraded: &TrialError{Label: label, Trial: i, Attempts: attempt + 1, Panic: pan},
-				sink:     s,
+				degraded: &TrialError{
+					Label: label, Trial: i, Attempts: attempt + 1, Panic: pan,
+					// The segfault-handler moment: read the worker's ring
+					// while the failure is still in its short-term memory.
+					Events: s.FlightRecorder().Snapshot(),
+				},
+				sink: s,
 			}
 		}
 		s.Counter("harness.pool.retries").Inc()
+		s.RecordFlight(obs.FlightEvent{
+			Cycle: s.Cycles(), Trial: i, Attempt: attempt,
+			Kind: obs.FlightTrialRetry, Detail: fmt.Sprintf("panic: %v", pan),
+		})
 	}
 }
 
@@ -268,6 +347,7 @@ func run[T any](p *Pool, max, need int, label string, fn func(*Trial) (T, bool, 
 		traceStart = tr.Base()
 	}
 	out, attempts, degraded, err := collect(p, max, need, label, fn)
+	p.noteDegraded(degraded)
 	if tr != nil {
 		end := tr.Base()
 		tr.Complete("pool:"+label, "pool", traceStart, end-traceStart, obs.PoolPID, 0,
@@ -288,7 +368,7 @@ func collect[T any](p *Pool, max, need int, label string, fn func(*Trial) (T, bo
 			p.trials.Inc()
 			p.workerTrial(0)
 			r := runTrial(p, label, i, fn)
-			p.commit(r.sink)
+			p.commit(i, r.sink)
 			if r.err != nil {
 				return out, i + 1, firstDegraded, r.err
 			}
@@ -364,7 +444,7 @@ func collect[T any](p *Pool, max, need int, label string, fn func(*Trial) (T, bo
 					break
 				}
 				delete(results, commitNext)
-				p.commit(r.sink)
+				p.commit(commitNext, r.sink)
 				commitNext++
 				if r.err != nil {
 					abortErr = r.err

@@ -308,6 +308,9 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if d := pool.FirstDegraded(); d != nil {
+		report.AttachFlight(d.Events)
+	}
 	res.LBRARank = report.RankOfBranchEdge(a.RootBranch, a.BuggyEdge)
 	if res.LBRARank == 0 && a.RelatedBranch != "" {
 		res.LBRARank = report.RankOfBranch(a.RelatedBranch)

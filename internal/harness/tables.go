@@ -397,6 +397,11 @@ func table8Row(a *apps.App, cfg Config) (*robustRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A trial that exhausted its retry budget ships its flight-recorder
+	// tail with the diagnosis instead of just an error message.
+	if d := pool.FirstDegraded(); d != nil {
+		report.AttachFlight(d.Events)
+	}
 	row.verdict = report.Verdict
 	row.rank = report.RankOfBranchEdge(a.RootBranch, a.BuggyEdge)
 	if row.rank == 0 && a.RelatedBranch != "" {

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// This file is the harness's own "short-term memory of hardware": a
+// fixed-size lock-free ring of the most recent structured events, kept
+// always-on and dumped at the moment of failure. It deliberately mirrors
+// the paper's capture model (§3.2): the LBR records the last 16 branches
+// with no runtime cost, and the SIGSEGV handler reads it *after* the crash
+// — here, each pool worker's trial keeps a bounded ring of recent harness
+// events (trial start/retry, fault injections, phase transitions, MSR
+// glitches), and when a trial panics past its retry budget, the recover
+// path reads the ring and attaches its tail to the TrialError, exactly the
+// way the segfault handler snapshots the LBR.
+//
+// Two determinism rules keep ring contents byte-identical for every -jobs
+// value (the same property pool.go gives metrics): per-trial rings are
+// written only by the goroutine running the trial, stamped by the VM cycle
+// clock, and the pipeline-level ring receives them only at commit time, in
+// trial order — never in arrival order.
+
+// Flight-event kinds recorded by the harness layers.
+const (
+	// FlightTrialStart marks the start of one trial attempt.
+	FlightTrialStart = "trial-start"
+	// FlightTrialRetry marks a recovered panic about to be retried.
+	FlightTrialRetry = "trial-retry"
+	// FlightTrialDegraded marks a trial that exhausted its retry budget.
+	FlightTrialDegraded = "trial-degraded"
+	// FlightTrialCommit marks a trial's telemetry committing, in trial
+	// order, into the pipeline sink.
+	FlightTrialCommit = "trial-commit"
+	// FlightFault marks one injected capture-layer fault (including MSR
+	// read/write glitches).
+	FlightFault = "fault"
+	// FlightPhase marks a pipeline phase transition (a table row starting).
+	FlightPhase = "phase"
+)
+
+// FlightEvent is one record in a flight recorder. Cycle is the VM cycle
+// clock (the sink's "vm.cycles" counter) at record time — never wall clock
+// — so rings replay identically for the same seed; Trial is -1 for
+// pipeline-level events outside any trial.
+type FlightEvent struct {
+	Cycle   uint64 `json:"cycle"`
+	Trial   int    `json:"trial"`
+	Attempt int    `json:"attempt"`
+	Kind    string `json:"kind"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// String renders the event as one line.
+func (e FlightEvent) String() string {
+	who := "pipeline"
+	if e.Trial >= 0 {
+		who = fmt.Sprintf("trial %d.%d", e.Trial, e.Attempt)
+	}
+	s := fmt.Sprintf("cycle %d %s %s", e.Cycle, who, e.Kind)
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Default flight-recorder capacities: one ring per pool worker's running
+// trial, one larger pipeline-level ring the per-trial rings merge into.
+const (
+	DefaultFlightCap      = 256
+	DefaultTrialFlightCap = 64
+)
+
+// FlightRecorder is a fixed-size lock-free ring of recent FlightEvents.
+// Writers pay one atomic add and one atomic pointer store; the ring keeps
+// the last Cap() events and silently overwrites older ones. All methods
+// are safe on a nil receiver and safe for concurrent use (the telemetry
+// HTTP server snapshots live rings while workers record).
+type FlightRecorder struct {
+	slots []atomic.Pointer[FlightEvent]
+	cur   atomic.Uint64 // total events ever recorded
+}
+
+// NewFlightRecorder returns a ring keeping the last n events (n <= 0
+// selects DefaultFlightCap).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightCap
+	}
+	return &FlightRecorder{slots: make([]atomic.Pointer[FlightEvent], n)}
+}
+
+// Record appends one event, overwriting the oldest once the ring is full;
+// no-op on a nil receiver.
+func (r *FlightRecorder) Record(ev FlightEvent) {
+	if r == nil {
+		return
+	}
+	i := r.cur.Add(1) - 1
+	e := ev
+	r.slots[i%uint64(len(r.slots))].Store(&e)
+}
+
+// Append records every event in order.
+func (r *FlightRecorder) Append(evs []FlightEvent) {
+	for _, ev := range evs {
+		r.Record(ev)
+	}
+}
+
+// Cap returns the ring capacity (0 for a nil receiver).
+func (r *FlightRecorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Recorded returns how many events were ever recorded, including ones the
+// ring has since overwritten.
+func (r *FlightRecorder) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.cur.Load()
+}
+
+// Dropped returns how many events have been overwritten.
+func (r *FlightRecorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	cur := r.cur.Load()
+	if n := uint64(len(r.slots)); cur > n {
+		return cur - n
+	}
+	return 0
+}
+
+// Snapshot returns the retained window, oldest first. With a single writer
+// (a trial's goroutine, or the pool's commit scan) the window is exact;
+// under concurrent writers each slot read is still atomic, so the dump is
+// always well-formed even if the window edges race.
+func (r *FlightRecorder) Snapshot() []FlightEvent {
+	if r == nil {
+		return nil
+	}
+	cur := r.cur.Load()
+	n := uint64(len(r.slots))
+	start := uint64(0)
+	if cur > n {
+		start = cur - n
+	}
+	out := make([]FlightEvent, 0, cur-start)
+	for i := start; i < cur; i++ {
+		if p := r.slots[i%n].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// Tail returns the newest k retained events, oldest first.
+func (r *FlightRecorder) Tail(k int) []FlightEvent {
+	evs := r.Snapshot()
+	if k > 0 && len(evs) > k {
+		evs = evs[len(evs)-k:]
+	}
+	return evs
+}
+
+// Reset clears the ring.
+func (r *FlightRecorder) Reset() {
+	if r == nil {
+		return
+	}
+	for i := range r.slots {
+		r.slots[i].Store(nil)
+	}
+	r.cur.Store(0)
+}

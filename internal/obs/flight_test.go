@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderBasics(t *testing.T) {
+	r := NewFlightRecorder(8)
+	if r.Cap() != 8 {
+		t.Fatalf("Cap = %d, want 8", r.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		r.Record(FlightEvent{Cycle: uint64(i), Trial: i, Kind: FlightTrialStart})
+	}
+	evs := r.Snapshot()
+	if len(evs) != 5 {
+		t.Fatalf("Snapshot len = %d, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Trial != i {
+			t.Errorf("event %d has trial %d: order not oldest-first", i, ev.Trial)
+		}
+	}
+	if r.Recorded() != 5 || r.Dropped() != 0 {
+		t.Errorf("Recorded=%d Dropped=%d, want 5, 0", r.Recorded(), r.Dropped())
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	r := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(FlightEvent{Trial: i})
+	}
+	evs := r.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("Snapshot len = %d, want 4", len(evs))
+	}
+	for i, want := range []int{6, 7, 8, 9} {
+		if evs[i].Trial != want {
+			t.Errorf("evs[%d].Trial = %d, want %d", i, evs[i].Trial, want)
+		}
+	}
+	if r.Recorded() != 10 || r.Dropped() != 6 {
+		t.Errorf("Recorded=%d Dropped=%d, want 10, 6", r.Recorded(), r.Dropped())
+	}
+}
+
+func TestFlightRecorderTail(t *testing.T) {
+	r := NewFlightRecorder(8)
+	for i := 0; i < 6; i++ {
+		r.Record(FlightEvent{Trial: i})
+	}
+	tail := r.Tail(2)
+	if len(tail) != 2 || tail[0].Trial != 4 || tail[1].Trial != 5 {
+		t.Fatalf("Tail(2) = %v, want trials 4,5", tail)
+	}
+	if got := r.Tail(0); len(got) != 6 {
+		t.Errorf("Tail(0) len = %d, want all 6", len(got))
+	}
+}
+
+func TestFlightRecorderNilSafety(t *testing.T) {
+	var r *FlightRecorder
+	r.Record(FlightEvent{})
+	r.Append([]FlightEvent{{}})
+	r.Reset()
+	if r.Snapshot() != nil || r.Tail(3) != nil || r.Cap() != 0 || r.Recorded() != 0 || r.Dropped() != 0 {
+		t.Error("nil recorder must be inert")
+	}
+	var s *Sink
+	s.RecordFlight(FlightEvent{})
+	if s.FlightRecorder() != nil {
+		t.Error("nil sink must have nil recorder")
+	}
+	(&Sink{}).RecordFlight(FlightEvent{}) // recorder-less sink: no-op
+}
+
+func TestFlightRecorderReset(t *testing.T) {
+	r := NewFlightRecorder(4)
+	for i := 0; i < 6; i++ {
+		r.Record(FlightEvent{Trial: i})
+	}
+	r.Reset()
+	if r.Recorded() != 0 || len(r.Snapshot()) != 0 {
+		t.Errorf("after Reset: Recorded=%d Snapshot=%v", r.Recorded(), r.Snapshot())
+	}
+}
+
+func TestFlightRecorderMergeDeterminism(t *testing.T) {
+	// The pool's commit path replays per-trial rings into a pipeline ring
+	// in trial order; the result must not depend on how per-trial rings
+	// were built, only on their contents.
+	build := func() *FlightRecorder {
+		pipe := NewFlightRecorder(16)
+		for trial := 0; trial < 3; trial++ {
+			tr := NewFlightRecorder(4)
+			for a := 0; a < 2; a++ {
+				tr.Record(FlightEvent{Cycle: uint64(10*trial + a), Trial: trial, Attempt: a, Kind: FlightTrialStart})
+			}
+			pipe.Append(tr.Snapshot())
+		}
+		return pipe
+	}
+	a, b := build().Snapshot(), build().Snapshot()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("merged rings differ:\n%v\n%v", a, b)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	// Live scrapes read the ring while workers record: every concurrent
+	// Snapshot must be well-formed (no torn events), which the race
+	// detector plus the per-slot atomics guarantee.
+	r := NewFlightRecorder(32)
+	var writers, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(FlightEvent{Cycle: uint64(i), Trial: w, Kind: FlightTrialStart})
+			}
+		}(w)
+	}
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, ev := range r.Snapshot() {
+				if ev.Kind != FlightTrialStart {
+					t.Errorf("torn event: %+v", ev)
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+	if r.Recorded() != 2000 {
+		t.Errorf("Recorded = %d, want 2000", r.Recorded())
+	}
+}
+
+func TestFlightEventString(t *testing.T) {
+	ev := FlightEvent{Cycle: 42, Trial: 3, Attempt: 1, Kind: FlightFault, Detail: "msr-write"}
+	s := ev.String()
+	for _, want := range []string{"cycle 42", "trial 3.1", "fault", "msr-write"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	pipe := FlightEvent{Cycle: 7, Trial: -1, Kind: FlightPhase, Detail: "sequential:sort"}
+	if !strings.Contains(pipe.String(), "pipeline") {
+		t.Errorf("pipeline event renders as %q", pipe.String())
+	}
+	_ = fmt.Sprintf("%v", ev)
+}

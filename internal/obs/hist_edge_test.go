@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// Satellite coverage: Histogram edge cases — empty bounds, values at exact
+// bucket boundaries, math.MaxUint64 observations, and snapshot-vs-writer
+// consistency under the race detector (check.sh runs this package -race).
+
+func TestHistogramEmptyBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", nil)
+	h.Observe(0)
+	h.Observe(12345)
+	if h.Count() != 2 || h.Sum() != 12345 {
+		t.Fatalf("Count=%d Sum=%d, want 2, 12345", h.Count(), h.Sum())
+	}
+	hs := r.Snapshot().Histograms["h"]
+	if len(hs.Bounds) != 0 || len(hs.Counts) != 1 {
+		t.Fatalf("snapshot shape Bounds=%v Counts=%v, want 0 bounds + 1 overflow", hs.Bounds, hs.Counts)
+	}
+	if hs.Counts[0] != 2 {
+		t.Errorf("overflow bucket = %d, want 2", hs.Counts[0])
+	}
+}
+
+func TestHistogramExactBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []uint64{10, 20})
+	h.Observe(9)  // le=10
+	h.Observe(10) // le=10: bucket i counts v <= Bounds[i]
+	h.Observe(11) // le=20
+	h.Observe(20) // le=20
+	h.Observe(21) // overflow
+	hs := r.Snapshot().Histograms["h"]
+	want := []uint64{2, 2, 1}
+	for i, w := range want {
+		if hs.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, hs.Counts[i], w, hs.Counts)
+		}
+	}
+	if hs.Count != 5 || hs.Sum != 9+10+11+20+21 {
+		t.Errorf("Count=%d Sum=%d", hs.Count, hs.Sum)
+	}
+}
+
+func TestHistogramMaxUint64(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []uint64{1 << 20, math.MaxUint64})
+	h.Observe(math.MaxUint64)
+	hs := r.Snapshot().Histograms["h"]
+	// MaxUint64 equals the last bound, so it lands in that bucket, not
+	// overflow, and the sum holds the full value.
+	if hs.Counts[1] != 1 || hs.Counts[2] != 0 {
+		t.Errorf("counts = %v, want MaxUint64 in le=MaxUint64 bucket", hs.Counts)
+	}
+	if hs.Sum != math.MaxUint64 || hs.Count != 1 {
+		t.Errorf("Sum=%d Count=%d", hs.Sum, hs.Count)
+	}
+	// A second max observation wraps the uint64 sum — defined behavior,
+	// and Count keeps the truth.
+	h.Observe(math.MaxUint64)
+	if h.Count() != 2 {
+		t.Errorf("Count after wrap = %d, want 2", h.Count())
+	}
+	if h.Sum() != math.MaxUint64-1 { // 2*MaxUint64 mod 2^64
+		t.Errorf("wrapped Sum = %d, want MaxUint64-1", h.Sum())
+	}
+}
+
+func TestHistogramSnapshotUnderConcurrentWriters(t *testing.T) {
+	const (
+		writers = 4
+		perW    = 2000
+	)
+	r := NewRegistry()
+	h := r.Histogram("h", DefaultCycleBounds)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var scans sync.WaitGroup
+	scans.Add(1)
+	go func() {
+		defer scans.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			hs := r.Snapshot().Histograms["h"]
+			var bucketTotal uint64
+			for _, c := range hs.Counts {
+				bucketTotal += c
+			}
+			// Mid-write snapshots may tear between a bucket add and the
+			// count add, but bucket totals can never exceed observations
+			// started (each Observe bumps the bucket before n).
+			if hs.Count > uint64(writers*perW) || bucketTotal > uint64(writers*perW) {
+				t.Errorf("impossible snapshot: count=%d buckets=%d", hs.Count, bucketTotal)
+				return
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(uint64(i * (w + 1)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scans.Wait()
+	hs := r.Snapshot().Histograms["h"]
+	var bucketTotal uint64
+	for _, c := range hs.Counts {
+		bucketTotal += c
+	}
+	if hs.Count != writers*perW || bucketTotal != writers*perW {
+		t.Errorf("final snapshot count=%d buckets=%d, want %d", hs.Count, bucketTotal, writers*perW)
+	}
+}

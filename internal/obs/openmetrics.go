@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Snapshot in the OpenMetrics / Prometheus text
+// exposition format, hand-rolled on the stdlib (DESIGN §6: the repo takes
+// zero dependencies). The output is deterministic — families sorted by
+// name, series sorted by label — so two snapshots of identical registries
+// render byte-identically and the exposition can be golden-tested.
+//
+// The repo's dotted metric names ("harness.pool.trials") sanitize to
+// Prometheus names ("harness_pool_trials"); per-worker instruments
+// ("harness.pool.worker3.trials") fold into one labeled family
+// (harness_pool_worker_trials{worker="3"}), which is how a Prometheus user
+// expects to aggregate across workers.
+
+// workerSeg matches the one name-segment convention that encodes a label:
+// per-worker instruments minted by the harness pool.
+var workerSeg = regexp.MustCompile(`^worker([0-9]+)$`)
+
+// invalidMetricChar matches every byte OpenMetrics forbids in metric names.
+var invalidMetricChar = regexp.MustCompile(`[^a-zA-Z0-9_:]`)
+
+// sanitizeMetricName maps an internal dotted name onto a valid exposition
+// metric name and extracts the worker label if the name carries one.
+func sanitizeMetricName(raw string) (name string, worker int) {
+	worker = -1
+	segs := strings.Split(raw, ".")
+	kept := segs[:0]
+	for _, seg := range segs {
+		if m := workerSeg.FindStringSubmatch(seg); m != nil && worker < 0 {
+			if w, err := strconv.Atoi(m[1]); err == nil {
+				worker = w
+				kept = append(kept, "worker")
+				continue
+			}
+		}
+		kept = append(kept, seg)
+	}
+	name = invalidMetricChar.ReplaceAllString(strings.Join(kept, "_"), "_")
+	if name == "" || (name[0] >= '0' && name[0] <= '9') {
+		name = "_" + name
+	}
+	return name, worker
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// omSeries is one sample line's label set within a family.
+type omSeries struct {
+	raw    string // original metric name, for deterministic tie-breaks
+	worker int    // -1 when unlabeled
+}
+
+// labels renders the series' label block with extra pre-escaped pairs
+// (the histogram writer passes le) appended after the worker label.
+func (s omSeries) labels(extra ...string) string {
+	var pairs []string
+	if s.worker >= 0 {
+		pairs = append(pairs, fmt.Sprintf(`worker="%s"`, escapeLabelValue(strconv.Itoa(s.worker))))
+	}
+	pairs = append(pairs, extra...)
+	if len(pairs) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+// seriesLess orders series within a family: unlabeled first, then workers
+// numerically, then the raw name as a stable tie-break.
+func seriesLess(a, b omSeries) bool {
+	if a.worker != b.worker {
+		return a.worker < b.worker
+	}
+	return a.raw < b.raw
+}
+
+// omFamily collects every series that sanitized onto one family name.
+type omFamily struct {
+	name   string
+	series []omSeries
+	vals   map[string]string            // raw name -> rendered value (counter/gauge)
+	hists  map[string]HistogramSnapshot // raw name -> histogram (histogram families)
+}
+
+// groupFamilies buckets raw metric names into sanitized families. The
+// taken set de-duplicates family names across instrument kinds: if a gauge
+// family collides with an already-emitted counter family, it is suffixed
+// so the exposition never declares one family name twice.
+func groupFamilies(raws []string, taken map[string]bool, suffix string) []*omFamily {
+	byName := map[string]*omFamily{}
+	sort.Strings(raws)
+	for _, raw := range raws {
+		name, worker := sanitizeMetricName(raw)
+		f := byName[name]
+		if f == nil {
+			f = &omFamily{name: name, vals: map[string]string{}, hists: map[string]HistogramSnapshot{}}
+			byName[name] = f
+		}
+		f.series = append(f.series, omSeries{raw: raw, worker: worker})
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*omFamily, 0, len(names))
+	for _, name := range names {
+		f := byName[name]
+		for taken[f.name] {
+			f.name += suffix
+		}
+		taken[f.name] = true
+		sort.Slice(f.series, func(i, j int) bool { return seriesLess(f.series[i], f.series[j]) })
+		out = append(out, f)
+	}
+	return out
+}
+
+// OpenMetrics renders the snapshot in the OpenMetrics text exposition
+// format (Prometheus-scrapeable): counters as <name>_total, gauges
+// verbatim, histograms with cumulative le buckets plus _sum and _count,
+// each family preceded by its # TYPE line, terminated by # EOF. Output is
+// byte-deterministic for a given snapshot.
+func (s Snapshot) OpenMetrics() string {
+	var b strings.Builder
+	taken := map[string]bool{}
+
+	raws := make([]string, 0, len(s.Counters))
+	for raw := range s.Counters {
+		raws = append(raws, raw)
+	}
+	for _, f := range groupFamilies(raws, taken, "_counter") {
+		fmt.Fprintf(&b, "# TYPE %s counter\n", f.name)
+		for _, sr := range f.series {
+			fmt.Fprintf(&b, "%s_total%s %d\n", f.name, sr.labels(), s.Counters[sr.raw])
+		}
+	}
+
+	raws = raws[:0]
+	for raw := range s.Gauges {
+		raws = append(raws, raw)
+	}
+	for _, f := range groupFamilies(raws, taken, "_gauge") {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", f.name)
+		for _, sr := range f.series {
+			fmt.Fprintf(&b, "%s%s %d\n", f.name, sr.labels(), s.Gauges[sr.raw])
+		}
+	}
+
+	raws = raws[:0]
+	for raw := range s.Histograms {
+		raws = append(raws, raw)
+	}
+	for _, f := range groupFamilies(raws, taken, "_histogram") {
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", f.name)
+		for _, sr := range f.series {
+			h := s.Histograms[sr.raw]
+			var cum uint64
+			for i, bound := range h.Bounds {
+				if i < len(h.Counts) {
+					cum += h.Counts[i]
+				}
+				le := fmt.Sprintf(`le="%d"`, bound)
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, sr.labels(le), cum)
+			}
+			// The +Inf bucket is the total count, clamped so buckets stay
+			// cumulative even if a live scrape tears the snapshot between
+			// a bucket add and the count add.
+			inf := h.Count
+			if cum > inf {
+				inf = cum
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, sr.labels(`le="+Inf"`), inf)
+			fmt.Fprintf(&b, "%s_sum%s %d\n", f.name, sr.labels(), h.Sum)
+			fmt.Fprintf(&b, "%s_count%s %d\n", f.name, sr.labels(), h.Count)
+		}
+	}
+
+	b.WriteString("# EOF\n")
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpenMetricsGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("harness.pool.trials").Add(7)
+	r.Counter("vm.runs").Add(3)
+	r.Gauge("vm.cores").Set(-2)
+	h := r.Histogram("vm.run.cycles", []uint64{10, 100})
+	h.Observe(5)
+	h.Observe(10)
+	h.Observe(50)
+	h.Observe(1000)
+
+	want := strings.Join([]string{
+		"# TYPE harness_pool_trials counter",
+		"harness_pool_trials_total 7",
+		"# TYPE vm_runs counter",
+		"vm_runs_total 3",
+		"# TYPE vm_cores gauge",
+		"vm_cores -2",
+		"# TYPE vm_run_cycles histogram",
+		`vm_run_cycles_bucket{le="10"} 2`,
+		`vm_run_cycles_bucket{le="100"} 3`,
+		`vm_run_cycles_bucket{le="+Inf"} 4`,
+		"vm_run_cycles_sum 1065",
+		"vm_run_cycles_count 4",
+		"# EOF",
+		"",
+	}, "\n")
+	if got := r.Snapshot().OpenMetrics(); got != want {
+		t.Errorf("OpenMetrics exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestOpenMetricsDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		for _, n := range []string{"b.z", "a.y", "c.x", "a.a"} {
+			r.Counter(n).Inc()
+			r.Gauge(n + ".g").Set(1)
+		}
+		r.Histogram("h.two", []uint64{1}).Observe(1)
+		r.Histogram("h.one", []uint64{1}).Observe(2)
+		return r.Snapshot().OpenMetrics()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	// Families must be sorted.
+	ia, ib := strings.Index(a, "a_a_total"), strings.Index(a, "b_z_total")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("counter families out of order:\n%s", a)
+	}
+}
+
+func TestOpenMetricsWorkerLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("harness.pool.worker2.trials").Add(5)
+	r.Counter("harness.pool.worker10.trials").Add(9)
+	r.Counter("harness.pool.worker0.trials").Add(1)
+	out := r.Snapshot().OpenMetrics()
+	if n := strings.Count(out, "# TYPE harness_pool_worker_trials counter"); n != 1 {
+		t.Fatalf("worker counters did not fold into one family (%d TYPE lines):\n%s", n, out)
+	}
+	// Series ordered numerically by worker, not lexically (2 before 10).
+	i0 := strings.Index(out, `harness_pool_worker_trials_total{worker="0"} 1`)
+	i2 := strings.Index(out, `harness_pool_worker_trials_total{worker="2"} 5`)
+	i10 := strings.Index(out, `harness_pool_worker_trials_total{worker="10"} 9`)
+	if i0 < 0 || i2 < 0 || i10 < 0 || !(i0 < i2 && i2 < i10) {
+		t.Errorf("worker series missing or out of numeric order:\n%s", out)
+	}
+}
+
+func TestOpenMetricsNameSanitization(t *testing.T) {
+	for raw, want := range map[string]string{
+		"a.b-c/d":                     "a_b_c_d",
+		"faultinj.injected.msr-write": "faultinj_injected_msr_write",
+		"0weird":                      "_0weird",
+		"plain":                       "plain",
+	} {
+		got, worker := sanitizeMetricName(raw)
+		if got != want || worker != -1 {
+			t.Errorf("sanitizeMetricName(%q) = %q, %d; want %q, -1", raw, got, worker, want)
+		}
+	}
+	if got, worker := sanitizeMetricName("harness.pool.worker3.trials"); got != "harness_pool_worker_trials" || worker != 3 {
+		t.Errorf("worker extraction = %q, %d", got, worker)
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	if got := escapeLabelValue("a\\b\"c\nd"); got != `a\\b\"c\nd` {
+		t.Errorf("escapeLabelValue = %q", got)
+	}
+}
+
+func TestOpenMetricsEmptySnapshot(t *testing.T) {
+	if got := NewRegistry().Snapshot().OpenMetrics(); got != "# EOF\n" {
+		t.Errorf("empty snapshot renders %q, want only # EOF", got)
+	}
+}
+
+func TestOpenMetricsEmptyBoundsHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("only.overflow", nil)
+	h.Observe(3)
+	h.Observe(9)
+	out := r.Snapshot().OpenMetrics()
+	for _, want := range []string{
+		`only_overflow_bucket{le="+Inf"} 2`,
+		"only_overflow_sum 12",
+		"only_overflow_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -22,6 +22,11 @@ type Sink struct {
 	// (runs, profiles, traps, phases); >=1 adds per-branch and
 	// per-coherence-event instants and ring push/evict events.
 	Verbosity int
+	// Flight is the flight recorder for this sink's scope: a bounded ring
+	// of recent structured harness events, dumped when a trial fails (the
+	// software mirror of reading the LBR in the segfault handler). Nil
+	// disables recording.
+	Flight *FlightRecorder
 }
 
 // NewSink returns a sink recording metrics into the process-wide Default
@@ -59,6 +64,25 @@ func (s *Sink) Tracer() *Tracer {
 	}
 	return s.Trace
 }
+
+// FlightRecorder returns the sink's flight recorder, or nil.
+func (s *Sink) FlightRecorder() *FlightRecorder {
+	if s == nil {
+		return nil
+	}
+	return s.Flight
+}
+
+// RecordFlight appends one event to the sink's flight recorder; nil-safe.
+func (s *Sink) RecordFlight(ev FlightEvent) {
+	if s != nil {
+		s.Flight.Record(ev)
+	}
+}
+
+// Cycles reads the sink registry's "vm.cycles" counter — the deterministic
+// cycle clock flight events are stamped with (0 without a registry).
+func (s *Sink) Cycles() uint64 { return s.Counter("vm.cycles").Value() }
 
 // Tracing reports whether trace events should be recorded.
 func (s *Sink) Tracing() bool { return s != nil && s.Trace != nil }

@@ -1,0 +1,179 @@
+// Package obshttp is the live half of the observability layer (DESIGN §6):
+// a pure-stdlib HTTP server exposing the telemetry a running sweep
+// accumulates in an obs.Sink, so a multi-hour experiment can be scraped,
+// traced and profiled mid-run instead of only inspected post-mortem.
+//
+// Endpoints:
+//
+//	/metrics         OpenMetrics text exposition of the sink's registry
+//	/healthz         liveness (always 200 while the process serves)
+//	/readyz          readiness (503 until/unless marked ready)
+//	/trace           Chrome trace_event JSON download of the live tracer
+//	/flightrecorder  JSON dump of the pipeline flight-recorder ring
+//	/debug/pprof/    the net/http/pprof profiling handlers
+//
+// Every handler snapshots live structures through their lock-free or
+// read-locked views; scraping never blocks the trial workers.
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+
+	"stmdiag/internal/obs"
+)
+
+// Server serves one sink's telemetry. Build with New, attach the Handler
+// to a test server, or Start a real listener.
+type Server struct {
+	sink  *obs.Sink
+	ready atomic.Bool
+
+	ln   net.Listener
+	http *http.Server
+}
+
+// New returns a server over the sink (which may be nil: endpoints then
+// serve the process-wide registry and empty trace/flight dumps). The
+// server starts ready.
+func New(sink *obs.Sink) *Server {
+	s := &Server{sink: sink}
+	s.ready.Store(true)
+	return s
+}
+
+// SetReady flips the /readyz verdict: a long sweep can mark itself
+// not-ready while it tears down.
+func (s *Server) SetReady(ok bool) { s.ready.Store(ok) }
+
+// registry picks the registry /metrics exposes: the sink's, defaulting to
+// the process-wide one so a bare -serve still exposes instrumentation-time
+// counters.
+func (s *Server) registry() *obs.Registry {
+	if s.sink != nil && s.sink.Metrics != nil {
+		return s.sink.Metrics
+	}
+	return obs.Default()
+}
+
+// Handler returns the telemetry mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/flightrecorder", s.handleFlight)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start listens on addr (host:port; port 0 picks a free one) and serves in
+// a background goroutine until Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obshttp: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.Handler()}
+	go s.http.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error {
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Close()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "stmdiag telemetry")
+	for _, ep := range []string{"/metrics", "/healthz", "/readyz", "/trace", "/flightrecorder", "/debug/pprof/"} {
+		fmt.Fprintln(w, "  "+ep)
+	}
+}
+
+// OpenMetricsContentType is the content type of the /metrics exposition.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	body := s.registry().Snapshot().OpenMetrics()
+	w.Header().Set("Content-Type", OpenMetricsContentType)
+	fmt.Fprint(w, body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	data, err := s.sink.Tracer().ChromeJSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="stmdiag-trace.json"`)
+	w.Write(data)
+}
+
+// FlightDump is the /flightrecorder response shape.
+type FlightDump struct {
+	Cap      int               `json:"cap"`
+	Recorded uint64            `json:"recorded"`
+	Dropped  uint64            `json:"dropped"`
+	Events   []obs.FlightEvent `json:"events"`
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	fr := s.sink.FlightRecorder()
+	dump := FlightDump{
+		Cap:      fr.Cap(),
+		Recorded: fr.Recorded(),
+		Dropped:  fr.Dropped(),
+		Events:   fr.Snapshot(),
+	}
+	if dump.Events == nil {
+		dump.Events = []obs.FlightEvent{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(dump) //nolint:errcheck // best-effort over HTTP
+}

@@ -46,9 +46,24 @@ if ! cmp -s "$TMP/stmdiag-bench-par.txt" "$TMP/stmdiag-bench-f0.txt"; then
     exit 1
 fi
 
+# Exporter overhead: the same run with the live telemetry server bound to
+# an ephemeral port (nothing scraping it) and the flight recorder off. An
+# idle exporter must cost within noise of the plain parallel run and leave
+# the golden stdout untouched.
+t0=$(now_ms)
+"$BIN" $ARGS -jobs 0 -serve 127.0.0.1:0 -flightrec=false >"$TMP/stmdiag-bench-srv.txt" 2>/dev/null
+t1=$(now_ms)
+serve_ms=$((t1 - t0))
+
+if ! cmp -s "$TMP/stmdiag-bench-par.txt" "$TMP/stmdiag-bench-srv.txt"; then
+    echo "bench: stdout differs with -serve" >&2
+    exit 1
+fi
+
 cpus=$(nproc 2>/dev/null || echo 1)
 speedup=$(awk -v s="$seq_ms" -v p="$par_ms" 'BEGIN { printf (p > 0) ? "%.2f" : "0", s / p }')
 fault0_ratio=$(awk -v p="$par_ms" -v f="$fault0_ms" 'BEGIN { printf (p > 0) ? "%.3f" : "0", f / p }')
+serve_ratio=$(awk -v p="$par_ms" -v s="$serve_ms" 'BEGIN { printf (p > 0) ? "%.3f" : "0", s / p }')
 
 cat > BENCH_harness.json <<EOF
 {
@@ -59,8 +74,10 @@ cat > BENCH_harness.json <<EOF
   "speedup": $speedup,
   "faults_rate0_wall_ms": $fault0_ms,
   "faults_rate0_ratio": $fault0_ratio,
+  "serve_wall_ms": $serve_ms,
+  "serve_ratio": $serve_ratio,
   "stdout_identical": true
 }
 EOF
 
-echo "bench: jobs=1 ${seq_ms}ms, jobs=$cpus ${par_ms}ms, speedup ${speedup}x, faults-off ${fault0_ms}ms (BENCH_harness.json)"
+echo "bench: jobs=1 ${seq_ms}ms, jobs=$cpus ${par_ms}ms, speedup ${speedup}x, faults-off ${fault0_ms}ms, serve ${serve_ms}ms (BENCH_harness.json)"

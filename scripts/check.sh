@@ -25,7 +25,12 @@ echo "== go test -race (obs, vm, faultinj)"
 go test -race ./internal/obs/... ./internal/vm/... ./internal/faultinj/...
 
 echo "== go test -race (harness trial pool)"
-go test -race ./internal/harness -run 'TrialSeed|Collect|Map|First|JobsInvariance|Retry|Faults'
+go test -race ./internal/harness -run 'TrialSeed|Collect|Map|First|JobsInvariance|Retry|Faults|Flight'
+
+echo "== go test -race (obshttp live scrape)"
+# The telemetry server is scraped while the pipeline runs; the httptest
+# smoke in this package validates mid-run /metrics expositions.
+go test -race ./internal/obshttp/...
 
 echo "== fuzz corpus replay"
 # Replays the committed seed corpora (f.Add seeds + testdata/fuzz entries)
@@ -64,5 +69,17 @@ if "$SMD" -app sort -jobs -1 >/dev/null 2>&1; then
     echo "-jobs -1 was accepted" >&2
     exit 1
 fi
+
+echo "== telemetry flags smoke"
+# -serve on an ephemeral port must run the sweep to completion, and a
+# malformed -metrics-format must be rejected with exit 2.
+"$SMD" -app sort -failruns 4 -succruns 4 -cbiruns 40 -serve 127.0.0.1:0 >/dev/null 2>&1
+if "$SMD" -app sort -metrics-format yaml >/dev/null 2>&1; then
+    echo "-metrics-format yaml was accepted" >&2
+    exit 1
+fi
+# Metrics render on stderr so they never perturb the golden table stdout.
+"$SMD" -app sort -failruns 4 -succruns 4 -cbiruns 40 -metrics -metrics-format prom 2>&1 >/dev/null \
+    | grep -q '^# EOF$' || { echo "-metrics-format prom printed no OpenMetrics exposition" >&2; exit 1; }
 
 echo "check: OK"
