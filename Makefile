@@ -2,12 +2,18 @@
 check:
 	@sh scripts/check.sh
 
-# Times the trial-execution engine (-jobs 1 vs NumCPU) and writes
-# BENCH_harness.json; fails if the two runs' stdout differs.
+# Times the trial-execution engine across a -jobs scaling curve and the VM
+# interpreter (BenchmarkVMTrial), writing BENCH_harness.json and
+# BENCH_vm.json; fails if any variant's stdout differs.
 bench:
 	@sh scripts/bench.sh
+
+# Seconds-fast bench pass with tiny run counts; writes under $$TMPDIR so the
+# committed BENCH_*.json files stay untouched. Wired into scripts/check.sh.
+bench-smoke:
+	@sh scripts/bench.sh --smoke
 
 microbench:
 	go test -bench=. -benchmem ./...
 
-.PHONY: check bench microbench
+.PHONY: check bench bench-smoke microbench

@@ -1,7 +1,8 @@
 // Package cliobs wires the -trace / -metrics / -metrics-format / -v
-// telemetry flags, the -serve live-telemetry flag and the -faults
-// fault-injection flag shared by the command-line binaries onto the
-// internal/obs, internal/obshttp and internal/faultinj layers.
+// telemetry flags, the -serve live-telemetry flag, the -faults
+// fault-injection flag and the -profile-report cost-attribution flag
+// shared by the command-line binaries onto the internal/obs,
+// internal/obshttp, internal/faultinj and internal/prof layers.
 package cliobs
 
 import (
@@ -13,6 +14,7 @@ import (
 	"stmdiag/internal/faultinj"
 	"stmdiag/internal/obs"
 	"stmdiag/internal/obshttp"
+	"stmdiag/internal/prof"
 )
 
 // Metrics output formats accepted by -metrics-format.
@@ -41,6 +43,10 @@ type Flags struct {
 	// FlightRec arms the in-memory flight recorder on the run's sink
 	// (-flightrec; on by default whenever telemetry is on).
 	FlightRec bool
+	// ProfileReport is the -profile-report top-K: >0 arms the
+	// cost-attribution profiler and renders a K-row hot-spot report on
+	// stderr after the run; 0 (the default) leaves profiling off.
+	ProfileReport int
 
 	server *obshttp.Server
 }
@@ -56,12 +62,16 @@ func Register() *Flags {
 	flag.StringVar(&f.Faults, "faults", "", "deterministic fault-injection `spec`, e.g. \"rate=0.01\" or \"lbr-drop=0.1,seed=7\" (\"off\" = none)")
 	flag.StringVar(&f.ServeAddr, "serve", "", "serve live telemetry (/metrics, /trace, /flightrecorder, /debug/pprof) on this `addr` during the run, e.g. :9090")
 	flag.BoolVar(&f.FlightRec, "flightrec", true, "keep a flight recorder of recent harness events on the telemetry sink")
+	flag.IntVar(&f.ProfileReport, "profile-report", 0, "render a top-`K` cost-attribution hot-spot report (opcodes, phases, alloc sites) on stderr after the run (0 = off)")
 	return f
 }
 
 // Validate rejects malformed flag combinations; call right after
 // flag.Parse and exit 2 on error.
 func (f *Flags) Validate() error {
+	if f.ProfileReport < 0 {
+		return fmt.Errorf("-profile-report must be >= 0 (0 = off), got %d", f.ProfileReport)
+	}
 	switch f.MetricsFormat {
 	case FormatText, FormatJSON, FormatProm:
 		return nil
@@ -97,7 +107,7 @@ func CheckJobs(jobs int) error {
 // run always gets a sink (the server needs something to expose), and any
 // sink carries a pipeline flight recorder unless -flightrec=false.
 func (f *Flags) Sink() *obs.Sink {
-	if f.TracePath == "" && !f.Metrics && !f.Verbose && f.ServeAddr == "" {
+	if f.TracePath == "" && !f.Metrics && !f.Verbose && f.ServeAddr == "" && f.ProfileReport == 0 {
 		return nil
 	}
 	s := obs.NewSink()
@@ -110,6 +120,9 @@ func (f *Flags) Sink() *obs.Sink {
 	if f.FlightRec {
 		s.Flight = obs.NewFlightRecorder(obs.DefaultFlightCap)
 	}
+	// -profile-report needs the attribution counters; a -serve run gets
+	// them too so /profilez has live data to report.
+	s.Profiling = f.ProfileReport > 0 || f.ServeAddr != ""
 	return s
 }
 
@@ -124,7 +137,7 @@ func (f *Flags) Start(s *obs.Sink, w io.Writer) error {
 		return err
 	}
 	f.server = srv
-	fmt.Fprintf(w, "telemetry: serving /metrics /trace /flightrecorder /debug/pprof on http://%s\n", srv.Addr())
+	fmt.Fprintf(w, "telemetry: serving /metrics /trace /flightrecorder /profilez /debug/pprof on http://%s\n", srv.Addr())
 	return nil
 }
 
@@ -176,6 +189,9 @@ func (f *Flags) Finish(s *obs.Sink, w io.Writer) error {
 		default:
 			fmt.Fprint(w, snap.Text())
 		}
+	}
+	if f.ProfileReport > 0 && s.Metrics != nil {
+		io.WriteString(w, prof.FromSnapshot(s.Metrics.Snapshot()).Render(f.ProfileReport)) //nolint:errcheck
 	}
 	return nil
 }

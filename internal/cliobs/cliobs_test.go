@@ -100,15 +100,80 @@ func TestSinkConstruction(t *testing.T) {
 		t.Errorf("all-off flags built a sink: %+v", s)
 	}
 	// -serve alone needs a sink for the server to expose, with a tracer so
-	// /trace has content and a flight recorder by default.
+	// /trace has content and a flight recorder by default. It also arms the
+	// profiler so /profilez has live data.
 	s := (&Flags{ServeAddr: ":0", FlightRec: true}).Sink()
 	if s == nil || s.Metrics == nil || s.Trace == nil || s.Flight == nil {
 		t.Fatalf("-serve sink incomplete: %+v", s)
+	}
+	if !s.Profiled() {
+		t.Error("-serve sink does not profile; /profilez would stay empty")
 	}
 	// -flightrec=false strips the recorder but keeps the rest.
 	s = (&Flags{Metrics: true}).Sink()
 	if s == nil || s.Flight != nil {
 		t.Errorf("-flightrec=false sink still carries a recorder: %+v", s)
+	}
+	// -metrics alone must not pay for attribution counters.
+	if s.Profiled() {
+		t.Error("-metrics sink profiles without -profile-report or -serve")
+	}
+	// -profile-report alone is enough to get a (profiling) sink.
+	s = (&Flags{ProfileReport: 10}).Sink()
+	if s == nil || s.Metrics == nil || !s.Profiled() {
+		t.Errorf("-profile-report sink incomplete or unprofiled: %+v", s)
+	}
+}
+
+func TestValidateProfileReport(t *testing.T) {
+	for _, k := range []int{0, 1, 25} {
+		f := &Flags{MetricsFormat: FormatText, ProfileReport: k}
+		if err := f.Validate(); err != nil {
+			t.Errorf("Validate rejected -profile-report=%d: %v", k, err)
+		}
+	}
+	for _, k := range []int{-1, -20} {
+		f := &Flags{MetricsFormat: FormatText, ProfileReport: k}
+		err := f.Validate()
+		if err == nil {
+			t.Errorf("Validate accepted -profile-report=%d", k)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-profile-report") {
+			t.Errorf("Validate(%d) error %q does not name the flag", k, err)
+		}
+	}
+}
+
+// TestFinishProfileReport: Finish renders the hot-spot report from the
+// run's registry, truncated to the requested top-K.
+func TestFinishProfileReport(t *testing.T) {
+	f := &Flags{MetricsFormat: FormatText, ProfileReport: 1}
+	s := &obs.Sink{Metrics: obs.NewRegistry(), Profiling: true}
+	s.Counter("vm.cycles").Add(100)
+	s.Counter("prof.op.add.count").Add(5)
+	s.Counter("prof.op.add.cycles").Add(70)
+	s.Counter("prof.op.jmp.count").Add(2)
+	s.Counter("prof.op.jmp.cycles").Add(30)
+	var out strings.Builder
+	if err := f.Finish(s, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "cost attribution: hot-spot report (top 1)") {
+		t.Errorf("Finish did not render the report: %q", got)
+	}
+	if !strings.Contains(got, "add") || !strings.Contains(got, "... 1 more") {
+		t.Errorf("report not truncated to top 1: %q", got)
+	}
+	// Without -profile-report the report never renders, even on a
+	// profiling sink (e.g. -serve).
+	var quiet strings.Builder
+	if err := (&Flags{MetricsFormat: FormatText}).Finish(s, &quiet); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(quiet.String(), "cost attribution") {
+		t.Errorf("report rendered without -profile-report: %q", quiet.String())
 	}
 }
 

@@ -141,6 +141,7 @@ func RunConcurrent(a *apps.App, cfg Config) (*ConcResult, error) {
 	}
 
 	// LCRLOG ranks: modal FPE depth across a handful of failing runs.
+	endCapture := beginPhase(cfg, a.Name, phaseCapture)
 	want1 := a.FPEConf1
 	if want1 == nil {
 		want1 = a.FPE
@@ -186,6 +187,8 @@ func RunConcurrent(a *apps.App, cfg Config) (*ConcResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	endCapture()
+	endRank := beginPhase(cfg, a.Name, phaseRank)
 	var fail, succ []core.ProfiledRun
 	for _, pr := range profs2 {
 		fail = append(fail, core.ProfiledRun{Prog: inst.Prog, Profile: pr})
@@ -208,6 +211,7 @@ func RunConcurrent(a *apps.App, cfg Config) (*ConcResult, error) {
 			}
 		}
 	}
+	endRank()
 	res.Metrics = endRow(cfg, rowStart)
 	return res, nil
 }

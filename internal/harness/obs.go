@@ -36,3 +36,39 @@ func endRow(cfg Config, before obs.Snapshot) *obs.Snapshot {
 	d := cfg.Obs.Metrics.Snapshot().Delta(before)
 	return &d
 }
+
+// Pipeline phase names recorded by beginPhase. String literals rather than
+// the internal/prof constants: harness code binds `prof` locally for VM
+// profiles, so the package is only imported by this package's tests.
+const (
+	phaseCapture = "capture" // instrumented production runs (profile collection)
+	phaseReplay  = "replay"  // CBI baseline and overhead re-execution
+	phaseRank    = "rank"    // statistical diagnosis
+)
+
+// beginPhase opens one pipeline-phase span and returns its closer. The
+// closer attributes the parent sink's cycle-clock and run-count deltas to
+// "prof.phase.<phase>.*" and, with an app, "prof.app.<app>.<phase>.*".
+// Reading the parent registry is race-free and jobs-invariant here: phases
+// begin and end between pool fan-outs (Collect/Map are barriers), where the
+// registry holds exactly the trials committed in trial order. No-op unless
+// the sink arms profiling.
+func beginPhase(cfg Config, app, phase string) func() {
+	s := cfg.Obs
+	if !s.Profiled() || s.Metrics == nil {
+		return func() {}
+	}
+	c0 := s.Cycles()
+	r0 := s.Counter("vm.runs").Value()
+	return func() {
+		dc := s.Cycles() - c0
+		dr := s.Counter("vm.runs").Value() - r0
+		s.Counter("prof.phase." + phase + ".spans").Inc()
+		s.Counter("prof.phase." + phase + ".cycles").Add(dc)
+		s.Counter("prof.phase." + phase + ".runs").Add(dr)
+		if app != "" {
+			s.Counter("prof.app." + app + "." + phase + ".cycles").Add(dc)
+			s.Counter("prof.app." + app + "." + phase + ".runs").Add(dr)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"stmdiag/internal/faultinj"
 	"stmdiag/internal/obs"
@@ -133,6 +134,15 @@ type Pool struct {
 	discarded    *obs.Counter   // speculative trials thrown away
 	spans        *obs.Counter   // Collect/Map fan-outs traced
 
+	// Worker-utilization instruments (internal/prof), armed only when the
+	// sink profiles. These measure real wall clock and real scheduling, so
+	// — unlike every committed counter — they are jobs-variant by design
+	// and live on the parent sink directly, never on trial sinks.
+	workerBusy  []*obs.Counter // per-worker ns spent executing trials
+	workerIdle  []*obs.Counter // per-worker ns spent waiting for work
+	queueDepth  *obs.Gauge     // trials dispatched but not yet returned
+	commitStall *obs.Counter   // ns completed trials waited for in-order commit
+
 	mu       sync.Mutex
 	degraded *TrialError // first degraded trial, in trial order
 }
@@ -155,6 +165,16 @@ func NewPool(jobs int, sink *obs.Sink) *Pool {
 		p.workerTrials = make([]*obs.Counter, jobs)
 		for w := 0; w < jobs; w++ {
 			p.workerTrials[w] = sink.Counter(fmt.Sprintf("harness.pool.worker%d.trials", w))
+		}
+		if sink.Profiled() {
+			p.workerBusy = make([]*obs.Counter, jobs)
+			p.workerIdle = make([]*obs.Counter, jobs)
+			for w := 0; w < jobs; w++ {
+				p.workerBusy[w] = sink.Counter(fmt.Sprintf("harness.pool.worker%d.busy_ns", w))
+				p.workerIdle[w] = sink.Counter(fmt.Sprintf("harness.pool.worker%d.idle_ns", w))
+			}
+			p.queueDepth = sink.Gauge("harness.pool.queue.depth")
+			p.commitStall = sink.Counter("harness.pool.commit.stall_ns")
 		}
 	}
 	if tr := sink.Tracer(); tr != nil {
@@ -188,7 +208,7 @@ func (p *Pool) trialSink() *obs.Sink {
 	if p.sink == nil {
 		return nil
 	}
-	s := &obs.Sink{Trace: p.sink.Trace, Verbosity: p.sink.Verbosity}
+	s := &obs.Sink{Trace: p.sink.Trace, Verbosity: p.sink.Verbosity, Profiling: p.sink.Profiling}
 	if p.sink.Metrics != nil {
 		s.Metrics = obs.NewRegistry()
 	}
@@ -367,7 +387,7 @@ func collect[T any](p *Pool, max, need int, label string, fn func(*Trial) (T, bo
 		for i := 0; i < max; i++ {
 			p.trials.Inc()
 			p.workerTrial(0)
-			r := runTrial(p, label, i, fn)
+			r := timedTrial(p, 0, label, i, fn)
 			p.commit(i, r.sink)
 			if r.err != nil {
 				return out, i + 1, firstDegraded, r.err
@@ -403,10 +423,19 @@ func collect[T any](p *Pool, max, need int, label string, fn func(*Trial) (T, bo
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			last := time.Now()
 			for i := range idxCh {
 				p.trials.Inc()
 				p.workerTrial(w)
-				resCh <- done{i, runTrial(p, label, i, fn)}
+				if p.workerIdle != nil {
+					now := time.Now()
+					p.workerIdle[w].Add(uint64(now.Sub(last)))
+				}
+				r := timedTrial(p, w, label, i, fn)
+				if p.workerIdle != nil {
+					last = time.Now()
+				}
+				resCh <- done{i, r}
 			}
 		}(w)
 	}
@@ -421,7 +450,14 @@ func collect[T any](p *Pool, max, need int, label string, fn func(*Trial) (T, bo
 		finished    bool // need met or error hit: stop dispatching
 		abortErr    error
 		attempts    int
+
+		// arrivals timestamps completed trials parked for in-order commit;
+		// only maintained when the commit-stall instrument is armed.
+		arrivals map[int]time.Time
 	)
+	if p.commitStall != nil {
+		arrivals = make(map[int]time.Time)
+	}
 	for {
 		var send chan int
 		if !finished && next < max {
@@ -434,9 +470,14 @@ func collect[T any](p *Pool, max, need int, label string, fn func(*Trial) (T, bo
 		case send <- next:
 			next++
 			outstanding++
+			p.queueDepth.Set(int64(outstanding))
 		case d := <-resCh:
 			outstanding--
+			p.queueDepth.Set(int64(outstanding))
 			results[d.i] = d.trialOutcome
+			if arrivals != nil {
+				arrivals[d.i] = time.Now()
+			}
 			// Commit every contiguous decided trial in index order.
 			for !finished {
 				r, ready := results[commitNext]
@@ -444,6 +485,12 @@ func collect[T any](p *Pool, max, need int, label string, fn func(*Trial) (T, bo
 					break
 				}
 				delete(results, commitNext)
+				if arrivals != nil {
+					if t0, ok := arrivals[commitNext]; ok {
+						p.commitStall.Add(uint64(time.Since(t0)))
+						delete(arrivals, commitNext)
+					}
+				}
 				p.commit(commitNext, r.sink)
 				commitNext++
 				if r.err != nil {
@@ -480,6 +527,20 @@ func (p *Pool) workerTrial(w int) {
 		return
 	}
 	p.workerTrials[w].Inc()
+}
+
+// timedTrial runs one trial attempt sequence, charging its wall time to the
+// worker's busy counter when utilization tracking is armed. The timestamps
+// never feed anything committed: trial outcomes and merged telemetry stay
+// pure functions of (seed, stream, index).
+func timedTrial[T any](p *Pool, w int, label string, i int, fn func(*Trial) (T, bool, error)) trialOutcome[T] {
+	if p.workerBusy == nil {
+		return runTrial(p, label, i, fn)
+	}
+	start := time.Now()
+	r := runTrial(p, label, i, fn)
+	p.workerBusy[w].Add(uint64(time.Since(start)))
+	return r
 }
 
 // Map runs fn(0..n-1) across the pool and returns all n results in index

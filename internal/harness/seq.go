@@ -247,6 +247,7 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 
 	// LBRA failure profiles from the deployed (toggling) build; the first
 	// doubles as Table 6's LBRLOG toggling profile.
+	endCapture := beginPhase(cfg, a.Name, phaseCapture)
 	failStream := a.Name + "/fail"
 	failProfiles, _, err := Collect(pool, cfg.MaxAttempts, cfg.FailRuns, failStream,
 		func(tc *Trial) (core.ProfiledRun, bool, error) {
@@ -304,6 +305,8 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	endCapture()
+	endRank := beginPhase(cfg, a.Name, phaseRank)
 	report, err := core.Diagnose(core.ModeLBR, failProfiles, succProfiles)
 	if err != nil {
 		return nil, err
@@ -315,8 +318,11 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 	if res.LBRARank == 0 && a.RelatedBranch != "" {
 		res.LBRARank = report.RankOfBranch(a.RelatedBranch)
 	}
+	endRank()
 
-	// CBI baseline.
+	// CBI baseline and the overhead columns re-execute the workloads: the
+	// replay phase of the cost attribution.
+	endReplay := beginPhase(cfg, a.Name, phaseReplay)
 	res.CBIRank, err = runCBI(a, cfg, pool)
 	if err != nil {
 		return nil, err
@@ -355,6 +361,7 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 		return nil, err
 	}
 	res.OvCBI = overhead(base, cbiCycles)
+	endReplay()
 	res.Metrics = endRow(cfg, rowStart)
 	return res, nil
 }

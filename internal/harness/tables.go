@@ -343,6 +343,7 @@ func table8Row(a *apps.App, cfg Config) (*robustRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	endCapture := beginPhase(cfg, a.Name, phaseCapture)
 	failStream := a.Name + "/robust-fail"
 	failProfiles, _, err := Collect(pool, cfg.MaxAttempts, cfg.FailRuns, failStream,
 		func(tc *Trial) (core.ProfiledRun, bool, error) {
@@ -359,6 +360,7 @@ func table8Row(a *apps.App, cfg Config) (*robustRow, error) {
 	}
 	row := &robustRow{app: a, failProfs: len(failProfiles)}
 	if len(failProfiles) == 0 {
+		endCapture()
 		row.verdict = stats.VerdictInsufficient
 		return row, nil
 	}
@@ -392,7 +394,10 @@ func table8Row(a *apps.App, cfg Config) (*robustRow, error) {
 			return nil, err
 		}
 	}
+	endCapture()
 	row.succProfs = len(succProfiles)
+	endRank := beginPhase(cfg, a.Name, phaseRank)
+	defer endRank()
 	report, err := core.Diagnose(core.ModeLBR, failProfiles, succProfiles)
 	if err != nil {
 		return nil, err
@@ -460,6 +465,7 @@ func Table8(cfg Config) (string, error) {
 		if cfg.Obs != nil {
 			priv.Trace = cfg.Obs.Trace
 			priv.Verbosity = cfg.Obs.Verbosity
+			priv.Profiling = cfg.Obs.Profiling
 		}
 		rcfg := cfg
 		rcfg.Faults = spec
@@ -513,8 +519,33 @@ func fmtRate(r float64) string {
 	return strconv.FormatFloat(r, 'g', -1, 64)
 }
 
-// RenderTable regenerates one of the paper's tables by number.
+// RenderTable regenerates one of the paper's tables by number. With a
+// profiling sink it also attributes the table's cycle-clock and run-count
+// deltas to "prof.table.<n>.*" and records the report phase (table
+// rendering consumes no simulated cycles, so the report phase counts spans
+// and rendered bytes rather than cycles).
 func RenderTable(n int, cfg Config) (string, error) {
+	s := cfg.Obs
+	profiled := s.Profiled() && s.Metrics != nil
+	var c0, r0 uint64
+	if profiled {
+		c0 = s.Cycles()
+		r0 = s.Counter("vm.runs").Value()
+	}
+	out, err := renderTableBody(n, cfg)
+	if err == nil && profiled {
+		pre := fmt.Sprintf("prof.table.%d.", n)
+		s.Counter(pre + "spans").Inc()
+		s.Counter(pre + "cycles").Add(s.Cycles() - c0)
+		s.Counter(pre + "runs").Add(s.Counter("vm.runs").Value() - r0)
+		s.Counter("prof.phase.report.spans").Inc()
+		s.Counter("prof.phase.report.bytes").Add(uint64(len(out)))
+	}
+	return out, err
+}
+
+// renderTableBody dispatches to the table implementations.
+func renderTableBody(n int, cfg Config) (string, error) {
 	switch n {
 	case 1:
 		return Table1(), nil

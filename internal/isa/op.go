@@ -122,6 +122,10 @@ const (
 	opCount // sentinel
 )
 
+// NumOps is the number of defined opcodes. Cost-attribution tables
+// (internal/prof) size their per-opcode arrays with it.
+const NumOps = int(opCount)
+
 // BranchClass categorizes taken control transfers the way the LBR filter
 // configuration (paper Table 1) distinguishes them.
 type BranchClass uint8

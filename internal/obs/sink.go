@@ -27,6 +27,12 @@ type Sink struct {
 	// software mirror of reading the LBR in the segfault handler). Nil
 	// disables recording.
 	Flight *FlightRecorder
+	// Profiling arms the cost-attribution layer (internal/prof): per-opcode
+	// cycle attribution in the VM dispatch loop, snapshot-allocation
+	// accounting in the PMU rings, phase rollups and worker-utilization
+	// tracking in the harness. Off by default: the dispatch loop then pays
+	// one nil check.
+	Profiling bool
 }
 
 // NewSink returns a sink recording metrics into the process-wide Default
@@ -83,6 +89,9 @@ func (s *Sink) RecordFlight(ev FlightEvent) {
 // Cycles reads the sink registry's "vm.cycles" counter — the deterministic
 // cycle clock flight events are stamped with (0 without a registry).
 func (s *Sink) Cycles() uint64 { return s.Counter("vm.cycles").Value() }
+
+// Profiled reports whether cost-attribution counters should be recorded.
+func (s *Sink) Profiled() bool { return s != nil && s.Profiling }
 
 // Tracing reports whether trace events should be recorded.
 func (s *Sink) Tracing() bool { return s != nil && s.Trace != nil }

@@ -10,6 +10,7 @@
 //	/readyz          readiness (503 until/unless marked ready)
 //	/trace           Chrome trace_event JSON download of the live tracer
 //	/flightrecorder  JSON dump of the pipeline flight-recorder ring
+//	/profilez        JSON cost-attribution report (internal/prof)
 //	/debug/pprof/    the net/http/pprof profiling handlers
 //
 // Every handler snapshots live structures through their lock-free or
@@ -25,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"stmdiag/internal/obs"
+	"stmdiag/internal/prof"
 )
 
 // Server serves one sink's telemetry. Build with New, attach the Handler
@@ -69,6 +71,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/flightrecorder", s.handleFlight)
+	mux.HandleFunc("/profilez", s.handleProfilez)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -113,7 +116,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "stmdiag telemetry")
-	for _, ep := range []string{"/metrics", "/healthz", "/readyz", "/trace", "/flightrecorder", "/debug/pprof/"} {
+	for _, ep := range []string{"/metrics", "/healthz", "/readyz", "/trace", "/flightrecorder", "/profilez", "/debug/pprof/"} {
 		fmt.Fprintln(w, "  "+ep)
 	}
 }
@@ -124,6 +127,8 @@ const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; cha
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	body := s.registry().Snapshot().OpenMetrics()
 	w.Header().Set("Content-Type", OpenMetricsContentType)
+	// Live telemetry: every scrape must reach the process, never a cache.
+	w.Header().Set("Cache-Control", "no-store")
 	fmt.Fprint(w, body)
 }
 
@@ -173,7 +178,24 @@ func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
 		dump.Events = []obs.FlightEvent{}
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(dump) //nolint:errcheck // best-effort over HTTP
+}
+
+// handleProfilez serves the cost-attribution report parsed from the live
+// registry. Its deterministic sections (opcodes, phases, apps, tables,
+// allocs) are jobs-invariant once a run completes; the workers/pool section
+// is wall clock (see internal/prof).
+func (s *Server) handleProfilez(w http.ResponseWriter, _ *http.Request) {
+	data, err := prof.FromSnapshot(s.registry().Snapshot()).JSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Write(data)         //nolint:errcheck // best-effort over HTTP
+	w.Write([]byte("\n")) //nolint:errcheck
 }

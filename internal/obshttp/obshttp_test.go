@@ -152,6 +152,9 @@ func TestEndpoints(t *testing.T) {
 	if ct := hdr.Get("Content-Type"); ct != obshttp.OpenMetricsContentType {
 		t.Errorf("/metrics content type %q", ct)
 	}
+	if cc := hdr.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("/metrics Cache-Control %q, want no-store", cc)
+	}
 	validateOpenMetrics(t, body)
 	if !strings.Contains(body, "vm_runs_total 3") {
 		t.Errorf("/metrics missing vm_runs_total:\n%s", body)
@@ -185,9 +188,15 @@ func TestEndpoints(t *testing.T) {
 		t.Error("/trace has no events")
 	}
 
-	code, body, _ = get(t, ts.URL+"/flightrecorder")
+	code, body, hdr = get(t, ts.URL+"/flightrecorder")
 	if code != 200 {
 		t.Fatalf("/flightrecorder status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/flightrecorder content type %q, want application/json", ct)
+	}
+	if cc := hdr.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("/flightrecorder Cache-Control %q, want no-store", cc)
 	}
 	var dump obshttp.FlightDump
 	if err := json.Unmarshal([]byte(body), &dump); err != nil {
@@ -205,6 +214,54 @@ func TestEndpoints(t *testing.T) {
 	}
 }
 
+// TestProfilez: the cost-attribution endpoint serves the registry's prof.*
+// state as JSON, uncached, and degrades to an empty report on a bare sink.
+func TestProfilez(t *testing.T) {
+	sink := &obs.Sink{Metrics: obs.NewRegistry(), Profiling: true}
+	sink.Counter("vm.cycles").Add(100)
+	sink.Counter("vm.steps").Add(40)
+	sink.Counter("prof.op.add.count").Add(7)
+	sink.Counter("prof.op.add.cycles").Add(60)
+	sink.Counter("prof.phase.capture.spans").Add(1)
+	ts := httptest.NewServer(obshttp.New(sink).Handler())
+	defer ts.Close()
+
+	code, body, hdr := get(t, ts.URL+"/profilez")
+	if code != 200 {
+		t.Fatalf("/profilez status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/profilez content type %q, want application/json", ct)
+	}
+	if cc := hdr.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("/profilez Cache-Control %q, want no-store", cc)
+	}
+	var rep struct {
+		TotalCycles uint64 `json:"total_cycles"`
+		Opcodes     []struct {
+			Name   string `json:"name"`
+			Count  uint64 `json:"count"`
+			Cycles uint64 `json:"cycles"`
+		} `json:"opcodes"`
+		Phases []struct {
+			Name  string `json:"name"`
+			Spans uint64 `json:"spans"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/profilez not valid JSON: %v\n%s", err, body)
+	}
+	if rep.TotalCycles != 100 {
+		t.Errorf("/profilez total_cycles = %d, want 100", rep.TotalCycles)
+	}
+	if len(rep.Opcodes) != 1 || rep.Opcodes[0].Name != "add" || rep.Opcodes[0].Cycles != 60 {
+		t.Errorf("/profilez opcodes = %+v", rep.Opcodes)
+	}
+	if len(rep.Phases) != 1 || rep.Phases[0].Name != "capture" || rep.Phases[0].Spans != 1 {
+		t.Errorf("/profilez phases = %+v", rep.Phases)
+	}
+}
+
 func TestNilSinkEndpoints(t *testing.T) {
 	ts := httptest.NewServer(obshttp.New(nil).Handler())
 	defer ts.Close()
@@ -219,6 +276,10 @@ func TestNilSinkEndpoints(t *testing.T) {
 	}
 	if code, _, _ = get(t, ts.URL+"/trace"); code != 200 {
 		t.Errorf("/trace on nil sink: status %d", code)
+	}
+	code, body, _ = get(t, ts.URL+"/profilez")
+	if code != 200 || !strings.Contains(body, `"total_cycles"`) {
+		t.Errorf("/profilez on nil sink = %d %q", code, body)
 	}
 }
 

@@ -149,14 +149,14 @@ func (l *LBR) readMSR(id uint32) (uint64, error) {
 	case id == MSRLBRSelect:
 		return l.sel, nil
 	case id >= MSRBranchFromBase && id < MSRBranchFromBase+uint32(l.ring.Cap()):
-		recs := l.ring.Latest()
+		recs := l.Latest()
 		i := int(id - MSRBranchFromBase)
 		if i < len(recs) {
 			return uint64(recs[i].From), nil
 		}
 		return 0, nil
 	case id >= MSRBranchToBase && id < MSRBranchToBase+uint32(l.ring.Cap()):
-		recs := l.ring.Latest()
+		recs := l.Latest()
 		i := int(id - MSRBranchToBase)
 		if i < len(recs) {
 			return uint64(recs[i].To), nil
@@ -241,8 +241,13 @@ func (l *LBR) push(r BranchRecord) bool {
 // Clear empties the branch stack (the driver's DRIVER_CLEAN_LBR).
 func (l *LBR) Clear() { l.ring.Clear() }
 
-// Latest returns the stack newest-first.
-func (l *LBR) Latest() []BranchRecord { return l.ring.Latest() }
+// Latest returns the stack newest-first. Each call materializes a fresh
+// slice; the profiler's alloc accounting counts these snapshots.
+func (l *LBR) Latest() []BranchRecord {
+	recs := l.ring.Latest()
+	l.tel.snapshot(len(recs))
+	return recs
+}
 
 // Len returns the number of held records.
 func (l *LBR) Len() int { return l.ring.Len() }

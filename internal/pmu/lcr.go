@@ -194,8 +194,13 @@ func (l *LCR) push(e CoherenceEvent) bool {
 // Clear empties the record.
 func (l *LCR) Clear() { l.ring.Clear() }
 
-// Latest returns the record newest-first.
-func (l *LCR) Latest() []CoherenceEvent { return l.ring.Latest() }
+// Latest returns the record newest-first. Each call materializes a fresh
+// slice; the profiler's alloc accounting counts these snapshots.
+func (l *LCR) Latest() []CoherenceEvent {
+	recs := l.ring.Latest()
+	l.tel.snapshot(len(recs))
+	return recs
+}
 
 // Len returns the number of held records.
 func (l *LCR) Len() int { return l.ring.Len() }

@@ -10,6 +10,13 @@ type ringTelemetry struct {
 	evictions *obs.Counter // oldest-entry evictions caused by pushes
 	drops     *obs.Counter // records suppressed by filters while enabled
 	toggles   *obs.Counter // enable/disable state changes
+
+	// Snapshot-allocation accounting (internal/prof): each Latest call
+	// materializes a fresh slice on the capture hot path — the segfault
+	// handler's MSR reads and the driver's profile snapshots. Armed only
+	// when the sink profiles, so default telemetry output is unchanged.
+	snapAllocs  *obs.Counter // ring snapshots materialized
+	snapRecords *obs.Counter // entries copied across those snapshots
 }
 
 // attach resolves the counters "<prefix>.pushes" etc. from the sink; a nil
@@ -23,4 +30,14 @@ func (t *ringTelemetry) attach(s *obs.Sink, prefix string) {
 	t.evictions = s.Counter(prefix + ".evictions")
 	t.drops = s.Counter(prefix + ".drops")
 	t.toggles = s.Counter(prefix + ".toggles")
+	if s.Profiled() {
+		t.snapAllocs = s.Counter("prof.alloc." + prefix + ".allocs")
+		t.snapRecords = s.Counter("prof.alloc." + prefix + ".records")
+	}
+}
+
+// snapshot accounts one ring-snapshot materialization of n records.
+func (t *ringTelemetry) snapshot(n int) {
+	t.snapAllocs.Inc()
+	t.snapRecords.Add(uint64(n))
 }

@@ -1,0 +1,450 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"stmdiag/internal/obs"
+)
+
+// This file turns a metrics snapshot back into a structured cost-attribution
+// report: FromSnapshot parses the prof.* and harness.pool.* counter families
+// and Render lays the result out as the deterministic top-K hot-spot table
+// behind -profile-report (the /profilez endpoint serves the same struct as
+// JSON). Every section except "workers"/"pool" is derived purely from the
+// deterministic cycle clock, so its bytes are identical for any -jobs value.
+
+// OpcodeRow is one opcode's dispatch attribution.
+type OpcodeRow struct {
+	Name   string `json:"name"`
+	Class  string `json:"class"`
+	Count  uint64 `json:"count"`
+	Cycles uint64 `json:"cycles"`
+}
+
+// ClassRow aggregates opcode rows by class.
+type ClassRow struct {
+	Name   string `json:"name"`
+	Count  uint64 `json:"count"`
+	Cycles uint64 `json:"cycles"`
+}
+
+// PhaseRow is one pipeline phase's rollup. Bytes is only populated for the
+// report phase (rendered table output; rendering consumes no VM cycles).
+type PhaseRow struct {
+	Name   string `json:"name"`
+	Spans  uint64 `json:"spans"`
+	Runs   uint64 `json:"runs"`
+	Cycles uint64 `json:"cycles"`
+	Bytes  uint64 `json:"bytes,omitempty"`
+}
+
+// AppRow is one (app, phase) attribution cell.
+type AppRow struct {
+	App    string `json:"app"`
+	Phase  string `json:"phase"`
+	Runs   uint64 `json:"runs"`
+	Cycles uint64 `json:"cycles"`
+}
+
+// TableRow is one rendered table's attribution.
+type TableRow struct {
+	Table  int    `json:"table"`
+	Spans  uint64 `json:"spans"`
+	Runs   uint64 `json:"runs"`
+	Cycles uint64 `json:"cycles"`
+}
+
+// AllocRow is one PMU snapshot site's allocation accounting: Allocs counts
+// ring-snapshot materializations (each one a fresh slice on the capture hot
+// path), Records the entries they copied.
+type AllocRow struct {
+	Site    string `json:"site"`
+	Allocs  uint64 `json:"allocs"`
+	Records uint64 `json:"records"`
+}
+
+// WorkerRow is one pool worker's wall-clock utilization. Unlike every other
+// section these numbers are jobs-variant by design.
+type WorkerRow struct {
+	Worker int    `json:"worker"`
+	Trials uint64 `json:"trials"`
+	BusyNS uint64 `json:"busy_ns"`
+	IdleNS uint64 `json:"idle_ns"`
+}
+
+// PoolStats is the pool-wide wall-clock rollup.
+type PoolStats struct {
+	Trials        uint64 `json:"trials"`
+	Committed     uint64 `json:"committed"`
+	Discarded     uint64 `json:"discarded"`
+	Fanouts       uint64 `json:"fanouts"`
+	CommitStallNS uint64 `json:"commit_stall_ns"`
+	QueueDepth    int64  `json:"queue_depth"`
+}
+
+// Report is the parsed cost-attribution state of one registry snapshot.
+type Report struct {
+	TotalCycles uint64 `json:"total_cycles"`
+	TotalSteps  uint64 `json:"total_steps"`
+	TotalRuns   uint64 `json:"total_runs"`
+
+	Opcodes []OpcodeRow `json:"opcodes"`
+	Classes []ClassRow  `json:"classes"`
+	Phases  []PhaseRow  `json:"phases"`
+	Apps    []AppRow    `json:"apps"`
+	Tables  []TableRow  `json:"tables"`
+	Allocs  []AllocRow  `json:"allocs"`
+
+	// Workers and Pool are wall-clock (jobs-variant) — see WorkerRow.
+	Workers []WorkerRow `json:"workers"`
+	Pool    PoolStats   `json:"pool"`
+}
+
+// FromSnapshot parses the profiler counter families out of a snapshot. A
+// snapshot without profiler counters yields an empty (but non-nil) report.
+func FromSnapshot(s obs.Snapshot) *Report {
+	r := &Report{
+		TotalCycles: s.Counters["vm.cycles"],
+		TotalSteps:  s.Counters["vm.steps"],
+		TotalRuns:   s.Counters["vm.runs"],
+	}
+	ops := map[string]*OpcodeRow{}
+	phases := map[string]*PhaseRow{}
+	apps := map[string]*AppRow{}
+	tables := map[int]*TableRow{}
+	allocs := map[string]*AllocRow{}
+	workers := map[int]*WorkerRow{}
+
+	for name, v := range s.Counters {
+		switch {
+		case strings.HasPrefix(name, "prof.op."):
+			rest := strings.TrimPrefix(name, "prof.op.")
+			if mn, ok := strings.CutSuffix(rest, ".count"); ok {
+				opRow(ops, mn).Count = v
+			} else if mn, ok := strings.CutSuffix(rest, ".cycles"); ok {
+				opRow(ops, mn).Cycles = v
+			}
+		case strings.HasPrefix(name, "prof.phase."):
+			rest := strings.TrimPrefix(name, "prof.phase.")
+			if ph, ok := strings.CutSuffix(rest, ".spans"); ok {
+				phaseRow(phases, ph).Spans = v
+			} else if ph, ok := strings.CutSuffix(rest, ".cycles"); ok {
+				phaseRow(phases, ph).Cycles = v
+			} else if ph, ok := strings.CutSuffix(rest, ".runs"); ok {
+				phaseRow(phases, ph).Runs = v
+			} else if ph, ok := strings.CutSuffix(rest, ".bytes"); ok {
+				phaseRow(phases, ph).Bytes = v
+			}
+		case strings.HasPrefix(name, "prof.app."):
+			rest := strings.TrimPrefix(name, "prof.app.")
+			suffix := ""
+			if c, ok := strings.CutSuffix(rest, ".cycles"); ok {
+				rest, suffix = c, "cycles"
+			} else if c, ok := strings.CutSuffix(rest, ".runs"); ok {
+				rest, suffix = c, "runs"
+			} else {
+				continue
+			}
+			// The phase is the last dot-segment; app names carry no dots.
+			i := strings.LastIndex(rest, ".")
+			if i < 0 {
+				continue
+			}
+			row := appRow(apps, rest[:i], rest[i+1:])
+			if suffix == "cycles" {
+				row.Cycles = v
+			} else {
+				row.Runs = v
+			}
+		case strings.HasPrefix(name, "prof.table."):
+			rest := strings.TrimPrefix(name, "prof.table.")
+			suffix := ""
+			if c, ok := strings.CutSuffix(rest, ".spans"); ok {
+				rest, suffix = c, "spans"
+			} else if c, ok := strings.CutSuffix(rest, ".cycles"); ok {
+				rest, suffix = c, "cycles"
+			} else if c, ok := strings.CutSuffix(rest, ".runs"); ok {
+				rest, suffix = c, "runs"
+			} else {
+				continue
+			}
+			n, err := strconv.Atoi(rest)
+			if err != nil {
+				continue
+			}
+			row := tableRow(tables, n)
+			switch suffix {
+			case "spans":
+				row.Spans = v
+			case "cycles":
+				row.Cycles = v
+			case "runs":
+				row.Runs = v
+			}
+		case strings.HasPrefix(name, "prof.alloc."):
+			rest := strings.TrimPrefix(name, "prof.alloc.")
+			if site, ok := strings.CutSuffix(rest, ".allocs"); ok {
+				allocRow(allocs, site).Allocs = v
+			} else if site, ok := strings.CutSuffix(rest, ".records"); ok {
+				allocRow(allocs, site).Records = v
+			}
+		case strings.HasPrefix(name, "harness.pool.worker"):
+			rest := strings.TrimPrefix(name, "harness.pool.worker")
+			i := strings.Index(rest, ".")
+			if i < 0 {
+				continue
+			}
+			w, err := strconv.Atoi(rest[:i])
+			if err != nil {
+				continue
+			}
+			row := workerRow(workers, w)
+			switch rest[i+1:] {
+			case "trials":
+				row.Trials = v
+			case "busy_ns":
+				row.BusyNS = v
+			case "idle_ns":
+				row.IdleNS = v
+			}
+		}
+	}
+	r.Pool = PoolStats{
+		Trials:        s.Counters["harness.pool.trials"],
+		Committed:     s.Counters["harness.pool.committed"],
+		Discarded:     s.Counters["harness.pool.discarded"],
+		Fanouts:       s.Counters["harness.pool.fanouts"],
+		CommitStallNS: s.Counters["harness.pool.commit.stall_ns"],
+		QueueDepth:    s.Gauges["harness.pool.queue.depth"],
+	}
+
+	classes := map[string]*ClassRow{}
+	for _, row := range ops {
+		r.Opcodes = append(r.Opcodes, *row)
+		c := classes[row.Class]
+		if c == nil {
+			c = &ClassRow{Name: row.Class}
+			classes[row.Class] = c
+		}
+		c.Count += row.Count
+		c.Cycles += row.Cycles
+	}
+	for _, row := range classes {
+		r.Classes = append(r.Classes, *row)
+	}
+	for _, row := range phases {
+		r.Phases = append(r.Phases, *row)
+	}
+	for _, row := range apps {
+		r.Apps = append(r.Apps, *row)
+	}
+	for _, row := range tables {
+		r.Tables = append(r.Tables, *row)
+	}
+	for _, row := range allocs {
+		r.Allocs = append(r.Allocs, *row)
+	}
+	for _, row := range workers {
+		r.Workers = append(r.Workers, *row)
+	}
+
+	// Deterministic order: hottest first, names breaking ties; tables and
+	// workers numerically; phases in pipeline order.
+	sort.Slice(r.Opcodes, func(i, j int) bool {
+		return hotter(r.Opcodes[i].Cycles, r.Opcodes[j].Cycles, r.Opcodes[i].Name, r.Opcodes[j].Name)
+	})
+	sort.Slice(r.Classes, func(i, j int) bool {
+		return hotter(r.Classes[i].Cycles, r.Classes[j].Cycles, r.Classes[i].Name, r.Classes[j].Name)
+	})
+	sort.Slice(r.Apps, func(i, j int) bool {
+		a, b := r.Apps[i], r.Apps[j]
+		return hotter(a.Cycles, b.Cycles, a.App+"/"+a.Phase, b.App+"/"+b.Phase)
+	})
+	sort.Slice(r.Allocs, func(i, j int) bool {
+		return hotter(r.Allocs[i].Allocs, r.Allocs[j].Allocs, r.Allocs[i].Site, r.Allocs[j].Site)
+	})
+	sort.Slice(r.Tables, func(i, j int) bool { return r.Tables[i].Table < r.Tables[j].Table })
+	sort.Slice(r.Workers, func(i, j int) bool { return r.Workers[i].Worker < r.Workers[j].Worker })
+	sort.Slice(r.Phases, func(i, j int) bool {
+		return phaseOrd(r.Phases[i].Name) < phaseOrd(r.Phases[j].Name)
+	})
+	return r
+}
+
+func hotter(ci, cj uint64, ni, nj string) bool {
+	if ci != cj {
+		return ci > cj
+	}
+	return ni < nj
+}
+
+// phaseOrd keys the pipeline-order phase sort, unknown phases last by name.
+func phaseOrd(name string) string {
+	for i, ph := range Phases {
+		if ph == name {
+			return fmt.Sprintf("0%d", i)
+		}
+	}
+	return "1" + name
+}
+
+func opRow(m map[string]*OpcodeRow, name string) *OpcodeRow {
+	r := m[name]
+	if r == nil {
+		r = &OpcodeRow{Name: name, Class: ClassOf(name)}
+		m[name] = r
+	}
+	return r
+}
+
+func phaseRow(m map[string]*PhaseRow, name string) *PhaseRow {
+	r := m[name]
+	if r == nil {
+		r = &PhaseRow{Name: name}
+		m[name] = r
+	}
+	return r
+}
+
+func appRow(m map[string]*AppRow, app, phase string) *AppRow {
+	key := app + "\x00" + phase
+	r := m[key]
+	if r == nil {
+		r = &AppRow{App: app, Phase: phase}
+		m[key] = r
+	}
+	return r
+}
+
+func tableRow(m map[int]*TableRow, n int) *TableRow {
+	r := m[n]
+	if r == nil {
+		r = &TableRow{Table: n}
+		m[n] = r
+	}
+	return r
+}
+
+func allocRow(m map[string]*AllocRow, site string) *AllocRow {
+	r := m[site]
+	if r == nil {
+		r = &AllocRow{Site: site}
+		m[site] = r
+	}
+	return r
+}
+
+func workerRow(m map[int]*WorkerRow, w int) *WorkerRow {
+	r := m[w]
+	if r == nil {
+		r = &WorkerRow{Worker: w}
+		m[w] = r
+	}
+	return r
+}
+
+// JSON renders the report as indented JSON (the /profilez body).
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// pct formats v as a percentage of total, "-" when total is zero.
+func pct(v, total uint64) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(v)/float64(total))
+}
+
+// Render lays the report out as the -profile-report hot-spot table,
+// truncating the opcode, app and alloc sections to their topK hottest rows.
+// Every section above "workers" is a pure function of the deterministic
+// cycle clock; the wall-clock sections are labeled jobs-variant.
+func (r *Report) Render(topK int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cost attribution: hot-spot report (top %d)\n", topK)
+	fmt.Fprintf(&b, "totals: %d cycles, %d steps, %d runs\n", r.TotalCycles, r.TotalSteps, r.TotalRuns)
+
+	if len(r.Opcodes) > 0 {
+		b.WriteString("\nopcodes by cycles:\n")
+		for i, row := range r.Opcodes {
+			if i >= topK {
+				fmt.Fprintf(&b, "  ... %d more\n", len(r.Opcodes)-topK)
+				break
+			}
+			fmt.Fprintf(&b, "  %-8s %-6s count=%-10d cycles=%-12d %s\n",
+				row.Name, row.Class, row.Count, row.Cycles, pct(row.Cycles, r.TotalCycles))
+		}
+		b.WriteString("\nopcode classes by cycles:\n")
+		for _, row := range r.Classes {
+			fmt.Fprintf(&b, "  %-8s count=%-10d cycles=%-12d %s\n",
+				row.Name, row.Count, row.Cycles, pct(row.Cycles, r.TotalCycles))
+		}
+	}
+	if len(r.Phases) > 0 {
+		b.WriteString("\nphases:\n")
+		for _, row := range r.Phases {
+			fmt.Fprintf(&b, "  %-8s spans=%-6d runs=%-8d cycles=%-12d %s",
+				row.Name, row.Spans, row.Runs, row.Cycles, pct(row.Cycles, r.TotalCycles))
+			if row.Bytes > 0 {
+				fmt.Fprintf(&b, " bytes=%d", row.Bytes)
+			}
+			b.WriteString("\n")
+		}
+	}
+	if len(r.Apps) > 0 {
+		b.WriteString("\napps by cycles:\n")
+		for i, row := range r.Apps {
+			if i >= topK {
+				fmt.Fprintf(&b, "  ... %d more\n", len(r.Apps)-topK)
+				break
+			}
+			fmt.Fprintf(&b, "  %-20s runs=%-8d cycles=%-12d %s\n",
+				row.App+"/"+row.Phase, row.Runs, row.Cycles, pct(row.Cycles, r.TotalCycles))
+		}
+	}
+	if len(r.Tables) > 0 {
+		b.WriteString("\ntables:\n")
+		for _, row := range r.Tables {
+			fmt.Fprintf(&b, "  table %-2d spans=%-6d runs=%-8d cycles=%-12d %s\n",
+				row.Table, row.Spans, row.Runs, row.Cycles, pct(row.Cycles, r.TotalCycles))
+		}
+	}
+	if len(r.Allocs) > 0 {
+		b.WriteString("\nalloc sites (ring snapshots):\n")
+		for i, row := range r.Allocs {
+			if i >= topK {
+				fmt.Fprintf(&b, "  ... %d more\n", len(r.Allocs)-topK)
+				break
+			}
+			fmt.Fprintf(&b, "  %-12s allocs=%-10d records=%d\n", row.Site, row.Allocs, row.Records)
+		}
+	}
+	if len(r.Workers) > 0 {
+		b.WriteString("\nworkers (wall clock; varies with -jobs):\n")
+		for _, row := range r.Workers {
+			fmt.Fprintf(&b, "  worker %-3d trials=%-8d busy=%-12s idle=%s\n",
+				row.Worker, row.Trials, fmtNS(row.BusyNS), fmtNS(row.IdleNS))
+		}
+		fmt.Fprintf(&b, "  pool: fanouts=%d trials=%d committed=%d discarded=%d commit-stall=%s\n",
+			r.Pool.Fanouts, r.Pool.Trials, r.Pool.Committed, r.Pool.Discarded, fmtNS(r.Pool.CommitStallNS))
+	}
+	return b.String()
+}
+
+// fmtNS renders a nanosecond total human-readably.
+func fmtNS(ns uint64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fus", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}

@@ -558,7 +558,7 @@ func (m *Machine) Run() (*Result, error) {
 				m.exited = true
 				break
 			}
-			yield, err := m.step(t)
+			yield, err := m.stepProf(t)
 			if err != nil {
 				return nil, err
 			}

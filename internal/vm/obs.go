@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"stmdiag/internal/obs"
+	"stmdiag/internal/prof"
 )
 
 // vmTelemetry caches one machine's telemetry handles. The zero value is
@@ -25,6 +26,10 @@ type vmTelemetry struct {
 
 	runCycles *obs.Histogram
 	runSteps  *obs.Histogram
+
+	// prof accumulates per-opcode dispatch costs when the sink arms
+	// profiling; nil otherwise, so the dispatch loop pays one nil check.
+	prof *prof.VMProf
 }
 
 // attachObs resolves the machine's counters ("vm.*") and wires the cache
@@ -52,7 +57,28 @@ func (m *Machine) attachObs(s *obs.Sink) {
 	m.tel.steps = s.Counter("vm.steps")
 	m.tel.runCycles = s.Histogram("vm.run.cycles", obs.DefaultCycleBounds)
 	m.tel.runSteps = s.Histogram("vm.run.steps", obs.DefaultCycleBounds)
+	if s.Profiled() {
+		m.tel.prof = prof.NewVMProf()
+	}
 	m.cache.AttachObs(s)
+}
+
+// stepProf dispatches one step, attributing its cycle-clock delta to the
+// fetched opcode when profiling is armed. Attribution only reads the
+// machine (PC, cycle counter), so the simulation itself is bit-identical
+// with profiling on or off.
+func (m *Machine) stepProf(t *Thread) (yield bool, err error) {
+	if m.tel.prof == nil {
+		return m.step(t)
+	}
+	slot := prof.InvalidSlot
+	if t.PC >= 0 && t.PC < len(m.prog.Instrs) {
+		slot = prof.Slot(m.prog.Instrs[t.PC].Op)
+	}
+	before := m.res.Cycles
+	yield, err = m.step(t)
+	m.tel.prof.Observe(slot, m.res.Cycles-before)
+	return yield, err
 }
 
 // Obs returns the sink the machine reports into, or nil. Drivers use it to
@@ -81,6 +107,9 @@ func (m *Machine) finishRun() {
 	m.tel.steps.Add(m.res.Steps)
 	m.tel.runCycles.Observe(m.res.Cycles)
 	m.tel.runSteps.Observe(m.res.Steps)
+	if m.tel.prof != nil {
+		m.tel.prof.Flush(m.tel.sink)
+	}
 	if m.tel.trace != nil {
 		m.tel.trace.Advance(m.res.Cycles + 1)
 	}

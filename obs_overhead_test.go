@@ -41,6 +41,12 @@ func sortBuild(tb testing.TB) *core.Instrumented {
 	return inst
 }
 
+// newProfilingSink builds a metrics sink with the cost-attribution
+// profiler (internal/prof) armed.
+func newProfilingSink() *obs.Sink {
+	return &obs.Sink{Metrics: obs.NewRegistry(), Profiling: true}
+}
+
 // BenchmarkObsOverhead compares a full instrumented run with telemetry
 // disabled (nil sink), with metrics counters only, and with full tracing.
 func BenchmarkObsOverhead(b *testing.B) {
@@ -52,6 +58,12 @@ func BenchmarkObsOverhead(b *testing.B) {
 	})
 	b.Run("metrics", func(b *testing.B) {
 		sink := &obs.Sink{Metrics: obs.NewRegistry()}
+		for i := 0; i < b.N; i++ {
+			obsBenchRun(b, inst, sink, int64(i))
+		}
+	})
+	b.Run("profiling", func(b *testing.B) {
+		sink := newProfilingSink()
 		for i := 0; i < b.N; i++ {
 			obsBenchRun(b, inst, sink, int64(i))
 		}
@@ -77,6 +89,7 @@ func TestObsNilSinkFree(t *testing.T) {
 	mk := []func() *obs.Sink{
 		func() *obs.Sink { return nil },
 		func() *obs.Sink { return &obs.Sink{Metrics: obs.NewRegistry()} },
+		func() *obs.Sink { return newProfilingSink() },
 		func() *obs.Sink {
 			return &obs.Sink{Metrics: obs.NewRegistry(), Trace: obs.NewTracer(), Verbosity: 1}
 		},

@@ -1,14 +1,46 @@
 #!/bin/sh
-# Benchmarks the harness trial-execution engine: the same reduced Table 7
-# experiment at -jobs 1 (strict sequential) and -jobs 0 (NumCPU workers),
-# verifying the outputs are byte-identical and recording wall times and the
-# speedup into BENCH_harness.json. Run via `make bench`.
+# Benchmarks the pipeline at two levels and records the results as JSON:
+#
+#   BENCH_harness.json  wall time of a reduced Table 7 experiment across a
+#                       -jobs scaling curve (1, 2, 4, NumCPU), plus the
+#                       fault-injection and live-exporter overhead passes,
+#                       verifying every variant's stdout is byte-identical.
+#   BENCH_vm.json       interpreter throughput from BenchmarkVMTrial:
+#                       retired instructions/sec, ns and allocs per trial,
+#                       the profiled-trial figures, and the same scaling
+#                       curve (the harness view of VM throughput).
+#
+# Run via `make bench`, or `make bench-smoke` (`--smoke`) for a seconds-fast
+# pass with tiny run counts that writes under $TMPDIR instead of the repo.
 set -eu
 cd "$(dirname "$0")/.."
 
 TMP="${TMPDIR:-/tmp}"
 BIN="$TMP/stmdiag-bench-experiments"
-ARGS="-table 7 -failruns 6 -succruns 6 -cbiruns 100 -overhead 2"
+cpus=$(nproc 2>/dev/null || echo 1)
+
+SMOKE=0
+if [ "${1:-}" = "--smoke" ]; then
+    SMOKE=1
+fi
+
+if [ "$SMOKE" = 1 ]; then
+    ARGS="-table 7 -failruns 3 -succruns 3 -cbiruns 20 -overhead 2"
+    CURVE="1 2"
+    BENCHTIME="3x"
+    OUT_HARNESS="$TMP/stmdiag-bench-harness.json"
+    OUT_VM="$TMP/stmdiag-bench-vm.json"
+else
+    ARGS="-table 7 -failruns 6 -succruns 6 -cbiruns 100 -overhead 2"
+    CURVE="1 2 4"
+    case "$cpus" in
+        1|2|4) ;;
+        *) CURVE="$CURVE $cpus" ;;
+    esac
+    BENCHTIME="1s"
+    OUT_HARNESS=BENCH_harness.json
+    OUT_VM=BENCH_vm.json
+fi
 
 go build -o "$BIN" ./cmd/experiments
 
@@ -18,17 +50,32 @@ now_ms() {
     echo $(( $(date +%s%N) / 1000000 ))
 }
 
-t0=$(now_ms)
-"$BIN" $ARGS -jobs 1 >"$TMP/stmdiag-bench-seq.txt" 2>/dev/null
-t1=$(now_ms)
-seq_ms=$((t1 - t0))
+# Scaling curve: the same experiment at each worker count, every stdout
+# byte-identical to the sequential run's.
+scaling=""
+seq_ms=0
+for jobs in $CURVE; do
+    t0=$(now_ms)
+    "$BIN" $ARGS -jobs "$jobs" >"$TMP/stmdiag-bench-j$jobs.txt" 2>/dev/null
+    t1=$(now_ms)
+    ms=$((t1 - t0))
+    if [ "$jobs" = 1 ]; then
+        seq_ms=$ms
+    elif ! cmp -s "$TMP/stmdiag-bench-j1.txt" "$TMP/stmdiag-bench-j$jobs.txt"; then
+        echo "bench: stdout differs between -jobs 1 and -jobs $jobs" >&2
+        exit 1
+    fi
+    [ -n "$scaling" ] && scaling="$scaling,"
+    scaling="$scaling
+    { \"jobs\": $jobs, \"wall_ms\": $ms }"
+done
 
 t0=$(now_ms)
 "$BIN" $ARGS -jobs 0 >"$TMP/stmdiag-bench-par.txt" 2>/dev/null
 t1=$(now_ms)
 par_ms=$((t1 - t0))
 
-if ! cmp -s "$TMP/stmdiag-bench-seq.txt" "$TMP/stmdiag-bench-par.txt"; then
+if ! cmp -s "$TMP/stmdiag-bench-j1.txt" "$TMP/stmdiag-bench-par.txt"; then
     echo "bench: stdout differs between -jobs 1 and -jobs 0" >&2
     exit 1
 fi
@@ -60,12 +107,11 @@ if ! cmp -s "$TMP/stmdiag-bench-par.txt" "$TMP/stmdiag-bench-srv.txt"; then
     exit 1
 fi
 
-cpus=$(nproc 2>/dev/null || echo 1)
 speedup=$(awk -v s="$seq_ms" -v p="$par_ms" 'BEGIN { printf (p > 0) ? "%.2f" : "0", s / p }')
 fault0_ratio=$(awk -v p="$par_ms" -v f="$fault0_ms" 'BEGIN { printf (p > 0) ? "%.3f" : "0", f / p }')
 serve_ratio=$(awk -v p="$par_ms" -v s="$serve_ms" 'BEGIN { printf (p > 0) ? "%.3f" : "0", s / p }')
 
-cat > BENCH_harness.json <<EOF
+cat > "$OUT_HARNESS" <<EOF
 {
   "bench": "cmd/experiments $ARGS",
   "cpus": $cpus,
@@ -76,8 +122,59 @@ cat > BENCH_harness.json <<EOF
   "faults_rate0_ratio": $fault0_ratio,
   "serve_wall_ms": $serve_ms,
   "serve_ratio": $serve_ratio,
+  "scaling": [$scaling
+  ],
   "stdout_identical": true
 }
 EOF
 
-echo "bench: jobs=1 ${seq_ms}ms, jobs=$cpus ${par_ms}ms, speedup ${speedup}x, faults-off ${fault0_ms}ms, serve ${serve_ms}ms (BENCH_harness.json)"
+# Interpreter throughput: BenchmarkVMTrial runs one full instrumented sort
+# trial per op and reports retired instructions/sec; the Profiled variant
+# shows the cost-attribution tax. go test prints each metric as
+# "<value> <unit>" pairs, which awk picks out by unit token.
+go test -run '^$' -bench '^BenchmarkVMTrial' -benchmem -benchtime "$BENCHTIME" . \
+    >"$TMP/stmdiag-bench-vm.txt" 2>&1 || {
+    cat "$TMP/stmdiag-bench-vm.txt" >&2
+    exit 1
+}
+
+vm_metrics=$(awk '
+    /^BenchmarkVMTrial/ {
+        prof = ($1 ~ /^BenchmarkVMTrialProfiled/) ? "prof_" : ""
+        for (i = 2; i < NF; i++) {
+            if ($(i+1) == "ns/op")      v[prof "ns"] = $i
+            if ($(i+1) == "instrs/sec") v[prof "ips"] = $i
+            if ($(i+1) == "B/op")       v[prof "bytes"] = $i
+            if ($(i+1) == "allocs/op")  v[prof "allocs"] = $i
+        }
+    }
+    END {
+        printf "%s %s %s %s %s %s", \
+            v["ips"]+0, v["ns"]+0, v["bytes"]+0, v["allocs"]+0, \
+            v["prof_ns"]+0, v["prof_allocs"]+0
+    }' "$TMP/stmdiag-bench-vm.txt")
+set -- $vm_metrics
+ips=$1; ns_trial=$2; bytes_trial=$3; allocs_trial=$4; prof_ns=$5; prof_allocs=$6
+
+if [ "$ns_trial" = 0 ]; then
+    echo "bench: failed to parse BenchmarkVMTrial output:" >&2
+    cat "$TMP/stmdiag-bench-vm.txt" >&2
+    exit 1
+fi
+
+cat > "$OUT_VM" <<EOF
+{
+  "bench": "BenchmarkVMTrial (one instrumented sort trial per op, -benchtime $BENCHTIME)",
+  "cpus": $cpus,
+  "instrs_per_sec": $ips,
+  "ns_per_trial": $ns_trial,
+  "bytes_per_trial": $bytes_trial,
+  "allocs_per_trial": $allocs_trial,
+  "profiled_ns_per_trial": $prof_ns,
+  "profiled_allocs_per_trial": $prof_allocs,
+  "scaling": [$scaling
+  ]
+}
+EOF
+
+echo "bench: jobs curve [$CURVE] seq ${seq_ms}ms par ${par_ms}ms speedup ${speedup}x; vm ${ips} instrs/sec, ${allocs_trial} allocs/trial ($OUT_HARNESS, $OUT_VM)"

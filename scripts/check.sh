@@ -21,8 +21,8 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (obs, vm, faultinj)"
-go test -race ./internal/obs/... ./internal/vm/... ./internal/faultinj/...
+echo "== go test -race (obs, vm, faultinj, prof)"
+go test -race ./internal/obs/... ./internal/vm/... ./internal/faultinj/... ./internal/prof/...
 
 echo "== go test -race (harness trial pool)"
 go test -race ./internal/harness -run 'TrialSeed|Collect|Map|First|JobsInvariance|Retry|Faults|Flight'
@@ -81,5 +81,27 @@ fi
 # Metrics render on stderr so they never perturb the golden table stdout.
 "$SMD" -app sort -failruns 4 -succruns 4 -cbiruns 40 -metrics -metrics-format prom 2>&1 >/dev/null \
     | grep -q '^# EOF$' || { echo "-metrics-format prom printed no OpenMetrics exposition" >&2; exit 1; }
+
+echo "== -profile-report smoke"
+# A profiled run renders the hot-spot report on stderr, leaving the golden
+# stdout untouched; a negative top-K must be rejected with exit 2.
+"$SMD" -app sort -failruns 4 -succruns 4 -cbiruns 40 -profile-report 10 2>"${TMPDIR:-/tmp}/stmdiag-check-prof.txt" \
+    >"${TMPDIR:-/tmp}/stmdiag-check-profout.txt"
+grep -q 'cost attribution: hot-spot report' "${TMPDIR:-/tmp}/stmdiag-check-prof.txt" \
+    || { echo "-profile-report printed no hot-spot report" >&2; exit 1; }
+"$SMD" -app sort -failruns 4 -succruns 4 -cbiruns 40 2>/dev/null >"${TMPDIR:-/tmp}/stmdiag-check-plainout.txt"
+if ! cmp -s "${TMPDIR:-/tmp}/stmdiag-check-profout.txt" "${TMPDIR:-/tmp}/stmdiag-check-plainout.txt"; then
+    echo "-profile-report changed the golden stdout" >&2
+    exit 1
+fi
+if "$SMD" -app sort -profile-report -1 >/dev/null 2>&1; then
+    echo "-profile-report -1 was accepted" >&2
+    exit 1
+fi
+
+echo "== bench smoke"
+# The reduced bench pass: scaling curve, overhead passes and the VM
+# benchmark end to end, writing under \$TMPDIR.
+sh scripts/bench.sh --smoke
 
 echo "check: OK"
