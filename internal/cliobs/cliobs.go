@@ -100,6 +100,50 @@ func CheckJobs(jobs int) error {
 	return nil
 }
 
+// FleetFlags holds the parsed -fleet-* flags shared by fleet-aware
+// binaries (fleetd's store sizing and client-simulation shape).
+type FleetFlags struct {
+	// Shards is the profile store's lock-stripe count (-fleet-shards).
+	Shards int
+	// Clients is how many simulated machines a push fans out over
+	// (-fleet-clients).
+	Clients int
+	// Batch is the per-client submissions-per-POST batch size
+	// (-fleet-batch).
+	Batch int
+	// Retries bounds per-batch re-sends on 5xx (-fleet-retries).
+	Retries int
+}
+
+// RegisterFleet installs the -fleet-* flags on the default flag set. Call
+// before flag.Parse.
+func RegisterFleet() *FleetFlags {
+	f := &FleetFlags{}
+	flag.IntVar(&f.Shards, "fleet-shards", 16, "profile-store lock stripes per app (1..4096)")
+	flag.IntVar(&f.Clients, "fleet-clients", 4, "simulated machines a -push fans profiles over")
+	flag.IntVar(&f.Batch, "fleet-batch", 64, "profile submissions per ingest POST")
+	flag.IntVar(&f.Retries, "fleet-retries", 5, "max re-sends of one batch after a 5xx")
+	return f
+}
+
+// Validate rejects malformed -fleet-* values; call right after flag.Parse
+// and exit 2 on error.
+func (f *FleetFlags) Validate() error {
+	if f.Shards < 1 || f.Shards > 4096 {
+		return fmt.Errorf("-fleet-shards must be in 1..4096, got %d", f.Shards)
+	}
+	if f.Clients < 1 {
+		return fmt.Errorf("-fleet-clients must be >= 1, got %d", f.Clients)
+	}
+	if f.Batch < 1 {
+		return fmt.Errorf("-fleet-batch must be >= 1, got %d", f.Batch)
+	}
+	if f.Retries < 0 {
+		return fmt.Errorf("-fleet-retries must be >= 0, got %d", f.Retries)
+	}
+	return nil
+}
+
 // Sink builds the sink the flags ask for. It returns nil when every flag
 // is off, keeping the disabled-telemetry path free. Metrics land in the
 // process-wide registry so instrumentation-time counters (sites

@@ -227,3 +227,37 @@ func TestFinishMetricsFormats(t *testing.T) {
 		t.Errorf("text format rendered %q", got)
 	}
 }
+
+func TestFleetFlagsValidate(t *testing.T) {
+	good := []FleetFlags{
+		{Shards: 1, Clients: 1, Batch: 1, Retries: 0},
+		{Shards: 16, Clients: 4, Batch: 64, Retries: 5},
+		{Shards: 4096, Clients: 100, Batch: 1000, Retries: 20},
+	}
+	for _, f := range good {
+		if err := f.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", f, err)
+		}
+	}
+	bad := []struct {
+		f    FleetFlags
+		flag string
+	}{
+		{FleetFlags{Shards: 0, Clients: 1, Batch: 1}, "-fleet-shards"},
+		{FleetFlags{Shards: 4097, Clients: 1, Batch: 1}, "-fleet-shards"},
+		{FleetFlags{Shards: 1, Clients: 0, Batch: 1}, "-fleet-clients"},
+		{FleetFlags{Shards: 1, Clients: 1, Batch: 0}, "-fleet-batch"},
+		{FleetFlags{Shards: 1, Clients: 1, Batch: -3}, "-fleet-batch"},
+		{FleetFlags{Shards: 1, Clients: 1, Batch: 1, Retries: -1}, "-fleet-retries"},
+	}
+	for _, c := range bad {
+		err := c.f.Validate()
+		if err == nil {
+			t.Errorf("Validate(%+v) accepted a malformed value", c.f)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.flag) {
+			t.Errorf("Validate(%+v) error %q does not name %s", c.f, err, c.flag)
+		}
+	}
+}

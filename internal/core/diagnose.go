@@ -109,6 +109,11 @@ func Diagnose(mode Mode, fail, succ []ProfiledRun) (*Report, error) {
 	}, nil
 }
 
+// RunEvents extracts the mode's events from a profiled run — the same
+// extraction Diagnose feeds the statistical model, exported so cooperative
+// (fleet) submitters serialize exactly what the monolithic path would rank.
+func RunEvents(mode Mode, r ProfiledRun) []Event { return eventsOf(mode, r) }
+
 // eventsOf extracts the mode's events from a profiled run.
 func eventsOf(mode Mode, r ProfiledRun) []Event {
 	if mode == ModeLCR {

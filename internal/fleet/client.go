@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"stmdiag/internal/obs"
+)
+
+// ClientOptions configures a submitting client. The zero value picks the
+// defaults below.
+type ClientOptions struct {
+	// BatchSize is how many submissions one ingest POST carries
+	// (default 64).
+	BatchSize int
+	// MaxRetries bounds re-sends of one batch after a 5xx or transport
+	// error (default 5; 4xx responses are permanent and never retried).
+	MaxRetries int
+	// Backoff is the first retry delay; it doubles per retry
+	// (default 50ms).
+	Backoff time.Duration
+	// HTTPClient overrides the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// Name identifies this client in batches and diagnostics.
+	Name string
+	// Sink receives fleet.client.* metrics; nil disables them.
+	Sink *obs.Sink
+	// NoGzip sends batches uncompressed (diagnostics; production clients
+	// compress).
+	NoGzip bool
+	// sleep stubs the backoff wait in tests.
+	sleep func(time.Duration)
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 64
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 5
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+	if o.sleep == nil {
+		o.sleep = time.Sleep
+	}
+	return o
+}
+
+// Client streams profile submissions to a fleet service, batching them
+// into gzip POSTs with retry-with-backoff on server errors — the deployed
+// machine's side of cooperative diagnosis. Not safe for concurrent use;
+// give each simulated machine its own Client.
+type Client struct {
+	url string
+	o   ClientOptions
+	buf []Submission
+
+	batches  *obs.Counter
+	profiles *obs.Counter
+	retries  *obs.Counter
+}
+
+// NewClient builds a client submitting to baseURL (the service root, e.g.
+// "http://127.0.0.1:8344"; the /fleet/ingest path is appended here).
+func NewClient(baseURL string, o ClientOptions) *Client {
+	o = o.withDefaults()
+	c := &Client{url: baseURL + "/fleet/ingest", o: o}
+	if o.Sink != nil {
+		c.batches = o.Sink.Counter("fleet.client.batches")
+		c.profiles = o.Sink.Counter("fleet.client.profiles")
+		c.retries = o.Sink.Counter("fleet.client.retries")
+	}
+	return c
+}
+
+// Add buffers one submission, flushing when the batch fills.
+func (c *Client) Add(sub Submission) error {
+	c.buf = append(c.buf, sub)
+	if len(c.buf) >= c.o.BatchSize {
+		return c.Flush()
+	}
+	return nil
+}
+
+// Flush posts any buffered submissions as one batch.
+func (c *Client) Flush() error {
+	if len(c.buf) == 0 {
+		return nil
+	}
+	batch := &Batch{Client: c.o.Name, Subs: c.buf}
+	var (
+		data []byte
+		err  error
+	)
+	if c.o.NoGzip {
+		data, err = EncodeBatch(batch)
+	} else {
+		data, err = EncodeBatchGzip(batch)
+	}
+	if err != nil {
+		return err
+	}
+	n := len(c.buf)
+	c.buf = c.buf[:0]
+	if err := c.post(data); err != nil {
+		return err
+	}
+	c.batches.Inc()
+	c.profiles.Add(uint64(n))
+	return nil
+}
+
+// post sends one encoded batch, retrying 5xx responses and transport
+// errors with exponential backoff. A 4xx means the batch itself is bad
+// (version skew, malformed payload): retrying cannot help, so it is a
+// permanent error.
+func (c *Client) post(data []byte) error {
+	backoff := c.o.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= c.o.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.retries.Inc()
+			c.o.sleep(backoff)
+			backoff *= 2
+		}
+		req, err := http.NewRequest(http.MethodPost, c.url, bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("fleet: build ingest request: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if !c.o.NoGzip {
+			req.Header.Set("Content-Encoding", "gzip")
+		}
+		resp, err := c.o.HTTPClient.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("fleet: post batch: %w", err)
+			continue
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			return nil
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("fleet: ingest returned %s: %s", resp.Status, bytes.TrimSpace(body))
+			continue
+		default:
+			return fmt.Errorf("fleet: ingest rejected batch (%s): %s", resp.Status, bytes.TrimSpace(body))
+		}
+	}
+	return fmt.Errorf("fleet: batch failed after %d attempts: %w", c.o.MaxRetries+1, lastErr)
+}
+
+// Simulate fans submissions out over n concurrent clients — the simulated
+// production machines of cooperative sampling. Submissions partition
+// round-robin (machine i takes subs[i], subs[i+n], ...), each machine
+// batching and pushing its own share concurrently; per-machine submission
+// order is preserved, cross-machine interleaving is whatever the network
+// gives. Because the store's merge is order-independent, the final
+// aggregate is identical for every n.
+func Simulate(baseURL string, n int, subs []Submission, o ClientOptions) error {
+	if n <= 0 {
+		n = 1
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for m := 0; m < n; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			co := o
+			if co.Name == "" {
+				co.Name = fmt.Sprintf("machine-%d", m)
+			} else {
+				co.Name = fmt.Sprintf("%s-%d", co.Name, m)
+			}
+			c := NewClient(baseURL, co)
+			for i := m; i < len(subs); i += n {
+				if err := c.Add(subs[i]); err != nil {
+					errs[m] = err
+					return
+				}
+			}
+			errs[m] = c.Flush()
+		}(m)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

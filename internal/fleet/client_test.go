@@ -1,0 +1,144 @@
+package fleet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stmdiag/internal/core"
+	"stmdiag/internal/isa"
+	"stmdiag/internal/obs"
+)
+
+func TestClientBatching(t *testing.T) {
+	sink := &obs.Sink{Metrics: obs.NewRegistry()}
+	store := NewStore(StoreOptions{})
+	srv := httptest.NewServer(NewService(store, nil, nil).Handler())
+	defer srv.Close()
+
+	c := NewClient(srv.URL, ClientOptions{BatchSize: 3, Sink: sink, Name: "m0"})
+	ev := branchEvent("b", isa.EdgeTrue)
+	for i := 0; i < 7; i++ {
+		if err := c.Add(Submission{App: "x", Mode: core.ModeLBR, Failed: true, Events: []core.Event{ev}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := sink.Metrics.Snapshot()
+	if got := snap.Counter("fleet.client.batches"); got != 2 {
+		t.Errorf("batches before flush = %d, want 2 (7 adds / batch of 3)", got)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil { // empty flush is a no-op
+		t.Fatal(err)
+	}
+	snap = sink.Metrics.Snapshot()
+	if got := snap.Counter("fleet.client.batches"); got != 3 {
+		t.Errorf("batches after flush = %d, want 3", got)
+	}
+	if got := snap.Counter("fleet.client.profiles"); got != 7 {
+		t.Errorf("profiles = %d, want 7", got)
+	}
+	if got := store.Totals("x").FailRuns; got != 7 {
+		t.Errorf("store received %d failing runs, want 7", got)
+	}
+}
+
+func TestClientRetriesServerErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "shard catching fire", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"accepted": 1}`))
+	}))
+	defer srv.Close()
+
+	sink := &obs.Sink{Metrics: obs.NewRegistry()}
+	var slept []time.Duration
+	c := NewClient(srv.URL, ClientOptions{
+		Backoff: 10 * time.Millisecond,
+		Sink:    sink,
+		sleep:   func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err := c.Add(Submission{App: "x", Mode: core.ModeLBR, Failed: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush after transient 503s: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d posts, want 3 (2 failures + success)", got)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if !reflect.DeepEqual(slept, want) {
+		t.Errorf("backoff sleeps = %v, want %v (exponential)", slept, want)
+	}
+	if got := sink.Metrics.Snapshot().Counter("fleet.client.retries"); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+}
+
+func TestClientGivesUpAfterMaxRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, ClientOptions{MaxRetries: 2, sleep: func(time.Duration) {}})
+	c.Add(Submission{App: "x", Mode: core.ModeLBR, Failed: true})
+	err := c.Flush()
+	if err == nil {
+		t.Fatal("flush succeeded against a permanently-500 server")
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("error %q does not report attempt count", err)
+	}
+}
+
+func TestClient4xxIsPermanent(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "fleet: wire version 99", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, ClientOptions{sleep: func(time.Duration) {}})
+	c.Add(Submission{App: "x", Mode: core.ModeLBR, Failed: true})
+	err := c.Flush()
+	if err == nil || !strings.Contains(err.Error(), "rejected batch") {
+		t.Fatalf("flush error = %v, want permanent rejection", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d posts, want 1 (4xx must not retry)", got)
+	}
+}
+
+// TestSimulateConvergesAcrossClientCounts is the heart of cooperative
+// sampling: however many machines the population is split across, the
+// aggregate report is identical.
+func TestSimulateConvergesAcrossClientCounts(t *testing.T) {
+	subs := randomSubmissions(9, 120)
+	var want string
+	for _, n := range []int{1, 3, 5} {
+		store := NewStore(StoreOptions{})
+		srv := httptest.NewServer(NewService(store, nil, nil).Handler())
+		if err := Simulate(srv.URL, n, subs, ClientOptions{BatchSize: 8}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		srv.Close()
+		got := store.Report("alpha").Render(10)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Errorf("n=%d: report diverges from n=1:\n%s\nvs\n%s", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package fleet_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"stmdiag/internal/apps"
+	"stmdiag/internal/core"
+	"stmdiag/internal/fleet"
+	"stmdiag/internal/harness"
+)
+
+// TestFleetConvergesToMonolithicDiagnosis is the subsystem's golden test:
+// the fleet path — capture on simulated machines, serialize, gzip-POST in
+// batches, merge into the sharded store, rank incrementally — must produce
+// a /fleet/report byte-identical to the monolithic core.Diagnose over the
+// same profiles, for every worker count and every client-fleet size. This
+// is the paper's cooperative-sampling claim made executable: aggregation
+// is pure counter merging, so how the evidence was partitioned across
+// machines cannot change the diagnosis.
+func TestFleetConvergesToMonolithicDiagnosis(t *testing.T) {
+	a := apps.ByName("sort")
+	const k = 10
+	var golden string
+
+	for _, jobs := range []int{1, 4} {
+		cfg := harness.Config{FailRuns: 4, SuccRuns: 4, Seed: 11, Jobs: jobs}
+		mode, fail, succ, err := harness.DiagnosisProfiles(a, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := core.Diagnose(mode, fail, succ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mono := rep.Render(k)
+		if golden == "" {
+			golden = mono
+		} else if mono != golden {
+			t.Fatalf("monolithic diagnosis differs at -jobs %d:\n%s\nvs\n%s", jobs, mono, golden)
+		}
+
+		subs := fleet.SubmissionsFromRuns(a.Name, mode, true, fail)
+		subs = append(subs, fleet.SubmissionsFromRuns(a.Name, mode, false, succ)...)
+		for _, clients := range []int{1, 3, 5} {
+			for _, shards := range []int{1, 16} {
+				store := fleet.NewStore(fleet.StoreOptions{Shards: shards})
+				srv := httptest.NewServer(fleet.NewService(store, nil, nil).Handler())
+				if err := fleet.Simulate(srv.URL, clients, subs, fleet.ClientOptions{BatchSize: 3}); err != nil {
+					t.Fatalf("jobs=%d clients=%d shards=%d: %v", jobs, clients, shards, err)
+				}
+				resp, err := http.Get(srv.URL + "/fleet/report?app=" + a.Name + "&k=10")
+				if err != nil {
+					t.Fatal(err)
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				srv.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("jobs=%d clients=%d shards=%d: report %s", jobs, clients, shards, resp.Status)
+				}
+				if string(body) != golden {
+					t.Errorf("jobs=%d clients=%d shards=%d: fleet report diverges from monolithic diagnosis\nfleet:\n%s\nmonolithic:\n%s",
+						jobs, clients, shards, body, golden)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"stmdiag/internal/obs"
+)
+
+// MaxBatchBytes bounds one ingest POST's (decoded) request body. Batches
+// are per-trial event sets — kilobytes each — so anything near this limit
+// is a malfunctioning client, not load.
+const MaxBatchBytes = 8 << 20
+
+// batchLatencyBounds buckets ingest handler latency (ns): 10µs .. ~164ms
+// in powers of four, matching the obs histogram convention.
+var batchLatencyBounds = []uint64{
+	10_000, 40_000, 160_000, 640_000, 2_560_000, 10_240_000, 40_960_000, 163_840_000,
+}
+
+// Service is the fleet ingestion endpoint set, layered over a base handler
+// (normally internal/obshttp's telemetry mux) so one listener serves both
+// the fleet API and live telemetry:
+//
+//	POST /fleet/ingest   commit one profile batch (JSON, optionally gzip)
+//	GET  /fleet/stats    JSON aggregate summary per app
+//	GET  /fleet/report   text diagnosis ranking (same rendering as the
+//	                     monolithic path), ?app=NAME&k=N
+type Service struct {
+	store *Store
+	base  http.Handler
+
+	batches  *obs.Counter
+	profiles *obs.Counter
+	bytes    *obs.Counter
+	rejected *obs.Counter
+	batchNS  *obs.Histogram
+}
+
+// NewService wires the fleet routes over the store. base handles every
+// non-/fleet path (nil = 404s outside /fleet/). sink receives
+// fleet.ingest.* throughput metrics; nil disables them.
+func NewService(store *Store, base http.Handler, sink *obs.Sink) *Service {
+	s := &Service{store: store, base: base}
+	if sink != nil {
+		s.batches = sink.Counter("fleet.ingest.batches")
+		s.profiles = sink.Counter("fleet.ingest.profiles")
+		s.bytes = sink.Counter("fleet.ingest.bytes")
+		s.rejected = sink.Counter("fleet.ingest.rejected")
+		s.batchNS = sink.Histogram("fleet.ingest.batch_ns", batchLatencyBounds)
+	}
+	return s
+}
+
+// Handler returns the service mux.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/ingest", s.handleIngest)
+	mux.HandleFunc("/fleet/stats", s.handleStats)
+	mux.HandleFunc("/fleet/report", s.handleReport)
+	if s.base != nil {
+		mux.Handle("/", s.base)
+	}
+	return mux
+}
+
+// handleIngest commits one batch. Only POST mutates the store; anything
+// else is 405 so proxies and probes cannot write by accident.
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "ingest accepts POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	t0 := time.Now()
+	body := http.MaxBytesReader(w, r.Body, MaxBatchBytes)
+	gzipped := strings.Contains(r.Header.Get("Content-Encoding"), "gzip")
+	batch, err := DecodeBatch(countingReader{body, s.bytes}, gzipped)
+	if err != nil {
+		s.rejected.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	n := s.store.AddBatch(batch)
+	s.batches.Inc()
+	s.profiles.Add(uint64(n))
+	s.batchNS.Observe(uint64(time.Since(t0)))
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"accepted\": %d}\n", n)
+}
+
+// countingReader feeds the ingest byte counter as the body streams through
+// (compressed size: the wire cost, not the inflated one).
+type countingReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(uint64(n))
+	return n, err
+}
+
+// StatsDump is the /fleet/stats response shape.
+type StatsDump struct {
+	Shards   int         `json:"shards"`
+	Batches  uint64      `json:"batches"`
+	Profiles uint64      `json:"profiles"`
+	Bytes    uint64      `json:"bytes"`
+	Rejected uint64      `json:"rejected"`
+	Apps     []AppTotals `json:"apps"`
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !readOnlyMethod(w, r) {
+		return
+	}
+	dump := StatsDump{
+		Shards:   s.store.Shards(),
+		Batches:  s.batches.Value(),
+		Profiles: s.profiles.Value(),
+		Bytes:    s.bytes.Value(),
+		Rejected: s.rejected.Value(),
+		Apps:     []AppTotals{},
+	}
+	for _, app := range s.store.Apps() {
+		dump.Apps = append(dump.Apps, s.store.Totals(app))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(dump) //nolint:errcheck // best-effort over HTTP
+}
+
+// handleReport renders one app's diagnosis ranking — core.Report.Render,
+// the exact text the monolithic pipeline prints, so fleet-vs-monolithic
+// convergence can be compared byte for byte.
+func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
+	if !readOnlyMethod(w, r) {
+		return
+	}
+	app := r.URL.Query().Get("app")
+	if app == "" {
+		apps := s.store.Apps()
+		if len(apps) != 1 {
+			http.Error(w, fmt.Sprintf("?app= required (have %v)", apps), http.StatusBadRequest)
+			return
+		}
+		app = apps[0]
+	}
+	k := 10
+	if kq := r.URL.Query().Get("k"); kq != "" {
+		n, err := strconv.Atoi(kq)
+		if err != nil || n < 1 {
+			http.Error(w, "?k= must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		k = n
+	}
+	rep := s.store.Report(app)
+	if rep == nil {
+		http.Error(w, fmt.Sprintf("no failure profiles for app %q", app), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	io.WriteString(w, rep.Render(k)) //nolint:errcheck // best-effort over HTTP
+}
+
+// readOnlyMethod admits GET/HEAD and rejects everything else with 405 +
+// Allow, mirroring internal/obshttp's read-only endpoint policy.
+func readOnlyMethod(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
+	}
+	w.Header().Set("Allow", "GET, HEAD")
+	http.Error(w, "read-only endpoint", http.StatusMethodNotAllowed)
+	return false
+}

@@ -1,0 +1,409 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"stmdiag/internal/core"
+	"stmdiag/internal/obs"
+	"stmdiag/internal/stats"
+)
+
+// DefaultShards is the per-app lock-stripe count. Sixteen stripes keep
+// shard collisions rare at tens of concurrent ingest handlers while the
+// per-stripe maps stay small enough to stay cache-resident.
+const DefaultShards = 16
+
+// StoreOptions sizes a Store.
+type StoreOptions struct {
+	// Shards is the per-app lock-stripe count (0 = DefaultShards).
+	Shards int
+	// Sink receives fleet.store.* metrics: per-shard commit counts and
+	// lock-wait time (the contention signal), ranking rescore accounting.
+	// Nil disables metrics.
+	Sink *obs.Sink
+}
+
+// Store is the fleet's profile aggregate: per-(app, event) success/failure
+// counters behind striped locks, plus per-app run totals and an
+// incrementally maintained diagnosis ranking. Adds from many ingest
+// handlers proceed concurrently — two submissions contend only when their
+// events hash to the same stripe of the same app.
+//
+// The statistics are pure counter sums, so the aggregate is independent of
+// arrival order (stats.ScoreCounts): a report taken after ingestion settles
+// is byte-identical to the monolithic diagnosis over the same runs.
+type Store struct {
+	shards int
+	sink   *obs.Sink
+
+	mu   sync.RWMutex
+	apps map[string]*appState
+
+	// Per-stripe instruments, shared across apps so the stripe count —
+	// not the app count — bounds the metric family.
+	shardCommits []*obs.Counter // events committed through stripe i
+	shardWaitNS  []*obs.Counter // ns spent waiting for stripe i's lock
+
+	profiles     *obs.Counter // submissions committed
+	fullRescore  *obs.Counter // reports that rescored every event
+	deltaRescore *obs.Counter // reports that rescored only dirty events
+	rescored     *obs.Counter // events rescored across all reports
+}
+
+// NewStore builds an empty store.
+func NewStore(o StoreOptions) *Store {
+	if o.Shards <= 0 {
+		o.Shards = DefaultShards
+	}
+	s := &Store{
+		shards: o.Shards,
+		sink:   o.Sink,
+		apps:   make(map[string]*appState),
+	}
+	if o.Sink != nil {
+		s.shardCommits = make([]*obs.Counter, o.Shards)
+		s.shardWaitNS = make([]*obs.Counter, o.Shards)
+		for i := 0; i < o.Shards; i++ {
+			s.shardCommits[i] = o.Sink.Counter(fmt.Sprintf("fleet.store.shard%d.commits", i))
+			s.shardWaitNS[i] = o.Sink.Counter(fmt.Sprintf("fleet.store.shard%d.wait_ns", i))
+		}
+		s.profiles = o.Sink.Counter("fleet.store.profiles")
+		s.fullRescore = o.Sink.Counter("fleet.rank.full_rescores")
+		s.deltaRescore = o.Sink.Counter("fleet.rank.delta_rescores")
+		s.rescored = o.Sink.Counter("fleet.rank.events_rescored")
+	}
+	return s
+}
+
+// Shards returns the lock-stripe count.
+func (s *Store) Shards() int { return s.shards }
+
+// eventCount is one (app, event)'s merged occurrence counters.
+type eventCount struct {
+	inFail, inSucc int
+}
+
+// storeShard is one lock stripe of an app's event table. dirty carries the
+// events touched since the last report; the ranker drains it to rescore
+// only what changed.
+type storeShard struct {
+	mu     sync.Mutex
+	counts map[core.Event]*eventCount
+	dirty  map[core.Event]bool
+}
+
+// appState is one application's aggregate.
+type appState struct {
+	name   string
+	shards []storeShard
+
+	// Run totals. totalsMu also serializes the Failed/usable accounting;
+	// the per-event counters live in the stripes.
+	totalsMu   sync.Mutex
+	mode       core.Mode
+	failRuns   int
+	succRuns   int
+	usableFail int // failed runs with a non-empty profile
+
+	// Incremental ranking state, maintained lazily at report time. ranked
+	// is kept sorted under stats.Less; scored caches each event's current
+	// Scored so a delta pass can locate and replace its ranked entry
+	// without touching the stripes of unchanged events.
+	rankMu        sync.Mutex
+	ranked        []stats.Scored[core.Event]
+	scored        map[core.Event]stats.Scored[core.Event]
+	counts        map[core.Event]eventCount // counter cache behind ranked
+	lastFailTotal int
+}
+
+func newAppState(name string, shards int) *appState {
+	a := &appState{
+		name:   name,
+		shards: make([]storeShard, shards),
+		scored: make(map[core.Event]stats.Scored[core.Event]),
+		counts: make(map[core.Event]eventCount),
+	}
+	for i := range a.shards {
+		a.shards[i].counts = make(map[core.Event]*eventCount)
+		a.shards[i].dirty = make(map[core.Event]bool)
+	}
+	return a
+}
+
+// app returns the app's state, creating it on first submission.
+func (s *Store) app(name string) *appState {
+	s.mu.RLock()
+	a := s.apps[name]
+	s.mu.RUnlock()
+	if a != nil {
+		return a
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a = s.apps[name]; a == nil {
+		a = newAppState(name, s.shards)
+		s.apps[name] = a
+	}
+	return a
+}
+
+// eventShard hashes an event to its lock stripe (FNV-1a over the event's
+// identity fields; strings dominate the mix).
+func eventShard(e core.Event, shards int) int {
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	h := uint64(fnvOffset)
+	step := func(b byte) { h ^= uint64(b); h *= fnvPrime }
+	step(byte(e.Kind))
+	for i := 0; i < len(e.Branch); i++ {
+		step(e.Branch[i])
+	}
+	step(byte(e.Edge))
+	for i := 0; i < len(e.File); i++ {
+		step(e.File[i])
+	}
+	step(byte(e.Line))
+	step(byte(e.Line >> 8))
+	step(byte(e.Line >> 16))
+	step(byte(e.Access))
+	step(byte(e.State))
+	return int(h % uint64(shards))
+}
+
+// Add commits one submission: bumps the app's run totals and the per-event
+// counters of the (deduped) profile. Events are grouped by stripe so each
+// stripe lock is taken at most once per submission.
+func (s *Store) Add(sub Submission) {
+	a := s.app(sub.App)
+	events := DedupEvents(sub.Events)
+
+	a.totalsMu.Lock()
+	a.mode = sub.Mode
+	if sub.Failed {
+		a.failRuns++
+		if len(events) > 0 {
+			a.usableFail++
+		}
+	} else {
+		a.succRuns++
+	}
+	a.totalsMu.Unlock()
+
+	// Group by stripe first: one lock acquisition per touched stripe.
+	perShard := make(map[int][]core.Event, len(events))
+	for _, e := range events {
+		i := eventShard(e, s.shards)
+		perShard[i] = append(perShard[i], e)
+	}
+	for i, evs := range perShard {
+		sh := &a.shards[i]
+		var t0 time.Time
+		if s.shardWaitNS != nil {
+			t0 = time.Now()
+		}
+		sh.mu.Lock()
+		if s.shardWaitNS != nil {
+			s.shardWaitNS[i].Add(uint64(time.Since(t0)))
+		}
+		for _, e := range evs {
+			c := sh.counts[e]
+			if c == nil {
+				c = &eventCount{}
+				sh.counts[e] = c
+			}
+			if sub.Failed {
+				c.inFail++
+			} else {
+				c.inSucc++
+			}
+			sh.dirty[e] = true
+		}
+		sh.mu.Unlock()
+		if s.shardCommits != nil {
+			s.shardCommits[i].Add(uint64(len(evs)))
+		}
+	}
+	s.profiles.Inc()
+}
+
+// AddBatch commits every submission of a batch and returns the number
+// accepted.
+func (s *Store) AddBatch(b *Batch) int {
+	for _, sub := range b.Subs {
+		s.Add(sub)
+	}
+	return len(b.Subs)
+}
+
+// Apps lists the apps with data, sorted.
+func (s *Store) Apps() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.apps))
+	for name := range s.apps {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AppTotals summarizes one app's aggregate for /fleet/stats.
+type AppTotals struct {
+	App        string `json:"app"`
+	Mode       string `json:"mode"`
+	FailRuns   int    `json:"fail_runs"`
+	SuccRuns   int    `json:"succ_runs"`
+	UsableFail int    `json:"usable_fail"`
+	Events     int    `json:"events"`
+}
+
+// Totals returns the app's aggregate counts (zero totals for an unknown
+// app).
+func (s *Store) Totals(app string) AppTotals {
+	s.mu.RLock()
+	a := s.apps[app]
+	s.mu.RUnlock()
+	if a == nil {
+		return AppTotals{App: app}
+	}
+	a.totalsMu.Lock()
+	t := AppTotals{
+		App:        app,
+		Mode:       a.mode.String(),
+		FailRuns:   a.failRuns,
+		SuccRuns:   a.succRuns,
+		UsableFail: a.usableFail,
+	}
+	a.totalsMu.Unlock()
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		t.Events += len(sh.counts)
+		sh.mu.Unlock()
+	}
+	return t
+}
+
+// Report builds the app's diagnosis report from the current aggregate —
+// the same core.Report the monolithic core.Diagnose returns, so rendering
+// is shared and convergence is byte-for-byte. Returns nil for an app with
+// no failing runs (a diagnosis needs at least one failure profile, as in
+// core.Diagnose).
+func (s *Store) Report(app string) *core.Report {
+	s.mu.RLock()
+	a := s.apps[app]
+	s.mu.RUnlock()
+	if a == nil {
+		return nil
+	}
+	return a.report(s)
+}
+
+// report refreshes the app's incremental ranking and snapshots it.
+func (a *appState) report(s *Store) *core.Report {
+	a.totalsMu.Lock()
+	mode, failTotal, succTotal, usable := a.mode, a.failRuns, a.succRuns, a.usableFail
+	a.totalsMu.Unlock()
+	if failTotal == 0 {
+		return nil
+	}
+
+	a.rankMu.Lock()
+	defer a.rankMu.Unlock()
+
+	// Drain the dirty sets: copy the touched events' counters out from
+	// under the stripe locks.
+	type update struct {
+		ev core.Event
+		c  eventCount
+	}
+	var updates []update
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		for e := range sh.dirty {
+			updates = append(updates, update{e, *sh.counts[e]})
+		}
+		if len(sh.dirty) > 0 {
+			sh.dirty = make(map[core.Event]bool)
+		}
+		sh.mu.Unlock()
+	}
+	for _, u := range updates {
+		a.counts[u.ev] = u.c
+	}
+
+	if failTotal != a.lastFailTotal {
+		// Every recall (and so every score) moved: rescore the whole
+		// event table from the cached counters and resort. Still far
+		// cheaper than the monolithic path, which re-walks every run's
+		// full event list; here each event is one ScoreCounts call.
+		a.ranked = a.ranked[:0]
+		for e, c := range a.counts {
+			sc := stats.ScoreCounts(e, c.inFail, c.inSucc, failTotal)
+			a.scored[e] = sc
+			a.ranked = append(a.ranked, sc)
+		}
+		stats.SortScored(a.ranked)
+		a.lastFailTotal = failTotal
+		s.fullRescore.Inc()
+		s.rescored.Add(uint64(len(a.counts)))
+	} else if len(updates) > 0 {
+		// Only touched events moved: replace each one's entry in the
+		// sorted ranking by binary search under the shared total order.
+		for _, u := range updates {
+			if old, ok := a.scored[u.ev]; ok {
+				a.removeRanked(old)
+			}
+			sc := stats.ScoreCounts(u.ev, u.c.inFail, u.c.inSucc, failTotal)
+			a.scored[u.ev] = sc
+			a.insertRanked(sc)
+		}
+		s.deltaRescore.Inc()
+		s.rescored.Add(uint64(len(updates)))
+	}
+
+	ranking := make([]stats.Scored[core.Event], len(a.ranked))
+	copy(ranking, a.ranked)
+	return &core.Report{
+		Mode:        mode,
+		Ranking:     ranking,
+		FailureRuns: failTotal,
+		SuccessRuns: succTotal,
+		Verdict:     stats.AssessCounts(failTotal, usable),
+	}
+}
+
+// rankedPos locates the first index not ordered strictly ahead of sc.
+func (a *appState) rankedPos(sc stats.Scored[core.Event]) int {
+	return sort.Search(len(a.ranked), func(i int) bool {
+		return !stats.Less(a.ranked[i], sc)
+	})
+}
+
+// removeRanked deletes sc's entry from the sorted ranking. stats.Less is a
+// total order over distinct events, so the binary-search position is exact;
+// the linear scan below it only absorbs events whose formatted identities
+// collide (possible in principle, never in the event grammar).
+func (a *appState) removeRanked(sc stats.Scored[core.Event]) {
+	i := a.rankedPos(sc)
+	for i < len(a.ranked) && a.ranked[i].Event != sc.Event {
+		i++
+	}
+	if i < len(a.ranked) {
+		a.ranked = append(a.ranked[:i], a.ranked[i+1:]...)
+	}
+}
+
+// insertRanked places sc at its sorted position.
+func (a *appState) insertRanked(sc stats.Scored[core.Event]) {
+	i := a.rankedPos(sc)
+	a.ranked = append(a.ranked, stats.Scored[core.Event]{})
+	copy(a.ranked[i+1:], a.ranked[i:])
+	a.ranked[i] = sc
+}

@@ -1,0 +1,261 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"stmdiag/internal/cache"
+	"stmdiag/internal/core"
+	"stmdiag/internal/isa"
+	"stmdiag/internal/obs"
+	"stmdiag/internal/stats"
+)
+
+// randomSubmissions builds a deterministic random population of LBR and LCR
+// submissions for two apps, including empty (lost-capture) profiles.
+func randomSubmissions(seed int64, n int) []Submission {
+	rng := rand.New(rand.NewSource(seed))
+	var subs []Submission
+	for i := 0; i < n; i++ {
+		app, mode := "alpha", core.ModeLBR
+		if rng.Intn(2) == 1 {
+			app, mode = "beta", core.ModeLCR
+		}
+		var events []core.Event
+		for j := rng.Intn(6); j > 0; j-- {
+			if mode == core.ModeLBR {
+				events = append(events, branchEvent(fmt.Sprintf("b%d", rng.Intn(8)), isa.BranchEdge(rng.Intn(2))))
+			} else {
+				events = append(events, coherenceEvent("f.c", rng.Intn(8), cache.AccessKind(rng.Intn(2)), cache.State(rng.Intn(4))))
+			}
+		}
+		subs = append(subs, Submission{
+			App:    app,
+			Mode:   mode,
+			Failed: rng.Intn(2) == 0,
+			Events: events,
+		})
+	}
+	return subs
+}
+
+// monolithicRank is the reference: stats.Rank over the equivalent run set,
+// exactly what core.Diagnose computes.
+func monolithicRank(subs []Submission, app string) []stats.Scored[core.Event] {
+	var runs []stats.Run[core.Event]
+	for _, s := range subs {
+		if s.App != app {
+			continue
+		}
+		runs = append(runs, stats.Run[core.Event]{Failed: s.Failed, Events: s.Events})
+	}
+	return stats.Rank(runs)
+}
+
+func TestStoreConvergesToMonolithicRank(t *testing.T) {
+	subs := randomSubmissions(42, 200)
+	for _, shards := range []int{1, 4, 16, 31} {
+		for _, orderSeed := range []int64{1, 2, 3} {
+			store := NewStore(StoreOptions{Shards: shards})
+			order := rand.New(rand.NewSource(orderSeed)).Perm(len(subs))
+			for _, i := range order {
+				store.Add(subs[i])
+			}
+			for _, app := range []string{"alpha", "beta"} {
+				rep := store.Report(app)
+				if rep == nil {
+					t.Fatalf("shards=%d order=%d: no report for %s", shards, orderSeed, app)
+				}
+				want := monolithicRank(subs, app)
+				if !reflect.DeepEqual(rep.Ranking, want) {
+					t.Errorf("shards=%d order=%d app=%s: ranking diverges from monolithic\ngot  %v\nwant %v",
+						shards, orderSeed, app, rep.Ranking, want)
+				}
+			}
+		}
+	}
+}
+
+// TestStoreIncrementalDeltaPath drives the ranker through its delta branch:
+// a batch of success-only submissions leaves failTotal unchanged, so the
+// next report must rescore only the touched events — and still match a
+// from-scratch recompute.
+func TestStoreIncrementalDeltaPath(t *testing.T) {
+	sink := &obs.Sink{Metrics: obs.NewRegistry()}
+	store := NewStore(StoreOptions{Shards: 4, Sink: sink})
+	subs := randomSubmissions(7, 60)
+	var seen []Submission
+	add := func(s Submission) {
+		store.Add(s)
+		seen = append(seen, s)
+	}
+	for _, s := range subs {
+		if s.App == "alpha" && s.Failed {
+			add(s)
+		}
+	}
+	if rep := store.Report("alpha"); rep == nil {
+		t.Fatal("no initial report")
+	}
+	snap := sink.Metrics.Snapshot()
+	if got := snap.Counter("fleet.rank.full_rescores"); got == 0 {
+		t.Error("first report did not full-rescore")
+	}
+	deltasBefore := snap.Counter("fleet.rank.delta_rescores")
+
+	// Success-only arrivals: failTotal frozen, only touched events move.
+	for _, s := range subs {
+		if s.App == "alpha" && !s.Failed {
+			add(s)
+		}
+	}
+	rep := store.Report("alpha")
+	snap = sink.Metrics.Snapshot()
+	if got := snap.Counter("fleet.rank.delta_rescores"); got != deltasBefore+1 {
+		t.Errorf("delta_rescores = %d, want %d (success-only batch must take the delta path)",
+			got, deltasBefore+1)
+	}
+	want := monolithicRank(seen, "alpha")
+	if !reflect.DeepEqual(rep.Ranking, want) {
+		t.Errorf("delta-path ranking diverges from monolithic\ngot  %v\nwant %v", rep.Ranking, want)
+	}
+
+	// A later failing run flips back to a full rescore (recalls moved).
+	fulls := snap.Counter("fleet.rank.full_rescores")
+	add(Submission{App: "alpha", Mode: core.ModeLBR, Failed: true,
+		Events: []core.Event{branchEvent("b0", isa.EdgeTrue)}})
+	rep = store.Report("alpha")
+	snap = sink.Metrics.Snapshot()
+	if got := snap.Counter("fleet.rank.full_rescores"); got != fulls+1 {
+		t.Errorf("full_rescores = %d, want %d (new failure must rescore all recalls)", got, fulls+1)
+	}
+	want = monolithicRank(seen, "alpha")
+	if !reflect.DeepEqual(rep.Ranking, want) {
+		t.Errorf("post-failure ranking diverges from monolithic\ngot  %v\nwant %v", rep.Ranking, want)
+	}
+}
+
+// TestStoreInterleavedReports pins that reporting mid-stream never corrupts
+// the incremental state: rankings after every prefix match a from-scratch
+// monolithic ranking of that prefix.
+func TestStoreInterleavedReports(t *testing.T) {
+	subs := randomSubmissions(11, 80)
+	store := NewStore(StoreOptions{Shards: 8})
+	var seen []Submission
+	for i, s := range subs {
+		store.Add(s)
+		seen = append(seen, s)
+		if i%7 != 0 {
+			continue
+		}
+		for _, app := range []string{"alpha", "beta"} {
+			want := monolithicRank(seen, app)
+			rep := store.Report(app)
+			var got []stats.Scored[core.Event]
+			if rep != nil {
+				got = rep.Ranking
+			}
+			failed := false
+			for _, s := range seen {
+				if s.App == app && s.Failed {
+					failed = true
+				}
+			}
+			if !failed {
+				if rep != nil {
+					t.Fatalf("prefix %d: report for %s without failing runs", i, app)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("prefix %d app %s: incremental ranking diverged\ngot  %v\nwant %v", i, app, got, want)
+			}
+		}
+	}
+}
+
+func TestStoreConcurrentAdds(t *testing.T) {
+	subs := randomSubmissions(3, 400)
+	sink := &obs.Sink{Metrics: obs.NewRegistry()}
+	store := NewStore(StoreOptions{Shards: 4, Sink: sink})
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(subs); i += workers {
+				store.Add(subs[i])
+				if i%31 == 0 {
+					store.Report(subs[i].App) // reports race with ingest
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, app := range []string{"alpha", "beta"} {
+		rep := store.Report(app)
+		want := monolithicRank(subs, app)
+		if rep == nil || !reflect.DeepEqual(rep.Ranking, want) {
+			t.Errorf("app %s: concurrent ingest diverged from monolithic", app)
+		}
+	}
+	if got := sink.Metrics.Snapshot().Counter("fleet.store.profiles"); got != uint64(len(subs)) {
+		t.Errorf("fleet.store.profiles = %d, want %d", got, len(subs))
+	}
+}
+
+func TestStoreTotalsAndVerdict(t *testing.T) {
+	store := NewStore(StoreOptions{})
+	ev := branchEvent("b", isa.EdgeTrue)
+	store.Add(Submission{App: "x", Mode: core.ModeLBR, Failed: true, Events: []core.Event{ev}})
+	store.Add(Submission{App: "x", Mode: core.ModeLBR, Failed: true}) // empty profile
+	store.Add(Submission{App: "x", Mode: core.ModeLBR, Failed: false, Events: []core.Event{ev}})
+	tot := store.Totals("x")
+	want := AppTotals{App: "x", Mode: "LBRA", FailRuns: 2, SuccRuns: 1, UsableFail: 1, Events: 1}
+	if tot != want {
+		t.Errorf("Totals = %+v, want %+v", tot, want)
+	}
+	rep := store.Report("x")
+	if rep.Verdict != stats.VerdictConclusive {
+		t.Errorf("verdict = %v (2 fail, 1 usable is exactly half: conclusive)", rep.Verdict)
+	}
+	store.Add(Submission{App: "x", Mode: core.ModeLBR, Failed: true}) // now 1/3 usable
+	if rep = store.Report("x"); rep.Verdict != stats.VerdictInsufficient {
+		t.Errorf("verdict = %v, want insufficient once most failure profiles are empty", rep.Verdict)
+	}
+	if store.Report("unknown") != nil {
+		t.Error("report for unknown app")
+	}
+	if got := store.Totals("unknown"); got != (AppTotals{App: "unknown"}) {
+		t.Errorf("Totals(unknown) = %+v", got)
+	}
+	if got := store.Apps(); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("Apps = %v", got)
+	}
+	// Success-only app: totals exist, report does not (no failure evidence).
+	store.Add(Submission{App: "y", Mode: core.ModeLBR, Failed: false, Events: []core.Event{ev}})
+	if store.Report("y") != nil {
+		t.Error("report for success-only app")
+	}
+}
+
+func TestStoreShardContentionCounters(t *testing.T) {
+	sink := &obs.Sink{Metrics: obs.NewRegistry()}
+	store := NewStore(StoreOptions{Shards: 2, Sink: sink})
+	for i := 0; i < 16; i++ {
+		store.Add(Submission{App: "x", Mode: core.ModeLBR, Failed: i%2 == 0,
+			Events: []core.Event{branchEvent(fmt.Sprintf("b%d", i), isa.EdgeTrue)}})
+	}
+	snap := sink.Metrics.Snapshot()
+	var commits uint64
+	for i := 0; i < 2; i++ {
+		commits += snap.Counter(fmt.Sprintf("fleet.store.shard%d.commits", i))
+	}
+	if commits != 16 {
+		t.Errorf("shard commits sum = %d, want 16", commits)
+	}
+}

@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"stmdiag/internal/cache"
+	"stmdiag/internal/core"
+	"stmdiag/internal/isa"
+)
+
+func branchEvent(name string, edge isa.BranchEdge) core.Event {
+	return core.Event{Kind: core.EventBranch, Branch: name, Edge: edge}
+}
+
+func coherenceEvent(file string, line int, kind cache.AccessKind, st cache.State) core.Event {
+	return core.Event{Kind: core.EventCoherence, File: file, Line: line, Access: kind, State: st}
+}
+
+func sampleBatch() *Batch {
+	return &Batch{
+		Client: "machine-7",
+		Subs: []Submission{
+			{
+				App:    "sort",
+				Mode:   core.ModeLBR,
+				Failed: true,
+				Events: []core.Event{
+					branchEvent("cmp", isa.EdgeTrue),
+					branchEvent("swap", isa.EdgeFalse),
+					{Kind: core.EventJump, File: "sort.c", Line: 12},
+				},
+			},
+			{
+				App:    "fft",
+				Mode:   core.ModeLCR,
+				Failed: false,
+				Events: []core.Event{
+					coherenceEvent("fft.c", 33, cache.Load, cache.State(0)),
+				},
+			},
+			{App: "sort", Mode: core.ModeLBR, Failed: true}, // lost capture
+		},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	want := sampleBatch()
+	data, err := EncodeBatch(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(bytes.NewReader(data), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	if got.Version != WireVersion {
+		t.Errorf("decoded version = %d, want %d", got.Version, WireVersion)
+	}
+}
+
+func TestBatchRoundTripGzip(t *testing.T) {
+	want := sampleBatch()
+	data, err := EncodeBatchGzip(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := EncodeBatch(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The compressed form must actually be gzip, not passthrough.
+	if bytes.Equal(data, plain) {
+		t.Fatal("EncodeBatchGzip returned the plain encoding")
+	}
+	got, err := DecodeBatch(bytes.NewReader(data), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("gzip round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDecodeBatchRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"bad json", `{`, "decode batch"},
+		{"wrong version", `{"v": 99, "subs": []}`, "wire version 99"},
+		{"missing version", `{"subs": []}`, "wire version 0"},
+		{"unknown field", `{"v": 1, "subs": [], "extra": true}`, "decode batch"},
+		{"empty app", `{"v": 1, "subs": [{"app": "", "mode": 0, "failed": true}]}`, "no app"},
+		{"bad mode", `{"v": 1, "subs": [{"app": "x", "mode": 9, "failed": true}]}`, "unknown mode"},
+	}
+	for _, c := range cases {
+		if _, err := DecodeBatch(strings.NewReader(c.body), false); err == nil {
+			t.Errorf("%s: decode accepted %q", c.name, c.body)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	if _, err := DecodeBatch(strings.NewReader("not gzip"), true); err == nil {
+		t.Error("decode accepted a non-gzip body marked gzipped")
+	}
+}
+
+func TestDedupEvents(t *testing.T) {
+	a := branchEvent("a", isa.EdgeTrue)
+	b := branchEvent("b", isa.EdgeFalse)
+	got := DedupEvents([]core.Event{a, b, a, a, b})
+	if !reflect.DeepEqual(got, []core.Event{a, b}) {
+		t.Errorf("DedupEvents = %v", got)
+	}
+	if DedupEvents(nil) != nil {
+		t.Error("DedupEvents(nil) != nil")
+	}
+}

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"fmt"
+
+	"stmdiag/internal/apps"
+	"stmdiag/internal/core"
+	"stmdiag/internal/pmu"
+)
+
+// DiagnosisProfiles captures one benchmark's LBRA/LCRA diagnosis inputs —
+// the failure- and success-run profiles — without computing any table
+// columns. It is the fleet client's capture path: a simulated production
+// machine runs exactly the deployed builds of RunSequential/RunConcurrent
+// (same instrumented variants, same seed streams, same trial counts), so
+// the returned profiles are byte-identical to what the monolithic path
+// feeds core.Diagnose, for every Jobs value. The fleet golden test pins
+// that equivalence.
+func DiagnosisProfiles(a *apps.App, cfg Config) (core.Mode, []core.ProfiledRun, []core.ProfiledRun, error) {
+	cfg = cfg.withDefaults()
+	if a.Class.Concurrent() {
+		fail, succ, err := concurrentProfiles(a, cfg)
+		return core.ModeLCR, fail, succ, err
+	}
+	fail, succ, err := sequentialProfiles(a, cfg)
+	return core.ModeLBR, fail, succ, err
+}
+
+// sequentialProfiles is RunSequential's capture phase: failure profiles on
+// the deployed toggling LBR build, success profiles on the reactive build
+// derived from the first failure.
+func sequentialProfiles(a *apps.App, cfg Config) ([]core.ProfiledRun, []core.ProfiledRun, error) {
+	pool := cfg.pool()
+	p := a.Program()
+	logTog, err := core.EnhanceLogging(p, core.Options{LBR: true, Toggling: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	failStream := a.Name + "/fail"
+	failProfiles, _, err := Collect(pool, cfg.MaxAttempts, cfg.FailRuns, failStream,
+		func(tc *Trial) (core.ProfiledRun, bool, error) {
+			prof, err := failureProfileOf(a, logTog, TrialSeed(cfg.Seed, failStream, tc.Index), cfg, tc)
+			if err != nil {
+				return core.ProfiledRun{}, false, nil
+			}
+			return core.ProfiledRun{Prog: logTog.Prog, Profile: prof}, true, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(failProfiles) < cfg.FailRuns {
+		return nil, nil, fmt.Errorf("harness: %s: only %d/%d failure profiles", a.Name, len(failProfiles), cfg.FailRuns)
+	}
+	failPC, err := origFailurePC(a, logTog, failProfiles[0].Profile)
+	if err != nil {
+		return nil, nil, err
+	}
+	reactive, err := core.EnhanceLogging(p, core.Options{LBR: true, Toggling: true,
+		Scheme: core.SchemeReactive, FailurePCs: []int{failPC}})
+	if err != nil {
+		return nil, nil, err
+	}
+	succProfiles, err := successProfiles(a, reactive, cfg, pool)
+	if err != nil {
+		return nil, nil, err
+	}
+	return failProfiles, succProfiles, nil
+}
+
+// concurrentProfiles is RunConcurrent's Conf2 capture phase: failing LCR
+// profiles under the space-consuming configuration, successes on the
+// reactive build.
+func concurrentProfiles(a *apps.App, cfg Config) ([]core.ProfiledRun, []core.ProfiledRun, error) {
+	pool := cfg.pool()
+	p := a.Program()
+	inst, err := core.EnhanceLogging(p, core.Options{LCR: true, Toggling: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	profs2, _, err := collectConc(a, inst, pmu.ConfSpaceConsuming, true, cfg.FailRuns, cfg, pool, "conf2-fail")
+	if err != nil {
+		return nil, nil, err
+	}
+	failPC, err := origFailurePC(a, inst, profs2[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	reactive, err := core.EnhanceLogging(p, core.Options{LCR: true, Toggling: true,
+		Scheme: core.SchemeReactive, FailurePCs: []int{failPC}})
+	if err != nil {
+		return nil, nil, err
+	}
+	succProfs, _, err := collectConc(a, reactive, pmu.ConfSpaceConsuming, false, cfg.SuccRuns, cfg, pool, "conf2-succ")
+	if err != nil {
+		return nil, nil, err
+	}
+	var fail, succ []core.ProfiledRun
+	for _, pr := range profs2 {
+		fail = append(fail, core.ProfiledRun{Prog: inst.Prog, Profile: pr})
+	}
+	for _, pr := range succProfs {
+		succ = append(succ, core.ProfiledRun{Prog: reactive.Prog, Profile: pr})
+	}
+	return fail, succ, nil
+}

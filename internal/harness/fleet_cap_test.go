@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"stmdiag/internal/apps"
+	"stmdiag/internal/core"
+)
+
+// TestDiagnosisProfilesMatchMonolithicCapture pins the fleet capture path
+// to the monolithic one: same seed streams, same builds, so the same
+// diagnosis — and invariant under the worker count.
+func TestDiagnosisProfilesMatchMonolithicCapture(t *testing.T) {
+	a := apps.ByName("sort")
+	cfg := Config{FailRuns: 3, SuccRuns: 3, Seed: 5, Jobs: 1}
+	mode, fail, succ, err := DiagnosisProfiles(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != core.ModeLBR {
+		t.Errorf("mode = %v, want LBR for a sequential benchmark", mode)
+	}
+	if len(fail) != 3 || len(succ) != 3 {
+		t.Fatalf("profiles: %d fail, %d succ", len(fail), len(succ))
+	}
+	rep, err := core.Diagnose(mode, fail, succ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rep.Render(10)
+
+	cfg.Jobs = 4
+	mode4, fail4, succ4, err := DiagnosisProfiles(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode4 != mode || !reflect.DeepEqual(profilesOf(fail4), profilesOf(fail)) ||
+		!reflect.DeepEqual(profilesOf(succ4), profilesOf(succ)) {
+		t.Error("profiles differ between -jobs 1 and -jobs 4")
+	}
+	rep4, err := core.Diagnose(mode4, fail4, succ4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep4.Render(10); got != want {
+		t.Errorf("diagnosis differs across -jobs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func profilesOf(runs []core.ProfiledRun) (out []interface{}) {
+	for _, r := range runs {
+		out = append(out, r.Profile)
+	}
+	return
+}
+
+func TestDiagnosisProfilesConcurrentMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent capture is attempt-heavy")
+	}
+	a := apps.Concurrent()[0]
+	mode, fail, succ, err := DiagnosisProfiles(a, Config{FailRuns: 2, SuccRuns: 2, Seed: 1, Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != core.ModeLCR {
+		t.Errorf("mode = %v, want LCR for a concurrency benchmark", mode)
+	}
+	if len(fail) != 2 || len(succ) != 2 {
+		t.Errorf("profiles: %d fail, %d succ", len(fail), len(succ))
+	}
+}

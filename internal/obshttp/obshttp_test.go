@@ -370,3 +370,45 @@ func TestMetricsScrapeMidRun(t *testing.T) {
 	}
 	t.Logf("completed %d mid-run scrapes", scrapes)
 }
+
+// TestReadOnlyEndpointsRejectWrites: the snapshot endpoints never mutate
+// process state, so anything but GET/HEAD is rejected with 405 and the
+// allowed set announced — a probe or misconfigured proxy cannot "write"
+// telemetry. GET keeps working through the guard.
+func TestReadOnlyEndpointsRejectWrites(t *testing.T) {
+	srv := obshttp.New(obs.NewSink())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/metrics", "/trace", "/flightrecorder", "/profilez"} {
+		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+			req, err := http.NewRequest(method, ts.URL+path, strings.NewReader("x"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s: status %d, want 405", method, path, resp.StatusCode)
+			}
+			if got := resp.Header.Get("Allow"); got != "GET, HEAD" {
+				t.Errorf("%s %s: Allow %q, want \"GET, HEAD\"", method, path, got)
+			}
+		}
+		if code, _, _ := get(t, ts.URL+path); code != http.StatusOK {
+			t.Errorf("GET %s through the guard: status %d", path, code)
+		}
+		resp, err := http.Head(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("HEAD %s: status %d", path, resp.StatusCode)
+		}
+	}
+}

@@ -74,6 +74,54 @@ func HarmonicMean(a, b float64) float64 {
 	return h
 }
 
+// ScoreCounts builds one event's Scored from merged occurrence counters:
+// inFail/inSucc count the failing/successful runs whose profiles contain
+// the event, failTotal the failing runs overall. Because counters are plain
+// sums, they can be accumulated in any order — per run, per batch, per
+// machine — and ScoreCounts yields exactly the statistics Rank computes
+// from the full run set. This is what makes cooperative (fleet) aggregation
+// equivalent to monolithic diagnosis.
+func ScoreCounts[E comparable](e E, inFail, inSucc, failTotal int) Scored[E] {
+	var prec, rec float64
+	if inFail+inSucc > 0 {
+		prec = float64(inFail) / float64(inFail+inSucc)
+	}
+	if failTotal > 0 {
+		rec = float64(inFail) / float64(failTotal)
+	}
+	return Scored[E]{
+		Event:     e,
+		InFail:    inFail,
+		InSucc:    inSucc,
+		Precision: prec,
+		Recall:    rec,
+		Score:     HarmonicMean(prec, rec),
+	}
+}
+
+// Less is the ranking's strict total order: higher score first, ties broken
+// by higher precision, then more failing occurrences, then the event's
+// formatted representation. Exposed so incremental rankers can maintain a
+// sorted ranking (binary-search insertion) that matches a full SortScored
+// byte for byte.
+func Less[E comparable](a, b Scored[E]) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.Precision != b.Precision {
+		return a.Precision > b.Precision
+	}
+	if a.InFail != b.InFail {
+		return a.InFail > b.InFail
+	}
+	return fmt.Sprint(a.Event) < fmt.Sprint(b.Event)
+}
+
+// SortScored orders a ranking best-first under Less.
+func SortScored[E comparable](out []Scored[E]) {
+	sort.Slice(out, func(i, j int) bool { return Less(out[i], out[j]) })
+}
+
 // Rank scores every event appearing in any run and returns them best-first.
 // Ties break deterministically: higher precision first, then more failing
 // occurrences, then the event's formatted representation.
@@ -107,36 +155,9 @@ func Rank[E comparable](runs []Run[E]) []Scored[E] {
 	}
 	out := make([]Scored[E], 0, len(events))
 	for e := range events {
-		f, s := inFail[e], inSucc[e]
-		var prec, rec float64
-		if f+s > 0 {
-			prec = float64(f) / float64(f+s)
-		}
-		if failTotal > 0 {
-			rec = float64(f) / float64(failTotal)
-		}
-		out = append(out, Scored[E]{
-			Event:     e,
-			InFail:    f,
-			InSucc:    s,
-			Precision: prec,
-			Recall:    rec,
-			Score:     HarmonicMean(prec, rec),
-		})
+		out = append(out, ScoreCounts(e, inFail[e], inSucc[e], failTotal))
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Score != b.Score {
-			return a.Score > b.Score
-		}
-		if a.Precision != b.Precision {
-			return a.Precision > b.Precision
-		}
-		if a.InFail != b.InFail {
-			return a.InFail > b.InFail
-		}
-		return fmt.Sprint(a.Event) < fmt.Sprint(b.Event)
-	})
+	SortScored(out)
 	return out
 }
 

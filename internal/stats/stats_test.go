@@ -222,3 +222,172 @@ func TestRankQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// buildCountRanking accumulates per-event counters over the runs in the
+// given visit order and ranks from the counters alone — the cooperative
+// (fleet) aggregation path. Rank over the same runs is the monolithic path.
+func buildCountRanking(runs []Run[string], order []int) []Scored[string] {
+	inFail := map[string]int{}
+	inSucc := map[string]int{}
+	failTotal := 0
+	for _, i := range order {
+		r := runs[i]
+		if r.Failed {
+			failTotal++
+		}
+		seen := map[string]bool{}
+		for _, e := range r.Events {
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			if r.Failed {
+				inFail[e]++
+			} else {
+				inSucc[e]++
+			}
+		}
+	}
+	events := map[string]bool{}
+	for e := range inFail {
+		events[e] = true
+	}
+	for e := range inSucc {
+		events[e] = true
+	}
+	out := make([]Scored[string], 0, len(events))
+	for e := range events {
+		out = append(out, ScoreCounts(e, inFail[e], inSucc[e], failTotal))
+	}
+	SortScored(out)
+	return out
+}
+
+// TestRankOrderIndependentMerge pins the property the incremental fleet
+// ranker depends on: counters accumulated in any arrival order (out-of-order
+// batches from many machines) rank byte-identically to the monolithic Rank
+// over the full run set.
+func TestRankOrderIndependentMerge(t *testing.T) {
+	runs := []Run[string]{
+		{Failed: true, Events: []string{"root", "noise1", "shared"}},
+		{Failed: true, Events: []string{"root", "shared"}},
+		{Failed: true, Events: []string{"root", "noise2"}},
+		{Failed: true, Events: []string{}}, // lost capture
+		{Failed: false, Events: []string{"shared", "noise1"}},
+		{Failed: false, Events: []string{"noise2"}},
+		{Failed: false, Events: []string{"shared"}},
+	}
+	want := Rank(runs)
+	orders := [][]int{
+		{0, 1, 2, 3, 4, 5, 6},
+		{6, 5, 4, 3, 2, 1, 0},
+		{3, 0, 6, 2, 4, 1, 5},
+		{5, 6, 4, 1, 0, 3, 2},
+	}
+	for _, order := range orders {
+		got := buildCountRanking(runs, order)
+		if len(got) != len(want) {
+			t.Fatalf("order %v: %d events, want %d", order, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("order %v: rank %d = %+v, want %+v", order, i+1, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSortScoredTieBreakTotalOrder checks the exported Less/SortScored pair
+// breaks every tie deterministically regardless of input permutation: equal
+// score falls back to precision, then InFail, then the formatted event.
+func TestSortScoredTieBreakTotalOrder(t *testing.T) {
+	// Four events engineered to tie pairwise at successive tie-break levels.
+	base := []Scored[string]{
+		ScoreCounts("zeta", 2, 2, 4),  // score .5*... ties with "alpha" everywhere
+		ScoreCounts("alpha", 2, 2, 4), // ...so formatted name decides
+		ScoreCounts("mid", 2, 6, 4),   // lower precision, same InFail
+		ScoreCounts("few", 1, 0, 4),   // precision 1, fewer failing occurrences
+	}
+	perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}}
+	var want []Scored[string]
+	for _, p := range perms {
+		in := make([]Scored[string], len(base))
+		for i, j := range p {
+			in[i] = base[j]
+		}
+		SortScored(in)
+		for i := 1; i < len(in); i++ {
+			if Less(in[i], in[i-1]) {
+				t.Fatalf("perm %v: out of order at %d: %v before %v", p, i, in[i-1], in[i])
+			}
+			if in[i] == in[i-1] {
+				t.Fatalf("perm %v: duplicate entry %v", p, in[i])
+			}
+		}
+		if want == nil {
+			want = in
+			if want[0].Event != "alpha" || want[1].Event != "zeta" {
+				t.Fatalf("full tie must fall back to event name: %v", want)
+			}
+			continue
+		}
+		for i := range want {
+			if in[i] != want[i] {
+				t.Errorf("perm %v: rank %d = %+v, want %+v", p, i+1, in[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScoreCountsMatchesRank cross-checks ScoreCounts against Rank's
+// arithmetic on a randomized run population.
+func TestScoreCountsMatchesRank(t *testing.T) {
+	f := func(fails, succs uint8) bool {
+		nf, ns := int(fails%8), int(succs%8)
+		var runs []Run[string]
+		for i := 0; i < nf; i++ {
+			runs = append(runs, Run[string]{Failed: true, Events: []string{"e"}})
+		}
+		for i := 0; i < ns; i++ {
+			runs = append(runs, Run[string]{Failed: false, Events: []string{"e"}})
+		}
+		if nf+ns == 0 {
+			return true
+		}
+		want := Rank(runs)[0]
+		got := ScoreCounts("e", nf, ns, nf)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssessCountsMatchesAssess(t *testing.T) {
+	cases := []struct {
+		failTotal, usable int
+		want              Verdict
+	}{
+		{0, 0, VerdictInsufficient},
+		{4, 0, VerdictInsufficient},
+		{4, 1, VerdictInsufficient},
+		{4, 2, VerdictConclusive},
+		{5, 2, VerdictInsufficient},
+		{5, 3, VerdictConclusive},
+	}
+	for _, c := range cases {
+		if got := AssessCounts(c.failTotal, c.usable); got != c.want {
+			t.Errorf("AssessCounts(%d, %d) = %v, want %v", c.failTotal, c.usable, got, c.want)
+		}
+		var runs []Run[string]
+		for i := 0; i < c.usable; i++ {
+			runs = append(runs, Run[string]{Failed: true, Events: []string{"e"}})
+		}
+		for i := c.usable; i < c.failTotal; i++ {
+			runs = append(runs, Run[string]{Failed: true})
+		}
+		if got := Assess(runs); got != c.want {
+			t.Errorf("Assess(fail=%d usable=%d) = %v, want %v", c.failTotal, c.usable, got, c.want)
+		}
+	}
+}

@@ -43,6 +43,14 @@ func Assess[E comparable](runs []Run[E]) Verdict {
 			usableFail++
 		}
 	}
+	return AssessCounts(failTotal, usableFail)
+}
+
+// AssessCounts grades the evidence from merged counters: failTotal failing
+// runs overall, usableFail of them with a non-empty profile. The counter
+// form lets cooperative aggregators (which never hold the full run set)
+// reach exactly Assess's verdict.
+func AssessCounts(failTotal, usableFail int) Verdict {
 	if usableFail == 0 || 2*usableFail < failTotal {
 		return VerdictInsufficient
 	}

@@ -107,6 +107,39 @@ if ! cmp -s "$TMP/stmdiag-bench-par.txt" "$TMP/stmdiag-bench-srv.txt"; then
     exit 1
 fi
 
+# Fleet ingestion throughput: BenchmarkFleetIngest POSTs pre-encoded gzip
+# batches over loopback HTTP into the sharded store from parallel
+# submitters, reporting profiles/sec and the summed shard lock-wait per
+# batch (the contention observable scripts record alongside throughput).
+go test -run '^$' -bench '^BenchmarkFleetIngest$' -benchtime "$BENCHTIME" ./internal/fleet \
+    >"$TMP/stmdiag-bench-fleet.txt" 2>&1 || {
+    cat "$TMP/stmdiag-bench-fleet.txt" >&2
+    exit 1
+}
+fleet_metrics=$(awk '
+    /^BenchmarkFleetIngest/ {
+        for (i = 2; i < NF; i++) {
+            if ($(i+1) == "profiles/sec")      v["pps"] = $i
+            if ($(i+1) == "shard-wait-ns/op")  v["wait"] = $i
+        }
+    }
+    END { printf "%s %s", v["pps"]+0, v["wait"]+0 }' "$TMP/stmdiag-bench-fleet.txt")
+set -- $fleet_metrics
+fleet_pps=$1; fleet_wait_ns=$2
+if [ "$fleet_pps" = 0 ]; then
+    echo "bench: failed to parse BenchmarkFleetIngest output:" >&2
+    cat "$TMP/stmdiag-bench-fleet.txt" >&2
+    exit 1
+fi
+if [ "$SMOKE" != 1 ]; then
+    # Acceptance floor: the aggregator must sustain >= 10k profile
+    # submissions/sec end to end (HTTP + gzip + sharded merge).
+    awk -v p="$fleet_pps" 'BEGIN { exit (p >= 10000) ? 0 : 1 }' || {
+        echo "bench: fleet ingest sustained only $fleet_pps profiles/sec (floor 10000)" >&2
+        exit 1
+    }
+fi
+
 speedup=$(awk -v s="$seq_ms" -v p="$par_ms" 'BEGIN { printf (p > 0) ? "%.2f" : "0", s / p }')
 fault0_ratio=$(awk -v p="$par_ms" -v f="$fault0_ms" 'BEGIN { printf (p > 0) ? "%.3f" : "0", f / p }')
 serve_ratio=$(awk -v p="$par_ms" -v s="$serve_ms" 'BEGIN { printf (p > 0) ? "%.3f" : "0", s / p }')
@@ -122,6 +155,8 @@ cat > "$OUT_HARNESS" <<EOF
   "faults_rate0_ratio": $fault0_ratio,
   "serve_wall_ms": $serve_ms,
   "serve_ratio": $serve_ratio,
+  "fleet_ingest_profiles_per_sec": $fleet_pps,
+  "fleet_shard_wait_ns_per_batch": $fleet_wait_ns,
   "scaling": [$scaling
   ],
   "stdout_identical": true
@@ -177,4 +212,4 @@ cat > "$OUT_VM" <<EOF
 }
 EOF
 
-echo "bench: jobs curve [$CURVE] seq ${seq_ms}ms par ${par_ms}ms speedup ${speedup}x; vm ${ips} instrs/sec, ${allocs_trial} allocs/trial ($OUT_HARNESS, $OUT_VM)"
+echo "bench: jobs curve [$CURVE] seq ${seq_ms}ms par ${par_ms}ms speedup ${speedup}x; vm ${ips} instrs/sec, ${allocs_trial} allocs/trial; fleet ${fleet_pps} profiles/sec ($OUT_HARNESS, $OUT_VM)"

@@ -32,6 +32,11 @@ echo "== go test -race (obshttp live scrape)"
 # smoke in this package validates mid-run /metrics expositions.
 go test -race ./internal/obshttp/...
 
+echo "== go test -race (fleet ingestion)"
+# The sharded profile store takes concurrent ingest batches while reports
+# drain its dirty sets; the whole package runs under the race detector.
+go test -race ./internal/fleet/...
+
 echo "== fuzz corpus replay"
 # Replays the committed seed corpora (f.Add seeds + testdata/fuzz entries)
 # as regular tests; no fuzzing time is spent.
@@ -96,6 +101,55 @@ if ! cmp -s "${TMPDIR:-/tmp}/stmdiag-check-profout.txt" "${TMPDIR:-/tmp}/stmdiag
 fi
 if "$SMD" -app sort -profile-report -1 >/dev/null 2>&1; then
     echo "-profile-report -1 was accepted" >&2
+    exit 1
+fi
+
+echo "== fleetd ingest smoke"
+# The fleet service end to end: start the aggregator on an ephemeral port,
+# push a small captured profile population over simulated clients, and
+# scrape the ranking back. -addr-file hands the bound address to the
+# script, and -report fetches over HTTP, so no curl/wget is needed.
+FLEETD="${TMPDIR:-/tmp}/stmdiag-check-fleetd"
+FLEET_ADDR_FILE="${TMPDIR:-/tmp}/stmdiag-check-fleetd.addr"
+go build -o "$FLEETD" ./cmd/fleetd
+rm -f "$FLEET_ADDR_FILE"
+"$FLEETD" -listen 127.0.0.1:0 -addr-file "$FLEET_ADDR_FILE" 2>/dev/null &
+FLEETD_PID=$!
+trap 'kill "$FLEETD_PID" 2>/dev/null || true' EXIT
+i=0
+while [ ! -s "$FLEET_ADDR_FILE" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "fleetd never wrote its -addr-file" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+FLEET_URL="http://$(cat "$FLEET_ADDR_FILE")"
+"$FLEETD" -push "$FLEET_URL" -app sort -failruns 4 -succruns 4 \
+    -fleet-clients 3 -fleet-batch 2 >/dev/null
+"$FLEETD" -report "$FLEET_URL" | grep -q 'LBRA diagnosis over' \
+    || { echo "fleetd -report printed no diagnosis" >&2; exit 1; }
+kill "$FLEETD_PID" 2>/dev/null || true
+trap - EXIT
+# Malformed -fleet-* values must be rejected with exit 2 (usage error)
+# before any capture or network work starts.
+for badflags in "-fleet-shards 0" "-fleet-clients 0" "-fleet-batch -1" "-fleet-retries -1"; do
+    set +e
+    "$FLEETD" -report "$FLEET_URL" $badflags >/dev/null 2>&1
+    rc=$?
+    set -e
+    if [ "$rc" != 2 ]; then
+        echo "fleetd $badflags exited $rc, want 2" >&2
+        exit 1
+    fi
+done
+set +e
+"$FLEETD" -push "$FLEET_URL" -report "$FLEET_URL" >/dev/null 2>&1
+rc=$?
+set -e
+if [ "$rc" != 2 ]; then
+    echo "fleetd -push with -report exited $rc, want 2" >&2
     exit 1
 fi
 
