@@ -1,20 +1,25 @@
 // Command experiments regenerates the tables of the paper's evaluation
 // section (Tables 1–7) from the re-authored benchmark suite, plus the
-// repo-added Table 8 robustness sweep over the fault injectors.
+// repo-added Table 8 robustness sweep over the fault injectors and
+// Table 9, the generated-bug-corpus ranking bake-off.
 //
 // Usage:
 //
 //	experiments [-table N] [-failruns N] [-succruns N] [-cbiruns N] [-overhead N] [-seed N]
-//	            [-jobs N] [-faults spec] [-trace out.json] [-metrics] [-v]
+//	            [-jobs N] [-ranker name] [-corpus] [-corpus-n N]
+//	            [-faults spec] [-trace out.json] [-metrics] [-v]
 //
 // Without -table it regenerates every table. The defaults follow the
 // paper's experiment configuration (10 failure + 10 success runs for
 // LBRA/LCRA, 1000+1000 runs for CBI at 1/100 sampling); lower -cbiruns for
 // a faster, noisier pass. -jobs fans independent trials across worker
 // goroutines (default NumCPU; 1 forces sequential execution) — stdout is
-// byte-identical for every value. After each table a one-line summary on
-// stderr reports the rows computed, app runs driven, simulated cycles and
-// wall time; it exits non-zero on any table-generation error.
+// byte-identical for every value. -ranker swaps the diagnosis scoring
+// formula (cbi, ochiai, tarantula) for the diagnosis-driving tables;
+// -corpus renders only Table 9 and -corpus-n resizes its per-cell program
+// count. After each table a one-line summary on stderr reports the rows
+// computed, app runs driven, simulated cycles and wall time; it exits
+// non-zero on any table-generation error.
 package main
 
 import (
@@ -29,21 +34,36 @@ import (
 )
 
 func main() {
-	table := flag.Int("table", 0, "table number 1-8; 0 regenerates all")
+	table := flag.Int("table", 0, fmt.Sprintf("table number 1-%d; 0 regenerates all", stmdiag.NumTables))
 	failRuns := flag.Int("failruns", 10, "failure runs per LBRA/LCRA diagnosis")
 	succRuns := flag.Int("succruns", 10, "success runs per LBRA/LCRA diagnosis")
 	cbiRuns := flag.Int("cbiruns", 1000, "CBI runs per class (paper default 1000)")
 	overhead := flag.Int("overhead", 10, "runs averaged per overhead figure")
 	seed := flag.Int64("seed", 0, "base seed")
 	jobs := flag.Int("jobs", 0, "trial-execution workers (0 = NumCPU, 1 = sequential)")
+	corpus := flag.Bool("corpus", false, "render only Table 9, the generated-bug-corpus ranking bake-off")
+	corpusN := flag.Int("corpus-n", 0, "Table 9 programs per (bug class x distance) cell (0 = default 13)")
+	rf := cliobs.RegisterRanker()
 	tf := cliobs.Register()
 	flag.Parse()
 	if err := tf.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if err := rf.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if err := cliobs.CheckJobs(*jobs); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *corpusN < 0 {
+		fmt.Fprintf(os.Stderr, "-corpus-n must be >= 0 (0 = default), got %d\n", *corpusN)
+		os.Exit(2)
+	}
+	if *corpus && *table != 0 {
+		fmt.Fprintln(os.Stderr, "-corpus and -table are mutually exclusive")
 		os.Exit(2)
 	}
 	faults, err := tf.FaultSpec()
@@ -69,17 +89,22 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := stmdiag.ExperimentConfig{
-		FailRuns:     *failRuns,
-		SuccRuns:     *succRuns,
-		CBIRuns:      *cbiRuns,
-		OverheadRuns: *overhead,
-		Jobs:         *jobs,
-		Seed:         *seed,
-		Obs:          sink,
-		Faults:       faults,
+		FailRuns:      *failRuns,
+		SuccRuns:      *succRuns,
+		CBIRuns:       *cbiRuns,
+		OverheadRuns:  *overhead,
+		Jobs:          *jobs,
+		Seed:          *seed,
+		Obs:           sink,
+		Faults:        faults,
+		Ranker:        rf.Ranker(),
+		CorpusPerCell: *corpusN,
 	}
-	tables := []int{1, 2, 3, 4, 5, 6, 7, 8}
-	if *table != 0 {
+	tables := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	switch {
+	case *corpus:
+		tables = []int{9}
+	case *table != 0:
 		tables = []int{*table}
 	}
 	for _, n := range tables {

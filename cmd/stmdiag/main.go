@@ -6,7 +6,7 @@
 //
 //	stmdiag -list
 //	stmdiag -app sort [-failruns N] [-succruns N] [-seed N]
-//	        [-jobs N] [-faults spec] [-trace out.json] [-metrics] [-v]
+//	        [-jobs N] [-ranker name] [-faults spec] [-trace out.json] [-metrics] [-v]
 //
 // For a sequential benchmark it prints the Table 6 row (LBRLOG entry ranks
 // with and without toggling, LBRA and CBI predictor ranks, patch distances,
@@ -32,9 +32,14 @@ func main() {
 	cbiRuns := flag.Int("cbiruns", 400, "CBI baseline runs per class")
 	seed := flag.Int64("seed", 0, "base seed")
 	jobs := flag.Int("jobs", 0, "trial-execution workers (0 = NumCPU, 1 = sequential)")
+	rf := cliobs.RegisterRanker()
 	tf := cliobs.Register()
 	flag.Parse()
 	if err := tf.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := rf.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -82,6 +87,7 @@ func main() {
 		Seed:     *seed,
 		Obs:      sink,
 		Faults:   faults,
+		Ranker:   rf.Ranker(),
 	}
 	if *all {
 		for _, b := range stmdiag.Benchmarks() {

@@ -1,8 +1,9 @@
 // Package cliobs wires the -trace / -metrics / -metrics-format / -v
 // telemetry flags, the -serve live-telemetry flag, the -faults
-// fault-injection flag and the -profile-report cost-attribution flag
-// shared by the command-line binaries onto the internal/obs,
-// internal/obshttp, internal/faultinj and internal/prof layers.
+// fault-injection flag, the -profile-report cost-attribution flag and the
+// -ranker diagnosis-formula flag shared by the command-line binaries onto
+// the internal/obs, internal/obshttp, internal/faultinj, internal/prof
+// and internal/core layers.
 package cliobs
 
 import (
@@ -11,6 +12,7 @@ import (
 	"io"
 	"os"
 
+	"stmdiag/internal/core"
 	"stmdiag/internal/faultinj"
 	"stmdiag/internal/obs"
 	"stmdiag/internal/obshttp"
@@ -98,6 +100,36 @@ func CheckJobs(jobs int) error {
 		return fmt.Errorf("-jobs must be >= 0 (0 = NumCPU), got %d", jobs)
 	}
 	return nil
+}
+
+// RankerFlag holds the raw -ranker value shared by the diagnosis-driving
+// binaries; Validate resolves it against core.Rankers.
+type RankerFlag struct {
+	// Name is the -ranker value (cbi, ochiai or tarantula).
+	Name string
+}
+
+// RegisterRanker installs -ranker on the default flag set. Call before
+// flag.Parse.
+func RegisterRanker() *RankerFlag {
+	f := &RankerFlag{}
+	flag.StringVar(&f.Name, "ranker", core.RankerCBI.String(),
+		"diagnosis scoring `formula`: cbi (the paper's harmonic mean), ochiai or tarantula")
+	return f
+}
+
+// Validate rejects unknown ranker names; call right after flag.Parse and
+// exit 2 on error.
+func (f *RankerFlag) Validate() error {
+	_, err := core.ParseRanker(f.Name)
+	return err
+}
+
+// Ranker resolves the flag; call after Validate (unknown names fall back
+// to the paper's CBI ranker).
+func (f *RankerFlag) Ranker() core.Ranker {
+	r, _ := core.ParseRanker(f.Name)
+	return r
 }
 
 // FleetFlags holds the parsed -fleet-* flags shared by fleet-aware

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"stmdiag/internal/core"
 	"stmdiag/internal/faultinj"
 	"stmdiag/internal/obs"
 )
@@ -258,6 +259,24 @@ func TestFleetFlagsValidate(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), c.flag) {
 			t.Errorf("Validate(%+v) error %q does not name %s", c.f, err, c.flag)
+		}
+	}
+}
+
+func TestRankerFlagValidate(t *testing.T) {
+	for _, r := range core.Rankers() {
+		f := RankerFlag{Name: r.String()}
+		if err := f.Validate(); err != nil {
+			t.Errorf("Validate(%q) = %v, want nil", f.Name, err)
+		}
+		if got := f.Ranker(); got != r {
+			t.Errorf("Ranker(%q) = %v, want %v", f.Name, got, r)
+		}
+	}
+	for _, bad := range []string{"", "CBI", "ochiai ", "jaccard"} {
+		f := RankerFlag{Name: bad}
+		if err := f.Validate(); err == nil {
+			t.Errorf("Validate(%q) accepted an unknown ranker", bad)
 		}
 	}
 }

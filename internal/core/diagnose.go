@@ -6,6 +6,7 @@ import (
 
 	"stmdiag/internal/isa"
 	"stmdiag/internal/obs"
+	"stmdiag/internal/spectrum"
 	"stmdiag/internal/stats"
 	"stmdiag/internal/vm"
 )
@@ -87,9 +88,70 @@ func (r *Report) AttachFlight(evs []obs.FlightEvent) {
 	r.Flight = append([]obs.FlightEvent(nil), evs...)
 }
 
+// Ranker selects the scoring arithmetic applied to the per-event spectrum
+// counters. Every ranker consumes identical event extractions and counts
+// (stats.Counts); they differ only in how a count vector becomes a score.
+type Ranker uint8
+
+const (
+	// RankerCBI is the paper's model: the harmonic mean of prediction
+	// precision and recall (stats.Rank). The zero value, so existing
+	// callers and default flags keep the paper's arithmetic.
+	RankerCBI Ranker = iota
+	// RankerOchiai scores with the Ochiai SBFL formula.
+	RankerOchiai
+	// RankerTarantula scores with the Tarantula SBFL formula.
+	RankerTarantula
+)
+
+// String names the ranker the way the -ranker flag spells it.
+func (r Ranker) String() string {
+	switch r {
+	case RankerOchiai:
+		return "ochiai"
+	case RankerTarantula:
+		return "tarantula"
+	default:
+		return "cbi"
+	}
+}
+
+// Rankers lists every ranker in flag-name order; Table 9 iterates it.
+func Rankers() []Ranker { return []Ranker{RankerCBI, RankerOchiai, RankerTarantula} }
+
+// ParseRanker resolves a -ranker flag value.
+func ParseRanker(s string) (Ranker, error) {
+	for _, r := range Rankers() {
+		if s == r.String() {
+			return r, nil
+		}
+	}
+	return RankerCBI, fmt.Errorf("core: unknown ranker %q (want cbi, ochiai, or tarantula)", s)
+}
+
+// rank scores the run set under the ranker's arithmetic.
+func (r Ranker) rank(runs []stats.Run[Event]) []stats.Scored[Event] {
+	switch r {
+	case RankerOchiai:
+		return spectrum.Rank(runs, spectrum.Ochiai)
+	case RankerTarantula:
+		return spectrum.Rank(runs, spectrum.Tarantula)
+	default:
+		return stats.Rank(runs)
+	}
+}
+
 // Diagnose runs the LBRA/LCRA statistical comparison of paper §5.2 over
-// failure-run and success-run profiles.
+// failure-run and success-run profiles, with the paper's harmonic-mean
+// (CBI-style) scoring.
 func Diagnose(mode Mode, fail, succ []ProfiledRun) (*Report, error) {
+	return DiagnoseWith(mode, RankerCBI, fail, succ)
+}
+
+// DiagnoseWith is Diagnose with a pluggable scoring formula: the same
+// profiles, event extraction, counting, verdict, and tie-break order, with
+// the ranker choosing the score arithmetic (the Table 9 bake-off axis).
+func DiagnoseWith(mode Mode, ranker Ranker, fail, succ []ProfiledRun) (*Report, error) {
 	if len(fail) == 0 {
 		return nil, fmt.Errorf("core: diagnosis needs at least one failure-run profile")
 	}
@@ -102,7 +164,7 @@ func Diagnose(mode Mode, fail, succ []ProfiledRun) (*Report, error) {
 	}
 	return &Report{
 		Mode:        mode,
-		Ranking:     stats.Rank(runs),
+		Ranking:     ranker.rank(runs),
 		FailureRuns: len(fail),
 		SuccessRuns: len(succ),
 		Verdict:     stats.Assess(runs),

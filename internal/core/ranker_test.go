@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"stmdiag/internal/apps"
+	"stmdiag/internal/kernel"
+	"stmdiag/internal/vm"
+)
+
+// rankerProfiles drives a handful of sort-app runs to real ProfiledRun
+// inputs, so the ranker tests exercise the whole extraction path rather
+// than synthetic events.
+func rankerProfiles(t *testing.T) (fail, succ []ProfiledRun) {
+	t.Helper()
+	a := apps.ByName("sort")
+	if a == nil {
+		t.Fatal("sort app missing")
+	}
+	inst, err := EnhanceLogging(a.Program(), Options{LBR: true, Toggling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := func(w apps.Workload, wantFail bool, n int, base int64) []ProfiledRun {
+		var out []ProfiledRun
+		for seed := base; len(out) < n && seed < base+100; seed++ {
+			opts := w.VMOptions(seed)
+			opts.Driver = &kernel.Driver{}
+			opts.SegvIoctls = inst.SegvIoctls
+			res, err := vm.Run(inst.Prog, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.FailedRun(res) != wantFail {
+				continue
+			}
+			if p, ok := FailureRunProfile(res); ok {
+				out = append(out, ProfiledRun{Prog: inst.Prog, Profile: p})
+			}
+		}
+		if len(out) < n {
+			t.Fatalf("collected %d/%d profiles (wantFail=%v)", len(out), n, wantFail)
+		}
+		return out
+	}
+	// The success side reuses failing-run snapshots from disjoint seeds:
+	// success runs carry no profile on a log-only build (that needs the
+	// reactive scheme the harness drives), and the contracts under test —
+	// scoring arithmetic over profile sets — depend only on the profiles,
+	// not on their provenance.
+	return collect(a.Fail, true, 3, 1), collect(a.Fail, true, 3, 200)
+}
+
+// TestDiagnoseWithCBIMatchesDiagnose: the default ranker is the existing
+// harmonic-mean model, byte for byte — the guarantee that keeps tables 1-8
+// golden while Table 9 adds alternatives beside them.
+func TestDiagnoseWithCBIMatchesDiagnose(t *testing.T) {
+	fail, succ := rankerProfiles(t)
+	base, err := Diagnose(ModeLBR, fail, succ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCBI, err := DiagnoseWith(ModeLBR, RankerCBI, fail, succ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := withCBI.Render(10), base.Render(10); got != want {
+		t.Fatalf("RankerCBI report differs from Diagnose:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestDiagnoseWithRankersShareEvents: every ranker ranks exactly the same
+// event set with the same occurrence counters; only scores may differ.
+func TestDiagnoseWithRankersShareEvents(t *testing.T) {
+	fail, succ := rankerProfiles(t)
+	var want map[Event][2]int
+	for _, ranker := range Rankers() {
+		rep, err := DiagnoseWith(ModeLBR, ranker, fail, succ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[Event][2]int, len(rep.Ranking))
+		for _, s := range rep.Ranking {
+			got[s.Event] = [2]int{s.InFail, s.InSucc}
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s ranked %d events, cbi ranked %d", ranker, len(got), len(want))
+		}
+		for e, counts := range want {
+			if got[e] != counts {
+				t.Fatalf("%s counts for %v = %v, want %v", ranker, e, got[e], counts)
+			}
+		}
+	}
+}
+
+// TestParseRankerRoundTrip: every ranker's name parses back to it, and
+// junk is rejected.
+func TestParseRankerRoundTrip(t *testing.T) {
+	for _, r := range Rankers() {
+		got, err := ParseRanker(r.String())
+		if err != nil || got != r {
+			t.Fatalf("ParseRanker(%q) = %v, %v", r.String(), got, err)
+		}
+	}
+	for _, bad := range []string{"", "CBI", "ochiai ", "jaccard"} {
+		if _, err := ParseRanker(bad); err == nil {
+			t.Fatalf("ParseRanker(%q) accepted", bad)
+		}
+	}
+	if fmt.Sprint(Rankers()) != "[cbi ochiai tarantula]" {
+		t.Fatalf("Rankers() = %v", Rankers())
+	}
+}
+
+// TestDiagnoseWithNeedsFailures mirrors Diagnose's contract for every
+// ranker.
+func TestDiagnoseWithNeedsFailures(t *testing.T) {
+	for _, r := range Rankers() {
+		if _, err := DiagnoseWith(ModeLBR, r, nil, nil); err == nil {
+			t.Fatalf("%s accepted an empty failure set", r)
+		}
+	}
+}

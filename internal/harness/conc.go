@@ -196,7 +196,7 @@ func RunConcurrent(a *apps.App, cfg Config) (*ConcResult, error) {
 	for _, pr := range succProfs {
 		succ = append(succ, core.ProfiledRun{Prog: reactive.Prog, Profile: pr})
 	}
-	report, err := core.Diagnose(core.ModeLCR, fail, succ)
+	report, err := core.DiagnoseWith(core.ModeLCR, cfg.Ranker, fail, succ)
 	if err != nil {
 		return nil, err
 	}

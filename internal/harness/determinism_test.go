@@ -24,17 +24,21 @@ func jobsValues() []int {
 // repeated renders at the same seed are byte-identical too. Table 8 joins
 // the sweep to extend the property to fault-injected trials: its non-zero
 // rates exercise every injector plus the retry/degradation machinery, and
-// its output too must not depend on the worker count.
+// its output too must not depend on the worker count. Table 9 joins it to
+// cover the generated-bug corpus: its per-program seeds derive from cell
+// coordinates, never worker identity, so the bake-off is jobs-invariant
+// too (a reduced per-cell count keeps the sweep fast).
 func TestTablesJobsInvariance(t *testing.T) {
 	base := Config{
-		FailRuns:     3,
-		SuccRuns:     3,
-		CBIRuns:      20,
-		OverheadRuns: 1,
-		MaxAttempts:  200,
-		Seed:         0,
+		FailRuns:      3,
+		SuccRuns:      3,
+		CBIRuns:       20,
+		OverheadRuns:  1,
+		MaxAttempts:   200,
+		Seed:          0,
+		CorpusPerCell: 2,
 	}
-	for _, n := range []int{3, 6, 7, 8} {
+	for _, n := range []int{3, 6, 7, 8, 9} {
 		t.Run(fmt.Sprintf("table%d", n), func(t *testing.T) {
 			var ref string
 			for _, jobs := range jobsValues() {

@@ -1,8 +1,9 @@
 // Package harness orchestrates the paper's experiments over the benchmark
 // suite: it builds the instrumented program variants, drives failure and
 // success runs, applies LBRA/LCRA and the CBI baseline, measures run-time
-// overheads by cycle accounting, and renders every table of the paper's
-// evaluation section (Tables 1–7).
+// overheads by cycle accounting, and renders every table of the evaluation:
+// the paper's Tables 1–7 plus this reproduction's fault-robustness Table 8
+// and the generated-bug-corpus ranking bake-off Table 9.
 package harness
 
 import (
@@ -51,6 +52,14 @@ type Config struct {
 	// harness drives; each table row is tagged on the trace and each
 	// row result carries its metrics delta.
 	Obs *obs.Sink
+	// Ranker selects the scoring arithmetic for LBRA/LCRA diagnosis rows
+	// (-ranker). The zero value is the paper's CBI-style harmonic mean, so
+	// the golden tables are unchanged by the field's existence.
+	Ranker core.Ranker
+	// CorpusPerCell is Table 9's generated-program count per
+	// (bug class × propagation distance) cell (-corpus-n); 0 selects
+	// DefaultCorpusPerCell.
+	CorpusPerCell int
 }
 
 // DefaultConfig is the paper's experiment configuration.
@@ -307,7 +316,7 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 	}
 	endCapture()
 	endRank := beginPhase(cfg, a.Name, phaseRank)
-	report, err := core.Diagnose(core.ModeLBR, failProfiles, succProfiles)
+	report, err := core.DiagnoseWith(core.ModeLBR, cfg.Ranker, failProfiles, succProfiles)
 	if err != nil {
 		return nil, err
 	}

@@ -21,8 +21,9 @@ import (
 
 // NumTables is the highest table RenderTable knows: the paper's Tables 1–7
 // plus this reproduction's own Table 8 (diagnosis robustness under
-// injected capture faults).
-const NumTables = 8
+// injected capture faults) and Table 9 (root-cause ranking over the
+// generated bug corpus).
+const NumTables = 9
 
 // tableOrder fixes the row order of Tables 4–7 to match the paper.
 var tableOrder = []string{
@@ -563,6 +564,8 @@ func renderTableBody(n int, cfg Config) (string, error) {
 		return Table7(cfg)
 	case 8:
 		return Table8(cfg)
+	case 9:
+		return Table9(cfg)
 	}
 	return "", fmt.Errorf("harness: no table %d (tables 1-%d)", n, NumTables)
 }

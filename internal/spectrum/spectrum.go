@@ -1,0 +1,101 @@
+// Package spectrum implements spectrum-based fault localization (SBFL)
+// scorers — Ochiai and Tarantula — over the same per-event pass/fail
+// counters the LBRA/LCRA harmonic-mean model (internal/stats) consumes.
+//
+// SBFL is the classic software-only baseline for the paper's hardware-
+// assisted diagnosis: instead of precision/recall over short hardware
+// records, it scores each program entity by its statistical association
+// with failing runs ("Program Spectra Analysis in Embedded Software",
+// PAPERS.md). Reusing stats.Counts means the two families differ only in
+// scoring arithmetic, never in event extraction or counting, so the
+// Table 9 bake-off compares formulas, not plumbing.
+package spectrum
+
+import (
+	"math"
+
+	"stmdiag/internal/stats"
+)
+
+// Formula selects an SBFL scoring formula.
+type Formula uint8
+
+const (
+	// Ochiai scores ef / sqrt(nf * (ef + ep)): the cosine similarity
+	// between the event's occurrence vector and the failure vector.
+	Ochiai Formula = iota
+	// Tarantula scores (ef/nf) / (ef/nf + ep/np): the failing share of
+	// the event's normalized occurrence rates.
+	Tarantula
+)
+
+// String names the formula the way the -ranker flag spells it.
+func (f Formula) String() string {
+	if f == Tarantula {
+		return "tarantula"
+	}
+	return "ochiai"
+}
+
+// Score computes the formula over one event's spectrum counters: inFail
+// (ef) and inSucc (ep) count the failing/successful runs containing the
+// event, failTotal (nf) and succTotal (np) the run totals. Both formulas
+// return 0 when the event never appears in a failing run, and are bounded
+// to [0, 1].
+func (f Formula) Score(inFail, inSucc, failTotal, succTotal int) float64 {
+	if inFail <= 0 {
+		return 0
+	}
+	ef, ep := float64(inFail), float64(inSucc)
+	switch f {
+	case Tarantula:
+		var fr, pr float64
+		if failTotal > 0 {
+			fr = ef / float64(failTotal)
+		}
+		if succTotal > 0 {
+			pr = ep / float64(succTotal)
+		}
+		if fr+pr == 0 {
+			return 0
+		}
+		return fr / (fr + pr)
+	default: // Ochiai
+		den := math.Sqrt(float64(failTotal) * (ef + ep))
+		if den == 0 {
+			return 0
+		}
+		return ef / den
+	}
+}
+
+// ScoreCounts builds one event's stats.Scored under the formula from
+// merged occurrence counters — the SBFL analogue of stats.ScoreCounts.
+// Precision and recall keep their harmonic-model definitions (they feed
+// the shared tie-break order and report rendering); only Score changes.
+func ScoreCounts[E comparable](f Formula, e E, inFail, inSucc, failTotal, succTotal int) stats.Scored[E] {
+	s := stats.ScoreCounts(e, inFail, inSucc, failTotal)
+	s.Score = f.Score(inFail, inSucc, failTotal, succTotal)
+	return s
+}
+
+// Rank scores every event appearing in any run under the formula and
+// returns them best-first. Counting and the deterministic tie-break order
+// (stats.Less via stats.SortScored) are shared with stats.Rank, so a
+// formula swap can never change which events exist or how ties resolve.
+func Rank[E comparable](runs []stats.Run[E], f Formula) []stats.Scored[E] {
+	inFail, inSucc, failTotal, succTotal := stats.Counts(runs)
+	events := make(map[E]bool, len(inFail)+len(inSucc))
+	for e := range inFail {
+		events[e] = true
+	}
+	for e := range inSucc {
+		events[e] = true
+	}
+	out := make([]stats.Scored[E], 0, len(events))
+	for e := range events {
+		out = append(out, ScoreCounts(f, e, inFail[e], inSucc[e], failTotal, succTotal))
+	}
+	stats.SortScored(out)
+	return out
+}

@@ -122,16 +122,20 @@ func SortScored[E comparable](out []Scored[E]) {
 	sort.Slice(out, func(i, j int) bool { return Less(out[i], out[j]) })
 }
 
-// Rank scores every event appearing in any run and returns them best-first.
-// Ties break deterministically: higher precision first, then more failing
-// occurrences, then the event's formatted representation.
-func Rank[E comparable](runs []Run[E]) []Scored[E] {
-	failTotal := 0
-	inFail := make(map[E]int)
-	inSucc := make(map[E]int)
+// Counts reduces a run set to the per-event spectrum counters every ranker
+// consumes: how many failing and successful runs contain each event
+// (presence semantics — duplicates within a run collapse), plus the
+// failing/successful run totals. Rank scores these with the harmonic-mean
+// model; internal/spectrum scores the same counters with Ochiai and
+// Tarantula, so the rankers differ only in arithmetic, never in counting.
+func Counts[E comparable](runs []Run[E]) (inFail, inSucc map[E]int, failTotal, succTotal int) {
+	inFail = make(map[E]int)
+	inSucc = make(map[E]int)
 	for _, r := range runs {
 		if r.Failed {
 			failTotal++
+		} else {
+			succTotal++
 		}
 		seen := make(map[E]bool, len(r.Events))
 		for _, e := range r.Events {
@@ -146,6 +150,14 @@ func Rank[E comparable](runs []Run[E]) []Scored[E] {
 			}
 		}
 	}
+	return inFail, inSucc, failTotal, succTotal
+}
+
+// Rank scores every event appearing in any run and returns them best-first.
+// Ties break deterministically: higher precision first, then more failing
+// occurrences, then the event's formatted representation.
+func Rank[E comparable](runs []Run[E]) []Scored[E] {
+	inFail, inSucc, failTotal, _ := Counts(runs)
 	events := make(map[E]bool, len(inFail)+len(inSucc))
 	for e := range inFail {
 		events[e] = true

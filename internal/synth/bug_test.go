@@ -1,0 +1,195 @@
+package synth
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"stmdiag/internal/kernel"
+	"stmdiag/internal/replay"
+	"stmdiag/internal/vm"
+)
+
+// bugRun executes one workload variant of a generated buggy program.
+func bugRun(t *testing.T, bp *BugProgram, variant map[string]int64, noise, seed int64) *vm.Result {
+	t.Helper()
+	globals := make(map[string]int64, len(variant)+1)
+	for k, v := range variant {
+		globals[k] = v
+	}
+	globals[bp.NoiseGlobal] = noise
+	res, err := vm.Run(bp.Prog, vm.Options{Seed: seed, Driver: kernel.Driver{}, Globals: globals})
+	if err != nil {
+		t.Fatalf("%s: %v", bp.Manifest.Class, err)
+	}
+	return res
+}
+
+// TestGenerateBugDeterministic: the generator is a pure function of its
+// config — same (seed, class, distance), same program and manifest. The
+// corpus driver's jobs-invariance rests on this.
+func TestGenerateBugDeterministic(t *testing.T) {
+	for _, class := range BugClasses() {
+		cfg := BugConfig{Seed: 11, Class: class, Distance: 9}
+		a := MustGenerateBug("det", cfg)
+		b := MustGenerateBug("det", cfg)
+		if !reflect.DeepEqual(a.Manifest, b.Manifest) {
+			t.Errorf("%s: manifests differ:\n%+v\n%+v", class, a.Manifest, b.Manifest)
+		}
+		if got, want := fmt.Sprint(a.Prog.Instrs), fmt.Sprint(b.Prog.Instrs); got != want {
+			t.Errorf("%s: generated programs differ", class)
+		}
+	}
+}
+
+// TestGenerateBugRejectsBadConfig pins the config validation.
+func TestGenerateBugRejectsBadConfig(t *testing.T) {
+	if _, err := GenerateBug("bad", BugConfig{Class: BugOverflow, Distance: -1}); err == nil {
+		t.Error("negative distance accepted")
+	}
+	if _, err := GenerateBug("bad", BugConfig{Class: BugClass(99)}); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+// TestBugWorkloads: across every class and the corpus distance range, the
+// failure workloads actually fail (deterministically for the sequential
+// classes, with usable probability for the races) and the success
+// workloads never fail — the ground-truth split Table 9 builds on.
+func TestBugWorkloads(t *testing.T) {
+	const trials = 20
+	for _, class := range BugClasses() {
+		for _, d := range []int{0, 2, 14, MaxDistance} {
+			bp := MustGenerateBug("wl", BugConfig{Seed: 5, Class: class, Distance: d})
+			nf := 0
+			for seed := int64(0); seed < trials; seed++ {
+				if bugRun(t, bp, bp.Fail[seed%int64(len(bp.Fail))], seed*37, seed).Failed() {
+					nf++
+				}
+			}
+			minFail := trials // sequential classes fail on every run
+			if bp.Concurrent {
+				minFail = 1 // races are probabilistic, but must be plantable
+			}
+			if nf < minFail {
+				t.Errorf("%s d=%d: fail workload failed %d/%d runs, want >= %d",
+					class, d, nf, trials, minFail)
+			}
+			for seed := int64(0); seed < trials; seed++ {
+				variant := bp.Succeed[seed%int64(len(bp.Succeed))]
+				if res := bugRun(t, bp, variant, seed*53, seed); res.Failed() {
+					t.Fatalf("%s d=%d: success workload %v failed: %v",
+						class, d, variant, res.Failures[0])
+				}
+			}
+		}
+	}
+}
+
+// TestBugManifestResolves: every manifest field points at real generated
+// code — root PCs are in-range, non-synthetic instructions matching the
+// recorded source location, and the failure PC is a real instruction.
+func TestBugManifestResolves(t *testing.T) {
+	for _, class := range BugClasses() {
+		for _, d := range []int{2, 8, 20} {
+			bp := MustGenerateBug("man", BugConfig{Seed: 3, Class: class, Distance: d})
+			m := bp.Manifest
+			if m.Class != class || m.Distance != d {
+				t.Fatalf("manifest coordinates %v/%d, want %v/%d", m.Class, m.Distance, class, d)
+			}
+			if len(m.RootPCs) == 0 {
+				t.Fatalf("%s d=%d: no root PCs", class, d)
+			}
+			for _, pc := range m.RootPCs {
+				if pc < 0 || pc >= len(bp.Prog.Instrs) {
+					t.Fatalf("%s d=%d: root PC %d out of range", class, d, pc)
+				}
+				in := bp.Prog.Instrs[pc]
+				if in.Synthetic {
+					t.Errorf("%s d=%d: root PC %d is a synthetic instruction", class, d, pc)
+				}
+				if in.Loc != m.RootLoc {
+					t.Errorf("%s d=%d: root PC %d at %v, manifest says %v", class, d, pc, in.Loc, m.RootLoc)
+				}
+			}
+			if m.FailPC < 0 || m.FailPC >= len(bp.Prog.Instrs) {
+				t.Fatalf("%s d=%d: failure PC %d out of range", class, d, m.FailPC)
+			}
+			if bp.Concurrent != class.Concurrent() {
+				t.Errorf("%s: Concurrent = %v", class, bp.Concurrent)
+			}
+			if class.Concurrent() {
+				if m.RootBranch != "" {
+					t.Errorf("%s: concurrent manifest names a root branch %q", class, m.RootBranch)
+				}
+			} else {
+				if m.RootBranch == "" {
+					t.Errorf("%s: sequential manifest has no root branch", class)
+				}
+				if bp.Prog.GlobalByName("noise") == nil {
+					t.Errorf("%s: noise global missing", class)
+				}
+			}
+		}
+	}
+}
+
+// TestBugSignatureRoundTrip: for one captured failure per bug class, the
+// recorded schedule log replays to the same failure — the paper's
+// "reproduction from the failure signature" loop (§6) applied to the
+// generated corpus. The replayed run must fail at the identical PC with
+// the identical failure kind.
+func TestBugSignatureRoundTrip(t *testing.T) {
+	for _, class := range BugClasses() {
+		bp := MustGenerateBug("rt", BugConfig{Seed: 9, Class: class, Distance: 6})
+		var rec *vm.Result
+		var log *replay.Log
+		for seed := int64(0); seed < 100 && rec == nil; seed++ {
+			globals := make(map[string]int64, len(bp.Fail[0])+1)
+			for k, v := range bp.Fail[0] {
+				globals[k] = v
+			}
+			globals[bp.NoiseGlobal] = seed * 41
+			res, l, err := replay.Record(bp.Prog, vm.Options{
+				Seed: seed, Driver: kernel.Driver{}, Globals: globals,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed() {
+				rec, log = res, l
+			}
+		}
+		if rec == nil {
+			t.Fatalf("%s: no failing run in 100 record attempts", class)
+		}
+		rep, err := replay.Replay(bp.Prog, log, vm.Options{Driver: kernel.Driver{}})
+		if err != nil {
+			t.Fatalf("%s: replay: %v", class, err)
+		}
+		if !rep.Failed() {
+			t.Fatalf("%s: recorded failure did not reproduce", class)
+		}
+		got, want := rep.Failures[0], rec.Failures[0]
+		if got.PC != want.PC || got.Kind != want.Kind {
+			t.Errorf("%s: replayed failure %v@%d, recorded %v@%d",
+				class, got.Kind, got.PC, want.Kind, want.PC)
+		}
+	}
+}
+
+// BenchmarkSynthBug measures bug-grammar generation throughput — the cost
+// Table 9 pays per corpus program before any run starts. Configurations
+// cycle over every class and the full distance range so the figure
+// averages the grammar, not one shape.
+func BenchmarkSynthBug(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MustGenerateBug("bench", BugConfig{
+			Seed:     int64(i),
+			Class:    BugClass(i % 4),
+			Distance: (i * 7) % (MaxDistance + 1),
+		})
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "programs/sec")
+}

@@ -1,0 +1,69 @@
+package synth
+
+import (
+	"testing"
+
+	"stmdiag/internal/kernel"
+	"stmdiag/internal/vm"
+)
+
+// FuzzSynthBug throws arbitrary (seed, class, distance) configurations at
+// the bug generator and checks its whole-output contract: the program
+// assembles, the manifest's root-cause PCs are real (non-synthetic)
+// instructions at the recorded location, a failure workload executes
+// without VM errors, and every success workload terminates cleanly — for
+// any configuration, not just the corpus grid.
+func FuzzSynthBug(f *testing.F) {
+	f.Add(int64(7), uint8(0), uint8(2))
+	f.Add(int64(1), uint8(1), uint8(0))
+	f.Add(int64(42), uint8(2), uint8(14))
+	f.Add(int64(99), uint8(3), uint8(24))
+	f.Fuzz(func(t *testing.T, seed int64, classByte, distByte uint8) {
+		cfg := BugConfig{
+			Seed:     seed,
+			Class:    BugClass(classByte % 4),
+			Distance: int(distByte) % (MaxDistance + 1),
+		}
+		bp, err := GenerateBug("fuzz", cfg)
+		if err != nil {
+			t.Fatalf("config %+v rejected: %v", cfg, err)
+		}
+		m := bp.Manifest
+		for _, pc := range m.RootPCs {
+			if pc < 0 || pc >= len(bp.Prog.Instrs) {
+				t.Fatalf("root PC %d out of range [0,%d)", pc, len(bp.Prog.Instrs))
+			}
+			in := bp.Prog.Instrs[pc]
+			if in.Synthetic {
+				t.Fatalf("root PC %d is synthetic", pc)
+			}
+			if in.Loc != m.RootLoc {
+				t.Fatalf("root PC %d at %v, manifest says %v", pc, in.Loc, m.RootLoc)
+			}
+		}
+		if m.FailPC < 0 || m.FailPC >= len(bp.Prog.Instrs) {
+			t.Fatalf("failure PC %d out of range [0,%d)", m.FailPC, len(bp.Prog.Instrs))
+		}
+		run := func(variant map[string]int64, noise int64) *vm.Result {
+			globals := make(map[string]int64, len(variant)+1)
+			for k, v := range variant {
+				globals[k] = v
+			}
+			globals[bp.NoiseGlobal] = noise
+			res, err := vm.Run(bp.Prog, vm.Options{Seed: seed, Driver: kernel.Driver{}, Globals: globals})
+			if err != nil {
+				t.Fatalf("variant %v: %v", variant, err)
+			}
+			return res
+		}
+		res := run(bp.Fail[0], seed*37)
+		if !bp.Concurrent && !res.Failed() {
+			t.Fatalf("sequential %s failure workload did not fail", m.Class)
+		}
+		for _, variant := range bp.Succeed {
+			if r := run(variant, seed*53); r.Failed() {
+				t.Fatalf("success workload %v failed: %v", variant, r.Failures[0])
+			}
+		}
+	})
+}

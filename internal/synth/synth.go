@@ -1,13 +1,21 @@
-// Package synth procedurally generates large, valid VM programs with many
-// conditional branches and failure-logging sites.
+// Package synth procedurally generates VM programs: correct ones at scale,
+// and — via the bug grammar in bug.go — programs with a seeded fault of a
+// chosen class and ground-truth manifest.
 //
-// The paper's Table 5 evaluates the useful-branch-ratio analysis over 6945
-// logging points across 13 real applications. The re-authored benchmarks in
-// internal/apps reproduce per-app control-flow shapes but are necessarily
-// small; synth restores the scale dimension, generating programs with
-// hundreds of logging sites whose CFG statistics can be analyzed by
-// internal/cfg and whose execution can stress the instrumentation
-// overhead accounting.
+// The correct-program generator (Generate) serves the paper's Table 5
+// scale dimension: its useful-branch-ratio analysis covers 6945 logging
+// points across 13 real applications, and the re-authored benchmarks in
+// internal/apps are necessarily small, so synth produces programs with
+// hundreds of logging sites whose CFG statistics internal/cfg can analyze
+// and whose execution stresses the instrumentation overhead accounting.
+//
+// The bug grammar (GenerateBug) plants one fault — an atomicity violation,
+// order violation, integer overflow, or dangling/stale pointer — into an
+// otherwise-correct generated program, with a configurable propagation
+// distance (padding basic blocks between the root-cause instruction and
+// the observable failure site) and a Manifest recording the ground-truth
+// root-cause PCs. Table 9 (internal/harness) sweeps that corpus to compare
+// ranking formulas against known root causes.
 package synth
 
 import (

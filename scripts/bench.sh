@@ -4,7 +4,10 @@
 #   BENCH_harness.json  wall time of a reduced Table 7 experiment across a
 #                       -jobs scaling curve (1, 2, 4, NumCPU), plus the
 #                       fault-injection and live-exporter overhead passes,
-#                       verifying every variant's stdout is byte-identical.
+#                       verifying every variant's stdout is byte-identical;
+#                       also fleet ingest throughput, bug-grammar generation
+#                       throughput (synth_programs_per_sec) and per-ranker
+#                       scoring cost (rank_*_ns_per_op).
 #   BENCH_vm.json       interpreter throughput from BenchmarkVMTrial:
 #                       retired instructions/sec, ns and allocs per trial,
 #                       the profiled-trial figures, and the same scaling
@@ -140,6 +143,57 @@ if [ "$SMOKE" != 1 ]; then
     }
 fi
 
+# Bug-grammar generation throughput: BenchmarkSynthBug builds one corpus
+# program per op, cycling every (class, distance) shape, and reports
+# programs/sec — the generation cost Table 9 pays before any run starts.
+go test -run '^$' -bench '^BenchmarkSynthBug$' -benchtime "$BENCHTIME" ./internal/synth \
+    >"$TMP/stmdiag-bench-synth.txt" 2>&1 || {
+    cat "$TMP/stmdiag-bench-synth.txt" >&2
+    exit 1
+}
+synth_pps=$(awk '
+    /^BenchmarkSynthBug/ {
+        for (i = 2; i < NF; i++) if ($(i+1) == "programs/sec") v = $i
+    }
+    END { printf "%s", v+0 }' "$TMP/stmdiag-bench-synth.txt")
+if [ "$synth_pps" = 0 ]; then
+    echo "bench: failed to parse BenchmarkSynthBug output:" >&2
+    cat "$TMP/stmdiag-bench-synth.txt" >&2
+    exit 1
+fi
+if [ "$SMOKE" != 1 ]; then
+    # Acceptance floor: generating a corpus program must stay cheap next to
+    # running it (the default 208-program Table 9 generates in well under a
+    # second at this floor).
+    awk -v p="$synth_pps" 'BEGIN { exit (p >= 1000) ? 0 : 1 }' || {
+        echo "bench: bug grammar generated only $synth_pps programs/sec (floor 1000)" >&2
+        exit 1
+    }
+fi
+
+# Per-ranker scoring cost: BenchmarkSpectrumRank ranks one corpus-scale
+# spectrum (8 runs x 64 events) per op under each formula; ns/op per
+# sub-benchmark lands in BENCH_harness.json beside the throughput figures.
+go test -run '^$' -bench '^BenchmarkSpectrumRank$' -benchtime "$BENCHTIME" ./internal/spectrum \
+    >"$TMP/stmdiag-bench-spectrum.txt" 2>&1 || {
+    cat "$TMP/stmdiag-bench-spectrum.txt" >&2
+    exit 1
+}
+rank_metrics=$(awk '
+    /^BenchmarkSpectrumRank\// {
+        split($1, parts, "/"); sub(/-[0-9]+$/, "", parts[2])
+        for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") v[parts[2]] = $i
+    }
+    END { printf "%s %s %s", v["cbi"]+0, v["ochiai"]+0, v["tarantula"]+0 }' \
+    "$TMP/stmdiag-bench-spectrum.txt")
+set -- $rank_metrics
+cbi_ns=$1; ochiai_ns=$2; tarantula_ns=$3
+if [ "$cbi_ns" = 0 ] || [ "$ochiai_ns" = 0 ] || [ "$tarantula_ns" = 0 ]; then
+    echo "bench: failed to parse BenchmarkSpectrumRank output:" >&2
+    cat "$TMP/stmdiag-bench-spectrum.txt" >&2
+    exit 1
+fi
+
 speedup=$(awk -v s="$seq_ms" -v p="$par_ms" 'BEGIN { printf (p > 0) ? "%.2f" : "0", s / p }')
 fault0_ratio=$(awk -v p="$par_ms" -v f="$fault0_ms" 'BEGIN { printf (p > 0) ? "%.3f" : "0", f / p }')
 serve_ratio=$(awk -v p="$par_ms" -v s="$serve_ms" 'BEGIN { printf (p > 0) ? "%.3f" : "0", s / p }')
@@ -157,6 +211,10 @@ cat > "$OUT_HARNESS" <<EOF
   "serve_ratio": $serve_ratio,
   "fleet_ingest_profiles_per_sec": $fleet_pps,
   "fleet_shard_wait_ns_per_batch": $fleet_wait_ns,
+  "synth_programs_per_sec": $synth_pps,
+  "rank_cbi_ns_per_op": $cbi_ns,
+  "rank_ochiai_ns_per_op": $ochiai_ns,
+  "rank_tarantula_ns_per_op": $tarantula_ns,
   "scaling": [$scaling
   ],
   "stdout_identical": true
@@ -212,4 +270,4 @@ cat > "$OUT_VM" <<EOF
 }
 EOF
 
-echo "bench: jobs curve [$CURVE] seq ${seq_ms}ms par ${par_ms}ms speedup ${speedup}x; vm ${ips} instrs/sec, ${allocs_trial} allocs/trial; fleet ${fleet_pps} profiles/sec ($OUT_HARNESS, $OUT_VM)"
+echo "bench: jobs curve [$CURVE] seq ${seq_ms}ms par ${par_ms}ms speedup ${speedup}x; vm ${ips} instrs/sec, ${allocs_trial} allocs/trial; fleet ${fleet_pps} profiles/sec; synth ${synth_pps} programs/sec ($OUT_HARNESS, $OUT_VM)"

@@ -40,7 +40,7 @@ go test -race ./internal/fleet/...
 echo "== fuzz corpus replay"
 # Replays the committed seed corpora (f.Add seeds + testdata/fuzz entries)
 # as regular tests; no fuzzing time is spent.
-go test ./internal/stats ./internal/pmu ./internal/faultinj -run 'Fuzz'
+go test ./internal/stats ./internal/pmu ./internal/faultinj ./internal/synth -run 'Fuzz'
 
 echo "== -jobs stdout identity"
 EXP="${TMPDIR:-/tmp}/stmdiag-check-experiments"
@@ -72,6 +72,32 @@ if "$SMD" -app sort -faults rate=2 >/dev/null 2>&1; then
 fi
 if "$SMD" -app sort -jobs -1 >/dev/null 2>&1; then
     echo "-jobs -1 was accepted" >&2
+    exit 1
+fi
+
+echo "== -corpus smoke + jobs identity"
+# Table 9's generated-bug corpus: a reduced per-cell sweep must complete
+# and render byte-identically whatever the worker count (every seed
+# derives from cell coordinates, never worker identity).
+"$EXP" -corpus -corpus-n 2 -failruns 4 -succruns 4 -jobs 1 2>/dev/null >"${TMPDIR:-/tmp}/stmdiag-check-c1.txt"
+"$EXP" -corpus -corpus-n 2 -failruns 4 -succruns 4 -jobs 4 2>/dev/null >"${TMPDIR:-/tmp}/stmdiag-check-c4.txt"
+if ! cmp -s "${TMPDIR:-/tmp}/stmdiag-check-c1.txt" "${TMPDIR:-/tmp}/stmdiag-check-c4.txt"; then
+    echo "table 9 stdout differs between -jobs 1 and -jobs 4" >&2
+    exit 1
+fi
+grep -q 'Table 9' "${TMPDIR:-/tmp}/stmdiag-check-c1.txt" \
+    || { echo "-corpus printed no Table 9" >&2; exit 1; }
+if "$EXP" -corpus -corpus-n -1 >/dev/null 2>&1; then
+    echo "-corpus-n -1 was accepted" >&2
+    exit 1
+fi
+
+echo "== -ranker smoke"
+# The pluggable scoring formulas: an alternative ranker must run the
+# pipeline to completion, and unknown names must be rejected with exit 2.
+"$SMD" -app sort -failruns 4 -succruns 4 -cbiruns 40 -ranker ochiai >/dev/null 2>&1
+if "$SMD" -app sort -ranker bogus >/dev/null 2>&1; then
+    echo "-ranker bogus was accepted" >&2
     exit 1
 fi
 

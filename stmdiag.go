@@ -348,6 +348,13 @@ func (r *Report) Top() (Predictor, bool) {
 // the same-site snapshot). Set coherence=true to rank LCR events (LCRA)
 // instead of LBR events (LBRA).
 func DiagnoseRuns(failing, succeeding []*RunResult, coherence bool) (*Report, error) {
+	return DiagnoseRunsWith(failing, succeeding, coherence, core.RankerCBI)
+}
+
+// DiagnoseRunsWith is DiagnoseRuns with a pluggable scoring formula
+// (core.RankerCBI, core.RankerOchiai or core.RankerTarantula — the -ranker
+// flag): identical event extraction and counting, different arithmetic.
+func DiagnoseRunsWith(failing, succeeding []*RunResult, coherence bool, ranker core.Ranker) (*Report, error) {
 	mode := core.ModeLBR
 	if coherence {
 		mode = core.ModeLCR
@@ -367,7 +374,7 @@ func DiagnoseRuns(failing, succeeding []*RunResult, coherence bool) (*Report, er
 			succ = append(succ, core.ProfiledRun{Prog: r.prog, Profile: pr})
 		}
 	}
-	rep, err := core.Diagnose(mode, fail, succ)
+	rep, err := core.DiagnoseWith(mode, ranker, fail, succ)
 	if err != nil {
 		return nil, err
 	}
@@ -503,21 +510,30 @@ type ExperimentConfig struct {
 	// parse one with faultinj.ParseSpec). The zero value injects nothing
 	// and keeps the fault-free fast path.
 	Faults faultinj.Spec
+	// Ranker selects the diagnosis scoring formula (-ranker). The zero
+	// value is the paper's CBI-style harmonic mean.
+	Ranker core.Ranker
+	// CorpusPerCell is Table 9's generated-program count per (bug class ×
+	// propagation distance) cell; 0 selects the default (13, a 208-program
+	// corpus).
+	CorpusPerCell int
 }
 
 func (c ExperimentConfig) internal() harness.Config {
 	return harness.Config{
-		FailRuns:     c.FailRuns,
-		SuccRuns:     c.SuccRuns,
-		CBIRuns:      c.CBIRuns,
-		CBIRate:      c.CBIRate,
-		OverheadRuns: c.OverheadRuns,
-		Jobs:         c.Jobs,
-		Seed:         c.Seed,
-		LBRSize:      c.LBRSize,
-		LCRSize:      c.LCRSize,
-		Obs:          c.Obs,
-		Faults:       c.Faults,
+		FailRuns:      c.FailRuns,
+		SuccRuns:      c.SuccRuns,
+		CBIRuns:       c.CBIRuns,
+		CBIRate:       c.CBIRate,
+		OverheadRuns:  c.OverheadRuns,
+		Jobs:          c.Jobs,
+		Seed:          c.Seed,
+		LBRSize:       c.LBRSize,
+		LCRSize:       c.LCRSize,
+		Obs:           c.Obs,
+		Faults:        c.Faults,
+		Ranker:        c.Ranker,
+		CorpusPerCell: c.CorpusPerCell,
 	}
 }
 

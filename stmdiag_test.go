@@ -200,8 +200,8 @@ func TestRenderTableAPI(t *testing.T) {
 	if err != nil || !strings.Contains(out, "LBR_SELECT") {
 		t.Errorf("RenderTable(1): %v\n%s", err, out)
 	}
-	if _, err := RenderTable(9, ExperimentConfig{}); err == nil {
-		t.Error("table 9 accepted")
+	if _, err := RenderTable(NumTables+1, ExperimentConfig{}); err == nil {
+		t.Errorf("table %d accepted", NumTables+1)
 	}
 }
 
