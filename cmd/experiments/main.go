@@ -7,6 +7,7 @@
 //
 //	experiments [-table N] [-failruns N] [-succruns N] [-cbiruns N] [-overhead N] [-seed N]
 //	            [-jobs N] [-ranker name] [-corpus] [-corpus-n N]
+//	            [-executor inproc|subprocess] [-resume dir] [-worker-bin bin]
 //	            [-faults spec] [-trace out.json] [-metrics] [-v]
 //
 // Without -table it regenerates every table. The defaults follow the
@@ -17,9 +18,13 @@
 // byte-identical for every value. -ranker swaps the diagnosis scoring
 // formula (cbi, ochiai, tarantula) for the diagnosis-driving tables;
 // -corpus renders only Table 9 and -corpus-n resizes its per-cell program
-// count. After each table a one-line summary on stderr reports the rows
-// computed, app runs driven, simulated cycles and wall time; it exits
-// non-zero on any table-generation error.
+// count. -executor subprocess isolates trial execution in worker
+// subprocesses (crash containment); -resume persists each committed trial
+// into a durable artifact store and skips already-committed trials when the
+// same command is re-run after a kill — stdout stays byte-identical in
+// every combination. After each table a one-line summary on stderr reports
+// the rows computed, app runs driven, simulated cycles and wall time; it
+// exits non-zero on any table-generation error.
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 )
 
 func main() {
+	cliobs.MaybeTrialWorker()
 	table := flag.Int("table", 0, fmt.Sprintf("table number 1-%d; 0 regenerates all", stmdiag.NumTables))
 	failRuns := flag.Int("failruns", 10, "failure runs per LBRA/LCRA diagnosis")
 	succRuns := flag.Int("succruns", 10, "success runs per LBRA/LCRA diagnosis")
@@ -44,6 +50,7 @@ func main() {
 	corpus := flag.Bool("corpus", false, "render only Table 9, the generated-bug-corpus ranking bake-off")
 	corpusN := flag.Int("corpus-n", 0, "Table 9 programs per (bug class x distance) cell (0 = default 13)")
 	rf := cliobs.RegisterRanker()
+	ef := cliobs.RegisterExec()
 	tf := cliobs.Register()
 	flag.Parse()
 	if err := tf.Validate(); err != nil {
@@ -51,6 +58,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := rf.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := ef.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -88,6 +99,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	executor, store, err := ef.Build(sink, faults, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if executor != nil {
+			executor.Close() //nolint:errcheck // best-effort teardown
+		}
+		if store != nil {
+			store.Close() //nolint:errcheck
+		}
+	}()
 	cfg := stmdiag.ExperimentConfig{
 		FailRuns:      *failRuns,
 		SuccRuns:      *succRuns,
@@ -99,6 +123,8 @@ func main() {
 		Faults:        faults,
 		Ranker:        rf.Ranker(),
 		CorpusPerCell: *corpusN,
+		Executor:      executor,
+		Artifacts:     store,
 	}
 	tables := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
 	switch {

@@ -7,11 +7,15 @@
 //
 // Server:
 //
-//	fleetd -listen :8344 [-fleet-shards N] [-addr-file f]
+//	fleetd -listen :8344 [-fleet-shards N] [-fleet-store dir] [-addr-file f]
 //
 // serves POST /fleet/ingest, GET /fleet/stats, GET /fleet/report, plus
 // every live-telemetry endpoint of the -serve layer (/metrics, /trace,
 // /flightrecorder, /profilez, /debug/pprof) on the same listener.
+// -fleet-store persists every accepted submission to a write-ahead log in
+// that directory before acknowledging it, and replays the log on startup:
+// a killed and restarted fleetd serves the same /fleet/report bytes it
+// would have without the crash.
 //
 // Client simulation:
 //
@@ -50,6 +54,7 @@ import (
 )
 
 func main() {
+	cliobs.MaybeTrialWorker()
 	listen := flag.String("listen", "", "serve the fleet API on this `addr` (e.g. :8344; port 0 picks a free one)")
 	addrFile := flag.String("addr-file", "", "write the bound listen address to this `file` (scripts poll it instead of parsing logs)")
 	push := flag.String("push", "", "client mode: capture profiles and push them to this fleet server `URL`")
@@ -60,7 +65,9 @@ func main() {
 	succRuns := flag.Int("succruns", 10, "success profiles captured per -push")
 	seed := flag.Int64("seed", 0, "base seed for -push capture")
 	jobs := flag.Int("jobs", 0, "trial-execution workers for -push capture (0 = NumCPU)")
+	fleetStore := flag.String("fleet-store", "", "persist the profile store to a write-ahead log in this `dir` and replay it on startup (-listen only)")
 	ff := cliobs.RegisterFleet()
+	ef := cliobs.RegisterExec()
 	tf := cliobs.Register()
 	flag.Parse()
 
@@ -74,8 +81,14 @@ func main() {
 	if err := ff.Validate(); err != nil {
 		fail2(err)
 	}
+	if err := ef.Validate(); err != nil {
+		fail2(err)
+	}
 	if err := cliobs.CheckJobs(*jobs); err != nil {
 		fail2(err)
+	}
+	if *fleetStore != "" && *listen == "" {
+		fail2(fmt.Errorf("-fleet-store requires -listen"))
 	}
 	modes := 0
 	for _, on := range []bool{*listen != "", *push != "", *report != ""} {
@@ -99,11 +112,11 @@ func main() {
 	var err error
 	switch {
 	case *listen != "":
-		err = serve(*listen, *addrFile, ff, tf)
+		err = serve(*listen, *addrFile, *fleetStore, ff, tf)
 	case *push != "":
 		err = pushProfiles(*push, *app, harness.Config{
 			FailRuns: *failRuns, SuccRuns: *succRuns, Seed: *seed, Jobs: *jobs,
-		}, ff, tf)
+		}, ff, ef, tf)
 	default:
 		err = fetchReport(*report, *app, *topK)
 	}
@@ -115,14 +128,25 @@ func main() {
 
 // serve runs the aggregator until SIGINT/SIGTERM: the fleet routes layered
 // over the full live-telemetry handler, one sink feeding both.
-func serve(addr, addrFile string, ff *cliobs.FleetFlags, tf *cliobs.Flags) error {
+func serve(addr, addrFile, storeDir string, ff *cliobs.FleetFlags, tf *cliobs.Flags) error {
 	sink := tf.Sink()
 	if sink == nil {
 		// A server always carries telemetry: ingest throughput and shard
 		// contention are its primary observables.
 		sink = obs.NewSink()
 	}
-	store := fleet.NewStore(fleet.StoreOptions{Shards: ff.Shards, Sink: sink})
+	var store *fleet.Store
+	if storeDir != "" {
+		var err error
+		store, err = fleet.OpenPersistent(storeDir, fleet.StoreOptions{Shards: ff.Shards, Sink: sink})
+		if err != nil {
+			return err
+		}
+		defer store.Close() //nolint:errcheck // best-effort shutdown
+		fmt.Fprintf(os.Stderr, "fleetd: replayed %d submissions from %s\n", store.Replayed(), storeDir)
+	} else {
+		store = fleet.NewStore(fleet.StoreOptions{Shards: ff.Shards, Sink: sink})
+	}
 	base := obshttp.New(sink)
 	svc := fleet.NewService(store, base.Handler(), sink)
 
@@ -156,7 +180,7 @@ func serve(addr, addrFile string, ff *cliobs.FleetFlags, tf *cliobs.Flags) error
 // pushProfiles is one capture-and-submit cycle: the deployed builds
 // produce this benchmark's diagnosis profiles, which fan out over the
 // simulated machine population.
-func pushProfiles(baseURL, appName string, cfg harness.Config, ff *cliobs.FleetFlags, tf *cliobs.Flags) error {
+func pushProfiles(baseURL, appName string, cfg harness.Config, ff *cliobs.FleetFlags, ef *cliobs.ExecFlags, tf *cliobs.Flags) error {
 	if appName == "" {
 		return fmt.Errorf("-push requires -app (e.g. -app sort)")
 	}
@@ -165,6 +189,19 @@ func pushProfiles(baseURL, appName string, cfg harness.Config, ff *cliobs.FleetF
 		return fmt.Errorf("unknown benchmark %q", appName)
 	}
 	cfg.Obs = tf.Sink()
+	executor, store, err := ef.Build(cfg.Obs, cfg.Faults, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if executor != nil {
+			executor.Close() //nolint:errcheck // best-effort teardown
+		}
+		if store != nil {
+			store.Close() //nolint:errcheck
+		}
+	}()
+	cfg.Executor, cfg.Artifacts = executor, store
 	mode, fail, succ, err := harness.DiagnosisProfiles(a, cfg)
 	if err != nil {
 		return err

@@ -31,6 +31,7 @@ import (
 )
 
 func main() {
+	cliobs.MaybeTrialWorker()
 	app := flag.String("app", "", "benchmark to cover (success workload)")
 	useSynth := flag.Bool("synth", false, "cover a generated synthetic program instead")
 	funcs := flag.Int("funcs", 12, "synthetic program functions")

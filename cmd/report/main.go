@@ -29,6 +29,7 @@ import (
 )
 
 func main() {
+	cliobs.MaybeTrialWorker()
 	app := flag.String("app", "", "benchmark to crash and report (see stmdiag -list)")
 	seed := flag.Int64("seed", 0, "starting scheduler seed")
 	jobs := flag.Int("jobs", 0, "seed-search workers (0 = NumCPU, 1 = sequential)")

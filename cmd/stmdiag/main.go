@@ -6,7 +6,8 @@
 //
 //	stmdiag -list
 //	stmdiag -app sort [-failruns N] [-succruns N] [-seed N]
-//	        [-jobs N] [-ranker name] [-faults spec] [-trace out.json] [-metrics] [-v]
+//	        [-jobs N] [-ranker name] [-executor inproc|subprocess] [-resume dir]
+//	        [-faults spec] [-trace out.json] [-metrics] [-v]
 //
 // For a sequential benchmark it prints the Table 6 row (LBRLOG entry ranks
 // with and without toggling, LBRA and CBI predictor ranks, patch distances,
@@ -24,6 +25,7 @@ import (
 )
 
 func main() {
+	cliobs.MaybeTrialWorker()
 	list := flag.Bool("list", false, "list the benchmark suite")
 	all := flag.Bool("all", false, "diagnose every benchmark (summary lines)")
 	app := flag.String("app", "", "benchmark to diagnose (see -list)")
@@ -33,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "base seed")
 	jobs := flag.Int("jobs", 0, "trial-execution workers (0 = NumCPU, 1 = sequential)")
 	rf := cliobs.RegisterRanker()
+	ef := cliobs.RegisterExec()
 	tf := cliobs.Register()
 	flag.Parse()
 	if err := tf.Validate(); err != nil {
@@ -40,6 +43,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := rf.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := ef.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -79,15 +86,30 @@ func main() {
 		}
 		return
 	}
+	executor, store, err := ef.Build(sink, faults, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if executor != nil {
+			executor.Close() //nolint:errcheck // best-effort teardown
+		}
+		if store != nil {
+			store.Close() //nolint:errcheck
+		}
+	}()
 	cfg := stmdiag.ExperimentConfig{
-		FailRuns: *failRuns,
-		SuccRuns: *succRuns,
-		CBIRuns:  *cbiRuns,
-		Jobs:     *jobs,
-		Seed:     *seed,
-		Obs:      sink,
-		Faults:   faults,
-		Ranker:   rf.Ranker(),
+		FailRuns:  *failRuns,
+		SuccRuns:  *succRuns,
+		CBIRuns:   *cbiRuns,
+		Jobs:      *jobs,
+		Seed:      *seed,
+		Obs:       sink,
+		Faults:    faults,
+		Ranker:    rf.Ranker(),
+		Executor:  executor,
+		Artifacts: store,
 	}
 	if *all {
 		for _, b := range stmdiag.Benchmarks() {

@@ -1,0 +1,25 @@
+// Command trialworker is a dedicated subprocess-executor worker: it speaks
+// the harness trial protocol (JSON lines on stdin/stdout, one request then
+// one response) until stdin closes. Every harness binary already doubles as
+// a worker via the STMDIAG_TRIAL_WORKER environment marker; this binary
+// exists for -worker-bin deployments that want a minimal, argument-free
+// worker image and for exercising the protocol by hand:
+//
+//	echo '{"stream":"s","index":0,"kind":"mean-cycles","params":{...}}' | trialworker
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"stmdiag/internal/harness"
+)
+
+func main() {
+	// No environment marker required: being the worker is this binary's
+	// only job.
+	if err := harness.WorkerMain(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trialworker:", err)
+		os.Exit(1)
+	}
+}

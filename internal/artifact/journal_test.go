@@ -1,0 +1,166 @@
+package artifact
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openAll(t *testing.T, path string) (*Journal, [][]byte, SalvageReport) {
+	t.Helper()
+	j, recs, rep, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, recs, rep
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, recs, rep := openAll(t, path)
+	if len(recs) != 0 || rep.Salvaged() {
+		t.Fatalf("fresh journal: recs=%d salvaged=%v", len(recs), rep.Salvaged())
+	}
+	want := [][]byte{[]byte("one"), {}, []byte("three"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, got, rep2 := openAll(t, path)
+	defer j2.Close()
+	if rep2.Salvaged() {
+		t.Errorf("clean journal reported salvage: %+v", rep2)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reopened %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestJournalSalvagesTornTail cuts the final frame at every possible byte
+// boundary: each open must recover exactly the intact prefix, quarantine
+// the tail, and leave a journal that appends cleanly afterwards.
+func TestJournalSalvagesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "full")
+	j, _, _ := openAll(t, base)
+	for i := 0; i < 3; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	full, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameLen := len(full) / 3
+
+	for cut := 1; cut < frameLen; cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("torn-%d", cut))
+		if err := os.WriteFile(path, full[:2*frameLen+cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, recs, rep := openAll(t, path)
+		if len(recs) != 2 {
+			t.Fatalf("cut=%d: salvaged %d records, want 2", cut, len(recs))
+		}
+		if !rep.Salvaged() || rep.DroppedBytes != int64(cut) {
+			t.Errorf("cut=%d: salvage report %+v, want %d dropped bytes", cut, rep, cut)
+		}
+		if q, err := os.ReadFile(rep.QuarantinePath); err != nil || len(q) != cut {
+			t.Errorf("cut=%d: quarantine file: %v (%d bytes)", cut, err, len(q))
+		}
+		// The salvaged journal must keep working.
+		if err := j2.Append([]byte("after")); err != nil {
+			t.Fatal(err)
+		}
+		j2.Close()
+		_, recs2, rep2 := openAll(t, path)
+		if len(recs2) != 3 || rep2.Salvaged() {
+			t.Errorf("cut=%d: post-salvage reopen recs=%d salvaged=%v", cut, len(recs2), rep2.Salvaged())
+		}
+	}
+}
+
+// TestJournalRejectsCorruptFrame flips one payload byte: the CRC must stop
+// the scan at the corrupt frame.
+func TestJournalRejectsCorruptFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, _, _ := openAll(t, path)
+	j.Append([]byte("good"))
+	j.Append([]byte("soon-corrupt"))
+	j.Close()
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xff
+	os.WriteFile(path, data, 0o644)
+
+	j2, recs, rep := openAll(t, path)
+	defer j2.Close()
+	if len(recs) != 1 || string(recs[0]) != "good" {
+		t.Errorf("recs = %q, want [good]", recs)
+	}
+	if !rep.Salvaged() {
+		t.Error("corrupt frame did not trigger salvage")
+	}
+}
+
+func TestJournalConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, _, _ := openAll(t, path)
+	const writers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := j.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	j.Close()
+	_, recs, rep := openAll(t, path)
+	if len(recs) != writers*each || rep.Salvaged() {
+		t.Errorf("concurrent appends: %d records (want %d), salvaged=%v",
+			len(recs), writers*each, rep.Salvaged())
+	}
+}
+
+func TestTruncateJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, _, _ := openAll(t, path)
+	for i := 0; i < 5; i++ {
+		j.Append([]byte{byte(i)})
+	}
+	j.Close()
+	for _, n := range []int{7, 5, 3, 0} {
+		if err := TruncateJournal(path, n); err != nil {
+			t.Fatal(err)
+		}
+		_, recs, rep := openAll(t, path)
+		want := n
+		if want > 5 {
+			want = 5
+		}
+		if len(recs) != want || rep.Salvaged() {
+			t.Errorf("truncate to %d: %d records, salvaged=%v", n, len(recs), rep.Salvaged())
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package artifact
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"stmdiag/internal/faultinj"
+	"stmdiag/internal/obs"
+)
+
+func testSink() *obs.Sink { return &obs.Sink{Metrics: obs.NewRegistry()} }
+
+func mustSpec(t *testing.T, in string) faultinj.Spec {
+	t.Helper()
+	s, err := faultinj.ParseSpec(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sink := testSink()
+	s, err := Open(dir, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"value": 42}`)
+	if err := s.Put("app/fail", 3, "key-a", payload); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate puts are no-ops.
+	if err := s.Put("app/fail", 3, "key-a", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Load("key-a")
+	if err != nil || !ok || string(got) != string(payload) {
+		t.Fatalf("Load = %q, %v, %v", got, ok, err)
+	}
+	if _, ok, _ := s.Load("key-absent"); ok {
+		t.Error("Load of absent key reported a hit")
+	}
+	s.Close()
+
+	// Reopen: the manifest replays to the same index.
+	s2, err := Open(dir, testSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 {
+		t.Fatalf("reopened Len = %d, want 1", s2.Len())
+	}
+	got, ok, err = s2.Load("key-a")
+	if err != nil || !ok || string(got) != string(payload) {
+		t.Fatalf("reopened Load = %q, %v, %v", got, ok, err)
+	}
+	snap := sink.Metrics.Snapshot()
+	if snap.Counter("artifact.puts") != 1 {
+		t.Errorf("puts = %d, want 1 (dup must not recount)", snap.Counter("artifact.puts"))
+	}
+}
+
+// TestStoreCorruptBlobQuarantined flips a byte of a stored blob on disk:
+// Load must return the typed *Error, quarantine the blob, forget the key,
+// and a fresh Put must repair the store.
+func TestStoreCorruptBlobQuarantined(t *testing.T) {
+	sink := testSink()
+	s, err := Open(t.TempDir(), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	payload := []byte("precious trial result")
+	if err := s.Put("st", 0, "k", payload); err != nil {
+		t.Fatal(err)
+	}
+	path, ok := s.BlobPath("k")
+	if !ok {
+		t.Fatal("BlobPath miss")
+	}
+	data, _ := os.ReadFile(path)
+	data[0] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ok, err = s.Load("k")
+	var ae *Error
+	if ok || !errors.As(err, &ae) {
+		t.Fatalf("Load of corrupt blob = ok=%v err=%v, want typed *Error", ok, err)
+	}
+	if ae.Reason != "checksum mismatch" {
+		t.Errorf("Reason = %q, want checksum mismatch", ae.Reason)
+	}
+	ents, _ := os.ReadDir(s.QuarantineDir())
+	if len(ents) != 1 {
+		t.Errorf("quarantine holds %d files, want 1", len(ents))
+	}
+	// The key is forgotten: the caller re-executes and the fresh Put heals.
+	if _, ok, err := s.Load("k"); ok || err != nil {
+		t.Fatalf("post-quarantine Load = ok=%v err=%v, want clean miss", ok, err)
+	}
+	if err := s.Put("st", 0, "k", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Load("k")
+	if err != nil || !ok || string(got) != string(payload) {
+		t.Fatalf("healed Load = %q, %v, %v", got, ok, err)
+	}
+	if q := sink.Metrics.Snapshot().Counter("artifact.quarantined"); q != 1 {
+		t.Errorf("quarantined = %d, want 1", q)
+	}
+}
+
+// TestStoreInjectedFaults drives each store-layer injector at rate 1 and
+// checks the damage is detected exactly as advertised.
+func TestStoreInjectedFaults(t *testing.T) {
+	payload := []byte("0123456789abcdef0123456789abcdef")
+
+	t.Run("artifact-corrupt", func(t *testing.T) {
+		s, err := Open(t.TempDir(), testSink())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		s.WithFaults(mustSpec(t, "artifact-corrupt=1"), 7)
+		if err := s.Put("st", 0, "k", payload); err != nil {
+			t.Fatal(err)
+		}
+		_, ok, err := s.Load("k")
+		var ae *Error
+		if ok || !errors.As(err, &ae) {
+			t.Fatalf("corrupted blob loaded: ok=%v err=%v", ok, err)
+		}
+	})
+
+	t.Run("artifact-torn-write", func(t *testing.T) {
+		s, err := Open(t.TempDir(), testSink())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		s.WithFaults(mustSpec(t, "artifact-torn-write=1"), 7)
+		if err := s.Put("st", 0, "k", payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := s.Load("k"); ok && err == nil {
+			// A torn write that kept every byte is impossible: TruncN caps
+			// at len(payload) so at least the size check must fire... unless
+			// the prefix happened to be the whole payload. TruncN's modulus
+			// is len+1, so a full-length "tear" is possible; accept it only
+			// if the bytes round-tripped intact.
+			got, _, _ := s.Load("k")
+			if string(got) != string(payload) {
+				t.Error("torn blob loaded without error")
+			}
+		}
+	})
+
+	t.Run("journal-trunc", func(t *testing.T) {
+		dir := t.TempDir()
+		s, err := Open(dir, testSink())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.WithFaults(mustSpec(t, "journal-trunc=1"), 7)
+		if err := s.Put("st", 0, "k", payload); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		// The torn manifest append must salvage on reopen; whether the
+		// record survived depends on where the frame was cut, but the open
+		// must never fail and never index a damaged record.
+		sink := testSink()
+		s2, err := Open(dir, sink)
+		if err != nil {
+			t.Fatalf("reopen after torn manifest append: %v", err)
+		}
+		defer s2.Close()
+		if s2.Len() != 0 {
+			// A cut inside the frame always drops the record.
+			t.Errorf("torn manifest record still indexed (Len=%d)", s2.Len())
+		}
+		if sink.Metrics.Snapshot().Counter("artifact.salvaged_opens") != 1 {
+			t.Error("salvage not reported on reopen")
+		}
+	})
+}
+
+// TestStoreManifestLaterWins: a re-executed trial's fresh manifest record
+// must shadow the stale one on replay.
+func TestStoreManifestLaterWins(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("st", 0, "k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate quarantine-then-reexecute: evict and put a new value.
+	path, _ := s.BlobPath("k")
+	os.WriteFile(path, []byte("xx"), 0o644)
+	if _, _, err := s.Load("k"); err == nil {
+		t.Fatal("corrupt blob loaded")
+	}
+	if err := s.Put("st", 0, "k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(dir, testSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok, err := s2.Load("k")
+	if err != nil || !ok || string(got) != "v2" {
+		t.Fatalf("replayed Load = %q, %v, %v (later record must win)", got, ok, err)
+	}
+}
+
+// TestStoreConcurrentAccess exercises parallel Load/Put under -race: the
+// dispatch path loads concurrently while the commit path puts.
+func TestStoreConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir(), testSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("key-%d", i%8)
+			if i%2 == 0 {
+				if err := s.Put("st", i, key, []byte(key)); err != nil {
+					t.Error(err)
+				}
+			} else {
+				if _, ok, err := s.Load(key); ok && err == nil {
+					if got, _, _ := s.Load(key); got != nil && string(got) != key {
+						t.Errorf("Load(%s) = %q", key, got)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -15,9 +15,12 @@
 package cbi
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 
 	"stmdiag/internal/isa"
 	"stmdiag/internal/obs"
@@ -38,6 +41,30 @@ type Pred struct {
 
 // String renders the predicate.
 func (p Pred) String() string { return p.Branch + "=" + p.Edge.String() }
+
+// MarshalText encodes the predicate as "branch=edgeNumber" so RunObs maps
+// survive a JSON round trip (the harness serializes trial results across
+// process boundaries and into the durable artifact store). The numeric edge
+// keeps the encoding unambiguous and cheap to parse.
+func (p Pred) MarshalText() ([]byte, error) {
+	return []byte(p.Branch + "=" + strconv.Itoa(int(p.Edge))), nil
+}
+
+// UnmarshalText parses the MarshalText encoding. The edge is taken from the
+// last '=' so branch names containing '=' round-trip too.
+func (p *Pred) UnmarshalText(b []byte) error {
+	i := strings.LastIndexByte(string(b), '=')
+	if i < 0 {
+		return fmt.Errorf("cbi: predicate %q missing '='", b)
+	}
+	n, err := strconv.Atoi(string(b[i+1:]))
+	if err != nil {
+		return fmt.Errorf("cbi: predicate %q edge: %v", b, err)
+	}
+	p.Branch = string(b[:i])
+	p.Edge = isa.BranchEdge(n)
+	return nil
+}
 
 // RunObs is one run's sampled observations.
 type RunObs struct {

@@ -1,9 +1,10 @@
 // Package cliobs wires the -trace / -metrics / -metrics-format / -v
 // telemetry flags, the -serve live-telemetry flag, the -faults
-// fault-injection flag, the -profile-report cost-attribution flag and the
-// -ranker diagnosis-formula flag shared by the command-line binaries onto
-// the internal/obs, internal/obshttp, internal/faultinj, internal/prof
-// and internal/core layers.
+// fault-injection flag, the -profile-report cost-attribution flag, the
+// -ranker diagnosis-formula flag and the -executor / -resume / -worker-bin
+// durable-execution flags shared by the command-line binaries onto the
+// internal/obs, internal/obshttp, internal/faultinj, internal/prof,
+// internal/core, internal/harness and internal/artifact layers.
 package cliobs
 
 import (
@@ -12,12 +13,31 @@ import (
 	"io"
 	"os"
 
+	"stmdiag/internal/artifact"
 	"stmdiag/internal/core"
 	"stmdiag/internal/faultinj"
+	"stmdiag/internal/harness"
 	"stmdiag/internal/obs"
 	"stmdiag/internal/obshttp"
 	"stmdiag/internal/prof"
 )
+
+// MaybeTrialWorker turns this process into a trial worker when the
+// STMDIAG_TRIAL_WORKER environment marker is set: it runs the worker
+// protocol loop on stdin/stdout and exits. Every binary that can drive a
+// trial pool calls this first in main, so any of them doubles as the
+// subprocess executor's worker (-worker-bin defaults to the current
+// executable). A no-op in normal runs.
+func MaybeTrialWorker() {
+	if os.Getenv(harness.WorkerEnv) == "" {
+		return
+	}
+	if err := harness.WorkerMain(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trial worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
 
 // Metrics output formats accepted by -metrics-format.
 const (
@@ -130,6 +150,87 @@ func (f *RankerFlag) Validate() error {
 func (f *RankerFlag) Ranker() core.Ranker {
 	r, _ := core.ParseRanker(f.Name)
 	return r
+}
+
+// Executor names accepted by -executor.
+const (
+	ExecInproc     = "inproc"
+	ExecSubprocess = "subprocess"
+)
+
+// ExecFlags holds the parsed durable-execution flags: which executor runs
+// portable trials, where the durable artifact store lives, and which
+// binary serves as the subprocess worker.
+type ExecFlags struct {
+	// Executor is the -executor choice: inproc (default) or subprocess.
+	Executor string
+	// Resume is the -resume artifact-store directory ("" = no persistence).
+	// The directory is created if missing; an existing store resumes the
+	// run, skipping trials whose results are already committed.
+	Resume string
+	// WorkerBin is the -worker-bin subprocess worker binary ("" = the
+	// current executable).
+	WorkerBin string
+}
+
+// RegisterExec installs -executor, -resume and -worker-bin on the default
+// flag set. Call before flag.Parse.
+func RegisterExec() *ExecFlags {
+	f := &ExecFlags{}
+	flag.StringVar(&f.Executor, "executor", ExecInproc,
+		"trial execution `engine`: inproc (in this process) or subprocess (isolated worker processes)")
+	flag.StringVar(&f.Resume, "resume", "",
+		"durable artifact-store `dir`: persist trial results as they commit and resume a killed run from it")
+	flag.StringVar(&f.WorkerBin, "worker-bin", "",
+		"worker `binary` for -executor subprocess (default: this executable)")
+	return f
+}
+
+// Validate rejects malformed execution flags; call right after flag.Parse
+// and exit 2 on error.
+func (f *ExecFlags) Validate() error {
+	switch f.Executor {
+	case ExecInproc, ExecSubprocess:
+	default:
+		return fmt.Errorf("-executor must be %s or %s, got %q", ExecInproc, ExecSubprocess, f.Executor)
+	}
+	if f.Resume != "" {
+		if fi, err := os.Stat(f.Resume); err == nil && !fi.IsDir() {
+			return fmt.Errorf("-resume %q is not a directory", f.Resume)
+		}
+	}
+	if f.WorkerBin != "" && f.Executor != ExecSubprocess {
+		return fmt.Errorf("-worker-bin requires -executor %s", ExecSubprocess)
+	}
+	return nil
+}
+
+// Build assembles the executor and artifact store the flags ask for; both
+// are nil on the all-default path (in-process, no persistence). The store
+// is armed with the run's fault spec so the artifact-layer injectors
+// (artifact-torn-write, artifact-corrupt, journal-trunc) fire on it.
+// Callers own Close on both.
+func (f *ExecFlags) Build(sink *obs.Sink, faults faultinj.Spec, seed int64) (harness.Executor, *artifact.Store, error) {
+	var exec harness.Executor
+	if f.Executor == ExecSubprocess {
+		e, err := harness.NewSubprocExecutor(harness.SubprocOptions{Bin: f.WorkerBin, Sink: sink})
+		if err != nil {
+			return nil, nil, err
+		}
+		exec = e
+	}
+	var store *artifact.Store
+	if f.Resume != "" {
+		s, err := artifact.Open(f.Resume, sink)
+		if err != nil {
+			if exec != nil {
+				exec.Close()
+			}
+			return nil, nil, err
+		}
+		store = s.WithFaults(faults, seed)
+	}
+	return exec, store, nil
 }
 
 // FleetFlags holds the parsed -fleet-* flags shared by fleet-aware

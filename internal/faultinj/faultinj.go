@@ -63,8 +63,26 @@ const (
 	// panic in a production diagnosis fleet).
 	TrialPanic
 
+	// The store layers inject below the harness, into the durable artifact
+	// path (internal/artifact): the faults a diagnosis pipeline's own
+	// persistent state sees — torn writes, silent media corruption, and
+	// truncated journal appends. They fire when an artifact store commits a
+	// trial result, never during capture, so they test the resume path's
+	// detect-quarantine-re-execute claim with the same deterministic
+	// machinery as the capture layers.
+
+	// ArtifactTorn cuts a blob write short (a crash mid-write leaving a
+	// partial file behind the rename barrier).
+	ArtifactTorn
+	// ArtifactCorrupt flips a byte of a stored blob (bit rot / silent media
+	// corruption caught by the content hash on load).
+	ArtifactCorrupt
+	// JournalTrunc tears a manifest-journal append mid-frame (the classic
+	// torn tail that the open-time salvage scan must repair).
+	JournalTrunc
+
 	// NumLayers counts the injection layers.
-	NumLayers = int(TrialPanic) + 1
+	NumLayers = int(JournalTrunc) + 1
 )
 
 var layerNames = [NumLayers]string{
@@ -72,6 +90,7 @@ var layerNames = [NumLayers]string{
 	"lcr-drop", "lcr-dup", "lcr-corrupt",
 	"ring-trunc", "msr-read", "msr-write",
 	"segv-loss", "succ-loss", "panic",
+	"artifact-torn-write", "artifact-corrupt", "journal-trunc",
 }
 
 // String returns the spec-grammar name of the layer.
@@ -144,6 +163,7 @@ func (s Spec) RetryBudget() int {
 //	LAYER   := lbr-drop | lbr-dup | lbr-corrupt | lcr-drop | lcr-dup
 //	         | lcr-corrupt | ring-trunc | msr-read | msr-write
 //	         | segv-loss | succ-loss | panic
+//	         | artifact-torn-write | artifact-corrupt | journal-trunc
 //
 // Rates must be finite and in [0, 1]. Clauses apply left to right, so
 // "rate=0.01,panic=0" turns everything on at 1% except trial panics.

@@ -2,9 +2,11 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -24,6 +26,13 @@ type ClientOptions struct {
 	// Backoff is the first retry delay; it doubles per retry
 	// (default 50ms).
 	Backoff time.Duration
+	// BackoffCap bounds the doubled delay (default 2s) so a long outage
+	// retries steadily instead of backing off into minutes.
+	BackoffCap time.Duration
+	// RequestTimeout bounds one ingest POST end to end (default 10s): a
+	// hung server or black-holed connection costs one bounded attempt, not
+	// a stuck client.
+	RequestTimeout time.Duration
 	// HTTPClient overrides the transport (default http.DefaultClient).
 	HTTPClient *http.Client
 	// Name identifies this client in batches and diagnostics.
@@ -35,6 +44,9 @@ type ClientOptions struct {
 	NoGzip bool
 	// sleep stubs the backoff wait in tests.
 	sleep func(time.Duration)
+	// jitterFrac stubs the backoff jitter draw in tests; the default draws
+	// uniformly from [0, 1).
+	jitterFrac func() float64
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -49,11 +61,20 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	if o.Backoff <= 0 {
 		o.Backoff = 50 * time.Millisecond
 	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = 2 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
 	if o.HTTPClient == nil {
 		o.HTTPClient = http.DefaultClient
 	}
 	if o.sleep == nil {
 		o.sleep = time.Sleep
+	}
+	if o.jitterFrac == nil {
+		o.jitterFrac = rand.Float64
 	}
 	return o
 }
@@ -123,45 +144,67 @@ func (c *Client) Flush() error {
 }
 
 // post sends one encoded batch, retrying 5xx responses and transport
-// errors with exponential backoff. A 4xx means the batch itself is bad
-// (version skew, malformed payload): retrying cannot help, so it is a
-// permanent error.
+// errors with capped, jittered exponential backoff. Each attempt carries
+// its own deadline (RequestTimeout) so a hung server cannot wedge the
+// client, and the retry waits spread over 50–100% of the capped delay so a
+// fleet-wide outage ends in a smeared recovery instead of a thundering
+// herd. A 4xx means the batch itself is bad (version skew, malformed
+// payload): retrying cannot help, so it is a permanent error.
 func (c *Client) post(data []byte) error {
 	backoff := c.o.Backoff
 	var lastErr error
 	for attempt := 0; attempt <= c.o.MaxRetries; attempt++ {
 		if attempt > 0 {
 			c.retries.Inc()
-			c.o.sleep(backoff)
+			c.o.sleep(backoff/2 + time.Duration(c.o.jitterFrac()*float64(backoff/2)))
 			backoff *= 2
+			if backoff > c.o.BackoffCap {
+				backoff = c.o.BackoffCap
+			}
 		}
-		req, err := http.NewRequest(http.MethodPost, c.url, bytes.NewReader(data))
-		if err != nil {
-			return fmt.Errorf("fleet: build ingest request: %w", err)
-		}
-		req.Header.Set("Content-Type", "application/json")
-		if !c.o.NoGzip {
-			req.Header.Set("Content-Encoding", "gzip")
-		}
-		resp, err := c.o.HTTPClient.Do(req)
-		if err != nil {
-			lastErr = fmt.Errorf("fleet: post batch: %w", err)
-			continue
-		}
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		resp.Body.Close()
-		switch {
-		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		err := func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), c.o.RequestTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url, bytes.NewReader(data))
+			if err != nil {
+				return fmt.Errorf("fleet: build ingest request: %w", err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			if !c.o.NoGzip {
+				req.Header.Set("Content-Encoding", "gzip")
+			}
+			resp, err := c.o.HTTPClient.Do(req)
+			if err != nil {
+				return retryableError{fmt.Errorf("fleet: post batch: %w", err)}
+			}
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode >= 200 && resp.StatusCode < 300:
+				return nil
+			case resp.StatusCode >= 500:
+				return retryableError{fmt.Errorf("fleet: ingest returned %s: %s", resp.Status, bytes.TrimSpace(body))}
+			default:
+				return fmt.Errorf("fleet: ingest rejected batch (%s): %s", resp.Status, bytes.TrimSpace(body))
+			}
+		}()
+		if err == nil {
 			return nil
-		case resp.StatusCode >= 500:
-			lastErr = fmt.Errorf("fleet: ingest returned %s: %s", resp.Status, bytes.TrimSpace(body))
-			continue
-		default:
-			return fmt.Errorf("fleet: ingest rejected batch (%s): %s", resp.Status, bytes.TrimSpace(body))
 		}
+		var re retryableError
+		if !errors.As(err, &re) {
+			return err
+		}
+		lastErr = re.err
 	}
 	return fmt.Errorf("fleet: batch failed after %d attempts: %w", c.o.MaxRetries+1, lastErr)
 }
+
+// retryableError marks a transient ingest failure (transport error or 5xx).
+type retryableError struct{ err error }
+
+func (e retryableError) Error() string { return e.err.Error() }
+func (e retryableError) Unwrap() error { return e.err }
 
 // Simulate fans submissions out over n concurrent clients — the simulated
 // production machines of cooperative sampling. Submissions partition

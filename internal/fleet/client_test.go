@@ -63,9 +63,10 @@ func TestClientRetriesServerErrors(t *testing.T) {
 	sink := &obs.Sink{Metrics: obs.NewRegistry()}
 	var slept []time.Duration
 	c := NewClient(srv.URL, ClientOptions{
-		Backoff: 10 * time.Millisecond,
-		Sink:    sink,
-		sleep:   func(d time.Duration) { slept = append(slept, d) },
+		Backoff:    10 * time.Millisecond,
+		Sink:       sink,
+		sleep:      func(d time.Duration) { slept = append(slept, d) },
+		jitterFrac: func() float64 { return 1 }, // full jitter: wait == capped backoff
 	})
 	if err := c.Add(Submission{App: "x", Mode: core.ModeLBR, Failed: true}); err != nil {
 		t.Fatal(err)
@@ -82,6 +83,65 @@ func TestClientRetriesServerErrors(t *testing.T) {
 	}
 	if got := sink.Metrics.Snapshot().Counter("fleet.client.retries"); got != 2 {
 		t.Errorf("retries = %d, want 2", got)
+	}
+}
+
+// TestClientBackoffCapAndJitter pins the retry-wait envelope: the doubled
+// delay never exceeds BackoffCap, and the jitter draw scales the wait
+// between 50% and 100% of the capped value.
+func TestClientBackoffCapAndJitter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := NewClient(srv.URL, ClientOptions{
+		MaxRetries: 4,
+		Backoff:    40 * time.Millisecond,
+		BackoffCap: 100 * time.Millisecond,
+		sleep:      func(d time.Duration) { slept = append(slept, d) },
+		jitterFrac: func() float64 { return 0 }, // minimum jitter: wait == half the capped backoff
+	})
+	c.Add(Submission{App: "x", Mode: core.ModeLBR, Failed: true})
+	if err := c.Flush(); err == nil {
+		t.Fatal("flush succeeded against a permanently-500 server")
+	}
+	// Backoffs 40, 80, 100 (capped), 100 (capped); each slept at 50%.
+	want := []time.Duration{20 * time.Millisecond, 40 * time.Millisecond,
+		50 * time.Millisecond, 50 * time.Millisecond}
+	if !reflect.DeepEqual(slept, want) {
+		t.Errorf("capped jittered sleeps = %v, want %v", slept, want)
+	}
+}
+
+// TestClientRequestTimeout pins that a hung server costs one bounded
+// attempt per retry instead of wedging the client forever.
+func TestClientRequestTimeout(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // black-hole the request until the test ends
+	}))
+	defer func() { close(release); srv.Close() }()
+
+	c := NewClient(srv.URL, ClientOptions{
+		MaxRetries:     1,
+		RequestTimeout: 50 * time.Millisecond,
+		sleep:          func(time.Duration) {},
+	})
+	c.Add(Submission{App: "x", Mode: core.ModeLBR, Failed: true})
+	done := make(chan error, 1)
+	go func() { done <- c.Flush() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("flush succeeded against a hung server")
+		}
+		if !strings.Contains(err.Error(), "context deadline exceeded") {
+			t.Errorf("error %q does not report the per-request deadline", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flush still blocked after 5s; per-request timeout not applied")
 	}
 }
 

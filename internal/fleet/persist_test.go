@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stmdiag/internal/artifact"
+	"stmdiag/internal/obs"
+)
+
+// TestPersistentStoreRestartEquivalence is the fleetd durability
+// acceptance: kill the server after N submissions, reopen the same
+// directory, and the replayed store renders the identical report — and
+// keeps accepting new submissions that land in the same aggregate a
+// never-restarted store would hold.
+func TestPersistentStoreRestartEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	subs := randomSubmissions(3, 40)
+
+	// Reference: one uninterrupted in-memory store over all submissions.
+	ref := NewStore(StoreOptions{})
+	for _, sub := range subs {
+		ref.Add(sub)
+	}
+	want := ref.Report("alpha").Render(10)
+
+	// Persistent store, "killed" (closed without ceremony) mid-population.
+	s1, err := OpenPersistent(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Persistent() {
+		t.Fatal("OpenPersistent returned a non-persistent store")
+	}
+	half := len(subs) / 2
+	for _, sub := range subs[:half] {
+		s1.Add(sub)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: replay, then finish the population.
+	s2, err := OpenPersistent(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Replayed(); got != half {
+		t.Fatalf("replayed %d submissions, want %d", got, half)
+	}
+	for _, sub := range subs[half:] {
+		s2.Add(sub)
+	}
+	if got := s2.Report("alpha").Render(10); got != want {
+		t.Errorf("restarted report diverges from uninterrupted store:\n%s\nvs\n%s", got, want)
+	}
+
+	// Third open replays everything (no new submissions).
+	s3, err := OpenPersistent(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if got := s3.Replayed(); got != len(subs) {
+		t.Fatalf("full replay = %d submissions, want %d", got, len(subs))
+	}
+	if got := s3.Report("alpha").Render(10); got != want {
+		t.Errorf("full-replay report diverges:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestPersistentStoreSalvagesTornWAL pins the kill-mid-append path: a WAL
+// whose final record is torn loses exactly that record, and the open
+// quarantines the tail instead of failing.
+func TestPersistentStoreSalvagesTornWAL(t *testing.T) {
+	dir := t.TempDir()
+	subs := randomSubmissions(1, 10)
+	s1, err := OpenPersistent(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range subs {
+		s1.Add(sub)
+	}
+	s1.Close()
+
+	// Tear the final frame: chop 3 bytes off the log.
+	wal := filepath.Join(dir, WALName)
+	fi, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(wal, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	sink := &obs.Sink{Metrics: obs.NewRegistry()}
+	s2, err := OpenPersistent(dir, StoreOptions{Sink: sink})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.Replayed(); got != len(subs)-1 {
+		t.Errorf("replayed %d submissions after torn tail, want %d", got, len(subs)-1)
+	}
+	snap := sink.Metrics.Snapshot()
+	if got := snap.Counter("fleet.store.wal_salvaged_opens"); got != 1 {
+		t.Errorf("wal_salvaged_opens = %d, want 1", got)
+	}
+	if _, err := os.Stat(wal + ".quarantine"); err != nil {
+		t.Errorf("torn tail not quarantined: %v", err)
+	}
+}
+
+// TestPersistentStoreTruncateBoundary drives the WAL through the same
+// deterministic record-boundary truncation the harness kill-resume tests
+// use, checking every prefix replays cleanly.
+func TestPersistentStoreTruncateBoundary(t *testing.T) {
+	dir := t.TempDir()
+	subs := randomSubmissions(2, 12)
+	s1, err := OpenPersistent(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range subs {
+		s1.Add(sub)
+	}
+	s1.Close()
+	wal := filepath.Join(dir, WALName)
+	for _, keep := range []int{len(subs) - 1, 5, 0} {
+		if err := artifact.TruncateJournal(wal, keep); err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenPersistent(dir, StoreOptions{})
+		if err != nil {
+			t.Fatalf("keep=%d: %v", keep, err)
+		}
+		if got := s.Replayed(); got != keep {
+			t.Errorf("keep=%d: replayed %d", keep, got)
+		}
+		s.Close()
+	}
+}

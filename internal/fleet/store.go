@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"stmdiag/internal/artifact"
 	"stmdiag/internal/core"
 	"stmdiag/internal/obs"
 	"stmdiag/internal/stats"
@@ -51,6 +52,15 @@ type Store struct {
 	fullRescore  *obs.Counter // reports that rescored every event
 	deltaRescore *obs.Counter // reports that rescored only dirty events
 	rescored     *obs.Counter // events rescored across all reports
+
+	// Durability (persist.go): wal journals accepted submissions so a
+	// restarted server replays to the identical aggregate; nil for a
+	// plain in-memory store.
+	wal        *artifact.Journal
+	replayed   int
+	walAppends *obs.Counter
+	walErrors  *obs.Counter
+	walRejects *obs.Counter
 }
 
 // NewStore builds an empty store.
@@ -175,10 +185,12 @@ func eventShard(e core.Event, shards int) int {
 	return int(h % uint64(shards))
 }
 
-// Add commits one submission: bumps the app's run totals and the per-event
-// counters of the (deduped) profile. Events are grouped by stripe so each
-// stripe lock is taken at most once per submission.
+// Add commits one submission: journals it when the store is persistent
+// (durability before acknowledgment), then bumps the app's run totals and
+// the per-event counters of the (deduped) profile. Events are grouped by
+// stripe so each stripe lock is taken at most once per submission.
 func (s *Store) Add(sub Submission) {
+	s.logSubmission(sub)
 	a := s.app(sub.App)
 	events := DedupEvents(sub.Events)
 

@@ -68,35 +68,14 @@ func runConc(a *apps.App, inst *core.Instrumented, w apps.Workload, seed int64, 
 }
 
 // collectConc gathers n failing (or succeeding) profiles under a config,
-// fanning the runs out through the trial pool. label names the seed stream
-// (scoped by the app name) so every call site draws decorrelated seeds.
-func collectConc(a *apps.App, inst *core.Instrumented, conf pmu.LCRConfig, wantFail bool, n int, cfg Config, pool *Pool, label string) ([]vm.Profile, int, error) {
-	w := a.Fail
-	if !wantFail {
-		w = a.Succeed
-	}
+// fanning the runs out through the trial pool as portable "conc-profile"
+// trials. label names the seed stream (scoped by the app name) so every
+// call site draws decorrelated seeds.
+func collectConc(a *apps.App, build core.Options, conf pmu.LCRConfig, wantFail bool, n int, cfg Config, pool *Pool, label string) ([]vm.Profile, int, error) {
 	stream := a.Name + "/" + label
-	out, attempts, err := Collect(pool, cfg.MaxAttempts, n, stream,
-		func(tc *Trial) (vm.Profile, bool, error) {
-			res, err := runConc(a, inst, w, TrialSeed(cfg.Seed, stream, tc.Index), conf, cfg, tc)
-			if err != nil {
-				return vm.Profile{}, false, err
-			}
-			if w.FailedRun(res) != wantFail {
-				return vm.Profile{}, false, nil
-			}
-			var prof vm.Profile
-			var ok bool
-			if wantFail {
-				prof, ok = core.FailureRunProfile(res)
-			} else {
-				if prof, ok = core.SuccessRunProfile(res); !ok {
-					// Unconditional site: use the same-site snapshot.
-					prof, ok = core.FailureRunProfile(res)
-				}
-			}
-			return prof, ok, nil
-		})
+	out, attempts, err := CollectKind[vm.Profile](pool, cfg.MaxAttempts, n, stream, "conc-profile",
+		concProfileParams{App: a.Name, Build: build, Conf: conf, WantFail: wantFail,
+			Seed: cfg.Seed, LCRSize: cfg.LCRSize})
 	if err != nil {
 		return nil, attempts, err
 	}
@@ -131,11 +110,11 @@ func modalRank(ranks []int) int {
 func RunConcurrent(a *apps.App, cfg Config) (*ConcResult, error) {
 	cfg = cfg.withDefaults()
 	pool := cfg.pool()
-	p := a.Program()
 	res := &ConcResult{App: a}
 	rowStart := beginRow(cfg, a.Name, "concurrent")
 
-	inst, err := core.EnhanceLogging(p, core.Options{LCR: true, Toggling: true})
+	optsLCR := core.Options{LCR: true, Toggling: true}
+	inst, err := cachedBuild(a, optsLCR)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +129,7 @@ func RunConcurrent(a *apps.App, cfg Config) (*ConcResult, error) {
 		// For read-too-early order violations the Conf1 signal is the
 		// shared load that success runs record and failure runs miss;
 		// measure its position where it exists (paper §4.2.2).
-		profs1, _, err := collectConc(a, inst, pmu.ConfSpaceSaving, !a.Conf1InSuccess, 5, cfg, pool, "conf1")
+		profs1, _, err := collectConc(a, optsLCR, pmu.ConfSpaceSaving, !a.Conf1InSuccess, 5, cfg, pool, "conf1")
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +139,7 @@ func RunConcurrent(a *apps.App, cfg Config) (*ConcResult, error) {
 		}
 		res.RankConf1 = modalRank(ranks)
 	}
-	profs2, attempts, err := collectConc(a, inst, pmu.ConfSpaceConsuming, true, cfg.FailRuns, cfg, pool, "conf2-fail")
+	profs2, attempts, err := collectConc(a, optsLCR, pmu.ConfSpaceConsuming, true, cfg.FailRuns, cfg, pool, "conf2-fail")
 	if err != nil {
 		return nil, err
 	}
@@ -178,12 +157,13 @@ func RunConcurrent(a *apps.App, cfg Config) (*ConcResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	reactive, err := core.EnhanceLogging(p, core.Options{LCR: true, Toggling: true,
-		Scheme: core.SchemeReactive, FailurePCs: []int{failPC}})
+	optsReactive := core.Options{LCR: true, Toggling: true,
+		Scheme: core.SchemeReactive, FailurePCs: []int{failPC}}
+	reactive, err := cachedBuild(a, optsReactive)
 	if err != nil {
 		return nil, err
 	}
-	succProfs, _, err := collectConc(a, reactive, pmu.ConfSpaceConsuming, false, cfg.SuccRuns, cfg, pool, "conf2-succ")
+	succProfs, _, err := collectConc(a, optsReactive, pmu.ConfSpaceConsuming, false, cfg.SuccRuns, cfg, pool, "conf2-succ")
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"stmdiag/internal/apps"
 	"stmdiag/internal/core"
 	"stmdiag/internal/pmu"
+	"stmdiag/internal/vm"
 )
 
 // DiagnosisProfiles captures one benchmark's LBRA/LCRA diagnosis inputs —
@@ -31,36 +32,30 @@ func DiagnosisProfiles(a *apps.App, cfg Config) (core.Mode, []core.ProfiledRun, 
 // derived from the first failure.
 func sequentialProfiles(a *apps.App, cfg Config) ([]core.ProfiledRun, []core.ProfiledRun, error) {
 	pool := cfg.pool()
-	p := a.Program()
-	logTog, err := core.EnhanceLogging(p, core.Options{LBR: true, Toggling: true})
+	optsLogTog := core.Options{LBR: true, Toggling: true}
+	logTog, err := cachedBuild(a, optsLogTog)
 	if err != nil {
 		return nil, nil, err
 	}
 	failStream := a.Name + "/fail"
-	failProfiles, _, err := Collect(pool, cfg.MaxAttempts, cfg.FailRuns, failStream,
-		func(tc *Trial) (core.ProfiledRun, bool, error) {
-			prof, err := failureProfileOf(a, logTog, TrialSeed(cfg.Seed, failStream, tc.Index), cfg, tc)
-			if err != nil {
-				return core.ProfiledRun{}, false, nil
-			}
-			return core.ProfiledRun{Prog: logTog.Prog, Profile: prof}, true, nil
-		})
+	failProfs, _, err := CollectKind[vm.Profile](pool, cfg.MaxAttempts, cfg.FailRuns, failStream, "fail-profile",
+		failProfileParams{App: a.Name, Build: optsLogTog, Seed: cfg.Seed, LBRSize: cfg.LBRSize})
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(failProfiles) < cfg.FailRuns {
-		return nil, nil, fmt.Errorf("harness: %s: only %d/%d failure profiles", a.Name, len(failProfiles), cfg.FailRuns)
+	if len(failProfs) < cfg.FailRuns {
+		return nil, nil, fmt.Errorf("harness: %s: only %d/%d failure profiles", a.Name, len(failProfs), cfg.FailRuns)
+	}
+	failProfiles := make([]core.ProfiledRun, len(failProfs))
+	for i, prof := range failProfs {
+		failProfiles[i] = core.ProfiledRun{Prog: logTog.Prog, Profile: prof}
 	}
 	failPC, err := origFailurePC(a, logTog, failProfiles[0].Profile)
 	if err != nil {
 		return nil, nil, err
 	}
-	reactive, err := core.EnhanceLogging(p, core.Options{LBR: true, Toggling: true,
-		Scheme: core.SchemeReactive, FailurePCs: []int{failPC}})
-	if err != nil {
-		return nil, nil, err
-	}
-	succProfiles, err := successProfiles(a, reactive, cfg, pool)
+	succProfiles, err := successProfiles(a, core.Options{LBR: true, Toggling: true,
+		Scheme: core.SchemeReactive, FailurePCs: []int{failPC}}, cfg, pool)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -72,12 +67,12 @@ func sequentialProfiles(a *apps.App, cfg Config) ([]core.ProfiledRun, []core.Pro
 // reactive build.
 func concurrentProfiles(a *apps.App, cfg Config) ([]core.ProfiledRun, []core.ProfiledRun, error) {
 	pool := cfg.pool()
-	p := a.Program()
-	inst, err := core.EnhanceLogging(p, core.Options{LCR: true, Toggling: true})
+	optsLCR := core.Options{LCR: true, Toggling: true}
+	inst, err := cachedBuild(a, optsLCR)
 	if err != nil {
 		return nil, nil, err
 	}
-	profs2, _, err := collectConc(a, inst, pmu.ConfSpaceConsuming, true, cfg.FailRuns, cfg, pool, "conf2-fail")
+	profs2, _, err := collectConc(a, optsLCR, pmu.ConfSpaceConsuming, true, cfg.FailRuns, cfg, pool, "conf2-fail")
 	if err != nil {
 		return nil, nil, err
 	}
@@ -85,12 +80,13 @@ func concurrentProfiles(a *apps.App, cfg Config) ([]core.ProfiledRun, []core.Pro
 	if err != nil {
 		return nil, nil, err
 	}
-	reactive, err := core.EnhanceLogging(p, core.Options{LCR: true, Toggling: true,
-		Scheme: core.SchemeReactive, FailurePCs: []int{failPC}})
+	optsReactive := core.Options{LCR: true, Toggling: true,
+		Scheme: core.SchemeReactive, FailurePCs: []int{failPC}}
+	reactive, err := cachedBuild(a, optsReactive)
 	if err != nil {
 		return nil, nil, err
 	}
-	succProfs, _, err := collectConc(a, reactive, pmu.ConfSpaceConsuming, false, cfg.SuccRuns, cfg, pool, "conf2-succ")
+	succProfs, _, err := collectConc(a, optsReactive, pmu.ConfSpaceConsuming, false, cfg.SuccRuns, cfg, pool, "conf2-succ")
 	if err != nil {
 		return nil, nil, err
 	}

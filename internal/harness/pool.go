@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
 	"time"
 
+	"stmdiag/internal/artifact"
 	"stmdiag/internal/faultinj"
 	"stmdiag/internal/obs"
 )
@@ -128,6 +130,15 @@ type Pool struct {
 	faults    faultinj.Spec // fault-injection spec; zero = off
 	faultSeed int64         // base seed fault plans derive from
 
+	// exec runs portable trials (CollectKind/MapKind/FirstKind). Always
+	// non-nil: NewPool installs the in-process executor; WithExecutor swaps
+	// in an alternative (the subprocess fleet). Closure-based trials
+	// (Collect/Map/First) never touch it.
+	exec Executor
+	// store, when non-nil, is the durable artifact store: portable trials
+	// check it before executing and persist into it at commit time.
+	store *artifact.Store
+
 	workerTrials []*obs.Counter // per-worker executed-trial counters
 	trials       *obs.Counter   // trials executed (incl. speculation)
 	committed    *obs.Counter   // trials whose telemetry was committed
@@ -156,7 +167,7 @@ func NewPool(jobs int, sink *obs.Sink) *Pool {
 	if jobs <= 0 {
 		jobs = runtime.NumCPU()
 	}
-	p := &Pool{jobs: jobs, sink: sink}
+	p := &Pool{jobs: jobs, sink: sink, exec: &InprocExecutor{Local: sink}}
 	if sink != nil && sink.Metrics != nil {
 		p.trials = sink.Counter("harness.pool.trials")
 		p.committed = sink.Counter("harness.pool.committed")
@@ -196,6 +207,43 @@ func (p *Pool) WithFaults(spec faultinj.Spec, seed int64) *Pool {
 	return p
 }
 
+// WithExecutor routes portable trials (CollectKind and friends) through e.
+// The default is the in-process executor; the subprocess executor isolates
+// trial crashes in worker processes. Returns p for chaining.
+func (p *Pool) WithExecutor(e Executor) *Pool {
+	if e != nil {
+		p.exec = e
+	}
+	return p
+}
+
+// WithArtifacts attaches a durable artifact store: portable trials resume
+// from verified stored results and persist fresh results as they commit,
+// in trial order. Returns p for chaining.
+func (p *Pool) WithArtifacts(s *artifact.Store) *Pool {
+	p.store = s
+	return p
+}
+
+// executor returns the pool's trial executor (never nil).
+func (p *Pool) executor() Executor { return p.exec }
+
+// wireRequest assembles the portable form of one trial, arming the worker-
+// side telemetry to mirror what trialSink would build locally.
+func (p *Pool) wireRequest(stream string, i int, kind string, params json.RawMessage) *TrialRequest {
+	req := &TrialRequest{
+		Stream: stream, Index: i, Kind: kind, Params: params,
+		Faults: p.faults, FaultSeed: p.faultSeed,
+	}
+	if p.sink != nil {
+		req.Metrics = p.sink.Metrics != nil
+		req.Flight = p.sink.Flight != nil
+		req.Profiling = p.sink.Profiling
+		req.Verbosity = p.sink.Verbosity
+	}
+	return req
+}
+
 // Jobs returns the worker count.
 func (p *Pool) Jobs() int { return p.jobs }
 
@@ -218,23 +266,57 @@ func (p *Pool) trialSink() *obs.Sink {
 	return s
 }
 
+// trialTelemetry is one executed trial's observable side effects, parked
+// with its outcome until the commit scan reaches its index. It is already
+// detached from any sink (snapshots, not live registries), so it carries
+// identically whether the trial ran on this goroutine, in a subprocess
+// worker, or was loaded back from the artifact store.
+type trialTelemetry struct {
+	metrics *obs.Snapshot     // private-registry snapshot; nil when unarmed
+	flight  []obs.FlightEvent // trial ring contents
+	hasRing bool              // the trial carried a flight ring (even if empty)
+	// persist, when non-nil, is invoked after the telemetry merge — the
+	// artifact store's write-behind hook, so results land durably in commit
+	// order and a resumed run replays the exact committed prefix.
+	persist func()
+}
+
+// telemetryOf snapshots a trial sink into its portable telemetry.
+func telemetryOf(s *obs.Sink) trialTelemetry {
+	var t trialTelemetry
+	if s == nil {
+		return t
+	}
+	if s.Metrics != nil {
+		snap := s.Metrics.Snapshot()
+		t.metrics = &snap
+	}
+	if s.Flight != nil {
+		t.flight = s.Flight.Snapshot()
+		t.hasRing = true
+	}
+	return t
+}
+
 // commit folds one executed trial's telemetry into the parent sink. The
 // trial's flight-recorder ring appends to the pipeline ring here — in
 // trial order, never arrival order — so pipeline ring contents are
 // byte-identical for every worker count.
-func (p *Pool) commit(i int, s *obs.Sink) {
+func (p *Pool) commit(i int, t trialTelemetry) {
 	p.committed.Inc()
-	if s == nil || p.sink == nil {
-		return
+	if p.sink != nil {
+		if t.metrics != nil && p.sink.Metrics != nil {
+			p.sink.Metrics.Merge(*t.metrics)
+		}
+		if p.sink.Flight != nil && t.hasRing {
+			p.sink.Flight.Append(t.flight)
+			p.sink.RecordFlight(obs.FlightEvent{
+				Cycle: p.sink.Cycles(), Trial: i, Kind: obs.FlightTrialCommit,
+			})
+		}
 	}
-	if s.Metrics != nil && p.sink.Metrics != nil {
-		p.sink.Metrics.Merge(s.Metrics.Snapshot())
-	}
-	if p.sink.Flight != nil && s.Flight != nil {
-		p.sink.Flight.Append(s.Flight.Snapshot())
-		p.sink.RecordFlight(obs.FlightEvent{
-			Cycle: p.sink.Cycles(), Trial: i, Kind: obs.FlightTrialCommit,
-		})
+	if t.persist != nil {
+		t.persist()
 	}
 }
 
@@ -264,11 +346,27 @@ func (p *Pool) FirstDegraded() *TrialError {
 // trialOutcome is one executed trial, parked until the commit scan reaches
 // its index.
 type trialOutcome[T any] struct {
-	val      T
-	ok       bool
-	err      error
-	degraded *TrialError
-	sink     *obs.Sink
+	val       T
+	ok        bool
+	err       error
+	degraded  *TrialError
+	telemetry trialTelemetry
+}
+
+// trialRunner produces one trial's outcome for the pool's dispatch loop.
+// fnRunner executes closure trials on the calling goroutine; wireRunner
+// (wire.go) routes portable trials through the executor and artifact store.
+type trialRunner[T any] interface {
+	runOne(p *Pool, w int, label string, i int) trialOutcome[T]
+}
+
+// fnRunner wraps a closure trial body.
+type fnRunner[T any] struct {
+	fn func(*Trial) (T, bool, error)
+}
+
+func (r fnRunner[T]) runOne(p *Pool, w int, label string, i int) trialOutcome[T] {
+	return timedRun(p, w, func() trialOutcome[T] { return runTrial(p, label, i, r.fn) })
 }
 
 // runTrial executes one trial through the retry loop: recover every panic,
@@ -293,7 +391,7 @@ func runTrial[T any](p *Pool, label string, i int, fn func(*Trial) (T, bool, err
 		}
 		v, ok, err, pan := guardedCall(fn, tc)
 		if pan == nil {
-			return trialOutcome[T]{val: v, ok: ok, err: err, sink: s}
+			return trialOutcome[T]{val: v, ok: ok, err: err, telemetry: telemetryOf(s)}
 		}
 		s.Counter("harness.pool.panics").Inc()
 		if attempt >= budget {
@@ -309,7 +407,7 @@ func runTrial[T any](p *Pool, label string, i int, fn func(*Trial) (T, bool, err
 					// while the failure is still in its short-term memory.
 					Events: s.FlightRecorder().Snapshot(),
 				},
-				sink: s,
+				telemetry: telemetryOf(s),
 			}
 		}
 		s.Counter("harness.pool.retries").Inc()
@@ -350,13 +448,14 @@ func guardedCall[T any](fn func(*Trial) (T, bool, error), tc *Trial) (v T, ok bo
 // for every jobs setting: acceptance is decided purely by trial index, and
 // speculative trials past the decisive index are discarded unmerged.
 func Collect[T any](p *Pool, max, need int, label string, fn func(tc *Trial) (T, bool, error)) ([]T, int, error) {
-	out, attempts, _, err := run(p, max, need, label, fn)
+	out, attempts, _, err := run[T](p, max, need, label, fnRunner[T]{fn})
 	return out, attempts, err
 }
 
-// run is the traced entry point shared by Collect, Map and First; it also
-// surfaces the first degraded trial for callers (Map) that must not skip.
-func run[T any](p *Pool, max, need int, label string, fn func(*Trial) (T, bool, error)) ([]T, int, *TrialError, error) {
+// run is the traced entry point shared by Collect, Map, First and their
+// portable Kind variants; it also surfaces the first degraded trial for
+// callers (Map) that must not skip.
+func run[T any](p *Pool, max, need int, label string, rn trialRunner[T]) ([]T, int, *TrialError, error) {
 	if need <= 0 || max <= 0 {
 		return nil, 0, nil, nil
 	}
@@ -366,7 +465,7 @@ func run[T any](p *Pool, max, need int, label string, fn func(*Trial) (T, bool, 
 	if tr != nil {
 		traceStart = tr.Base()
 	}
-	out, attempts, degraded, err := collect(p, max, need, label, fn)
+	out, attempts, degraded, err := collect(p, max, need, label, rn)
 	p.noteDegraded(degraded)
 	if tr != nil {
 		end := tr.Base()
@@ -377,7 +476,7 @@ func run[T any](p *Pool, max, need int, label string, fn func(*Trial) (T, bool, 
 }
 
 // collect is run without the tracing shell.
-func collect[T any](p *Pool, max, need int, label string, fn func(*Trial) (T, bool, error)) ([]T, int, *TrialError, error) {
+func collect[T any](p *Pool, max, need int, label string, rn trialRunner[T]) ([]T, int, *TrialError, error) {
 	var firstDegraded *TrialError
 	if p.jobs == 1 {
 		// Sequential path: run trials in order, stop exactly at the
@@ -387,8 +486,8 @@ func collect[T any](p *Pool, max, need int, label string, fn func(*Trial) (T, bo
 		for i := 0; i < max; i++ {
 			p.trials.Inc()
 			p.workerTrial(0)
-			r := timedTrial(p, 0, label, i, fn)
-			p.commit(i, r.sink)
+			r := rn.runOne(p, 0, label, i)
+			p.commit(i, r.telemetry)
 			if r.err != nil {
 				return out, i + 1, firstDegraded, r.err
 			}
@@ -431,7 +530,7 @@ func collect[T any](p *Pool, max, need int, label string, fn func(*Trial) (T, bo
 					now := time.Now()
 					p.workerIdle[w].Add(uint64(now.Sub(last)))
 				}
-				r := timedTrial(p, w, label, i, fn)
+				r := rn.runOne(p, w, label, i)
 				if p.workerIdle != nil {
 					last = time.Now()
 				}
@@ -491,7 +590,7 @@ func collect[T any](p *Pool, max, need int, label string, fn func(*Trial) (T, bo
 						delete(arrivals, commitNext)
 					}
 				}
-				p.commit(commitNext, r.sink)
+				p.commit(commitNext, r.telemetry)
 				commitNext++
 				if r.err != nil {
 					abortErr = r.err
@@ -529,16 +628,16 @@ func (p *Pool) workerTrial(w int) {
 	p.workerTrials[w].Inc()
 }
 
-// timedTrial runs one trial attempt sequence, charging its wall time to the
+// timedRun runs one trial attempt sequence, charging its wall time to the
 // worker's busy counter when utilization tracking is armed. The timestamps
 // never feed anything committed: trial outcomes and merged telemetry stay
 // pure functions of (seed, stream, index).
-func timedTrial[T any](p *Pool, w int, label string, i int, fn func(*Trial) (T, bool, error)) trialOutcome[T] {
+func timedRun[T any](p *Pool, w int, f func() trialOutcome[T]) trialOutcome[T] {
 	if p.workerBusy == nil {
-		return runTrial(p, label, i, fn)
+		return f()
 	}
 	start := time.Now()
-	r := runTrial(p, label, i, fn)
+	r := f()
 	p.workerBusy[w].Add(uint64(time.Since(start)))
 	return r
 }
@@ -549,10 +648,10 @@ func timedTrial[T any](p *Pool, w int, label string, i int, fn func(*Trial) (T, 
 // results positionally (e.g. CoverageSweep's period sweep, the overhead
 // averages), so a silently missing element would misalign or skew them.
 func Map[T any](p *Pool, n int, label string, fn func(tc *Trial) (T, error)) ([]T, error) {
-	out, _, degraded, err := run(p, n, n, label, func(tc *Trial) (T, bool, error) {
+	out, _, degraded, err := run[T](p, n, n, label, fnRunner[T]{func(tc *Trial) (T, bool, error) {
 		v, err := fn(tc)
 		return v, err == nil, err
-	})
+	}})
 	if err != nil {
 		return out, err
 	}

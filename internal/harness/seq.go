@@ -11,6 +11,7 @@ import (
 	"runtime"
 
 	"stmdiag/internal/apps"
+	"stmdiag/internal/artifact"
 	"stmdiag/internal/cbi"
 	"stmdiag/internal/core"
 	"stmdiag/internal/faultinj"
@@ -60,6 +61,15 @@ type Config struct {
 	// (bug class × propagation distance) cell (-corpus-n); 0 selects
 	// DefaultCorpusPerCell.
 	CorpusPerCell int
+	// Executor routes portable trials (-executor); nil selects the
+	// in-process executor. Results are byte-identical for every executor —
+	// see wire.go.
+	Executor Executor
+	// Artifacts is the durable trial-result store (-resume); nil disables
+	// persistence. With a store attached, portable trials committed by an
+	// earlier (possibly killed) run are loaded back instead of re-executed,
+	// and fresh results are persisted in commit order.
+	Artifacts *artifact.Store
 }
 
 // DefaultConfig is the paper's experiment configuration.
@@ -99,7 +109,10 @@ func (c Config) withDefaults() Config {
 }
 
 // pool builds the trial-execution pool for one experiment entry point.
-func (c Config) pool() *Pool { return NewPool(c.Jobs, c.Obs).WithFaults(c.Faults, c.Seed) }
+func (c Config) pool() *Pool {
+	return NewPool(c.Jobs, c.Obs).WithFaults(c.Faults, c.Seed).
+		WithExecutor(c.Executor).WithArtifacts(c.Artifacts)
+}
 
 // SeqResult is one sequential benchmark's Table 6 row.
 type SeqResult struct {
@@ -206,33 +219,26 @@ func origFailurePC(a *apps.App, inst *core.Instrumented, prof vm.Profile) (int, 
 }
 
 // successProfiles collects success-run profiles on the given build through
-// the trial pool.
-func successProfiles(a *apps.App, inst *core.Instrumented, cfg Config, pool *Pool) ([]core.ProfiledRun, error) {
-	stream := a.Name + "/succ"
-	out, _, err := Collect(pool, cfg.MaxAttempts, cfg.SuccRuns, stream,
-		func(tc *Trial) (core.ProfiledRun, bool, error) {
-			res, err := runApp(inst, a.Succeed, TrialSeed(cfg.Seed, stream, tc.Index), cfg, tc)
-			if err != nil {
-				return core.ProfiledRun{}, false, err
-			}
-			if a.Succeed.FailedRun(res) {
-				return core.ProfiledRun{}, false, nil
-			}
-			prof, ok := core.SuccessRunProfile(res)
-			if !ok {
-				// Unconditional site: the same-site snapshot from a
-				// successful run is the comparable success profile.
-				if prof, ok = core.FailureRunProfile(res); !ok {
-					return core.ProfiledRun{}, false, nil
-				}
-			}
-			return core.ProfiledRun{Prog: inst.Prog, Profile: prof}, true, nil
-		})
+// the trial pool. The trials are portable ("succ-profile" kind, strict
+// mode: a run error aborts the collection), so they execute identically on
+// any executor and resume from the artifact store.
+func successProfiles(a *apps.App, build core.Options, cfg Config, pool *Pool) ([]core.ProfiledRun, error) {
+	inst, err := cachedBuild(a, build)
 	if err != nil {
 		return nil, err
 	}
-	if len(out) < cfg.SuccRuns {
-		return nil, fmt.Errorf("harness: %s: only %d/%d success profiles", a.Name, len(out), cfg.SuccRuns)
+	stream := a.Name + "/succ"
+	profs, _, err := CollectKind[vm.Profile](pool, cfg.MaxAttempts, cfg.SuccRuns, stream, "succ-profile",
+		succProfileParams{App: a.Name, Build: build, Seed: cfg.Seed, LBRSize: cfg.LBRSize, Strict: true})
+	if err != nil {
+		return nil, err
+	}
+	if len(profs) < cfg.SuccRuns {
+		return nil, fmt.Errorf("harness: %s: only %d/%d success profiles", a.Name, len(profs), cfg.SuccRuns)
+	}
+	out := make([]core.ProfiledRun, len(profs))
+	for i, prof := range profs {
+		out[i] = core.ProfiledRun{Prog: inst.Prog, Profile: prof}
 	}
 	return out, nil
 }
@@ -241,51 +247,44 @@ func successProfiles(a *apps.App, inst *core.Instrumented, cfg Config, pool *Poo
 func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 	cfg = cfg.withDefaults()
 	pool := cfg.pool()
-	p := a.Program()
 	res := &SeqResult{App: a}
 	rowStart := beginRow(cfg, a.Name, "sequential")
 
-	logTog, err := core.EnhanceLogging(p, core.Options{LBR: true, Toggling: true})
+	optsLogTog := core.Options{LBR: true, Toggling: true}
+	optsLogNoTog := core.Options{LBR: true}
+	logTog, err := cachedBuild(a, optsLogTog)
 	if err != nil {
 		return nil, err
 	}
-	logNoTog, err := core.EnhanceLogging(p, core.Options{LBR: true})
+	logNoTog, err := cachedBuild(a, optsLogNoTog)
 	if err != nil {
 		return nil, err
 	}
 
 	// LBRA failure profiles from the deployed (toggling) build; the first
-	// doubles as Table 6's LBRLOG toggling profile.
+	// doubles as Table 6's LBRLOG toggling profile. The trials are portable
+	// ("fail-profile" kind): a run that happened not to fail is rejected,
+	// not fatal — concurrency benchmarks fail probabilistically.
 	endCapture := beginPhase(cfg, a.Name, phaseCapture)
 	failStream := a.Name + "/fail"
-	failProfiles, _, err := Collect(pool, cfg.MaxAttempts, cfg.FailRuns, failStream,
-		func(tc *Trial) (core.ProfiledRun, bool, error) {
-			prof, err := failureProfileOf(a, logTog, TrialSeed(cfg.Seed, failStream, tc.Index), cfg, tc)
-			if err != nil {
-				// Concurrency benchmarks fail probabilistically: a run
-				// that happened not to fail is rejected, not fatal.
-				return core.ProfiledRun{}, false, nil
-			}
-			return core.ProfiledRun{Prog: logTog.Prog, Profile: prof}, true, nil
-		})
+	failProfs, _, err := CollectKind[vm.Profile](pool, cfg.MaxAttempts, cfg.FailRuns, failStream, "fail-profile",
+		failProfileParams{App: a.Name, Build: optsLogTog, Seed: cfg.Seed, LBRSize: cfg.LBRSize})
 	if err != nil {
 		return nil, err
 	}
-	if len(failProfiles) < cfg.FailRuns {
-		return nil, fmt.Errorf("harness: %s: only %d/%d failure profiles", a.Name, len(failProfiles), cfg.FailRuns)
+	if len(failProfs) < cfg.FailRuns {
+		return nil, fmt.Errorf("harness: %s: only %d/%d failure profiles", a.Name, len(failProfs), cfg.FailRuns)
+	}
+	failProfiles := make([]core.ProfiledRun, len(failProfs))
+	for i, prof := range failProfs {
+		failProfiles[i] = core.ProfiledRun{Prog: logTog.Prog, Profile: prof}
 	}
 	profTog := failProfiles[0].Profile
 	res.RankTog, res.RelatedTog = rankWithFallback(a, logTog.Prog, profTog)
 
 	noTogStream := a.Name + "/fail-notog"
-	profNoTog, noTogIdx, err := First(pool, cfg.MaxAttempts, noTogStream,
-		func(tc *Trial) (vm.Profile, bool, error) {
-			prof, err := failureProfileOf(a, logNoTog, TrialSeed(cfg.Seed, noTogStream, tc.Index), cfg, tc)
-			if err != nil {
-				return vm.Profile{}, false, nil
-			}
-			return prof, true, nil
-		})
+	profNoTog, noTogIdx, err := FirstKind[vm.Profile](pool, cfg.MaxAttempts, noTogStream, "fail-profile",
+		failProfileParams{App: a.Name, Build: optsLogNoTog, Seed: cfg.Seed, LBRSize: cfg.LBRSize})
 	if err != nil {
 		return nil, err
 	}
@@ -305,12 +304,9 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	reactive, err := core.EnhanceLogging(p, core.Options{LBR: true, Toggling: true,
-		Scheme: core.SchemeReactive, FailurePCs: []int{failPC}})
-	if err != nil {
-		return nil, err
-	}
-	succProfiles, err := successProfiles(a, reactive, cfg, pool)
+	optsReactive := core.Options{LBR: true, Toggling: true,
+		Scheme: core.SchemeReactive, FailurePCs: []int{failPC}}
+	succProfiles, err := successProfiles(a, optsReactive, cfg, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -338,34 +334,29 @@ func RunSequential(a *apps.App, cfg Config) (*SeqResult, error) {
 	}
 
 	// Overheads on the success workload.
-	proactive, err := core.EnhanceLogging(p, core.Options{LBR: true, Toggling: true,
-		Scheme: core.SchemeProactive})
-	if err != nil {
-		return nil, err
-	}
-	base, err := meanCycles(p, a, nil, nil, cfg, pool, a.Name+"/ov-base")
+	optsProactive := core.Options{LBR: true, Toggling: true, Scheme: core.SchemeProactive}
+	base, err := meanCycles(a, nil, false, cfg, pool, a.Name+"/ov-base")
 	if err != nil {
 		return nil, err
 	}
 	for _, v := range []struct {
-		inst   *core.Instrumented
+		build  core.Options
 		stream string
 		out    *float64
 	}{
-		{logTog, a.Name + "/ov-log-tog", &res.OvLogTog},
-		{logNoTog, a.Name + "/ov-log-notog", &res.OvLogNoTog},
-		{reactive, a.Name + "/ov-reactive", &res.OvReactive},
-		{proactive, a.Name + "/ov-proactive", &res.OvProactive},
+		{optsLogTog, a.Name + "/ov-log-tog", &res.OvLogTog},
+		{optsLogNoTog, a.Name + "/ov-log-notog", &res.OvLogNoTog},
+		{optsReactive, a.Name + "/ov-reactive", &res.OvReactive},
+		{optsProactive, a.Name + "/ov-proactive", &res.OvProactive},
 	} {
-		cycles, err := meanCycles(v.inst.Prog, a, v.inst.SegvIoctls, nil, cfg, pool, v.stream)
+		build := v.build
+		cycles, err := meanCycles(a, &build, false, cfg, pool, v.stream)
 		if err != nil {
 			return nil, err
 		}
 		*v.out = overhead(base, cycles)
 	}
-	cbiCycles, err := meanCycles(p, a, nil, func(m *vm.Machine, seed int64) {
-		cbi.NewObserver(cfg.CBIRate, seed+777).Attach(m)
-	}, cfg, pool, a.Name+"/ov-cbi")
+	cbiCycles, err := meanCycles(a, nil, true, cfg, pool, a.Name+"/ov-cbi")
 	if err != nil {
 		return nil, err
 	}
@@ -385,30 +376,10 @@ func runCBI(a *apps.App, cfg Config, pool *Pool) (int, error) {
 	if a.RootBranch == "" {
 		return 0, nil
 	}
-	p := a.Program()
-	collect := func(w apps.Workload, wantFail bool, n int, label string) ([]cbi.RunObs, error) {
+	collect := func(wantFail bool, n int, label string) ([]cbi.RunObs, error) {
 		stream := a.Name + "/" + label
-		out, _, err := Collect(pool, n*4, n, stream,
-			func(tc *Trial) (cbi.RunObs, bool, error) {
-				seed := TrialSeed(cfg.Seed, stream, tc.Index)
-				opts := w.VMOptions(seed)
-				opts.Obs = tc.Sink
-				opts.Faults = tc.Faults
-				m, err := vm.New(p, opts)
-				if err != nil {
-					return cbi.RunObs{}, false, err
-				}
-				o := cbi.NewObserver(cfg.CBIRate, seed+31337)
-				o.Attach(m)
-				res, err := m.Run()
-				if err != nil {
-					return cbi.RunObs{}, false, err
-				}
-				if w.FailedRun(res) != wantFail {
-					return cbi.RunObs{}, false, nil
-				}
-				return o.Finish(wantFail), true, nil
-			})
+		out, _, err := CollectKind[cbi.RunObs](pool, n*4, n, stream, "cbi-run",
+			cbiRunParams{App: a.Name, WantFail: wantFail, Rate: cfg.CBIRate, Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -417,11 +388,11 @@ func runCBI(a *apps.App, cfg Config, pool *Pool) (int, error) {
 		}
 		return out, nil
 	}
-	failRuns, err := collect(a.Fail, true, cfg.CBIRuns, "cbi-fail")
+	failRuns, err := collect(true, cfg.CBIRuns, "cbi-fail")
 	if err != nil {
 		return 0, err
 	}
-	succRuns, err := collect(a.Succeed, false, cfg.CBIRuns, "cbi-succ")
+	succRuns, err := collect(false, cfg.CBIRuns, "cbi-succ")
 	if err != nil {
 		return 0, err
 	}
@@ -435,32 +406,14 @@ func runCBI(a *apps.App, cfg Config, pool *Pool) (int, error) {
 	return rank, nil
 }
 
-// meanCycles averages run cycles on the success workload.
-func meanCycles(p *isa.Program, a *apps.App, segv []int64, hook func(*vm.Machine, int64), cfg Config, pool *Pool, stream string) (float64, error) {
-	cycles, err := Map(pool, cfg.OverheadRuns, stream,
-		func(tc *Trial) (uint64, error) {
-			seed := TrialSeed(cfg.Seed, stream, tc.Index)
-			opts := a.Succeed.VMOptions(seed)
-			opts.LBRSize = cfg.LBRSize
-			opts.Obs = tc.Sink
-			opts.Faults = tc.Faults
-			if segv != nil {
-				opts.SegvIoctls = segv
-			}
-			opts.Driver = kernel.Driver{}
-			m, err := vm.New(p, opts)
-			if err != nil {
-				return 0, err
-			}
-			if hook != nil {
-				hook(m, seed)
-			}
-			res, err := m.Run()
-			if err != nil {
-				return 0, err
-			}
-			return res.Cycles, nil
-		})
+// meanCycles averages run cycles on the success workload through the
+// portable "mean-cycles" kind: build == nil runs the plain program (the
+// baseline, and — with cbiHook — the CBI column); otherwise the selected
+// instrumented variant.
+func meanCycles(a *apps.App, build *core.Options, cbiHook bool, cfg Config, pool *Pool, stream string) (float64, error) {
+	cycles, err := MapKind[uint64](pool, cfg.OverheadRuns, stream, "mean-cycles",
+		meanCyclesParams{App: a.Name, Build: build, CBIHook: cbiHook,
+			Rate: cfg.CBIRate, Seed: cfg.Seed, LBRSize: cfg.LBRSize})
 	if err != nil {
 		return 0, err
 	}

@@ -17,6 +17,7 @@ import (
 	"stmdiag/internal/source"
 	"stmdiag/internal/stats"
 	"stmdiag/internal/synth"
+	"stmdiag/internal/vm"
 )
 
 // NumTables is the highest table RenderTable knows: the paper's Tables 1–7
@@ -174,11 +175,12 @@ func Table3(cfg Config) (string, error) {
 		observed := "none in failure thread"
 		inThread := "no"
 		if want != nil {
-			inst, err := core.EnhanceLogging(a.Program(), core.Options{LCR: true, Toggling: true})
+			optsLCR := core.Options{LCR: true, Toggling: true}
+			inst, err := cachedBuild(a, optsLCR)
 			if err != nil {
 				return "", err
 			}
-			profs, _, err := collectConc(a, inst, pmu.ConfSpaceConsuming, true, 3, cfg, pool, "table3")
+			profs, _, err := collectConc(a, optsLCR, pmu.ConfSpaceConsuming, true, 3, cfg, pool, "table3")
 			if err != nil {
 				return "", err
 			}
@@ -340,24 +342,24 @@ type robustRow struct {
 func table8Row(a *apps.App, cfg Config) (*robustRow, error) {
 	cfg = cfg.withDefaults()
 	pool := cfg.pool()
-	logTog, err := core.EnhanceLogging(a.Program(), core.Options{LBR: true, Toggling: true})
+	optsLogTog := core.Options{LBR: true, Toggling: true}
+	logTog, err := cachedBuild(a, optsLogTog)
 	if err != nil {
 		return nil, err
 	}
 	endCapture := beginPhase(cfg, a.Name, phaseCapture)
+	// Portable "fail-profile" trials: injected faults can swallow the crash
+	// profile or flip the run's outcome; such a trial is lost evidence
+	// (rejected by the kind), not an abort.
 	failStream := a.Name + "/robust-fail"
-	failProfiles, _, err := Collect(pool, cfg.MaxAttempts, cfg.FailRuns, failStream,
-		func(tc *Trial) (core.ProfiledRun, bool, error) {
-			prof, err := failureProfileOf(a, logTog, TrialSeed(cfg.Seed, failStream, tc.Index), cfg, tc)
-			if err != nil {
-				// Injected faults can swallow the crash profile or flip the
-				// run's outcome; such a trial is lost evidence, not an abort.
-				return core.ProfiledRun{}, false, nil
-			}
-			return core.ProfiledRun{Prog: logTog.Prog, Profile: prof}, true, nil
-		})
+	failProfs, _, err := CollectKind[vm.Profile](pool, cfg.MaxAttempts, cfg.FailRuns, failStream, "fail-profile",
+		failProfileParams{App: a.Name, Build: optsLogTog, Seed: cfg.Seed, LBRSize: cfg.LBRSize})
 	if err != nil {
 		return nil, err
+	}
+	failProfiles := make([]core.ProfiledRun, len(failProfs))
+	for i, prof := range failProfs {
+		failProfiles[i] = core.ProfiledRun{Prog: logTog.Prog, Profile: prof}
 	}
 	row := &robustRow{app: a, failProfs: len(failProfiles)}
 	if len(failProfiles) == 0 {
@@ -371,28 +373,23 @@ func table8Row(a *apps.App, cfg Config) (*robustRow, error) {
 	// rather than failing the row.
 	var succProfiles []core.ProfiledRun
 	if failPC, err := origFailurePC(a, logTog, failProfiles[0].Profile); err == nil {
-		reactive, err := core.EnhanceLogging(a.Program(), core.Options{LBR: true, Toggling: true,
-			Scheme: core.SchemeReactive, FailurePCs: []int{failPC}})
+		optsReactive := core.Options{LBR: true, Toggling: true,
+			Scheme: core.SchemeReactive, FailurePCs: []int{failPC}}
+		reactive, err := cachedBuild(a, optsReactive)
 		if err != nil {
 			return nil, err
 		}
+		// Tolerant "succ-profile" trials: a run error is lost evidence here,
+		// not an abort (Strict is false).
 		succStream := a.Name + "/robust-succ"
-		succProfiles, _, err = Collect(pool, cfg.MaxAttempts, cfg.SuccRuns, succStream,
-			func(tc *Trial) (core.ProfiledRun, bool, error) {
-				res, err := runApp(reactive, a.Succeed, TrialSeed(cfg.Seed, succStream, tc.Index), cfg, tc)
-				if err != nil || a.Succeed.FailedRun(res) {
-					return core.ProfiledRun{}, false, nil
-				}
-				prof, ok := core.SuccessRunProfile(res)
-				if !ok {
-					if prof, ok = core.FailureRunProfile(res); !ok {
-						return core.ProfiledRun{}, false, nil
-					}
-				}
-				return core.ProfiledRun{Prog: reactive.Prog, Profile: prof}, true, nil
-			})
+		succProfs, _, err := CollectKind[vm.Profile](pool, cfg.MaxAttempts, cfg.SuccRuns, succStream, "succ-profile",
+			succProfileParams{App: a.Name, Build: optsReactive, Seed: cfg.Seed, LBRSize: cfg.LBRSize})
 		if err != nil {
 			return nil, err
+		}
+		succProfiles = make([]core.ProfiledRun, len(succProfs))
+		for i, prof := range succProfs {
+			succProfiles[i] = core.ProfiledRun{Prog: reactive.Prog, Profile: prof}
 		}
 	}
 	endCapture()

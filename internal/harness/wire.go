@@ -1,0 +1,448 @@
+package harness
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"stmdiag/internal/artifact"
+	"stmdiag/internal/faultinj"
+	"stmdiag/internal/obs"
+)
+
+// This file is the portable-trial layer: trial bodies expressed as data
+// (a kind name plus JSON params) instead of closures, so one trial can be
+// executed by the in-process worker, shipped to a subprocess worker, or
+// loaded back from the durable artifact store — and produce byte-identical
+// results in all three cases.
+//
+// The identity argument: every execution path funnels through executeWire,
+// which replicates the pool's attempt loop (fault plans, retry budget,
+// flight events, degradation) exactly; and every result value crosses a
+// JSON round trip even in-process, so "fresh in-process", "fresh
+// subprocess" and "resumed from the store" are literally the same bytes by
+// construction, not by careful equivalence.
+//
+// Streams whose bodies are closures over in-memory state (the generated
+// bug corpus, coverage sweeps, adaptive search) remain "pinned": they run
+// through the same pool via Collect/Map/First, always in-process, and are
+// simply re-executed on resume. Resumable is exactly portable.
+
+// TrialRequest is one trial, as data. Its identity — what the artifact key
+// hashes — is (Stream, Index, Kind, Params, Faults, FaultSeed). The
+// telemetry arming flags ride along so a worker builds the same trial sink
+// the in-process path would, but they are not part of the identity.
+type TrialRequest struct {
+	Stream string          `json:"stream"`
+	Index  int             `json:"index"`
+	Kind   string          `json:"kind"`
+	Params json.RawMessage `json:"params,omitempty"`
+
+	Faults    faultinj.Spec `json:"faults"`
+	FaultSeed int64         `json:"faultSeed,omitempty"`
+
+	Metrics   bool `json:"metrics,omitempty"`
+	Flight    bool `json:"flight,omitempty"`
+	Profiling bool `json:"profiling,omitempty"`
+	Verbosity int  `json:"verbosity,omitempty"`
+}
+
+// TrialDegraded is the wire form of a trial that exhausted its retry
+// budget: every attempt panicked.
+type TrialDegraded struct {
+	Attempts int               `json:"attempts"`
+	Panic    string            `json:"panic"`
+	Events   []obs.FlightEvent `json:"events,omitempty"`
+
+	// pan carries the in-process panic value so local callers keep the
+	// original (an *artifact.Error, a faultinj.InjectedPanic, ...). Its %v
+	// rendering equals Panic, so errors print identically either way.
+	pan any
+}
+
+// TrialResponse is one executed trial's complete observable outcome: the
+// JSON-encoded result value, the accept/reject/error verdict, the degraded
+// record if every attempt panicked, and the trial sink's telemetry, merged
+// by the pool at commit time in trial order.
+type TrialResponse struct {
+	Value json.RawMessage `json:"value,omitempty"`
+	OK    bool            `json:"ok,omitempty"`
+	Err   string          `json:"err,omitempty"`
+
+	Degraded *TrialDegraded `json:"degraded,omitempty"`
+
+	Metrics   *obs.Snapshot     `json:"metrics,omitempty"`
+	Flight    []obs.FlightEvent `json:"flight,omitempty"`
+	HasFlight bool              `json:"hasFlight,omitempty"`
+
+	// errVal preserves the in-process error identity (errors.Is works on
+	// the local path); remote and resumed paths reconstruct from Err.
+	errVal error
+}
+
+// respErr returns the response's error, preferring the preserved local
+// value over the wire string.
+func (r *TrialResponse) respErr() error {
+	if r.errVal != nil {
+		return r.errVal
+	}
+	if r.Err != "" {
+		return errors.New(r.Err)
+	}
+	return nil
+}
+
+// kindFunc executes one portable trial body: decode params, run the trial
+// in tc's context, return (value, accepted, error). The returned value must
+// JSON-round-trip losslessly — it is the trial's wire representation.
+type kindFunc func(params json.RawMessage, stream string, tc *Trial) (any, bool, error)
+
+// trialKinds is the portable-trial registry, populated by kinds.go at init.
+// Both executors and worker processes resolve bodies here, so the mapping
+// must be identical in every process of a run (it is: it's compiled in).
+var trialKinds = map[string]kindFunc{}
+
+// registerKind installs one portable trial body.
+func registerKind(name string, fn kindFunc) {
+	if _, dup := trialKinds[name]; dup {
+		panic("harness: duplicate trial kind " + name)
+	}
+	trialKinds[name] = fn
+}
+
+// wireSink builds the sink one wire trial runs against, mirroring
+// Pool.trialSink. local is the parent sink on the in-process path (whose
+// tracer and verbosity the trial inherits, exactly like before); workers
+// have no parent and arm purely from the request.
+func wireSink(req *TrialRequest, local *obs.Sink) *obs.Sink {
+	if local == nil && !req.Metrics && !req.Flight && !req.Profiling {
+		return nil
+	}
+	s := &obs.Sink{Profiling: req.Profiling}
+	if local != nil {
+		s.Trace = local.Trace
+		s.Verbosity = local.Verbosity
+	} else {
+		s.Verbosity = req.Verbosity
+	}
+	if req.Metrics {
+		s.Metrics = obs.NewRegistry()
+	}
+	if req.Flight {
+		s.Flight = obs.NewFlightRecorder(obs.DefaultTrialFlightCap)
+	}
+	return s
+}
+
+// executeWire runs one portable trial to completion: the same attempt loop
+// as runTrial — per-attempt fault plans, panic recovery, deterministic
+// retry budget, flight events, degradation — expressed over wire types.
+// local is non-nil only on the in-process executor.
+func executeWire(req *TrialRequest, local *obs.Sink) *TrialResponse {
+	kf, known := trialKinds[req.Kind]
+	if !known {
+		err := fmt.Errorf("harness: unknown trial kind %q (version skew between coordinator and worker?)", req.Kind)
+		return &TrialResponse{Err: err.Error(), errVal: err}
+	}
+	s := wireSink(req, local)
+	resp := &TrialResponse{HasFlight: s != nil && s.Flight != nil}
+	body := func(tc *Trial) (any, bool, error) { return kf(req.Params, req.Stream, tc) }
+	budget := req.Faults.RetryBudget()
+	for attempt := 0; ; attempt++ {
+		s.RecordFlight(obs.FlightEvent{
+			Cycle: s.Cycles(), Trial: req.Index, Attempt: attempt,
+			Kind: obs.FlightTrialStart, Detail: req.Stream,
+		})
+		tc := &Trial{
+			Index:   req.Index,
+			Attempt: attempt,
+			Sink:    s,
+			Faults:  faultinj.NewPlan(req.Faults, req.FaultSeed, req.Stream, req.Index, attempt, s),
+		}
+		v, ok, err, pan := guardedCall(body, tc)
+		if pan == nil {
+			switch {
+			case err != nil:
+				resp.Err, resp.errVal = err.Error(), err
+			case ok:
+				data, merr := json.Marshal(v)
+				if merr != nil {
+					merr = fmt.Errorf("harness: encode %q trial %d result: %w", req.Stream, req.Index, merr)
+					resp.Err, resp.errVal = merr.Error(), merr
+				} else {
+					resp.Value, resp.OK = data, true
+				}
+			}
+			break
+		}
+		s.Counter("harness.pool.panics").Inc()
+		if attempt >= budget {
+			s.Counter("harness.pool.degraded").Inc()
+			s.RecordFlight(obs.FlightEvent{
+				Cycle: s.Cycles(), Trial: req.Index, Attempt: attempt,
+				Kind: obs.FlightTrialDegraded, Detail: fmt.Sprintf("panic: %v", pan),
+			})
+			resp.Degraded = &TrialDegraded{
+				Attempts: attempt + 1,
+				Panic:    fmt.Sprint(pan),
+				// The segfault-handler moment, same as runTrial: read the
+				// worker's ring while the failure is in short-term memory.
+				Events: s.FlightRecorder().Snapshot(),
+				pan:    pan,
+			}
+			break
+		}
+		s.Counter("harness.pool.retries").Inc()
+		s.RecordFlight(obs.FlightEvent{
+			Cycle: s.Cycles(), Trial: req.Index, Attempt: attempt,
+			Kind: obs.FlightTrialRetry, Detail: fmt.Sprintf("panic: %v", pan),
+		})
+	}
+	if s != nil && s.Metrics != nil {
+		snap := s.Metrics.Snapshot()
+		resp.Metrics = &snap
+	}
+	if s != nil && s.Flight != nil {
+		resp.Flight = s.Flight.Snapshot()
+	}
+	return resp
+}
+
+// requestKey hashes a trial's identity into its artifact-store key. The
+// fault spec and seed are part of the identity — the same stream and index
+// under different injection specs are different trials (Table 8 reuses
+// stream labels across four specs). Worker count, executor choice and
+// telemetry arming are deliberately absent.
+func requestKey(req *TrialRequest) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	// Encode of this closed struct cannot fail.
+	_ = enc.Encode(struct {
+		Stream    string          `json:"stream"`
+		Index     int             `json:"index"`
+		Kind      string          `json:"kind"`
+		Params    json.RawMessage `json:"params"`
+		Faults    faultinj.Spec   `json:"faults"`
+		FaultSeed int64           `json:"faultSeed"`
+	}{req.Stream, req.Index, req.Kind, req.Params, req.Faults, req.FaultSeed})
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// wireOutcome converts an executed (or resumed) TrialResponse into the
+// pool's trialOutcome, decoding the value and reconstructing degradation.
+func wireOutcome[T any](label string, i int, resp *TrialResponse, persist func()) trialOutcome[T] {
+	o := trialOutcome[T]{telemetry: trialTelemetry{
+		metrics: resp.Metrics,
+		flight:  resp.Flight,
+		hasRing: resp.HasFlight,
+		persist: persist,
+	}}
+	if d := resp.Degraded; d != nil {
+		var pan any = d.Panic
+		if d.pan != nil {
+			pan = d.pan
+		}
+		o.degraded = &TrialError{Label: label, Trial: i, Attempts: d.Attempts, Panic: pan, Events: d.Events}
+		return o
+	}
+	if err := resp.respErr(); err != nil {
+		o.err = err
+		return o
+	}
+	if !resp.OK {
+		return o
+	}
+	var v T
+	if err := json.Unmarshal(resp.Value, &v); err != nil {
+		o.err = fmt.Errorf("harness: decode %q trial %d result: %w", label, i, err)
+		return o
+	}
+	o.val, o.ok = v, true
+	return o
+}
+
+// encodeStored renders the response's durable form. Local-only fields
+// (errVal, Degraded.pan) are unexported and fall away, which is the point:
+// the stored record equals what a subprocess worker would have sent.
+func encodeStored(resp *TrialResponse) ([]byte, error) { return json.Marshal(resp) }
+
+// decodeStored parses a stored trial record.
+func decodeStored(data []byte) (*TrialResponse, error) {
+	var resp TrialResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// wireRunner dispatches portable trials through the pool's executor, with
+// the artifact store as a read-through/write-behind cache: a verified
+// stored result skips execution entirely; a fresh result is persisted at
+// commit time, in trial order.
+type wireRunner[T any] struct {
+	kind   string
+	params json.RawMessage
+}
+
+func (r wireRunner[T]) runOne(p *Pool, w int, label string, i int) trialOutcome[T] {
+	req := p.wireRequest(label, i, r.kind, r.params)
+	var key string
+	if p.store != nil {
+		key = requestKey(req)
+		data, hit, aerr := p.store.Load(key)
+		if aerr != nil {
+			// Corrupt or torn artifact: the store already quarantined it
+			// (typed *artifact.Error); fall through and re-execute, and the
+			// fresh Put below repairs the store. Only if re-execution also
+			// degrades does the failure surface, as a TrialError on the
+			// insufficient-evidence path.
+			p.sink.Counter("artifact.reexecuted").Inc()
+		} else if hit {
+			if resp, derr := decodeStored(data); derr == nil {
+				return wireOutcome[T](label, i, resp, nil)
+			}
+		}
+	}
+	return timedRun(p, w, func() trialOutcome[T] {
+		resp, err := p.executor().Run(req)
+		if err != nil {
+			// Executor infrastructure failure (worker crashed repeatedly,
+			// timed out past the retry budget): degrade the trial rather
+			// than kill the run — identical handling to a trial whose every
+			// attempt panicked.
+			p.sink.Counter("harness.executor.failed_trials").Inc()
+			return trialOutcome[T]{degraded: &TrialError{
+				Label: label, Trial: i, Attempts: 1, Panic: err,
+			}}
+		}
+		var persist func()
+		if p.store != nil {
+			store, stream, trial := p.store, label, i
+			persist = func() {
+				if data, err := encodeStored(resp); err == nil {
+					// Put failures are counted by the store, never fatal:
+					// losing durability must not fail a healthy trial.
+					_ = store.Put(stream, trial, key, data)
+				}
+			}
+		}
+		return wireOutcome[T](label, i, resp, persist)
+	})
+}
+
+// CollectKind is Collect for portable trials: the body is named by kind and
+// parameterized by params (JSON-marshaled) instead of captured in a
+// closure, so trials can run on any executor and resume from the artifact
+// store. Selection, ordering and telemetry semantics are exactly Collect's.
+func CollectKind[T any](p *Pool, max, need int, stream, kind string, params any) ([]T, int, error) {
+	rn, err := newWireRunner[T](stream, kind, params)
+	if err != nil {
+		return nil, 0, err
+	}
+	out, attempts, _, err := run[T](p, max, need, stream, rn)
+	return out, attempts, err
+}
+
+// FirstKind is First for portable trials.
+func FirstKind[T any](p *Pool, max int, stream, kind string, params any) (T, int, error) {
+	out, attempts, err := CollectKind[T](p, max, 1, stream, kind, params)
+	if err != nil || len(out) == 0 {
+		var zero T
+		return zero, -1, err
+	}
+	return out[0], attempts - 1, nil
+}
+
+// MapKind is Map for portable trials: all n results in index order, and a
+// degraded trial is a hard error (positional callers cannot skip).
+func MapKind[T any](p *Pool, n int, stream, kind string, params any) ([]T, error) {
+	rn, err := newWireRunner[T](stream, kind, params)
+	if err != nil {
+		return nil, err
+	}
+	out, _, degraded, err := run[T](p, n, n, stream, rn)
+	if err != nil {
+		return out, err
+	}
+	if degraded != nil {
+		return out, degraded
+	}
+	return out, nil
+}
+
+// newWireRunner marshals params once per fan-out.
+func newWireRunner[T any](stream, kind string, params any) (wireRunner[T], error) {
+	raw, err := json.Marshal(params)
+	if err != nil {
+		return wireRunner[T]{}, fmt.Errorf("harness: encode %q params for %q: %w", kind, stream, err)
+	}
+	return wireRunner[T]{kind: kind, params: raw}, nil
+}
+
+// Executor runs portable trials. Implementations must be safe for
+// concurrent Run calls (the pool's workers share one executor) and must
+// return byte-identical TrialResponses for identical TrialRequests — the
+// golden-table invariant rests on it. Run errors mean the execution
+// infrastructure failed (not the trial body); the pool degrades such
+// trials onto the insufficient-evidence path.
+type Executor interface {
+	Run(req *TrialRequest) (*TrialResponse, error)
+	Close() error
+}
+
+// InprocExecutor runs trials in this process — the default. Local is the
+// parent sink whose tracer and verbosity trial sinks inherit, preserving
+// -trace and -v behavior exactly.
+type InprocExecutor struct {
+	Local *obs.Sink
+}
+
+// Run executes the trial on the calling goroutine.
+func (e *InprocExecutor) Run(req *TrialRequest) (*TrialResponse, error) {
+	return executeWire(req, e.Local), nil
+}
+
+// Close is a no-op.
+func (e *InprocExecutor) Close() error { return nil }
+
+// WorkerEnv marks a process as a trial worker: when set, binaries that call
+// cliobs.MaybeTrialWorker() run WorkerMain on stdin/stdout instead of their
+// normal command. This lets any harness binary double as its own worker
+// (-worker-bin defaults to the current executable).
+const WorkerEnv = "STMDIAG_TRIAL_WORKER"
+
+// WorkerMain is the trial-worker protocol loop: JSON TrialRequests in,
+// JSON TrialResponses out, one per line, strictly in lockstep. Any
+// protocol error terminates the worker — the coordinating executor kills
+// and respawns workers rather than attempting to resynchronize a stream.
+func WorkerMain(r io.Reader, w io.Writer) error {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for {
+		var req TrialRequest
+		if err := dec.Decode(&req); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("harness: worker decode request: %w", err)
+		}
+		resp := executeWire(&req, nil)
+		if err := enc.Encode(resp); err != nil {
+			return fmt.Errorf("harness: worker encode response: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("harness: worker flush response: %w", err)
+		}
+	}
+}
+
+// compile-time interface checks
+var (
+	_ Executor = (*InprocExecutor)(nil)
+	_ error    = (*artifact.Error)(nil)
+)

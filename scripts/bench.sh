@@ -171,6 +171,31 @@ if [ "$SMOKE" != 1 ]; then
     }
 fi
 
+# Durable artifact store: BenchmarkArtifactCommit times the per-trial
+# commit (manifest append + CAS blob write) and BenchmarkArtifactResume the
+# resume scan (one Open replaying a 1000-record manifest), the two costs a
+# -resume run pays over a transient one.
+go test -run '^$' -bench '^BenchmarkArtifact' -benchtime "$BENCHTIME" ./internal/artifact \
+    >"$TMP/stmdiag-bench-artifact.txt" 2>&1 || {
+    cat "$TMP/stmdiag-bench-artifact.txt" >&2
+    exit 1
+}
+artifact_metrics=$(awk '
+    /^BenchmarkArtifact/ {
+        for (i = 2; i < NF; i++) {
+            if ($(i+1) == "trials/sec")      v["commit"] = $i
+            if ($(i+1) == "replay-recs/sec") v["replay"] = $i
+        }
+    }
+    END { printf "%s %s", v["commit"]+0, v["replay"]+0 }' "$TMP/stmdiag-bench-artifact.txt")
+set -- $artifact_metrics
+artifact_commit_pps=$1; artifact_replay_rps=$2
+if [ "$artifact_commit_pps" = 0 ] || [ "$artifact_replay_rps" = 0 ]; then
+    echo "bench: failed to parse BenchmarkArtifact output:" >&2
+    cat "$TMP/stmdiag-bench-artifact.txt" >&2
+    exit 1
+fi
+
 # Per-ranker scoring cost: BenchmarkSpectrumRank ranks one corpus-scale
 # spectrum (8 runs x 64 events) per op under each formula; ns/op per
 # sub-benchmark lands in BENCH_harness.json beside the throughput figures.
@@ -212,6 +237,8 @@ cat > "$OUT_HARNESS" <<EOF
   "fleet_ingest_profiles_per_sec": $fleet_pps,
   "fleet_shard_wait_ns_per_batch": $fleet_wait_ns,
   "synth_programs_per_sec": $synth_pps,
+  "artifact_commit_trials_per_sec": $artifact_commit_pps,
+  "artifact_replay_recs_per_sec": $artifact_replay_rps,
   "rank_cbi_ns_per_op": $cbi_ns,
   "rank_ochiai_ns_per_op": $ochiai_ns,
   "rank_tarantula_ns_per_op": $tarantula_ns,
@@ -270,4 +297,4 @@ cat > "$OUT_VM" <<EOF
 }
 EOF
 
-echo "bench: jobs curve [$CURVE] seq ${seq_ms}ms par ${par_ms}ms speedup ${speedup}x; vm ${ips} instrs/sec, ${allocs_trial} allocs/trial; fleet ${fleet_pps} profiles/sec; synth ${synth_pps} programs/sec ($OUT_HARNESS, $OUT_VM)"
+echo "bench: jobs curve [$CURVE] seq ${seq_ms}ms par ${par_ms}ms speedup ${speedup}x; vm ${ips} instrs/sec, ${allocs_trial} allocs/trial; fleet ${fleet_pps} profiles/sec; synth ${synth_pps} programs/sec; artifact ${artifact_commit_pps} commits/sec ($OUT_HARNESS, $OUT_VM)"

@@ -27,6 +27,14 @@ go test -race ./internal/obs/... ./internal/vm/... ./internal/faultinj/... ./int
 echo "== go test -race (harness trial pool)"
 go test -race ./internal/harness -run 'TrialSeed|Collect|Map|First|JobsInvariance|Retry|Faults|Flight'
 
+echo "== go test -race (artifact store + executors)"
+# The durable trial pipeline: the artifact store takes concurrent Load/Put
+# from pool workers, and the subprocess executor shares its worker freelist
+# across them; both run under the race detector, plus the harness-level
+# executor-equivalence and kill-resume suites.
+go test -race ./internal/artifact/...
+go test -race ./internal/harness -run 'ExecutorEquivalence|KillResume|CorruptArtifact|Subproc|RequestKey|UnknownKind'
+
 echo "== go test -race (obshttp live scrape)"
 # The telemetry server is scraped while the pipeline runs; the httptest
 # smoke in this package validates mid-run /metrics expositions.
@@ -91,6 +99,51 @@ if "$EXP" -corpus -corpus-n -1 >/dev/null 2>&1; then
     echo "-corpus-n -1 was accepted" >&2
     exit 1
 fi
+
+echo "== -executor subprocess identity"
+# The multi-process executor must render the same golden bytes the
+# sequential in-process run produced above (trials funnel through the same
+# portable-trial path whatever the engine).
+"$EXP" -table 3 -jobs 4 -executor subprocess 2>/dev/null >"${TMPDIR:-/tmp}/stmdiag-check-sub.txt"
+if ! cmp -s "${TMPDIR:-/tmp}/stmdiag-check-seq.txt" "${TMPDIR:-/tmp}/stmdiag-check-sub.txt"; then
+    echo "stdout differs between -executor inproc and -executor subprocess" >&2
+    exit 1
+fi
+
+echo "== kill -9 -> -resume identity"
+# The durability acceptance end to end: SIGKILL a run mid-sweep, resume
+# from its artifact store, and demand the golden bytes — finished trials
+# load from disk, the rest re-execute.
+RESUME_DIR="${TMPDIR:-/tmp}/stmdiag-check-resume"
+rm -rf "$RESUME_DIR"
+"$EXP" -table 3 -jobs 2 -resume "$RESUME_DIR" >/dev/null 2>&1 &
+KILL_PID=$!
+sleep 0.3
+kill -9 "$KILL_PID" 2>/dev/null || true
+wait "$KILL_PID" 2>/dev/null || true
+"$EXP" -table 3 -jobs 4 -resume "$RESUME_DIR" 2>/dev/null >"${TMPDIR:-/tmp}/stmdiag-check-res.txt"
+if ! cmp -s "${TMPDIR:-/tmp}/stmdiag-check-seq.txt" "${TMPDIR:-/tmp}/stmdiag-check-res.txt"; then
+    echo "stdout differs after kill -9 and -resume" >&2
+    exit 1
+fi
+# A second resume replays the now-complete store and must match again.
+"$EXP" -table 3 -jobs 1 -resume "$RESUME_DIR" 2>/dev/null >"${TMPDIR:-/tmp}/stmdiag-check-res2.txt"
+if ! cmp -s "${TMPDIR:-/tmp}/stmdiag-check-seq.txt" "${TMPDIR:-/tmp}/stmdiag-check-res2.txt"; then
+    echo "stdout differs on warm -resume replay" >&2
+    exit 1
+fi
+rm -rf "$RESUME_DIR"
+# Malformed execution flags are usage errors (exit 2) before any work runs.
+for badflags in "-executor bogus" "-resume /dev/null" "-worker-bin /bin/true"; do
+    set +e
+    "$EXP" -table 3 $badflags >/dev/null 2>&1
+    rc=$?
+    set -e
+    if [ "$rc" != 2 ]; then
+        echo "experiments $badflags exited $rc, want 2" >&2
+        exit 1
+    fi
+done
 
 echo "== -ranker smoke"
 # The pluggable scoring formulas: an alternative ranker must run the
@@ -160,7 +213,7 @@ kill "$FLEETD_PID" 2>/dev/null || true
 trap - EXIT
 # Malformed -fleet-* values must be rejected with exit 2 (usage error)
 # before any capture or network work starts.
-for badflags in "-fleet-shards 0" "-fleet-clients 0" "-fleet-batch -1" "-fleet-retries -1"; do
+for badflags in "-fleet-shards 0" "-fleet-clients 0" "-fleet-batch -1" "-fleet-retries -1" "-fleet-store ${TMPDIR:-/tmp}/stmdiag-check-walless"; do
     set +e
     "$FLEETD" -report "$FLEET_URL" $badflags >/dev/null 2>&1
     rc=$?

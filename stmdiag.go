@@ -32,6 +32,7 @@ import (
 	"fmt"
 
 	"stmdiag/internal/apps"
+	"stmdiag/internal/artifact"
 	"stmdiag/internal/core"
 	"stmdiag/internal/faultinj"
 	"stmdiag/internal/harness"
@@ -517,6 +518,14 @@ type ExperimentConfig struct {
 	// propagation distance) cell; 0 selects the default (13, a 208-program
 	// corpus).
 	CorpusPerCell int
+	// Executor overrides how portable trials execute (-executor): nil runs
+	// them in-process; harness.NewSubprocExecutor fans them out over
+	// isolated worker subprocesses. Results are byte-identical either way.
+	Executor harness.Executor
+	// Artifacts is the durable trial-result store (-resume): when set, every
+	// committed trial persists as it completes and already-persisted trials
+	// are loaded instead of re-executed, so a killed run resumes losslessly.
+	Artifacts *artifact.Store
 }
 
 func (c ExperimentConfig) internal() harness.Config {
@@ -534,6 +543,8 @@ func (c ExperimentConfig) internal() harness.Config {
 		Faults:        c.Faults,
 		Ranker:        c.Ranker,
 		CorpusPerCell: c.CorpusPerCell,
+		Executor:      c.Executor,
+		Artifacts:     c.Artifacts,
 	}
 }
 
