@@ -16,4 +16,12 @@ bench-smoke:
 microbench:
 	go test -bench=. -benchmem ./...
 
-.PHONY: check bench bench-smoke microbench
+# Reruns the smoke bench and diffs it against the committed baselines with
+# per-key tolerances (see scripts/benchdiff.sh); regressions fail. check.sh
+# runs the same diff warn-only.
+benchdiff:
+	@sh scripts/bench.sh --smoke
+	@sh scripts/benchdiff.sh BENCH_harness.json "$${TMPDIR:-/tmp}/stmdiag-bench-harness.json"
+	@sh scripts/benchdiff.sh BENCH_vm.json "$${TMPDIR:-/tmp}/stmdiag-bench-vm.json"
+
+.PHONY: check bench bench-smoke microbench benchdiff

@@ -35,6 +35,7 @@ import (
 
 	"stmdiag"
 	"stmdiag/internal/cliobs"
+	"stmdiag/internal/harness"
 	"stmdiag/internal/obs"
 )
 
@@ -98,6 +99,12 @@ func main() {
 	if err := tf.Start(sink, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if tf.ServeAddr != "" || tf.TracePath != "" {
+		// The correlation ID every trial's federated telemetry is stamped
+		// with (harness.Config derives the same value): grep it out of
+		// worker deltas, traces and fleet batches to tie them to this run.
+		fmt.Fprintf(os.Stderr, "telemetry: run id %016x\n", harness.RunID(*seed, "config"))
 	}
 	executor, store, err := ef.Build(sink, faults, *seed)
 	if err != nil {

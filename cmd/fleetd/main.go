@@ -59,6 +59,7 @@ func main() {
 	addrFile := flag.String("addr-file", "", "write the bound listen address to this `file` (scripts poll it instead of parsing logs)")
 	push := flag.String("push", "", "client mode: capture profiles and push them to this fleet server `URL`")
 	report := flag.String("report", "", "fetch and print the diagnosis report from this fleet server `URL`")
+	get := flag.String("get", "", "fetch this `URL` (any fleet/telemetry endpoint, e.g. .../metrics) and print the body")
 	app := flag.String("app", "", "benchmark to capture (-push) or report on (-report)")
 	topK := flag.Int("k", 10, "ranking depth requested by -report")
 	failRuns := flag.Int("failruns", 10, "failure profiles captured per -push")
@@ -91,16 +92,16 @@ func main() {
 		fail2(fmt.Errorf("-fleet-store requires -listen"))
 	}
 	modes := 0
-	for _, on := range []bool{*listen != "", *push != "", *report != ""} {
+	for _, on := range []bool{*listen != "", *push != "", *report != "", *get != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes != 1 {
-		fmt.Fprintln(os.Stderr, "exactly one of -listen, -push or -report is required")
+		fmt.Fprintln(os.Stderr, "exactly one of -listen, -push, -report or -get is required")
 		os.Exit(2)
 	}
-	for _, u := range []string{*push, *report} {
+	for _, u := range []string{*push, *report, *get} {
 		if u == "" {
 			continue
 		}
@@ -117,6 +118,8 @@ func main() {
 		err = pushProfiles(*push, *app, harness.Config{
 			FailRuns: *failRuns, SuccRuns: *succRuns, Seed: *seed, Jobs: *jobs,
 		}, ff, ef, tf)
+	case *get != "":
+		err = fetchURL(*get)
 	default:
 		err = fetchReport(*report, *app, *topK)
 	}
@@ -134,6 +137,11 @@ func serve(addr, addrFile, storeDir string, ff *cliobs.FleetFlags, tf *cliobs.Fl
 		// A server always carries telemetry: ingest throughput and shard
 		// contention are its primary observables.
 		sink = obs.NewSink()
+	}
+	if sink.Trace == nil {
+		// The federated trace (one lane per pushing client under the fleet
+		// PID) is a serve-mode fixture: /trace and /tracez always have it.
+		sink.Trace = obs.NewTracer()
 	}
 	var store *fleet.Store
 	if storeDir != "" {
@@ -212,11 +220,31 @@ func pushProfiles(baseURL, appName string, cfg harness.Config, ff *cliobs.FleetF
 		BatchSize:  ff.Batch,
 		MaxRetries: ff.Retries,
 		Sink:       cfg.Obs,
+		RunID:      harness.RunID(cfg.Seed, "fleet-push"),
 	}); err != nil {
 		return err
 	}
 	fmt.Printf("pushed %d profiles (%d fail, %d succ) for %s over %d clients to %s\n",
 		len(subs), len(fail), len(succ), a.Name, ff.Clients, baseURL)
+	return nil
+}
+
+// fetchURL prints any telemetry/fleet endpoint's body — the scripts' curl
+// substitute (the repo takes no dependency on curl being installed).
+func fetchURL(u string) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleetd: get %s: %s: %s", u, resp.Status, body)
+	}
+	os.Stdout.Write(body) //nolint:errcheck // best-effort to stdout
 	return nil
 }
 

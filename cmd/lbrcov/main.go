@@ -99,7 +99,7 @@ func main() {
 	}
 
 	opts.Obs = sink
-	pool := harness.NewPool(*jobs, sink).WithFaults(faults, *seed)
+	pool := harness.NewPool(*jobs, sink).WithFaults(faults, *seed).WithRunID(harness.RunID(*seed, "cli"))
 	results, err := harness.CoverageSweep(prog, opts, periods, pool)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

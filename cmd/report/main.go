@@ -79,7 +79,7 @@ func main() {
 		seed int64
 		data []byte
 	}
-	pool := harness.NewPool(*jobs, sink).WithFaults(faults, *seed)
+	pool := harness.NewPool(*jobs, sink).WithFaults(faults, *seed).WithRunID(harness.RunID(*seed, "cli"))
 	b, idx, err := harness.First(pool, 400, a.Name+"/report",
 		func(tc *harness.Trial) (bundle, bool, error) {
 			sd := *seed + int64(tc.Index)

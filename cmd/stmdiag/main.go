@@ -22,6 +22,7 @@ import (
 
 	"stmdiag"
 	"stmdiag/internal/cliobs"
+	"stmdiag/internal/harness"
 )
 
 func main() {
@@ -71,6 +72,10 @@ func main() {
 	if err := tf.Start(sink, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if tf.ServeAddr != "" || tf.TracePath != "" {
+		// The correlation ID stamped into every trial's federated telemetry.
+		fmt.Fprintf(os.Stderr, "telemetry: run id %016x\n", harness.RunID(*seed, "config"))
 	}
 	defer func() {
 		if err := tf.Finish(sink, os.Stderr); err != nil {

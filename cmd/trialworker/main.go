@@ -6,6 +6,14 @@
 // worker image and for exercising the protocol by hand:
 //
 //	echo '{"stream":"s","index":0,"kind":"mean-cycles","params":{...}}' | trialworker
+//
+// Each response federates the worker's telemetry back to the coordinator:
+// the trial's metric deltas, trace events (when the request asked for
+// them) and flight-ring tail, stamped with a correlation context — the
+// request's run ID and (stream, trial, attempt) plus this worker's ID from
+// the STMDIAG_TRIAL_WORKER_ID environment (-1 when launched by hand). The
+// coordinator folds the delta into its own sink in trial-commit order, so
+// merged telemetry is byte-identical to an in-process run.
 package main
 
 import (

@@ -44,6 +44,10 @@ const (
 	FormatText = "text"
 	FormatJSON = "json"
 	FormatProm = "prom"
+	// FormatDetJSON is the deterministic subset: the JSON snapshot with
+	// every wall-clock/scheduling-variant family (obs.IsVolatile) filtered
+	// out, so output is byte-identical across -jobs values and executors.
+	FormatDetJSON = "detjson"
 )
 
 // Flags holds the parsed telemetry flags.
@@ -62,6 +66,10 @@ type Flags struct {
 	Faults string
 	// ServeAddr is the -serve listen address ("" = no telemetry server).
 	ServeAddr string
+	// ServeAddrFile is the -serve-addr-file destination: the bound listen
+	// address is written there once the server is up ("" = don't), so
+	// scripts using -serve :0 can find the port without parsing logs.
+	ServeAddrFile string
 	// FlightRec arms the in-memory flight recorder on the run's sink
 	// (-flightrec; on by default whenever telemetry is on).
 	FlightRec bool
@@ -79,10 +87,11 @@ func Register() *Flags {
 	f := &Flags{}
 	flag.StringVar(&f.TracePath, "trace", "", "write a Chrome trace_event JSON trace (chrome://tracing, Perfetto) to this `file`")
 	flag.BoolVar(&f.Metrics, "metrics", false, "print the telemetry counters after the run")
-	flag.StringVar(&f.MetricsFormat, "metrics-format", FormatText, "render -metrics as `text`, json or prom (OpenMetrics)")
+	flag.StringVar(&f.MetricsFormat, "metrics-format", FormatText, "render -metrics as `text`, json, detjson (deterministic families only) or prom (OpenMetrics)")
 	flag.BoolVar(&f.Verbose, "v", false, "record fine-grained (per-branch, per-coherence-event) trace events")
 	flag.StringVar(&f.Faults, "faults", "", "deterministic fault-injection `spec`, e.g. \"rate=0.01\" or \"lbr-drop=0.1,seed=7\" (\"off\" = none)")
-	flag.StringVar(&f.ServeAddr, "serve", "", "serve live telemetry (/metrics, /trace, /flightrecorder, /debug/pprof) on this `addr` during the run, e.g. :9090")
+	flag.StringVar(&f.ServeAddr, "serve", "", "serve live telemetry (/metrics, /trace, /tracez, /flightrecorder, /debug/pprof) on this `addr` during the run, e.g. :9090")
+	flag.StringVar(&f.ServeAddrFile, "serve-addr-file", "", "write the -serve bound address to this `file` (scripts poll it instead of parsing logs)")
 	flag.BoolVar(&f.FlightRec, "flightrec", true, "keep a flight recorder of recent harness events on the telemetry sink")
 	flag.IntVar(&f.ProfileReport, "profile-report", 0, "render a top-`K` cost-attribution hot-spot report (opcodes, phases, alloc sites) on stderr after the run (0 = off)")
 	return f
@@ -94,12 +103,15 @@ func (f *Flags) Validate() error {
 	if f.ProfileReport < 0 {
 		return fmt.Errorf("-profile-report must be >= 0 (0 = off), got %d", f.ProfileReport)
 	}
+	if f.ServeAddrFile != "" && f.ServeAddr == "" {
+		return fmt.Errorf("-serve-addr-file requires -serve")
+	}
 	switch f.MetricsFormat {
-	case FormatText, FormatJSON, FormatProm:
+	case FormatText, FormatJSON, FormatDetJSON, FormatProm:
 		return nil
 	}
-	return fmt.Errorf("-metrics-format must be %s, %s or %s, got %q",
-		FormatText, FormatJSON, FormatProm, f.MetricsFormat)
+	return fmt.Errorf("-metrics-format must be %s, %s, %s or %s, got %q",
+		FormatText, FormatJSON, FormatDetJSON, FormatProm, f.MetricsFormat)
 }
 
 // FaultSpec parses the -faults value. The zero spec (injection off) comes
@@ -297,9 +309,12 @@ func (f *Flags) Sink() *obs.Sink {
 	if f.FlightRec {
 		s.Flight = obs.NewFlightRecorder(obs.DefaultFlightCap)
 	}
-	// -profile-report needs the attribution counters; a -serve run gets
-	// them too so /profilez has live data to report.
-	s.Profiling = f.ProfileReport > 0 || f.ServeAddr != ""
+	// -profile-report needs the attribution counters. A -serve run serves
+	// whatever else is armed but does not force-arm the profiler: per-opcode
+	// attribution is by far the largest per-trial delta on the executor
+	// wire (it alone nearly doubles the federated payload), so live runs
+	// that want /profilez data add -profile-report explicitly.
+	s.Profiling = f.ProfileReport > 0
 	return s
 }
 
@@ -314,7 +329,12 @@ func (f *Flags) Start(s *obs.Sink, w io.Writer) error {
 		return err
 	}
 	f.server = srv
-	fmt.Fprintf(w, "telemetry: serving /metrics /trace /flightrecorder /profilez /debug/pprof on http://%s\n", srv.Addr())
+	if f.ServeAddrFile != "" {
+		if err := os.WriteFile(f.ServeAddrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			return fmt.Errorf("cliobs: write -serve-addr-file: %w", err)
+		}
+	}
+	fmt.Fprintf(w, "telemetry: serving /metrics /trace /tracez /flightrecorder /profilez /debug/pprof on http://%s\n", srv.Addr())
 	return nil
 }
 
@@ -354,7 +374,10 @@ func (f *Flags) Finish(s *obs.Sink, w io.Writer) error {
 	if f.Metrics && s.Metrics != nil {
 		snap := s.Metrics.Snapshot()
 		switch f.MetricsFormat {
-		case FormatJSON:
+		case FormatJSON, FormatDetJSON:
+			if f.MetricsFormat == FormatDetJSON {
+				snap = snap.Deterministic()
+			}
 			data, err := snap.JSON()
 			if err != nil {
 				return fmt.Errorf("cliobs: encode metrics: %w", err)

@@ -101,14 +101,16 @@ func TestSinkConstruction(t *testing.T) {
 		t.Errorf("all-off flags built a sink: %+v", s)
 	}
 	// -serve alone needs a sink for the server to expose, with a tracer so
-	// /trace has content and a flight recorder by default. It also arms the
-	// profiler so /profilez has live data.
+	// /trace has content and a flight recorder by default. It must NOT
+	// force-arm the profiler: attribution counters are the largest
+	// per-trial payload on the executor wire, so /profilez data is opt-in
+	// via -profile-report.
 	s := (&Flags{ServeAddr: ":0", FlightRec: true}).Sink()
 	if s == nil || s.Metrics == nil || s.Trace == nil || s.Flight == nil {
 		t.Fatalf("-serve sink incomplete: %+v", s)
 	}
-	if !s.Profiled() {
-		t.Error("-serve sink does not profile; /profilez would stay empty")
+	if s.Profiled() {
+		t.Error("-serve sink force-arms the profiler; federation pays for attribution counters nobody asked for")
 	}
 	// -flightrec=false strips the recorder but keeps the rest.
 	s = (&Flags{Metrics: true}).Sink()

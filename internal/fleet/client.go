@@ -37,6 +37,9 @@ type ClientOptions struct {
 	HTTPClient *http.Client
 	// Name identifies this client in batches and diagnostics.
 	Name string
+	// RunID correlates this client's telemetry with the pipeline run that
+	// produced the submissions (harness.RunID); zero means unstamped.
+	RunID uint64
 	// Sink receives fleet.client.* metrics; nil disables them.
 	Sink *obs.Sink
 	// NoGzip sends batches uncompressed (diagnostics; production clients
@@ -91,19 +94,38 @@ type Client struct {
 	batches  *obs.Counter
 	profiles *obs.Counter
 	retries  *obs.Counter
+
+	// pending is the telemetry delta accumulated since the last shipped
+	// batch; it rides the *next* batch (a batch cannot carry its own
+	// sealed cost). t0 anchors span timestamps; seq numbers flushes.
+	pending TelemetrySummary
+	t0      time.Time
+	seq     uint64
 }
 
 // NewClient builds a client submitting to baseURL (the service root, e.g.
 // "http://127.0.0.1:8344"; the /fleet/ingest path is appended here).
 func NewClient(baseURL string, o ClientOptions) *Client {
 	o = o.withDefaults()
-	c := &Client{url: baseURL + "/fleet/ingest", o: o}
+	c := &Client{url: baseURL + "/fleet/ingest", o: o, t0: time.Now()}
+	c.pending.Ctx = obs.Context{Client: o.Name, Worker: -1, RunID: o.RunID}
 	if o.Sink != nil {
 		c.batches = o.Sink.Counter("fleet.client.batches")
 		c.profiles = o.Sink.Counter("fleet.client.profiles")
 		c.retries = o.Sink.Counter("fleet.client.retries")
 	}
 	return c
+}
+
+// span records one client-side trace span into the pending telemetry,
+// timestamped in wall-clock microseconds since the client was built.
+func (c *Client) span(name string, start time.Time, dur time.Duration, args map[string]any) {
+	c.pending.Spans = append(c.pending.Spans, obs.Event{
+		Name: name, Cat: "fleet.client", Ph: obs.PhaseComplete,
+		TS:  uint64(start.Sub(c.t0) / time.Microsecond),
+		Dur: uint64(dur / time.Microsecond),
+		PID: obs.FleetPID, Args: args,
+	})
 }
 
 // Add buffers one submission, flushing when the batch fills.
@@ -115,29 +137,48 @@ func (c *Client) Add(sub Submission) error {
 	return nil
 }
 
-// Flush posts any buffered submissions as one batch.
+// Flush posts any buffered submissions as one batch. The batch carries the
+// telemetry delta of the previous flush (counters, retry/backoff cost,
+// span timings); this flush's own cost becomes the next batch's telemetry.
 func (c *Client) Flush() error {
 	if len(c.buf) == 0 {
 		return nil
 	}
 	batch := &Batch{Client: c.o.Name, Subs: c.buf}
+	if c.seq > 0 {
+		t := c.pending
+		batch.Telemetry = &t
+	}
+	c.seq++
+	c.pending = TelemetrySummary{Ctx: c.pending.Ctx}
 	var (
 		data []byte
 		err  error
 	)
+	encStart := time.Now()
 	if c.o.NoGzip {
 		data, err = EncodeBatch(batch)
 	} else {
 		data, err = EncodeBatchGzip(batch)
 	}
+	encDur := time.Since(encStart)
 	if err != nil {
 		return err
 	}
 	n := len(c.buf)
 	c.buf = c.buf[:0]
+	c.pending.EncodeNS = uint64(encDur)
+	c.pending.WireBytes = uint64(len(data))
+	c.span("encode", encStart, encDur, map[string]any{"batch": c.seq - 1, "bytes": len(data)})
+	postStart := time.Now()
 	if err := c.post(data); err != nil {
 		return err
 	}
+	postDur := time.Since(postStart)
+	c.pending.PostNS = uint64(postDur)
+	c.pending.Batches++
+	c.pending.Profiles += uint64(n)
+	c.span("post", postStart, postDur, map[string]any{"batch": c.seq - 1, "profiles": n})
 	c.batches.Inc()
 	c.profiles.Add(uint64(n))
 	return nil
@@ -156,7 +197,10 @@ func (c *Client) post(data []byte) error {
 	for attempt := 0; attempt <= c.o.MaxRetries; attempt++ {
 		if attempt > 0 {
 			c.retries.Inc()
-			c.o.sleep(backoff/2 + time.Duration(c.o.jitterFrac()*float64(backoff/2)))
+			c.pending.Retries++
+			wait := backoff/2 + time.Duration(c.o.jitterFrac()*float64(backoff/2))
+			c.pending.BackoffNS += uint64(wait)
+			c.o.sleep(wait)
 			backoff *= 2
 			if backoff > c.o.BackoffCap {
 				backoff = c.o.BackoffCap

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"stmdiag/internal/obs"
@@ -34,19 +35,28 @@ var batchLatencyBounds = []uint64{
 type Service struct {
 	store *Store
 	base  http.Handler
+	sink  *obs.Sink
+	t0    time.Time
 
 	batches  *obs.Counter
 	profiles *obs.Counter
 	bytes    *obs.Counter
 	rejected *obs.Counter
 	batchNS  *obs.Histogram
+
+	// lanes maps client names to federated-trace thread IDs under
+	// obs.FleetPID (the service owns tid 0; clients take 1, 2, ... in
+	// arrival order).
+	mu    sync.Mutex
+	lanes map[string]int
 }
 
 // NewService wires the fleet routes over the store. base handles every
 // non-/fleet path (nil = 404s outside /fleet/). sink receives
-// fleet.ingest.* throughput metrics; nil disables them.
+// fleet.ingest.* throughput metrics plus per-client federated telemetry
+// (labeled metric families and trace lanes); nil disables them.
 func NewService(store *Store, base http.Handler, sink *obs.Sink) *Service {
-	s := &Service{store: store, base: base}
+	s := &Service{store: store, base: base, sink: sink, t0: time.Now()}
 	if sink != nil {
 		s.batches = sink.Counter("fleet.ingest.batches")
 		s.profiles = sink.Counter("fleet.ingest.profiles")
@@ -90,8 +100,94 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.batches.Inc()
 	s.profiles.Add(uint64(n))
 	s.batchNS.Observe(uint64(time.Since(t0)))
+	s.ingestTelemetry(batch)
+	if s.sink != nil && s.sink.Trace != nil {
+		s.mu.Lock()
+		s.laneInit()
+		s.mu.Unlock()
+		s.sink.Trace.Complete("ingest", "fleet.service",
+			uint64(t0.Sub(s.t0)/time.Microsecond), uint64(time.Since(t0)/time.Microsecond),
+			obs.FleetPID, 0, map[string]any{"client": batch.Client, "profiles": n})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, "{\"accepted\": %d}\n", n)
+}
+
+// ingestTelemetry folds a batch's client-side telemetry into the service
+// sink: per-client counter families (the client: name segment renders as a
+// client="..." label on /metrics) and one federated trace lane per client
+// under obs.FleetPID. The batches family is minted on every ingest — even
+// a client that never ships a TelemetrySummary (it posted exactly one
+// batch; telemetry trails by one) shows up labeled on /metrics.
+func (s *Service) ingestTelemetry(b *Batch) {
+	if s.sink == nil {
+		return
+	}
+	client := b.Client
+	if client == "" && b.Telemetry != nil {
+		client = b.Telemetry.Ctx.Client
+	}
+	if client == "" {
+		client = "unknown"
+	}
+	seg := "fleet.ingest.client:" + sanitizeClient(client) + "."
+	s.sink.Counter(seg + "batches").Inc()
+	t := b.Telemetry
+	if t == nil {
+		return
+	}
+	s.sink.Counter(seg + "profiles").Add(t.Profiles)
+	s.sink.Counter(seg + "retries").Add(t.Retries)
+	s.sink.Counter(seg + "backoff_ns").Add(t.BackoffNS)
+	s.sink.Counter(seg + "wire_bytes").Add(t.WireBytes)
+	s.sink.Counter(seg + "encode_ns").Add(t.EncodeNS)
+	s.sink.Counter(seg + "post_ns").Add(t.PostNS)
+	if s.sink.Trace == nil || len(t.Spans) == 0 {
+		return
+	}
+	lane := s.lane(client)
+	for _, ev := range t.Spans {
+		ev.PID = obs.FleetPID
+		ev.TID = lane
+		s.sink.Trace.Emit(ev)
+	}
+}
+
+// lane returns the client's federated-trace thread ID, assigning the next
+// free one (1, 2, ...) on first sight.
+func (s *Service) lane(client string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.laneInit()
+	id, ok := s.lanes[client]
+	if !ok {
+		id = len(s.lanes) + 1
+		s.lanes[client] = id
+		s.sink.Trace.SetThreadName(obs.FleetPID, id, "client "+client)
+	}
+	return id
+}
+
+// laneInit names the fleet trace track group on first use. Caller holds
+// s.mu.
+func (s *Service) laneInit() {
+	if s.lanes == nil {
+		s.lanes = map[string]int{}
+		s.sink.Trace.SetProcessName(obs.FleetPID, "fleet")
+		s.sink.Trace.SetThreadName(obs.FleetPID, 0, "service")
+	}
+}
+
+// sanitizeClient maps a client name into one metric-name segment: dots
+// would split the segment, so they and whitespace become underscores.
+func sanitizeClient(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '.', ' ', '\t', '\n', '\r':
+			return '_'
+		}
+		return r
+	}, name)
 }
 
 // countingReader feeds the ingest byte counter as the body streams through

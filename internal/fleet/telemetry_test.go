@@ -1,0 +1,200 @@
+package fleet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"stmdiag/internal/core"
+	"stmdiag/internal/obs"
+)
+
+func telemetrySub(i int) Submission {
+	return Submission{
+		App: "sort", Mode: core.ModeLBR, Failed: i%2 == 0,
+		Events: []core.Event{{Kind: core.EventJump, File: "a.c", Line: i}},
+	}
+}
+
+// TestClientTelemetryTrailsByOne pins the federation protocol on the wire:
+// a batch carries the telemetry of the *previous* flush (its own sealed
+// cost is unknowable), so batch 1 has none and batch N describes flush N-1.
+func TestClientTelemetryTrailsByOne(t *testing.T) {
+	var got []*Batch
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, err := DecodeBatch(r.Body, r.Header.Get("Content-Encoding") == "gzip")
+		if err != nil {
+			t.Errorf("decode: %v", err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		got = append(got, b)
+		w.Write([]byte(`{"accepted": 1}`)) //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, ClientOptions{BatchSize: 1, Name: "m0", RunID: 42})
+	for i := 0; i < 3; i++ {
+		if err := c.Add(telemetrySub(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("server saw %d batches, want 3", len(got))
+	}
+	if got[0].Telemetry != nil {
+		t.Errorf("first batch carries telemetry %+v, want none (trails by one)", got[0].Telemetry)
+	}
+	for i, b := range got[1:] {
+		tele := b.Telemetry
+		if tele == nil {
+			t.Errorf("batch %d carries no telemetry", i+1)
+			continue
+		}
+		if tele.Batches != 1 || tele.Profiles != 1 {
+			t.Errorf("batch %d telemetry = %+v, want previous flush's counts (1 batch, 1 profile)", i+1, tele)
+		}
+		if tele.WireBytes == 0 || tele.EncodeNS == 0 {
+			t.Errorf("batch %d telemetry lacks the previous flush's wire cost: %+v", i+1, tele)
+		}
+		if tele.Ctx.Client != "m0" || tele.Ctx.RunID != 42 || tele.Ctx.Worker != -1 {
+			t.Errorf("batch %d telemetry ctx = %+v, want client m0 run 42 worker -1", i+1, tele.Ctx)
+		}
+		if len(tele.Spans) == 0 {
+			t.Errorf("batch %d telemetry carries no client spans", i+1)
+		}
+	}
+	// The client still holds the last flush's costs, waiting for a 4th.
+	if c.seq != 3 || c.pending.Batches != 1 {
+		t.Errorf("client state seq=%d pending=%+v, want seq 3 holding the last flush", c.seq, c.pending)
+	}
+}
+
+// TestClientTelemetryCountsRetries pins the retry accounting: a flush that
+// retried reports its re-send count and backoff cost in the next batch.
+func TestClientTelemetryCountsRetries(t *testing.T) {
+	var got []*Batch
+	fails := 2
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fails > 0 {
+			fails--
+			http.Error(w, "shard busy", http.StatusServiceUnavailable)
+			return
+		}
+		b, err := DecodeBatch(r.Body, r.Header.Get("Content-Encoding") == "gzip")
+		if err != nil {
+			t.Errorf("decode: %v", err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		got = append(got, b)
+		w.Write([]byte(`{"accepted": 1}`)) //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, ClientOptions{
+		BatchSize: 1, Name: "m0",
+		Backoff: time.Millisecond, sleep: func(time.Duration) {},
+	})
+	for i := 0; i < 2; i++ {
+		if err := c.Add(telemetrySub(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("server accepted %d batches, want 2", len(got))
+	}
+	tele := got[1].Telemetry
+	if tele == nil {
+		t.Fatal("second batch carries no telemetry")
+	}
+	if tele.Retries != 2 {
+		t.Errorf("federated retries = %d, want 2", tele.Retries)
+	}
+	if tele.BackoffNS == 0 {
+		t.Error("federated backoff cost = 0 despite retries")
+	}
+}
+
+// TestServiceFederatesClientTelemetry is the service-side acceptance: two
+// pushing clients produce client-labeled metric families on the service
+// sink and one federated trace lane each under the fleet PID.
+func TestServiceFederatesClientTelemetry(t *testing.T) {
+	sink := &obs.Sink{Metrics: obs.NewRegistry(), Trace: obs.NewTracer()}
+	store := NewStore(StoreOptions{Sink: sink})
+	srv := httptest.NewServer(NewService(store, nil, sink).Handler())
+	defer srv.Close()
+
+	for _, name := range []string{"machine-0", "machine-1"} {
+		c := NewClient(srv.URL, ClientOptions{BatchSize: 1, Name: name})
+		for i := 0; i < 3; i++ {
+			if err := c.Add(telemetrySub(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	snap := sink.Metrics.Snapshot()
+	for _, name := range []string{"machine-0", "machine-1"} {
+		if got := snap.Counter("fleet.ingest.client:" + name + ".batches"); got != 3 {
+			t.Errorf("client %s batches = %d, want 3", name, got)
+		}
+		// Telemetry trails by one: 3 batches federate flushes 1 and 2.
+		if got := snap.Counter("fleet.ingest.client:" + name + ".profiles"); got != 2 {
+			t.Errorf("client %s federated profiles = %d, want 2", name, got)
+		}
+		if got := snap.Counter("fleet.ingest.client:" + name + ".wire_bytes"); got == 0 {
+			t.Errorf("client %s federated wire_bytes = 0", name)
+		}
+	}
+	// The exposition renders them as one labeled family.
+	om := snap.OpenMetrics()
+	for _, want := range []string{
+		`fleet_ingest_client_batches_total{client="machine-0"} 3`,
+		`fleet_ingest_client_batches_total{client="machine-1"} 3`,
+	} {
+		if !strings.Contains(om, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, om)
+		}
+	}
+
+	sum := sink.Trace.Summary()
+	lanes := map[string]obs.LaneSummary{}
+	for _, l := range sum.Lanes {
+		if l.PID == obs.FleetPID {
+			lanes[l.Thread] = l
+		}
+	}
+	if _, ok := lanes["service"]; !ok {
+		t.Errorf("federated trace has no service lane: %+v", sum.Lanes)
+	}
+	for _, name := range []string{"client machine-0", "client machine-1"} {
+		l, ok := lanes[name]
+		if !ok {
+			t.Errorf("federated trace has no %q lane: %+v", name, sum.Lanes)
+			continue
+		}
+		if l.Spans == 0 {
+			t.Errorf("lane %q recorded no spans", name)
+		}
+	}
+	if lanes["service"].Spans != 6 {
+		t.Errorf("service lane spans = %d, want 6 ingests", lanes["service"].Spans)
+	}
+}
+
+// TestSanitizeClient pins the name-segment mapping: dots would split the
+// metric segment the client: convention rides in.
+func TestSanitizeClient(t *testing.T) {
+	for in, want := range map[string]string{
+		"machine-0":  "machine-0",
+		"host.a b":   "host_a_b",
+		"x\ny\tz\rw": "x_y_z_w",
+	} {
+		if got := sanitizeClient(in); got != want {
+			t.Errorf("sanitizeClient(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

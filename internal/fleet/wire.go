@@ -29,12 +29,14 @@ import (
 	"io"
 
 	"stmdiag/internal/core"
+	"stmdiag/internal/obs"
 )
 
 // WireVersion is the submission wire-format version this build speaks.
 // Ingest rejects other versions with HTTP 400 so a mixed-version fleet
-// fails loudly instead of skewing counters.
-const WireVersion = 1
+// fails loudly instead of skewing counters. Version 2 added the per-batch
+// TelemetrySummary.
+const WireVersion = 2
 
 // Submission is one run's diagnosis contribution: which app it ran, which
 // record type it profiled, whether the run failed, and the profile reduced
@@ -63,6 +65,37 @@ type Batch struct {
 	Client string `json:"client,omitempty"`
 	// Subs are the batched submissions.
 	Subs []Submission `json:"subs"`
+	// Telemetry federates the client's own transport telemetry: the costs
+	// it paid since its previous batch. The service folds it into
+	// per-client-labeled metrics and the federated trace. Absent on a
+	// client's first batch (telemetry trails its batch by one — a batch's
+	// own encode/post cost is only known after it is sealed).
+	Telemetry *TelemetrySummary `json:"telemetry,omitempty"`
+}
+
+// TelemetrySummary is the client-side telemetry delta one batch carries:
+// counter deltas since the previous flush plus the client's span timings
+// (wall-clock microseconds since the client was built — fleet transport
+// telemetry is volatile by definition, unlike trial telemetry, which is
+// cycle-clocked and deterministic).
+type TelemetrySummary struct {
+	// Ctx correlates the client's telemetry (Client name, RunID when the
+	// pushing pipeline stamped one).
+	Ctx obs.Context `json:"ctx"`
+	// Batches/Profiles count what the previous flush shipped.
+	Batches  uint64 `json:"batches,omitempty"`
+	Profiles uint64 `json:"profiles,omitempty"`
+	// Retries and BackoffNS are the re-send cost of the previous flush.
+	Retries   uint64 `json:"retries,omitempty"`
+	BackoffNS uint64 `json:"backoffNS,omitempty"`
+	// WireBytes/EncodeNS/PostNS are the previous flush's encoded size and
+	// encode/POST wall costs.
+	WireBytes uint64 `json:"wireBytes,omitempty"`
+	EncodeNS  uint64 `json:"encodeNS,omitempty"`
+	PostNS    uint64 `json:"postNS,omitempty"`
+	// Spans are the client's trace spans since the previous flush; the
+	// service re-homes them onto its federated trace, one lane per client.
+	Spans []obs.Event `json:"spans,omitempty"`
 }
 
 // DedupEvents collapses duplicate events preserving first-occurrence order,

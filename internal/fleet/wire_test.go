@@ -96,9 +96,9 @@ func TestDecodeBatchRejects(t *testing.T) {
 		{"bad json", `{`, "decode batch"},
 		{"wrong version", `{"v": 99, "subs": []}`, "wire version 99"},
 		{"missing version", `{"subs": []}`, "wire version 0"},
-		{"unknown field", `{"v": 1, "subs": [], "extra": true}`, "decode batch"},
-		{"empty app", `{"v": 1, "subs": [{"app": "", "mode": 0, "failed": true}]}`, "no app"},
-		{"bad mode", `{"v": 1, "subs": [{"app": "x", "mode": 9, "failed": true}]}`, "unknown mode"},
+		{"unknown field", `{"v": 2, "subs": [], "extra": true}`, "decode batch"},
+		{"empty app", `{"v": 2, "subs": [{"app": "", "mode": 0, "failed": true}]}`, "no app"},
+		{"bad mode", `{"v": 2, "subs": [{"app": "x", "mode": 9, "failed": true}]}`, "unknown mode"},
 	}
 	for _, c := range cases {
 		if _, err := DecodeBatch(strings.NewReader(c.body), false); err == nil {

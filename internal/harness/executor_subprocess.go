@@ -34,10 +34,18 @@ type SubprocExecutor struct {
 	mu      sync.Mutex
 	idle    []*subprocWorker
 	closed  bool
-	spawned int
+	spawned int // total workers ever spawned; the next worker's ordinal
 
 	spawns, respawns, timeouts, retries, failures, trials *obs.Counter
+	// live tracks currently running worker processes; /healthz reads it to
+	// tell a healthy pool from one whose workers keep dying.
+	live *obs.Gauge
 }
+
+// WorkerStderrTail is how much of a worker's most recent stderr the
+// executor retains — the crash-debugging analogue of the paper's bounded
+// short-term records: small, always-on, read only after the failure.
+const WorkerStderrTail = 2 << 10
 
 // SubprocOptions configures the subprocess executor.
 type SubprocOptions struct {
@@ -105,22 +113,64 @@ func NewSubprocExecutor(opts SubprocOptions) (*SubprocExecutor, error) {
 	e.retries = s.Counter("harness.executor.retries")
 	e.failures = s.Counter("harness.executor.failures")
 	e.trials = s.Counter("harness.executor.trials")
+	e.live = s.Gauge("harness.executor.workers.live")
 	return e, nil
+}
+
+// tailWriter retains the last max bytes written through it (and tees every
+// write to out, preserving the worker's live stderr passthrough).
+type tailWriter struct {
+	out io.Writer
+	mu  sync.Mutex
+	buf []byte
+	max int
+}
+
+func (t *tailWriter) Write(p []byte) (int, error) {
+	if t.out != nil {
+		_, _ = t.out.Write(p)
+	}
+	t.mu.Lock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > t.max {
+		t.buf = t.buf[len(t.buf)-t.max:]
+	}
+	t.mu.Unlock()
+	return len(p), nil
+}
+
+// Tail returns the retained window.
+func (t *tailWriter) Tail() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(t.buf)
 }
 
 // subprocWorker is one live worker process and its pipes.
 type subprocWorker struct {
-	cmd *exec.Cmd
-	in  io.WriteCloser
-	out *bufio.Reader
-	enc *json.Encoder
+	id     int // spawn ordinal; labels per-worker counters and trace lanes
+	cmd    *exec.Cmd
+	in     io.WriteCloser
+	out    *bufio.Reader
+	enc    *json.Encoder
+	stderr *tailWriter
+	dead   sync.Once
+	live   *obs.Gauge
 }
 
-// spawn starts one worker process.
+// spawn starts one worker process, stamping its ordinal into the
+// environment so the worker's telemetry context knows which lane it is.
 func (e *SubprocExecutor) spawn() (*subprocWorker, error) {
+	e.mu.Lock()
+	id := e.spawned
+	e.spawned++
+	e.mu.Unlock()
 	cmd := exec.Command(e.opts.Bin, e.opts.Args...)
-	cmd.Env = append(append(os.Environ(), WorkerEnv+"=1"), e.opts.Env...)
-	cmd.Stderr = os.Stderr
+	cmd.Env = append(append(os.Environ(),
+		WorkerEnv+"=1",
+		fmt.Sprintf("%s=%d", WorkerIDEnv, id)), e.opts.Env...)
+	stderr := &tailWriter{out: os.Stderr, max: WorkerStderrTail}
+	cmd.Stderr = stderr
 	in, err := cmd.StdinPipe()
 	if err != nil {
 		return nil, err
@@ -135,16 +185,24 @@ func (e *SubprocExecutor) spawn() (*subprocWorker, error) {
 		return nil, fmt.Errorf("harness: start worker %s: %w", e.opts.Bin, err)
 	}
 	e.spawns.Inc()
-	return &subprocWorker{cmd: cmd, in: in, out: bufio.NewReader(outPipe), enc: json.NewEncoder(in)}, nil
+	e.live.Add(1)
+	return &subprocWorker{
+		id: id, cmd: cmd, in: in,
+		out: bufio.NewReader(outPipe), enc: json.NewEncoder(in),
+		stderr: stderr, live: e.live,
+	}, nil
 }
 
-// kill terminates a worker and reaps it.
+// kill terminates a worker and reaps it; idempotent.
 func (w *subprocWorker) kill() {
-	w.in.Close()
-	if w.cmd.Process != nil {
-		_ = w.cmd.Process.Kill()
-	}
-	_ = w.cmd.Wait()
+	w.dead.Do(func() {
+		w.in.Close()
+		if w.cmd.Process != nil {
+			_ = w.cmd.Process.Kill()
+		}
+		_ = w.cmd.Wait()
+		w.live.Add(-1)
+	})
 }
 
 // checkout hands the caller an idle worker, spawning when none is free.
@@ -220,13 +278,60 @@ func (e *SubprocExecutor) roundTrip(w *subprocWorker, req *TrialRequest) (*Trial
 	}
 }
 
+// ExecutorError is a trial the execution infrastructure could not complete:
+// every worker attempt crashed, hung or broke protocol. It carries the
+// last crashed worker's stderr tail and the crash flight events, so the
+// TrialError the pool degrades it into is debuggable instead of silent.
+type ExecutorError struct {
+	Stream     string
+	Trial      int
+	Attempts   int
+	StderrTail string
+	Events     []obs.FlightEvent
+	Err        error // last underlying round-trip error
+}
+
+func (e *ExecutorError) Error() string {
+	msg := fmt.Sprintf("harness: trial %q/%d failed after %d worker attempts: %v",
+		e.Stream, e.Trial, e.Attempts, e.Err)
+	if e.StderrTail != "" {
+		msg += fmt.Sprintf("\nworker stderr tail (%d bytes):\n%s", len(e.StderrTail), e.StderrTail)
+	}
+	return msg
+}
+
+func (e *ExecutorError) Unwrap() error { return e.Err }
+
+// noteCrash records one worker death: a flight event on the executor's
+// sink (kind executor-crash, stderr tail in the detail) that /healthz and
+// the flight-recorder endpoint surface as the last-crash reason. Crash
+// events exist only when infrastructure actually fails, so they are exempt
+// from the ring's cross-jobs identity rule.
+func (e *SubprocExecutor) noteCrash(w *subprocWorker, req *TrialRequest, attempt int, err error) obs.FlightEvent {
+	detail := fmt.Sprintf("worker %d: %v", w.id, err)
+	if tail := w.stderr.Tail(); tail != "" {
+		detail += "; stderr: " + tail
+	}
+	ev := obs.FlightEvent{
+		Cycle: e.opts.Sink.Cycles(), Trial: req.Index, Attempt: attempt,
+		Kind: obs.FlightExecutorCrash, Detail: detail,
+	}
+	e.opts.Sink.RecordFlight(ev)
+	return ev
+}
+
 // Run executes one trial on a worker, retrying on a fresh worker with
 // capped exponential backoff when the worker crashes, hangs or breaks
 // protocol. Trial-level failures (rejects, degradations) are not executor
-// failures — they ride inside the TrialResponse.
+// failures — they ride inside the TrialResponse. An infrastructure failure
+// comes back as an *ExecutorError carrying the last worker's stderr tail.
 func (e *SubprocExecutor) Run(req *TrialRequest) (*TrialResponse, error) {
 	e.trials.Inc()
-	var lastErr error
+	var (
+		lastErr  error
+		lastTail string
+		crashes  []obs.FlightEvent
+	)
 	backoff := e.opts.Backoff
 	for attempt := 0; attempt <= e.opts.Retries; attempt++ {
 		if attempt > 0 {
@@ -243,17 +348,22 @@ func (e *SubprocExecutor) Run(req *TrialRequest) (*TrialResponse, error) {
 			lastErr = err
 			continue
 		}
+		e.opts.Sink.Counter(fmt.Sprintf("harness.executor.worker%d.trials", w.id)).Inc()
 		resp, err := e.roundTrip(w, req)
 		if err != nil {
 			lastErr = err
+			lastTail = w.stderr.Tail()
+			crashes = append(crashes, e.noteCrash(w, req, attempt, err))
 			continue
 		}
 		e.checkin(w)
 		return resp, nil
 	}
 	e.failures.Inc()
-	return nil, fmt.Errorf("harness: trial %q/%d failed after %d worker attempts: %w",
-		req.Stream, req.Index, e.opts.Retries+1, lastErr)
+	return nil, &ExecutorError{
+		Stream: req.Stream, Trial: req.Index, Attempts: e.opts.Retries + 1,
+		StderrTail: lastTail, Events: crashes, Err: lastErr,
+	}
 }
 
 // Close kills every idle worker. Workers checked out by in-flight Run

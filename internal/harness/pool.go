@@ -130,6 +130,11 @@ type Pool struct {
 	faults    faultinj.Spec // fault-injection spec; zero = off
 	faultSeed int64         // base seed fault plans derive from
 
+	// runID correlates every telemetry delta this pool's trials produce
+	// (obs.Context). Derived from the experiment seed, so two processes
+	// running the same configuration agree on it.
+	runID uint64
+
 	// exec runs portable trials (CollectKind/MapKind/FirstKind). Always
 	// non-nil: NewPool installs the in-process executor; WithExecutor swaps
 	// in an alternative (the subprocess fleet). Closure-based trials
@@ -167,7 +172,7 @@ func NewPool(jobs int, sink *obs.Sink) *Pool {
 	if jobs <= 0 {
 		jobs = runtime.NumCPU()
 	}
-	p := &Pool{jobs: jobs, sink: sink, exec: &InprocExecutor{Local: sink}}
+	p := &Pool{jobs: jobs, sink: sink, exec: &InprocExecutor{}}
 	if sink != nil && sink.Metrics != nil {
 		p.trials = sink.Counter("harness.pool.trials")
 		p.committed = sink.Counter("harness.pool.committed")
@@ -190,8 +195,15 @@ func NewPool(jobs int, sink *obs.Sink) *Pool {
 	}
 	if tr := sink.Tracer(); tr != nil {
 		tr.SetProcessName(obs.PoolPID, "pool")
-		for w := 0; w < jobs; w++ {
-			tr.SetThreadName(obs.PoolPID, w, fmt.Sprintf("worker %d", w))
+		// Only the fan-out lane is always named: per-worker lanes are a
+		// scheduling fact, so registering them would make trace bytes vary
+		// with -jobs. They come back under -profile-report, whose
+		// wall-clock utilization view is jobs-variant by design.
+		tr.SetThreadName(obs.PoolPID, 0, "worker 0")
+		if sink.Profiled() {
+			for w := 1; w < jobs; w++ {
+				tr.SetThreadName(obs.PoolPID, w, fmt.Sprintf("worker %d", w))
+			}
 		}
 	}
 	return p
@@ -205,6 +217,22 @@ func (p *Pool) WithFaults(spec faultinj.Spec, seed int64) *Pool {
 	p.faults = spec
 	p.faultSeed = seed
 	return p
+}
+
+// WithRunID stamps the correlation run ID every trial response's
+// obs.Context carries. Callers derive it from the experiment seed (see
+// RunID), so it is identical across processes, worker counts and resumes.
+// Returns p for chaining.
+func (p *Pool) WithRunID(id uint64) *Pool {
+	p.runID = id
+	return p
+}
+
+// RunID derives a pool's correlation run ID from an experiment's base seed
+// and label: the same splitmix64 mix as TrialSeed, so any process running
+// the same configuration stamps its telemetry identically.
+func RunID(seed int64, label string) uint64 {
+	return uint64(TrialSeed(seed, "runid/"+label, 0))
 }
 
 // WithExecutor routes portable trials (CollectKind and friends) through e.
@@ -238,9 +266,11 @@ func (p *Pool) wireRequest(stream string, i int, kind string, params json.RawMes
 	if p.sink != nil {
 		req.Metrics = p.sink.Metrics != nil
 		req.Flight = p.sink.Flight != nil
+		req.Trace = p.sink.Trace != nil
 		req.Profiling = p.sink.Profiling
 		req.Verbosity = p.sink.Verbosity
 	}
+	req.RunID = p.runID
 	return req
 }
 
@@ -248,20 +278,24 @@ func (p *Pool) wireRequest(stream string, i int, kind string, params json.RawMes
 func (p *Pool) Jobs() int { return p.jobs }
 
 // trialSink builds the private sink one trial runs against: its own metrics
-// registry (merged into the parent in commit order), its own flight-
-// recorder ring when the parent carries one (the per-worker short-term
-// memory of the trial it is running), and the parent's tracer and
-// verbosity. Nil parent sink means nil trial sinks.
+// registry, its own flight-recorder ring when the parent carries one (the
+// per-worker short-term memory of the trial it is running), and its own
+// tracer when the parent traces — all merged into the parent at commit
+// time, in trial order, so every half of the telemetry is independent of
+// worker scheduling. Nil parent sink means nil trial sinks.
 func (p *Pool) trialSink() *obs.Sink {
 	if p.sink == nil {
 		return nil
 	}
-	s := &obs.Sink{Trace: p.sink.Trace, Verbosity: p.sink.Verbosity, Profiling: p.sink.Profiling}
+	s := &obs.Sink{Verbosity: p.sink.Verbosity, Profiling: p.sink.Profiling}
 	if p.sink.Metrics != nil {
 		s.Metrics = obs.NewRegistry()
 	}
 	if p.sink.Flight != nil {
 		s.Flight = obs.NewFlightRecorder(obs.DefaultTrialFlightCap)
+	}
+	if p.sink.Trace != nil {
+		s.Trace = obs.NewTracer()
 	}
 	return s
 }
@@ -275,6 +309,7 @@ type trialTelemetry struct {
 	metrics *obs.Snapshot     // private-registry snapshot; nil when unarmed
 	flight  []obs.FlightEvent // trial ring contents
 	hasRing bool              // the trial carried a flight ring (even if empty)
+	trace   *obs.TraceDelta   // private-tracer delta; nil when untraced
 	// persist, when non-nil, is invoked after the telemetry merge — the
 	// artifact store's write-behind hook, so results land durably in commit
 	// order and a resumed run replays the exact committed prefix.
@@ -295,6 +330,10 @@ func telemetryOf(s *obs.Sink) trialTelemetry {
 		t.flight = s.Flight.Snapshot()
 		t.hasRing = true
 	}
+	if s.Trace != nil {
+		d := s.Trace.Delta()
+		t.trace = &d
+	}
 	return t
 }
 
@@ -307,6 +346,12 @@ func (p *Pool) commit(i int, t trialTelemetry) {
 	if p.sink != nil {
 		if t.metrics != nil && p.sink.Metrics != nil {
 			p.sink.Metrics.Merge(*t.metrics)
+		}
+		if t.trace != nil && p.sink.Trace != nil {
+			// The trial's spans shift onto the run clock and the clock
+			// advances by the trial's cycles — end-to-end layout, exactly
+			// as if the trial had recorded into the run tracer directly.
+			p.sink.Trace.MergeDelta(*t.trace)
 		}
 		if p.sink.Flight != nil && t.hasRing {
 			p.sink.Flight.Append(t.flight)
@@ -469,8 +514,10 @@ func run[T any](p *Pool, max, need int, label string, rn trialRunner[T]) ([]T, i
 	p.noteDegraded(degraded)
 	if tr != nil {
 		end := tr.Base()
+		// Span args carry only jobs-invariant facts; the worker count is a
+		// scheduling detail and would break cross-jobs trace identity.
 		tr.Complete("pool:"+label, "pool", traceStart, end-traceStart, obs.PoolPID, 0,
-			map[string]any{"jobs": p.jobs, "attempts": attempts, "accepted": len(out), "max": max})
+			map[string]any{"attempts": attempts, "accepted": len(out), "max": max})
 	}
 	return out, attempts, degraded, err
 }

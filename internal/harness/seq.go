@@ -111,6 +111,7 @@ func (c Config) withDefaults() Config {
 // pool builds the trial-execution pool for one experiment entry point.
 func (c Config) pool() *Pool {
 	return NewPool(c.Jobs, c.Obs).WithFaults(c.Faults, c.Seed).
+		WithRunID(RunID(c.Seed, "config")).
 		WithExecutor(c.Executor).WithArtifacts(c.Artifacts)
 }
 

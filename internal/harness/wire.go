@@ -8,6 +8,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"strconv"
 
 	"stmdiag/internal/artifact"
 	"stmdiag/internal/faultinj"
@@ -47,8 +49,14 @@ type TrialRequest struct {
 
 	Metrics   bool `json:"metrics,omitempty"`
 	Flight    bool `json:"flight,omitempty"`
+	Trace     bool `json:"trace,omitempty"`
 	Profiling bool `json:"profiling,omitempty"`
 	Verbosity int  `json:"verbosity,omitempty"`
+
+	// RunID correlates every telemetry delta of one pipeline run; it is
+	// propagated into the response's obs.Context and, like the arming
+	// flags, is not part of the trial's identity.
+	RunID uint64 `json:"runID,omitempty"`
 }
 
 // TrialDegraded is the wire form of a trial that exhausted its retry
@@ -78,6 +86,18 @@ type TrialResponse struct {
 	Metrics   *obs.Snapshot     `json:"metrics,omitempty"`
 	Flight    []obs.FlightEvent `json:"flight,omitempty"`
 	HasFlight bool              `json:"hasFlight,omitempty"`
+
+	// Trace is the trial's private-tracer delta: its spans and track
+	// names, plus the cycles its clock advanced. The pool merges it into
+	// the run tracer at commit time, in trial order, so the merged trace
+	// is byte-identical for every -jobs value and executor choice.
+	Trace *obs.TraceDelta `json:"trace,omitempty"`
+
+	// Ctx stamps which run/stream/trial/attempt/worker produced this
+	// response's telemetry. It labels volatile live telemetry only and is
+	// stripped before artifact storage (worker assignment is a scheduling
+	// fact, and stored records stay executor-invariant).
+	Ctx *obs.Context `json:"ctx,omitempty"`
 
 	// errVal preserves the in-process error identity (errors.Is works on
 	// the local path); remote and resumed paths reconstruct from Err.
@@ -115,25 +135,23 @@ func registerKind(name string, fn kindFunc) {
 }
 
 // wireSink builds the sink one wire trial runs against, mirroring
-// Pool.trialSink. local is the parent sink on the in-process path (whose
-// tracer and verbosity the trial inherits, exactly like before); workers
-// have no parent and arm purely from the request.
-func wireSink(req *TrialRequest, local *obs.Sink) *obs.Sink {
-	if local == nil && !req.Metrics && !req.Flight && !req.Profiling {
+// Pool.trialSink: private registry, private flight ring, private tracer.
+// Arming is purely request-driven, so the in-process executor and a
+// subprocess worker build bit-for-bit the same sink for the same request —
+// the federation identity starts here.
+func wireSink(req *TrialRequest) *obs.Sink {
+	if !req.Metrics && !req.Flight && !req.Trace && !req.Profiling {
 		return nil
 	}
-	s := &obs.Sink{Profiling: req.Profiling}
-	if local != nil {
-		s.Trace = local.Trace
-		s.Verbosity = local.Verbosity
-	} else {
-		s.Verbosity = req.Verbosity
-	}
+	s := &obs.Sink{Profiling: req.Profiling, Verbosity: req.Verbosity}
 	if req.Metrics {
 		s.Metrics = obs.NewRegistry()
 	}
 	if req.Flight {
 		s.Flight = obs.NewFlightRecorder(obs.DefaultTrialFlightCap)
+	}
+	if req.Trace {
+		s.Trace = obs.NewTracer()
 	}
 	return s
 }
@@ -141,18 +159,19 @@ func wireSink(req *TrialRequest, local *obs.Sink) *obs.Sink {
 // executeWire runs one portable trial to completion: the same attempt loop
 // as runTrial — per-attempt fault plans, panic recovery, deterministic
 // retry budget, flight events, degradation — expressed over wire types.
-// local is non-nil only on the in-process executor.
-func executeWire(req *TrialRequest, local *obs.Sink) *TrialResponse {
+func executeWire(req *TrialRequest) *TrialResponse {
 	kf, known := trialKinds[req.Kind]
 	if !known {
 		err := fmt.Errorf("harness: unknown trial kind %q (version skew between coordinator and worker?)", req.Kind)
 		return &TrialResponse{Err: err.Error(), errVal: err}
 	}
-	s := wireSink(req, local)
+	s := wireSink(req)
 	resp := &TrialResponse{HasFlight: s != nil && s.Flight != nil}
 	body := func(tc *Trial) (any, bool, error) { return kf(req.Params, req.Stream, tc) }
 	budget := req.Faults.RetryBudget()
+	lastAttempt := 0
 	for attempt := 0; ; attempt++ {
+		lastAttempt = attempt
 		s.RecordFlight(obs.FlightEvent{
 			Cycle: s.Cycles(), Trial: req.Index, Attempt: attempt,
 			Kind: obs.FlightTrialStart, Detail: req.Stream,
@@ -202,6 +221,9 @@ func executeWire(req *TrialRequest, local *obs.Sink) *TrialResponse {
 			Kind: obs.FlightTrialRetry, Detail: fmt.Sprintf("panic: %v", pan),
 		})
 	}
+	// Drain the trial sink into the response — the disable-before-read
+	// moment: the trial body has returned, nothing records into s anymore,
+	// and only now is the telemetry serialized for the coordinator.
 	if s != nil && s.Metrics != nil {
 		snap := s.Metrics.Snapshot()
 		resp.Metrics = &snap
@@ -209,7 +231,27 @@ func executeWire(req *TrialRequest, local *obs.Sink) *TrialResponse {
 	if s != nil && s.Flight != nil {
 		resp.Flight = s.Flight.Snapshot()
 	}
+	if s != nil && s.Trace != nil {
+		d := s.Trace.Delta()
+		resp.Trace = &d
+	}
+	resp.Ctx = &obs.Context{
+		RunID: req.RunID, Stream: req.Stream, Trial: req.Index,
+		Attempt: lastAttempt, Worker: selfWorkerID(),
+	}
 	return resp
+}
+
+// selfWorkerID reports which executor worker this process is (from the
+// environment the subprocess executor spawns workers with), or -1 for the
+// coordinator process itself.
+func selfWorkerID() int {
+	if v := os.Getenv(WorkerIDEnv); v != "" {
+		if id, err := strconv.Atoi(v); err == nil {
+			return id
+		}
+	}
+	return -1
 }
 
 // requestKey hashes a trial's identity into its artifact-store key. The
@@ -239,6 +281,7 @@ func wireOutcome[T any](label string, i int, resp *TrialResponse, persist func()
 		metrics: resp.Metrics,
 		flight:  resp.Flight,
 		hasRing: resp.HasFlight,
+		trace:   resp.Trace,
 		persist: persist,
 	}}
 	if d := resp.Degraded; d != nil {
@@ -267,8 +310,14 @@ func wireOutcome[T any](label string, i int, resp *TrialResponse, persist func()
 
 // encodeStored renders the response's durable form. Local-only fields
 // (errVal, Degraded.pan) are unexported and fall away, which is the point:
-// the stored record equals what a subprocess worker would have sent.
-func encodeStored(resp *TrialResponse) ([]byte, error) { return json.Marshal(resp) }
+// the stored record equals what a subprocess worker would have sent — minus
+// the correlation context, which names a scheduling fact (which worker ran
+// the trial) and would otherwise make store contents executor-variant.
+func encodeStored(resp *TrialResponse) ([]byte, error) {
+	stored := *resp
+	stored.Ctx = nil
+	return json.Marshal(&stored)
+}
 
 // decodeStored parses a stored trial record.
 func decodeStored(data []byte) (*TrialResponse, error) {
@@ -313,11 +362,16 @@ func (r wireRunner[T]) runOne(p *Pool, w int, label string, i int) trialOutcome[
 			// Executor infrastructure failure (worker crashed repeatedly,
 			// timed out past the retry budget): degrade the trial rather
 			// than kill the run — identical handling to a trial whose every
-			// attempt panicked.
+			// attempt panicked. An *ExecutorError carries the crash flight
+			// events (worker id, stderr tail) into the TrialError's tail.
 			p.sink.Counter("harness.executor.failed_trials").Inc()
-			return trialOutcome[T]{degraded: &TrialError{
-				Label: label, Trial: i, Attempts: 1, Panic: err,
-			}}
+			te := &TrialError{Label: label, Trial: i, Attempts: 1, Panic: err}
+			var ee *ExecutorError
+			if errors.As(err, &ee) {
+				te.Attempts = ee.Attempts
+				te.Events = ee.Events
+			}
+			return trialOutcome[T]{degraded: te}
 		}
 		var persist func()
 		if p.store != nil {
@@ -394,16 +448,14 @@ type Executor interface {
 	Close() error
 }
 
-// InprocExecutor runs trials in this process — the default. Local is the
-// parent sink whose tracer and verbosity trial sinks inherit, preserving
-// -trace and -v behavior exactly.
-type InprocExecutor struct {
-	Local *obs.Sink
-}
+// InprocExecutor runs trials in this process — the default. Trial sinks
+// are built purely from the request (private registry, ring and tracer,
+// merged by the pool at commit), identically to a subprocess worker.
+type InprocExecutor struct{}
 
 // Run executes the trial on the calling goroutine.
 func (e *InprocExecutor) Run(req *TrialRequest) (*TrialResponse, error) {
-	return executeWire(req, e.Local), nil
+	return executeWire(req), nil
 }
 
 // Close is a no-op.
@@ -415,14 +467,97 @@ func (e *InprocExecutor) Close() error { return nil }
 // (-worker-bin defaults to the current executable).
 const WorkerEnv = "STMDIAG_TRIAL_WORKER"
 
+// WorkerIDEnv carries a subprocess worker's ordinal (its lane in the
+// executor's freelist). Responses stamp it into their correlation context
+// and the executor labels per-worker counters with it.
+const WorkerIDEnv = "STMDIAG_TRIAL_WORKER_ID"
+
+// wireCompactor strips merge-neutral telemetry repeats from one worker's
+// response stream. A profiled trial registers every instrument family its
+// code path touches, so most of a per-trial metrics delta is zero-valued
+// counters and unobserved histograms — entries that exist on the wire only
+// to mint the family in the coordinator's registry. Minting is idempotent
+// and order-independent (a zero adds nothing whenever it merges), so each
+// wire session ships every family once and suppresses the repeats; the
+// same goes for trace track names, which re-register identically on every
+// trial. This roughly halves the serialized delta for fully-armed runs
+// without touching the merged result: byte-identity of the final sink is
+// what the federation gate checks, and it is preserved by construction.
+type wireCompactor struct {
+	counters map[string]bool   // zero-valued counter families already shipped
+	hists    map[string]bool   // unobserved histogram families already shipped
+	tracks   map[string]string // trace track names already shipped, by "pid/tid"
+}
+
+func newWireCompactor() *wireCompactor {
+	return &wireCompactor{
+		counters: map[string]bool{},
+		hists:    map[string]bool{},
+		tracks:   map[string]string{},
+	}
+}
+
+// compact rewrites resp in place. Nonzero values always ship (and mark the
+// family as minted); zero-valued repeats drop. A histogram's bounds ship
+// only on the session's first response for that family: a worker executes
+// its trials in increasing index order and the coordinator folds deltas in
+// that same order (live commits and artifact replay alike), so the minting
+// delta always merges before any stripped one and Registry.Merge folds the
+// bounds-less counts positionally into the already-minted family.
+func (c *wireCompactor) compact(resp *TrialResponse) {
+	if resp == nil {
+		return
+	}
+	if resp.Metrics != nil {
+		for name, v := range resp.Metrics.Counters {
+			if v == 0 && c.counters[name] {
+				delete(resp.Metrics.Counters, name)
+				continue
+			}
+			c.counters[name] = true
+		}
+		for name, h := range resp.Metrics.Histograms {
+			if c.hists[name] {
+				if h.Count == 0 && h.Sum == 0 {
+					delete(resp.Metrics.Histograms, name)
+					continue
+				}
+				h.Bounds = nil
+				resp.Metrics.Histograms[name] = h
+			}
+			c.hists[name] = true
+		}
+	}
+	if resp.Trace != nil {
+		resp.Trace.Procs = c.compactTracks(resp.Trace.Procs)
+		resp.Trace.Threads = c.compactTracks(resp.Trace.Threads)
+	}
+}
+
+func (c *wireCompactor) compactTracks(tracks []obs.TrackName) []obs.TrackName {
+	kept := tracks[:0]
+	for _, tr := range tracks {
+		key := strconv.Itoa(tr.PID) + "/" + strconv.Itoa(tr.TID)
+		if name, ok := c.tracks[key]; ok && name == tr.Name {
+			continue
+		}
+		c.tracks[key] = tr.Name
+		kept = append(kept, tr)
+	}
+	return kept
+}
+
 // WorkerMain is the trial-worker protocol loop: JSON TrialRequests in,
 // JSON TrialResponses out, one per line, strictly in lockstep. Any
 // protocol error terminates the worker — the coordinating executor kills
 // and respawns workers rather than attempting to resynchronize a stream.
+// Responses are compacted per session: merge-neutral repeats (zero-valued
+// families, unchanged track names) ship only once per worker lifetime.
 func WorkerMain(r io.Reader, w io.Writer) error {
 	dec := json.NewDecoder(bufio.NewReader(r))
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
+	comp := newWireCompactor()
 	for {
 		var req TrialRequest
 		if err := dec.Decode(&req); err != nil {
@@ -431,7 +566,8 @@ func WorkerMain(r io.Reader, w io.Writer) error {
 			}
 			return fmt.Errorf("harness: worker decode request: %w", err)
 		}
-		resp := executeWire(&req, nil)
+		resp := executeWire(&req)
+		comp.compact(resp)
 		if err := enc.Encode(resp); err != nil {
 			return fmt.Errorf("harness: worker encode response: %w", err)
 		}

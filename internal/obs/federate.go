@@ -1,0 +1,358 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file federates telemetry across process boundaries. The paper's
+// capture discipline is "read the short-term memory of the hardware after
+// the fact, then aggregate across the fleet" (§3.2, §5): evidence recorded
+// inside a dying process must outlive it and fold deterministically into
+// the aggregate. Our executor subprocess workers and fleet clients have the
+// same problem — every counter, trace span, prof sample and flight event
+// recorded inside them dies with the process — so each remote scope
+// serializes a Delta (its telemetry since the last drain, stamped with a
+// correlation Context) and the coordinator folds deltas into its own Sink
+// with MergeRemote, always in trial-commit order, never arrival order.
+// That ordering rule is what extends the repo's -jobs/-executor
+// byte-identity guarantees to remote telemetry.
+
+// FleetPID is the reserved trace track group for fleet ingestion lanes:
+// fleetd assigns each pushing client one track (tid) under this pid.
+const FleetPID = 97
+
+// DeltaVersion is the telemetry-delta wire version. DecodeDelta rejects
+// other versions loudly (mixed-version worker pools must fail, not
+// mis-merge), mirroring the fleet batch version gate.
+const DeltaVersion = 1
+
+// Context correlates one remote telemetry delta with the work that
+// produced it: which run, which trial stream, which trial and attempt,
+// which executor worker (-1 when not a subprocess worker), which fleet
+// client (empty outside the fleet path). It labels volatile live telemetry
+// only — deterministic outputs never incorporate it, since worker
+// assignment is scheduling-dependent.
+type Context struct {
+	RunID   uint64 `json:"runID,omitempty"`
+	Stream  string `json:"stream,omitempty"`
+	Trial   int    `json:"trial"`
+	Attempt int    `json:"attempt"`
+	Worker  int    `json:"worker"`
+	Client  string `json:"client,omitempty"`
+}
+
+// String renders the context as one compact correlation tag.
+func (c Context) String() string {
+	s := fmt.Sprintf("run %x %s trial %d.%d", c.RunID, c.Stream, c.Trial, c.Attempt)
+	if c.Worker >= 0 {
+		s += fmt.Sprintf(" worker %d", c.Worker)
+	}
+	if c.Client != "" {
+		s += " client " + c.Client
+	}
+	return s
+}
+
+// TrackName names one trace track: a process row (TID < 0) or a thread row
+// within it.
+type TrackName struct {
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+	Name string `json:"name"`
+}
+
+// TraceDelta is the trace half of a Delta: the events a remote tracer
+// recorded (timestamps relative to that tracer's own zero), the cycles its
+// clock advanced, and the track names it registered. MergeDelta shifts the
+// events onto the receiving tracer's clock, so remote spans lay out
+// end-to-end exactly as if they had been recorded locally.
+type TraceDelta struct {
+	Events  []Event     `json:"events,omitempty"`
+	Cycles  uint64      `json:"cycles,omitempty"`
+	Procs   []TrackName `json:"procs,omitempty"`
+	Threads []TrackName `json:"threads,omitempty"`
+	Dropped uint64      `json:"dropped,omitempty"`
+}
+
+// Delta is one remote scope's serialized telemetry: everything it recorded
+// since its sink was last drained, stamped with the correlation context.
+// It is the unit that rides the executor wire protocol (one Delta per
+// TrialResponse) and aggregates into the fleet TelemetrySummary.
+type Delta struct {
+	V       int           `json:"v"`
+	Ctx     Context       `json:"ctx"`
+	Metrics *Snapshot     `json:"metrics,omitempty"`
+	Trace   TraceDelta    `json:"trace"`
+	Flight  []FlightEvent `json:"flight,omitempty"`
+}
+
+// EncodeDelta serializes a delta for the wire, stamping the version.
+func EncodeDelta(d Delta) ([]byte, error) {
+	d.V = DeltaVersion
+	return json.Marshal(d)
+}
+
+// DecodeDelta parses a wire delta, rejecting unknown versions.
+func DecodeDelta(b []byte) (Delta, error) {
+	var d Delta
+	if err := json.Unmarshal(b, &d); err != nil {
+		return Delta{}, fmt.Errorf("obs: decode delta: %w", err)
+	}
+	if d.V != DeltaVersion {
+		return Delta{}, fmt.Errorf("obs: delta version %d, want %d", d.V, DeltaVersion)
+	}
+	return d, nil
+}
+
+// normalizeEvents passes events through one JSON round trip so both sides
+// of the executor boundary see identical Args value types (encoding/json
+// decodes every number into float64; an int recorded in-process would
+// otherwise compare unequal to its wire twin and could render differently
+// for values beyond 2^53). Called once when a delta is built, so the
+// in-process and subprocess paths serialize byte-identically.
+func normalizeEvents(evs []Event) []Event {
+	if len(evs) == 0 {
+		return evs
+	}
+	b, err := json.Marshal(evs)
+	if err != nil {
+		return evs
+	}
+	var out []Event
+	if err := json.Unmarshal(b, &out); err != nil {
+		return evs
+	}
+	return out
+}
+
+// Delta snapshots the tracer as a TraceDelta: events (Args-normalized for
+// cross-process identity), the total clock advance, registered track
+// names in sorted order, and the drop count. The caller is expected to own
+// the tracer (per-trial tracers have a single writer); concurrent use is
+// still safe.
+func (t *Tracer) Delta() TraceDelta {
+	if t == nil {
+		return TraceDelta{}
+	}
+	t.mu.Lock()
+	d := TraceDelta{
+		Events:  normalizeEvents(append([]Event(nil), t.events...)),
+		Cycles:  t.base,
+		Dropped: t.dropped,
+	}
+	for pid, name := range t.procs {
+		d.Procs = append(d.Procs, TrackName{PID: pid, TID: -1, Name: name})
+	}
+	for k, name := range t.threads {
+		d.Threads = append(d.Threads, TrackName{PID: k[0], TID: k[1], Name: name})
+	}
+	t.mu.Unlock()
+	sort.Slice(d.Procs, func(i, j int) bool { return d.Procs[i].PID < d.Procs[j].PID })
+	sort.Slice(d.Threads, func(i, j int) bool {
+		if d.Threads[i].PID != d.Threads[j].PID {
+			return d.Threads[i].PID < d.Threads[j].PID
+		}
+		return d.Threads[i].TID < d.Threads[j].TID
+	})
+	return d
+}
+
+// MergeDelta folds a remote trace delta into the tracer: events shift onto
+// this tracer's clock base and append in their recorded order, track names
+// merge, and the base advances by the delta's cycle count — the same
+// advance the remote tracer saw, so consecutive merged trials lay out
+// end-to-end. The harness pool calls this at commit time, in trial order,
+// which keeps the merged trace byte-identical for every -jobs value and
+// for in-process vs. subprocess executors.
+func (t *Tracer) MergeDelta(d TraceDelta) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	for _, ev := range d.Events {
+		if t.limit > 0 && len(t.events) >= t.limit {
+			t.dropped++
+			continue
+		}
+		ev.TS += t.base
+		t.events = append(t.events, ev)
+	}
+	for _, p := range d.Procs {
+		if t.procs == nil {
+			t.procs = map[int]string{}
+		}
+		t.procs[p.PID] = p.Name
+	}
+	for _, th := range d.Threads {
+		if t.threads == nil {
+			t.threads = map[[2]int]string{}
+		}
+		t.threads[[2]int{th.PID, th.TID}] = th.Name
+	}
+	t.base += d.Cycles
+	t.dropped += d.Dropped
+	t.mu.Unlock()
+}
+
+// LaneSummary aggregates one (pid, tid) trace track.
+type LaneSummary struct {
+	PID      int    `json:"pid"`
+	TID      int    `json:"tid"`
+	Process  string `json:"process,omitempty"`
+	Thread   string `json:"thread,omitempty"`
+	Events   int    `json:"events"`
+	Spans    int    `json:"spans"`
+	Instants int    `json:"instants"`
+	FirstTS  uint64 `json:"firstTS"`
+	LastTS   uint64 `json:"lastTS"`
+	SpanDur  uint64 `json:"spanDur"`
+}
+
+// TraceSummary is the machine-readable digest behind the /tracez endpoint:
+// per-lane event counts and span time, without shipping the full event
+// list. Lanes sort by (pid, tid); the digest is deterministic for a given
+// tracer state.
+type TraceSummary struct {
+	Events  int           `json:"events"`
+	Dropped uint64        `json:"dropped"`
+	Base    uint64        `json:"base"`
+	Lanes   []LaneSummary `json:"lanes"`
+}
+
+// Summary digests the tracer per lane.
+func (t *Tracer) Summary() TraceSummary {
+	if t == nil {
+		return TraceSummary{Lanes: []LaneSummary{}}
+	}
+	t.mu.Lock()
+	events := append([]Event(nil), t.events...)
+	procs := make(map[int]string, len(t.procs))
+	for pid, name := range t.procs {
+		procs[pid] = name
+	}
+	threads := make(map[[2]int]string, len(t.threads))
+	for k, name := range t.threads {
+		threads[k] = name
+	}
+	s := TraceSummary{Events: len(events), Dropped: t.dropped, Base: t.base}
+	t.mu.Unlock()
+
+	lanes := map[[2]int]*LaneSummary{}
+	for _, ev := range events {
+		k := [2]int{ev.PID, ev.TID}
+		l := lanes[k]
+		if l == nil {
+			l = &LaneSummary{PID: ev.PID, TID: ev.TID, FirstTS: ev.TS}
+			lanes[k] = l
+		}
+		l.Events++
+		switch ev.Ph {
+		case PhaseComplete:
+			l.Spans++
+			l.SpanDur += ev.Dur
+		case PhaseInstant:
+			l.Instants++
+		}
+		if ev.TS < l.FirstTS {
+			l.FirstTS = ev.TS
+		}
+		if end := ev.TS + ev.Dur; end > l.LastTS {
+			l.LastTS = end
+		}
+	}
+	// Named-but-empty lanes still appear, so /tracez shows every
+	// registered worker/client lane even before it records.
+	for k := range threads {
+		if lanes[k] == nil {
+			lanes[k] = &LaneSummary{PID: k[0], TID: k[1]}
+		}
+	}
+	s.Lanes = make([]LaneSummary, 0, len(lanes))
+	for k, l := range lanes {
+		l.Process = procs[k[0]]
+		l.Thread = threads[k]
+		s.Lanes = append(s.Lanes, *l)
+	}
+	sort.Slice(s.Lanes, func(i, j int) bool {
+		if s.Lanes[i].PID != s.Lanes[j].PID {
+			return s.Lanes[i].PID < s.Lanes[j].PID
+		}
+		return s.Lanes[i].TID < s.Lanes[j].TID
+	})
+	return s
+}
+
+// MergeRemote folds one remote telemetry delta into the sink: counters and
+// histogram buckets add, gauges take the remote value, trace events shift
+// onto the local clock, flight events append to the local ring. Callers
+// must invoke it in trial-commit order (the pool's commit scan, the fleet
+// service's per-batch ingest) — MergeRemote itself imposes no ordering, it
+// only guarantees that identical delta sequences produce identical sinks.
+func (s *Sink) MergeRemote(d Delta) {
+	if s == nil {
+		return
+	}
+	if d.Metrics != nil {
+		s.Metrics.Merge(*d.Metrics)
+	}
+	s.Trace.MergeDelta(d.Trace)
+	s.Flight.Append(d.Flight)
+}
+
+// volatileFamilies lists metric-name prefixes that legitimately vary with
+// worker count, executor choice, resume state or wall clock — scheduling
+// facts, not simulation facts. Everything else merged through the
+// trial-commit path is byte-identical across -jobs values and executors,
+// and the check.sh federation gate holds the repo to that.
+var volatileFamilies = []string{
+	"harness.pool.worker",       // per-worker scheduling + wall-clock utilization
+	"harness.pool.trials",       // started trials, includes speculative overshoot
+	"harness.pool.discarded",    // speculative trials past the accept limit
+	"harness.pool.queue.",       // live queue depth
+	"harness.pool.commit.stall", // wall-clock commit stalls
+	"harness.executor.",         // spawns/respawns/timeouts are infra facts
+	"artifact.",                 // hit/miss mix depends on resume state
+	"fleet.",                    // client/ingest traffic accounting
+}
+
+// IsVolatile reports whether a metric belongs to a family excluded from
+// determinism comparisons.
+func IsVolatile(name string) bool {
+	for _, p := range volatileFamilies {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Deterministic returns the snapshot minus volatile families: the subset
+// that must be byte-identical across -jobs values and executor choices.
+// The -metrics-format detjson flag and the check.sh federation gate
+// compare exactly this view.
+func (s Snapshot) Deterministic() Snapshot {
+	out := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for name, v := range s.Counters {
+		if !IsVolatile(name) {
+			out.Counters[name] = v
+		}
+	}
+	for name, v := range s.Gauges {
+		if !IsVolatile(name) {
+			out.Gauges[name] = v
+		}
+	}
+	for name, h := range s.Histograms {
+		if !IsVolatile(name) {
+			out.Histograms[name] = h
+		}
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// buildTrialTracer records the same event mix a trial produces: spans,
+// instants, track names, and a clock advance per "run".
+func buildTrialTracer(trial int) *Tracer {
+	tr := NewTracer()
+	tr.SetProcessName(0, "core 0")
+	tr.SetThreadName(0, 1, "thread 1")
+	tr.Complete("run", "vm", 0, 100, 0, 1, map[string]any{"trial": trial, "app": "x"})
+	tr.Advance(101)
+	tr.Instant("profile", "pmu", 5, 0, 1, map[string]any{"kind": "failure"})
+	tr.Complete("run", "vm", 0, 80, 0, 1, nil)
+	tr.Advance(81)
+	return tr
+}
+
+func TestDeltaWireRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("vm.cycles").Add(181)
+	reg.Histogram("lat", []uint64{10, 100}).Observe(42)
+	snap := reg.Snapshot()
+	d := Delta{
+		Ctx:     Context{RunID: 0xabcd, Stream: "fail", Trial: 3, Attempt: 1, Worker: 2},
+		Metrics: &snap,
+		Trace:   buildTrialTracer(3).Delta(),
+		Flight:  []FlightEvent{{Cycle: 7, Trial: 3, Attempt: 1, Kind: FlightTrialStart}},
+	}
+	b, err := EncodeDelta(d)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeDelta(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Ctx != d.Ctx {
+		t.Fatalf("ctx round trip: got %+v want %+v", got.Ctx, d.Ctx)
+	}
+	if got.Metrics.Counter("vm.cycles") != 181 {
+		t.Fatalf("metrics lost: %+v", got.Metrics)
+	}
+	if len(got.Flight) != 1 || got.Flight[0].Kind != FlightTrialStart {
+		t.Fatalf("flight lost: %+v", got.Flight)
+	}
+	// Re-encoding the decoded delta must be byte-identical: the wire form
+	// is its own normal form, so in-process and subprocess paths agree.
+	b2, err := EncodeDelta(got)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatalf("wire form not a fixed point:\n%s\nvs\n%s", b, b2)
+	}
+}
+
+func TestDecodeDeltaRejectsVersions(t *testing.T) {
+	b, _ := json.Marshal(Delta{V: DeltaVersion + 1})
+	if _, err := DecodeDelta(b); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := DecodeDelta([]byte("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+// TestMergeDeltaMatchesLocalRecording is the heart of federation
+// determinism: recording N trials into one tracer directly must produce
+// the same Chrome trace bytes as recording each trial into its own tracer
+// and merging the deltas in trial order — whether or not the deltas took
+// a trip through the wire encoding.
+func TestMergeDeltaMatchesLocalRecording(t *testing.T) {
+	local := NewTracer()
+	for trial := 0; trial < 3; trial++ {
+		d := buildTrialTracer(trial).Delta()
+		local.MergeDelta(d)
+	}
+
+	wire := NewTracer()
+	for trial := 0; trial < 3; trial++ {
+		b, err := EncodeDelta(Delta{Trace: buildTrialTracer(trial).Delta()})
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		d, err := DecodeDelta(b)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		wire.MergeDelta(d.Trace)
+	}
+
+	lj, err := local.ChromeJSON()
+	if err != nil {
+		t.Fatalf("local chrome: %v", err)
+	}
+	wj, err := wire.ChromeJSON()
+	if err != nil {
+		t.Fatalf("wire chrome: %v", err)
+	}
+	if !bytes.Equal(lj, wj) {
+		t.Fatalf("in-process and wire merges diverge:\n%s\nvs\n%s", lj, wj)
+	}
+	if got, want := local.Base(), uint64(3*(101+81)); got != want {
+		t.Fatalf("merged base = %d, want %d", got, want)
+	}
+}
+
+func TestMergeDeltaRespectsLimit(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimit(1)
+	tr.MergeDelta(buildTrialTracer(0).Delta())
+	if tr.Len() != 1 {
+		t.Fatalf("limit ignored: %d events", tr.Len())
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("dropped not counted")
+	}
+}
+
+func TestMergeRemoteFoldsAllHalves(t *testing.T) {
+	sink := &Sink{
+		Metrics: NewRegistry(),
+		Trace:   NewTracer(),
+		Flight:  NewFlightRecorder(8),
+	}
+	reg := NewRegistry()
+	reg.Counter("vm.cycles").Add(50)
+	reg.Gauge("g").Set(7)
+	snap := reg.Snapshot()
+	sink.MergeRemote(Delta{
+		Metrics: &snap,
+		Trace:   buildTrialTracer(0).Delta(),
+		Flight:  []FlightEvent{{Cycle: 1, Trial: 0, Kind: FlightTrialCommit}},
+	})
+	if got := sink.Counter("vm.cycles").Value(); got != 50 {
+		t.Fatalf("counter = %d", got)
+	}
+	if got := sink.Gauge("g").Value(); got != 7 {
+		t.Fatalf("gauge = %d", got)
+	}
+	if sink.Trace.Len() != 3 {
+		t.Fatalf("trace events = %d", sink.Trace.Len())
+	}
+	if evs := sink.Flight.Snapshot(); len(evs) != 1 || evs[0].Kind != FlightTrialCommit {
+		t.Fatalf("flight = %+v", evs)
+	}
+	// All nil-safe.
+	var nilSink *Sink
+	nilSink.MergeRemote(Delta{Metrics: &snap})
+	(&Sink{}).MergeRemote(Delta{Metrics: &snap, Trace: buildTrialTracer(1).Delta()})
+}
+
+func TestTracerSummary(t *testing.T) {
+	tr := buildTrialTracer(0)
+	tr.SetThreadName(98, 3, "worker 3") // registered but empty lane
+	s := tr.Summary()
+	if s.Events != 3 {
+		t.Fatalf("events = %d", s.Events)
+	}
+	if len(s.Lanes) != 2 {
+		t.Fatalf("lanes = %+v", s.Lanes)
+	}
+	l := s.Lanes[0]
+	if l.PID != 0 || l.TID != 1 || l.Spans != 2 || l.Instants != 1 {
+		t.Fatalf("lane 0 = %+v", l)
+	}
+	if l.SpanDur != 180 {
+		t.Fatalf("span dur = %d", l.SpanDur)
+	}
+	if l.Process != "core 0" || l.Thread != "thread 1" {
+		t.Fatalf("lane names = %+v", l)
+	}
+	if s.Lanes[1].PID != 98 || s.Lanes[1].Events != 0 || s.Lanes[1].Thread != "worker 3" {
+		t.Fatalf("empty lane = %+v", s.Lanes[1])
+	}
+	// Deterministic JSON.
+	a, _ := json.Marshal(s)
+	b, _ := json.Marshal(tr.Summary())
+	if !bytes.Equal(a, b) {
+		t.Fatal("summary not deterministic")
+	}
+	var nilT *Tracer
+	if ns := nilT.Summary(); ns.Events != 0 || len(ns.Lanes) != 0 {
+		t.Fatalf("nil summary = %+v", ns)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("vm.cycles").Add(10)
+	reg.Counter("harness.pool.committed").Add(4)
+	reg.Counter("harness.pool.trials").Add(6)
+	reg.Counter("harness.pool.worker0.trials").Add(3)
+	reg.Counter("harness.executor.spawns").Add(2)
+	reg.Counter("artifact.hits").Add(1)
+	reg.Counter("fleet.client.batches").Add(1)
+	reg.Gauge("harness.pool.queue.depth").Set(2)
+	reg.Histogram("harness.pool.commit.stall_ns", []uint64{10}).Observe(5)
+	det := reg.Snapshot().Deterministic()
+	want := map[string]uint64{"vm.cycles": 10, "harness.pool.committed": 4}
+	if len(det.Counters) != len(want) {
+		t.Fatalf("counters = %+v", det.Counters)
+	}
+	for name, v := range want {
+		if det.Counters[name] != v {
+			t.Fatalf("counter %s = %d, want %d", name, det.Counters[name], v)
+		}
+	}
+	if len(det.Gauges) != 0 || len(det.Histograms) != 0 {
+		t.Fatalf("volatile instruments leaked: %+v %+v", det.Gauges, det.Histograms)
+	}
+	if !IsVolatile("harness.executor.workers.live") || IsVolatile("vm.runs") {
+		t.Fatal("IsVolatile misclassifies")
+	}
+}
+
+func TestContextString(t *testing.T) {
+	c := Context{RunID: 0x1f, Stream: "fail", Trial: 2, Attempt: 1, Worker: 3, Client: "machine-0"}
+	if got := c.String(); got != "run 1f fail trial 2.1 worker 3 client machine-0" {
+		t.Fatalf("ctx string = %q", got)
+	}
+	c2 := Context{Stream: "succ", Worker: -1}
+	if got := c2.String(); got != "run 0 succ trial 0.0" {
+		t.Fatalf("ctx string = %q", got)
+	}
+}
+
+// FuzzObsWireDecode hardens DecodeDelta against arbitrary bytes: it must
+// never panic, and any accepted delta must survive a re-encode/re-decode
+// round trip and merge into a sink without fault.
+func FuzzObsWireDecode(f *testing.F) {
+	seed := func(d Delta) {
+		b, err := EncodeDelta(d)
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(b)
+	}
+	reg := NewRegistry()
+	reg.Counter("vm.cycles").Add(99)
+	reg.Histogram("h", []uint64{1, 2}).Observe(2)
+	snap := reg.Snapshot()
+	seed(Delta{})
+	seed(Delta{Ctx: Context{RunID: 1, Stream: "fail", Trial: 2, Attempt: 1, Worker: 0}, Metrics: &snap})
+	seed(Delta{Trace: buildTrialTracer(1).Delta(), Flight: []FlightEvent{{Cycle: 3, Kind: FlightFault, Detail: "lbr-drop"}}})
+	f.Add([]byte(`{"v":1}`))
+	f.Add([]byte(`{"v":2}`))
+	f.Add([]byte(`{"v":1,"trace":{"events":[{"Ph":888}]}}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d, err := DecodeDelta(b)
+		if err != nil {
+			return
+		}
+		sink := &Sink{Metrics: NewRegistry(), Trace: NewTracer(), Flight: NewFlightRecorder(4)}
+		sink.MergeRemote(d)
+		b2, err := EncodeDelta(d)
+		if err != nil {
+			return // unrepresentable numbers (NaN args) may refuse to re-encode
+		}
+		if _, err := DecodeDelta(b2); err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v\n%s", err, b2)
+		}
+	})
+}

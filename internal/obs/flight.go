@@ -38,6 +38,11 @@ const (
 	FlightFault = "fault"
 	// FlightPhase marks a pipeline phase transition (a table row starting).
 	FlightPhase = "phase"
+	// FlightExecutorCrash marks a subprocess worker dying (or timing out)
+	// under the executor, with the tail of its captured stderr as detail.
+	// Recorded only on real infrastructure failure, so it is exempt from
+	// the ring's cross-jobs byte-identity rule.
+	FlightExecutorCrash = "executor-crash"
 )
 
 // FlightEvent is one record in a flight recorder. Cycle is the VM cycle

@@ -20,16 +20,21 @@ import (
 // (harness_pool_worker_trials{worker="3"}), which is how a Prometheus user
 // expects to aggregate across workers.
 
-// workerSeg matches the one name-segment convention that encodes a label:
-// per-worker instruments minted by the harness pool.
+// workerSeg matches one of the two name-segment conventions that encode a
+// label: per-worker instruments minted by the harness pool.
 var workerSeg = regexp.MustCompile(`^worker([0-9]+)$`)
+
+// clientSeg matches the other: per-client instruments minted by the fleet
+// ingest service ("fleet.ingest.client:machine-0.batches").
+var clientSeg = regexp.MustCompile(`^client:(.+)$`)
 
 // invalidMetricChar matches every byte OpenMetrics forbids in metric names.
 var invalidMetricChar = regexp.MustCompile(`[^a-zA-Z0-9_:]`)
 
 // sanitizeMetricName maps an internal dotted name onto a valid exposition
-// metric name and extracts the worker label if the name carries one.
-func sanitizeMetricName(raw string) (name string, worker int) {
+// metric name and extracts the worker and client labels if the name
+// carries them.
+func sanitizeMetricName(raw string) (name string, worker int, client string) {
 	worker = -1
 	segs := strings.Split(raw, ".")
 	kept := segs[:0]
@@ -41,13 +46,18 @@ func sanitizeMetricName(raw string) (name string, worker int) {
 				continue
 			}
 		}
+		if m := clientSeg.FindStringSubmatch(seg); m != nil && client == "" {
+			client = m[1]
+			kept = append(kept, "client")
+			continue
+		}
 		kept = append(kept, seg)
 	}
 	name = invalidMetricChar.ReplaceAllString(strings.Join(kept, "_"), "_")
 	if name == "" || (name[0] >= '0' && name[0] <= '9') {
 		name = "_" + name
 	}
-	return name, worker
+	return name, worker, client
 }
 
 // escapeLabelValue escapes a label value per the exposition format.
@@ -62,14 +72,18 @@ func escapeLabelValue(v string) string {
 type omSeries struct {
 	raw    string // original metric name, for deterministic tie-breaks
 	worker int    // -1 when unlabeled
+	client string // "" when unlabeled
 }
 
 // labels renders the series' label block with extra pre-escaped pairs
-// (the histogram writer passes le) appended after the worker label.
+// (the histogram writer passes le) appended after the worker/client labels.
 func (s omSeries) labels(extra ...string) string {
 	var pairs []string
 	if s.worker >= 0 {
 		pairs = append(pairs, fmt.Sprintf(`worker="%s"`, escapeLabelValue(strconv.Itoa(s.worker))))
+	}
+	if s.client != "" {
+		pairs = append(pairs, fmt.Sprintf(`client="%s"`, escapeLabelValue(s.client)))
 	}
 	pairs = append(pairs, extra...)
 	if len(pairs) == 0 {
@@ -79,10 +93,14 @@ func (s omSeries) labels(extra ...string) string {
 }
 
 // seriesLess orders series within a family: unlabeled first, then workers
-// numerically, then the raw name as a stable tie-break.
+// numerically, then clients lexically, then the raw name as a stable
+// tie-break.
 func seriesLess(a, b omSeries) bool {
 	if a.worker != b.worker {
 		return a.worker < b.worker
+	}
+	if a.client != b.client {
+		return a.client < b.client
 	}
 	return a.raw < b.raw
 }
@@ -103,13 +121,13 @@ func groupFamilies(raws []string, taken map[string]bool, suffix string) []*omFam
 	byName := map[string]*omFamily{}
 	sort.Strings(raws)
 	for _, raw := range raws {
-		name, worker := sanitizeMetricName(raw)
+		name, worker, client := sanitizeMetricName(raw)
 		f := byName[name]
 		if f == nil {
 			f = &omFamily{name: name, vals: map[string]string{}, hists: map[string]HistogramSnapshot{}}
 			byName[name] = f
 		}
-		f.series = append(f.series, omSeries{raw: raw, worker: worker})
+		f.series = append(f.series, omSeries{raw: raw, worker: worker, client: client})
 	}
 	names := make([]string, 0, len(byName))
 	for name := range byName {

@@ -84,13 +84,31 @@ func TestOpenMetricsNameSanitization(t *testing.T) {
 		"0weird":                      "_0weird",
 		"plain":                       "plain",
 	} {
-		got, worker := sanitizeMetricName(raw)
-		if got != want || worker != -1 {
-			t.Errorf("sanitizeMetricName(%q) = %q, %d; want %q, -1", raw, got, worker, want)
+		got, worker, client := sanitizeMetricName(raw)
+		if got != want || worker != -1 || client != "" {
+			t.Errorf("sanitizeMetricName(%q) = %q, %d, %q; want %q, -1, \"\"", raw, got, worker, client, want)
 		}
 	}
-	if got, worker := sanitizeMetricName("harness.pool.worker3.trials"); got != "harness_pool_worker_trials" || worker != 3 {
+	if got, worker, _ := sanitizeMetricName("harness.pool.worker3.trials"); got != "harness_pool_worker_trials" || worker != 3 {
 		t.Errorf("worker extraction = %q, %d", got, worker)
+	}
+	if got, _, client := sanitizeMetricName("fleet.ingest.client:machine-0.batches"); got != "fleet_ingest_client_batches" || client != "machine-0" {
+		t.Errorf("client extraction = %q, %q", got, client)
+	}
+}
+
+func TestOpenMetricsClientLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fleet.ingest.client:machine-1.batches").Add(3)
+	r.Counter("fleet.ingest.client:machine-0.batches").Add(2)
+	out := r.Snapshot().OpenMetrics()
+	if n := strings.Count(out, "# TYPE fleet_ingest_client_batches counter"); n != 1 {
+		t.Fatalf("client counters did not fold into one family (%d TYPE lines):\n%s", n, out)
+	}
+	i0 := strings.Index(out, `fleet_ingest_client_batches_total{client="machine-0"} 2`)
+	i1 := strings.Index(out, `fleet_ingest_client_batches_total{client="machine-1"} 3`)
+	if i0 < 0 || i1 < 0 || i0 > i1 {
+		t.Errorf("client series missing or out of order:\n%s", out)
 	}
 }
 

@@ -21,15 +21,19 @@ const (
 // time); the exporter writes them into the trace_event "ts"/"dur" fields,
 // which viewers interpret as microseconds — one simulated cycle renders as
 // one microsecond.
+// The json tags keep the exported field names on the executor wire (the
+// fuzz corpus pins them) while omitting zero-valued fields, which pays off
+// at one serialized delta per trial; ChromeJSON has its own tagged struct
+// and is unaffected.
 type Event struct {
-	Name string
-	Cat  string
-	Ph   byte
-	TS   uint64
-	Dur  uint64
-	PID  int // track group: core ID, or a reserved pipeline PID
-	TID  int // track: thread ID within the group
-	Args map[string]any
+	Name string         `json:"Name,omitempty"`
+	Cat  string         `json:"Cat,omitempty"`
+	Ph   byte           `json:"Ph,omitempty"`
+	TS   uint64         `json:"TS,omitempty"`
+	Dur  uint64         `json:"Dur,omitempty"`
+	PID  int            `json:"PID,omitempty"` // track group: core ID, or a reserved pipeline PID
+	TID  int            `json:"TID,omitempty"` // track: thread ID within the group
+	Args map[string]any `json:"Args,omitempty"`
 }
 
 // DefaultTraceLimit bounds a Tracer's in-memory event list. Past the limit

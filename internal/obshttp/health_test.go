@@ -1,0 +1,127 @@
+package obshttp_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"stmdiag/internal/obs"
+	"stmdiag/internal/obshttp"
+)
+
+func healthSink() *obs.Sink {
+	return &obs.Sink{
+		Metrics: obs.NewRegistry(),
+		Trace:   obs.NewTracer(),
+		Flight:  obs.NewFlightRecorder(obs.DefaultFlightCap),
+	}
+}
+
+// TestTracezSummarizesLanes pins the /tracez endpoint: a JSON digest of
+// the live tracer, one entry per (pid, tid) lane.
+func TestTracezSummarizesLanes(t *testing.T) {
+	sink := healthSink()
+	sink.Trace.SetProcessName(obs.PoolPID, "pool")
+	sink.Trace.SetThreadName(obs.PoolPID, 0, "worker 0")
+	sink.Trace.Complete("trial", "harness", 10, 5, obs.PoolPID, 0, nil)
+	sink.Trace.Instant("commit", "harness", 16, obs.PoolPID, 0, nil)
+	srv := httptest.NewServer(obshttp.New(sink).Handler())
+	defer srv.Close()
+
+	code, body, _ := get(t, srv.URL+"/tracez")
+	if code != http.StatusOK {
+		t.Fatalf("/tracez = %d: %s", code, body)
+	}
+	var sum obs.TraceSummary
+	if err := json.Unmarshal([]byte(body), &sum); err != nil {
+		t.Fatalf("/tracez is not JSON: %v\n%s", err, body)
+	}
+	if sum.Events != 2 || len(sum.Lanes) != 1 {
+		t.Fatalf("summary = %+v, want 2 events in 1 lane", sum)
+	}
+	l := sum.Lanes[0]
+	if l.PID != obs.PoolPID || l.Thread != "worker 0" || l.Spans != 1 || l.Instants != 1 {
+		t.Errorf("lane = %+v", l)
+	}
+}
+
+// TestTracezWithoutTracer pins the nil path: no tracer means an empty
+// summary, not a panic or a 500.
+func TestTracezWithoutTracer(t *testing.T) {
+	srv := httptest.NewServer(obshttp.New(nil).Handler())
+	defer srv.Close()
+	code, body, _ := get(t, srv.URL+"/tracez")
+	if code != http.StatusOK || !strings.Contains(body, `"lanes": []`) {
+		t.Errorf("/tracez without tracer = %d: %s", code, body)
+	}
+}
+
+// TestHealthzReportsWorkerHealth pins the executor health surface: once
+// harness.executor.* instruments exist, /healthz reports spawn/respawn/
+// live counts and the last crash reason from the flight ring.
+func TestHealthzReportsWorkerHealth(t *testing.T) {
+	sink := healthSink()
+	srv := httptest.NewServer(obshttp.New(sink).Handler())
+	defer srv.Close()
+
+	// Unarmed: plain liveness only.
+	if code, body, _ := get(t, srv.URL+"/healthz"); code != http.StatusOK || strings.Contains(body, "executor:") {
+		t.Errorf("unarmed /healthz = %d: %s", code, body)
+	}
+
+	sink.Counter("harness.executor.spawns").Add(3)
+	sink.Counter("harness.executor.respawns").Add(2)
+	sink.Gauge("harness.executor.workers.live").Set(1)
+	sink.RecordFlight(obs.FlightEvent{
+		Trial: 4, Kind: obs.FlightExecutorCrash,
+		Detail: "worker 1: exit status 2; stderr: boom",
+	})
+	code, body, _ := get(t, srv.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz = %d: %s", code, body)
+	}
+	for _, want := range []string{
+		"executor: spawns=3 respawns=2 live=1 failures=0",
+		"last-crash: worker 1: exit status 2; stderr: boom",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/healthz lacks %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestReadyzWorkerExhaustion pins the readiness verdict: an armed executor
+// with zero live workers and failed trials means the process cannot make
+// progress — 503, not a cosmetic "ready".
+func TestReadyzWorkerExhaustion(t *testing.T) {
+	sink := healthSink()
+	srv := httptest.NewServer(obshttp.New(sink).Handler())
+	defer srv.Close()
+
+	sink.Counter("harness.executor.spawns").Add(2)
+	sink.Gauge("harness.executor.workers.live").Set(2)
+	if code, _, _ := get(t, srv.URL+"/readyz"); code != http.StatusOK {
+		t.Errorf("armed executor with no failures: /readyz = %d, want 200", code)
+	}
+
+	// Failures alone don't flip readiness while workers are still live.
+	sink.Counter("harness.executor.failures").Inc()
+	if code, _, _ := get(t, srv.URL+"/readyz"); code != http.StatusOK {
+		t.Errorf("failures with live workers: /readyz = %d, want 200", code)
+	}
+
+	// Live at 0 *and* failures: exhausted.
+	sink.Gauge("harness.executor.workers.live").Set(0)
+	code, body, _ := get(t, srv.URL+"/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "lost all workers") {
+		t.Errorf("exhausted executor: /readyz = %d: %s", code, body)
+	}
+
+	// A successful respawn recovers readiness.
+	sink.Gauge("harness.executor.workers.live").Set(1)
+	if code, _, _ := get(t, srv.URL+"/readyz"); code != http.StatusOK {
+		t.Errorf("recovered executor: /readyz = %d, want 200", code)
+	}
+}

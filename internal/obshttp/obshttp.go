@@ -6,12 +6,19 @@
 // Endpoints:
 //
 //	/metrics         OpenMetrics text exposition of the sink's registry
-//	/healthz         liveness (always 200 while the process serves)
-//	/readyz          readiness (503 until/unless marked ready)
+//	/healthz         liveness (200 while the process serves) + worker health
+//	/readyz          readiness (503 until/unless marked ready, or when the
+//	                 subprocess executor has lost every worker)
 //	/trace           Chrome trace_event JSON download of the live tracer
+//	/tracez          JSON per-lane summary of the live tracer
 //	/flightrecorder  JSON dump of the pipeline flight-recorder ring
 //	/profilez        JSON cost-attribution report (internal/prof)
 //	/debug/pprof/    the net/http/pprof profiling handlers
+//
+// /healthz and /readyz surface subprocess-executor worker health when the
+// sink's registry carries harness.executor.* instruments: spawn/respawn
+// counts, live workers, and the most recent worker-crash reason recovered
+// from the flight-recorder ring.
 //
 // Every handler snapshots live structures through their lock-free or
 // read-locked views; scraping never blocks the trial workers.
@@ -23,6 +30,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync/atomic"
 
 	"stmdiag/internal/obs"
@@ -84,6 +92,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/trace", readOnly(s.handleTrace))
+	mux.HandleFunc("/tracez", readOnly(s.handleTracez))
 	mux.HandleFunc("/flightrecorder", readOnly(s.handleFlight))
 	mux.HandleFunc("/profilez", readOnly(s.handleProfilez))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -130,7 +139,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "stmdiag telemetry")
-	for _, ep := range []string{"/metrics", "/healthz", "/readyz", "/trace", "/flightrecorder", "/profilez", "/debug/pprof/"} {
+	for _, ep := range []string{"/metrics", "/healthz", "/readyz", "/trace", "/tracez", "/flightrecorder", "/profilez", "/debug/pprof/"} {
 		fmt.Fprintln(w, "  "+ep)
 	}
 }
@@ -146,9 +155,63 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprint(w, body)
 }
 
+// WorkerHealth is the subprocess-executor health view /healthz and /readyz
+// derive from the sink: counters from the registry, the last crash reason
+// from the flight-recorder ring (the most recent executor-crash event).
+type WorkerHealth struct {
+	// Armed reports whether a subprocess executor registered itself (any
+	// spawn recorded); when false the other fields are meaningless.
+	Armed bool
+	// Spawns and Respawns count worker process starts (Respawns are the
+	// subset replacing a crashed or timed-out worker).
+	Spawns   uint64
+	Respawns uint64
+	// Live is the number of worker processes currently running.
+	Live int64
+	// Failures counts trials that exhausted the executor's retry budget.
+	Failures uint64
+	// LastCrash is the detail line of the most recent worker crash ("" if
+	// none survives in the flight ring): worker ID, cause, stderr tail.
+	LastCrash string
+}
+
+// workerHealth assembles the executor health view from the sink.
+func (s *Server) workerHealth() WorkerHealth {
+	snap := s.registry().Snapshot()
+	h := WorkerHealth{
+		Spawns:   snap.Counters["harness.executor.spawns"],
+		Respawns: snap.Counters["harness.executor.respawns"],
+		Live:     snap.Gauges["harness.executor.workers.live"],
+		Failures: snap.Counters["harness.executor.failures"],
+	}
+	h.Armed = h.Spawns > 0
+	if fr := s.sink.FlightRecorder(); fr != nil {
+		for _, ev := range fr.Snapshot() {
+			if ev.Kind == obs.FlightExecutorCrash {
+				h.LastCrash = ev.Detail // keep scanning: ring is oldest-first
+			}
+		}
+	}
+	return h
+}
+
+func (h WorkerHealth) render(w http.ResponseWriter) {
+	if !h.Armed {
+		return
+	}
+	fmt.Fprintf(w, "executor: spawns=%d respawns=%d live=%d failures=%d\n",
+		h.Spawns, h.Respawns, h.Live, h.Failures)
+	if h.LastCrash != "" {
+		// The stderr tail can span lines; indent so probes that read only
+		// the first line still see the verdict.
+		fmt.Fprintf(w, "last-crash: %s\n", strings.ReplaceAll(h.LastCrash, "\n", "\n  "))
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+	s.workerHealth().render(w)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
@@ -158,7 +221,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "not ready")
 		return
 	}
+	// A subprocess executor with no live workers and at least one exhausted
+	// trial cannot make progress: not ready until a respawn succeeds.
+	if h := s.workerHealth(); h.Armed && h.Live == 0 && h.Failures > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready: executor lost all workers")
+		h.render(w)
+		return
+	}
 	fmt.Fprintln(w, "ready")
+	s.workerHealth().render(w)
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
@@ -170,6 +242,18 @@ func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", `attachment; filename="stmdiag-trace.json"`)
 	w.Write(data)
+}
+
+// handleTracez serves the tracer's per-lane summary: event/span counts and
+// time extents per (pid, tid) track — the quick "which lanes are live and
+// how wide are they" view, where /trace is the full event download.
+func (s *Server) handleTracez(w http.ResponseWriter, _ *http.Request) {
+	sum := s.sink.Tracer().Summary()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(sum) //nolint:errcheck // best-effort over HTTP
 }
 
 // FlightDump is the /flightrecorder response shape.

@@ -1,0 +1,97 @@
+#!/bin/sh
+# Compares two bench JSON files (scripts/bench.sh output) key by key and
+# prints a regression table. Keys are classified by name:
+#
+#   *_wall_ms, cpus, gomaxprocs   informational — absolute timings depend
+#                                 on the machine and on smoke vs full run
+#                                 counts, so they never fail the diff
+#   speedup, *_per_sec            higher is better; REGRESSION when the
+#                                 candidate drops below tolerance
+#   *_ratio, *ns_per_*, ns_*,     lower is better; REGRESSION when the
+#   allocs_*, bytes_*             candidate grows beyond tolerance
+#
+# Tolerances are generous (ratios 30%, throughput/cost 2x, allocs 1.5x)
+# because the candidate is often a seconds-fast smoke pass measured against
+# a committed full run. Exit 1 on any REGRESSION unless WARN_ONLY=1, in
+# which case regressions print but the script exits 0 (how scripts/check.sh
+# invokes it). `make benchdiff` runs the enforcing variant against the
+# committed baselines.
+#
+# usage: [WARN_ONLY=1] sh scripts/benchdiff.sh baseline.json candidate.json
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ $# -ne 2 ]; then
+    echo "usage: sh scripts/benchdiff.sh baseline.json candidate.json" >&2
+    exit 2
+fi
+BASE=$1
+CAND=$2
+for f in "$BASE" "$CAND"; do
+    if [ ! -f "$f" ]; then
+        echo "benchdiff: no such file: $f" >&2
+        exit 2
+    fi
+done
+
+# Top-level numeric keys live on two-space-indented lines; the scaling
+# array's entries are nested deeper and never match.
+extract() {
+    awk '/^  "[a-z0-9_]+": -?[0-9]/ {
+        key = $1
+        gsub(/[":]/, "", key)
+        val = $2
+        gsub(/,/, "", val)
+        print key, val
+    }' "$1"
+}
+
+extract "$BASE" >"${TMPDIR:-/tmp}/stmdiag-benchdiff-base.txt"
+extract "$CAND" >"${TMPDIR:-/tmp}/stmdiag-benchdiff-cand.txt"
+
+echo "benchdiff: $BASE -> $CAND"
+report=$(awk '
+    NR == FNR { if (!($1 in base)) order[++n] = $1; base[$1] = $2; next }
+    { cand[$1] = $2; if (!($1 in base)) extra[++m] = $1 }
+    END {
+        fmt = "  %-34s %12s %12s %8s  %s\n"
+        printf fmt, "key", "baseline", "candidate", "delta", "verdict"
+        bad = 0
+        for (i = 1; i <= n; i++) {
+            k = order[i]
+            if (!(k in cand)) {
+                printf fmt, k, base[k], "-", "-", "gone (info)"
+                continue
+            }
+            b = base[k] + 0; c = cand[k] + 0
+            delta = (b != 0) ? sprintf("%+.0f%%", 100 * (c - b) / b) : "-"
+            verdict = "ok"
+            if (k ~ /_wall_ms$/ || k == "cpus" || k == "gomaxprocs") {
+                verdict = "info"
+            } else if (k == "speedup" || k ~ /_per_sec$/) {
+                tol = (k == "speedup") ? 0.70 : 0.50
+                if (b > 0 && c < b * tol) { verdict = "REGRESSION"; bad++ }
+            } else {
+                # Lower is better: ratios, ns/op costs, allocs, bytes.
+                tol = (k ~ /_ratio$/) ? 1.30 : (k ~ /allocs|bytes/) ? 1.50 : 2.00
+                if (b > 0 && c > b * tol) { verdict = "REGRESSION"; bad++ }
+            }
+            printf fmt, k, base[k], cand[k], delta, verdict
+        }
+        for (i = 1; i <= m; i++)
+            printf fmt, extra[i], "-", cand[extra[i]], "-", "new (info)"
+        printf "REGRESSIONS %d\n", bad
+    }' "${TMPDIR:-/tmp}/stmdiag-benchdiff-base.txt" \
+    "${TMPDIR:-/tmp}/stmdiag-benchdiff-cand.txt")
+
+printf '%s\n' "$report" | grep -v '^REGRESSIONS '
+regressions=$(printf '%s\n' "$report" | awk '/^REGRESSIONS / { print $2 }')
+
+if [ "$regressions" -gt 0 ]; then
+    if [ "${WARN_ONLY:-0}" = 1 ]; then
+        echo "benchdiff: $regressions regression(s) vs $BASE (warn-only)" >&2
+    else
+        echo "benchdiff: $regressions regression(s) vs $BASE" >&2
+        exit 1
+    fi
+fi

@@ -33,7 +33,7 @@ echo "== go test -race (artifact store + executors)"
 # across them; both run under the race detector, plus the harness-level
 # executor-equivalence and kill-resume suites.
 go test -race ./internal/artifact/...
-go test -race ./internal/harness -run 'ExecutorEquivalence|KillResume|CorruptArtifact|Subproc|RequestKey|UnknownKind'
+go test -race ./internal/harness -run 'ExecutorEquivalence|KillResume|CorruptArtifact|Subproc|RequestKey|UnknownKind|CarriesContext|StderrTail'
 
 echo "== go test -race (obshttp live scrape)"
 # The telemetry server is scraped while the pipeline runs; the httptest
@@ -48,7 +48,7 @@ go test -race ./internal/fleet/...
 echo "== fuzz corpus replay"
 # Replays the committed seed corpora (f.Add seeds + testdata/fuzz entries)
 # as regular tests; no fuzzing time is spent.
-go test ./internal/stats ./internal/pmu ./internal/faultinj ./internal/synth -run 'Fuzz'
+go test ./internal/stats ./internal/pmu ./internal/faultinj ./internal/synth ./internal/obs -run 'Fuzz'
 
 echo "== -jobs stdout identity"
 EXP="${TMPDIR:-/tmp}/stmdiag-check-experiments"
@@ -109,6 +109,50 @@ if ! cmp -s "${TMPDIR:-/tmp}/stmdiag-check-seq.txt" "${TMPDIR:-/tmp}/stmdiag-che
     echo "stdout differs between -executor inproc and -executor subprocess" >&2
     exit 1
 fi
+
+echo "== federated telemetry determinism"
+# The federation gate: a full-telemetry run must render byte-identical
+# artifacts — Chrome trace, deterministic metrics snapshot, golden stdout —
+# for every -jobs value and for in-process vs subprocess execution, because
+# worker deltas fold into the coordinator sink in trial-commit order, never
+# in arrival order. The stderr stream is the detjson exposition plus the
+# announce lines, which are filtered out (the trace line names a
+# per-variant path; the table summary reports wall clock).
+FED_REF=""
+for fed_ex in inproc subprocess; do
+    for fed_jobs in 1 4 9; do
+        tag="$fed_ex-j$fed_jobs"
+        "$EXP" -table 3 -jobs "$fed_jobs" -executor "$fed_ex" \
+            -trace "${TMPDIR:-/tmp}/stmdiag-check-fed-$tag.trace" \
+            -metrics -metrics-format detjson \
+            >"${TMPDIR:-/tmp}/stmdiag-check-fed-$tag.out" \
+            2>"${TMPDIR:-/tmp}/stmdiag-check-fed-$tag.err"
+        grep -q '^telemetry: run id ' "${TMPDIR:-/tmp}/stmdiag-check-fed-$tag.err" \
+            || { echo "federated run $tag announced no run id" >&2; exit 1; }
+        grep -v -e '^telemetry: ' -e '^trace: ' -e '^table ' \
+            "${TMPDIR:-/tmp}/stmdiag-check-fed-$tag.err" \
+            >"${TMPDIR:-/tmp}/stmdiag-check-fed-$tag.metrics"
+        if ! cmp -s "${TMPDIR:-/tmp}/stmdiag-check-seq.txt" \
+            "${TMPDIR:-/tmp}/stmdiag-check-fed-$tag.out"; then
+            echo "federated run $tag changed the golden stdout" >&2
+            exit 1
+        fi
+        if [ -z "$FED_REF" ]; then
+            FED_REF="$tag"
+            continue
+        fi
+        if ! cmp -s "${TMPDIR:-/tmp}/stmdiag-check-fed-$FED_REF.trace" \
+            "${TMPDIR:-/tmp}/stmdiag-check-fed-$tag.trace"; then
+            echo "federated trace differs between $FED_REF and $tag" >&2
+            exit 1
+        fi
+        if ! cmp -s "${TMPDIR:-/tmp}/stmdiag-check-fed-$FED_REF.metrics" \
+            "${TMPDIR:-/tmp}/stmdiag-check-fed-$tag.metrics"; then
+            echo "deterministic metrics differ between $FED_REF and $tag" >&2
+            exit 1
+        fi
+    done
+done
 
 echo "== kill -9 -> -resume identity"
 # The durability acceptance end to end: SIGKILL a run mid-sweep, resume
@@ -232,9 +276,63 @@ if [ "$rc" != 2 ]; then
     exit 1
 fi
 
+echo "== subprocess -serve live scrape"
+# Federated telemetry on a live run: a subprocess-executor sweep serving
+# /metrics must expose worker-labeled counter families while trials run —
+# per-worker deltas federate over the trial wire into the coordinator
+# registry as worker="N" series. fleetd -get is the scraper, so no
+# curl/wget is needed; -serve-addr-file hands over the ephemeral port.
+SERVE_ADDR_FILE="${TMPDIR:-/tmp}/stmdiag-check-serve.addr"
+SERVE_METRICS="${TMPDIR:-/tmp}/stmdiag-check-serve-metrics.txt"
+rm -f "$SERVE_ADDR_FILE"
+# The sweep must outlive the first few scrapes, so run a table 7 pass big
+# enough to stay up ~a second; a table 3 smoke finishes before the
+# scraper's first request lands.
+"$EXP" -table 7 -failruns 4 -succruns 4 -cbiruns 300 -jobs 2 \
+    -executor subprocess -serve 127.0.0.1:0 \
+    -serve-addr-file "$SERVE_ADDR_FILE" >/dev/null 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+i=0
+while [ ! -s "$SERVE_ADDR_FILE" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serving run never wrote its -serve-addr-file" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+SERVE_URL="http://$(cat "$SERVE_ADDR_FILE")"
+scraped=0
+i=0
+while [ "$i" -lt 100 ]; do
+    i=$((i + 1))
+    if "$FLEETD" -get "$SERVE_URL/metrics" >"$SERVE_METRICS" 2>/dev/null \
+        && grep -q 'worker="' "$SERVE_METRICS"; then
+        scraped=1
+        break
+    fi
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.05
+done
+wait "$SERVE_PID" 2>/dev/null || true
+trap - EXIT
+if [ "$scraped" != 1 ]; then
+    echo "live /metrics never exposed a worker=\"N\" family" >&2
+    exit 1
+fi
+
 echo "== bench smoke"
 # The reduced bench pass: scaling curve, overhead passes and the VM
 # benchmark end to end, writing under \$TMPDIR.
 sh scripts/bench.sh --smoke
+
+echo "== benchdiff (warn-only)"
+# Compares the smoke pass against the committed baselines. Smoke timings
+# use tiny run counts on whatever machine this is, so regressions only
+# warn here; `make benchdiff` is the enforcing variant for full `make
+# bench` output.
+WARN_ONLY=1 sh scripts/benchdiff.sh BENCH_harness.json "${TMPDIR:-/tmp}/stmdiag-bench-harness.json"
+WARN_ONLY=1 sh scripts/benchdiff.sh BENCH_vm.json "${TMPDIR:-/tmp}/stmdiag-bench-vm.json"
 
 echo "check: OK"
